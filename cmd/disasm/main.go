@@ -1,0 +1,62 @@
+// Command disasm lists a linked executable: routine boundaries,
+// instructions, and the statically apparent call arcs — the "crawl over
+// the executable image of the program" facility the retrospective
+// describes for discovering the static call graph.
+//
+// Usage:
+//
+//	disasm [-arcs] [a.out]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/isa"
+	"repro/internal/object"
+)
+
+func main() {
+	arcsOnly := flag.Bool("arcs", false, "print only the static call arcs")
+	flag.Parse()
+	exe := "a.out"
+	if flag.NArg() > 0 {
+		exe = flag.Arg(0)
+	}
+	im, err := object.ReadImageFile(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	if *arcsOnly {
+		for _, a := range object.Scan(im) {
+			fmt.Fprintf(w, "%#06x  %s -> %s\n", a.Site, a.Caller, a.Callee)
+		}
+		return
+	}
+
+	fmt.Fprintf(w, "text [%#x,%#x)  data %#x (%d words)  stack top %#x  entry %#x\n\n",
+		im.TextBase, im.TextEnd(), im.DataBase, len(im.Data), im.StackTop, im.Entry)
+	for _, fn := range im.Funcs {
+		fmt.Fprintf(w, "%s:\n", fn.Name)
+		for pc := fn.Addr; pc < fn.End(); pc++ {
+			word, err := im.Fetch(pc)
+			if err != nil {
+				break
+			}
+			text := isa.DisasmWord(word)
+			// Annotate direct call targets with routine names.
+			if instr, derr := isa.Decode(word); derr == nil && instr.Op == isa.OpCall {
+				if callee, ok := im.FindFunc(int64(instr.Imm)); ok {
+					text = fmt.Sprintf("%s            ; -> %s", text, callee.Name)
+				}
+			}
+			fmt.Fprintf(w, "  %#06x  %s\n", pc, text)
+		}
+	}
+}

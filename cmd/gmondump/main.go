@@ -1,0 +1,82 @@
+// Command gmondump prints the raw contents of profile data files for
+// inspection and debugging: the header, the histogram (non-zero buckets),
+// and the arc records, with addresses resolved to routine names when an
+// executable is supplied.
+//
+// Usage:
+//
+//	gmondump [-exe a.out] gmon.out [gmon.out2 ...]
+//
+// Several files are summed first, as gprof would.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gmon"
+	"repro/internal/object"
+	"repro/internal/symtab"
+)
+
+func main() {
+	exe := flag.String("exe", "", "executable for symbol resolution (optional)")
+	flag.Parse()
+	files := flag.Args()
+	if len(files) == 0 {
+		files = []string{"gmon.out"}
+	}
+	p, err := gmon.ReadFiles(files)
+	if err != nil {
+		fatal(err)
+	}
+	var tab *symtab.Table
+	if *exe != "" {
+		im, err := object.ReadImageFile(*exe)
+		if err != nil {
+			fatal(err)
+		}
+		tab = symtab.New(im)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "profile: %d file(s), clock %d Hz, %.2f seconds sampled\n",
+		len(files), p.ClockHz(), p.TotalSeconds())
+	fmt.Fprintf(w, "histogram: [%#x,%#x) step %d, %d buckets, %d ticks\n",
+		p.Hist.Low, p.Hist.High, p.Hist.Step, len(p.Hist.Counts), p.Hist.TotalTicks())
+	for i, n := range p.Hist.Counts {
+		if n == 0 {
+			continue
+		}
+		lo, hi := p.Hist.BucketRange(i)
+		fmt.Fprintf(w, "  [%#06x,%#06x) %6d ticks%s\n", lo, hi, n, symFor(tab, lo))
+	}
+	fmt.Fprintf(w, "arcs: %d records\n", len(p.Arcs))
+	for _, a := range p.Arcs {
+		from := fmt.Sprintf("%#06x", a.FromPC)
+		if a.FromPC == gmon.SpontaneousPC {
+			from = "<spontaneous>"
+		} else {
+			from += symFor(tab, a.FromPC)
+		}
+		fmt.Fprintf(w, "  %s -> %#06x%s  x%d\n", from, a.SelfPC, symFor(tab, a.SelfPC), a.Count)
+	}
+}
+
+func symFor(tab *symtab.Table, pc int64) string {
+	if tab == nil {
+		return ""
+	}
+	if s, ok := tab.Find(pc); ok {
+		return fmt.Sprintf(" (%s+%d)", s.Name, pc-s.Addr)
+	}
+	return " (?)"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

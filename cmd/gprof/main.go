@@ -1,0 +1,134 @@
+// Command gprof is the call graph execution profiler's post-processor:
+// it combines an executable image with one or more profile data files
+// and produces the call graph profile, the flat profile, and the index
+// (paper §4-§5).
+//
+// Usage:
+//
+//	gprof [flags] [a.out [gmon.out ...]]
+//
+// Multiple profile data files are summed, the paper's "profile of many
+// executions". Flags expose the retrospective's later features: -k
+// removes arcs, -C runs the bounded cycle-breaking heuristic, -s merges
+// the static call graph scanned from the executable, -m and -focus
+// filter the output.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cyclebreak"
+	"repro/internal/gmon"
+	"repro/internal/object"
+	"repro/internal/report"
+)
+
+type arcList []cyclebreak.ArcID
+
+func (a *arcList) String() string {
+	var parts []string
+	for _, id := range *a {
+		parts = append(parts, id.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+func (a *arcList) Set(s string) error {
+	id, err := cyclebreak.ParseArcID(s)
+	if err != nil {
+		return err
+	}
+	*a = append(*a, id)
+	return nil
+}
+
+func main() {
+	var removeArcs arcList
+	var (
+		flatOnly  = flag.Bool("flat", false, "print only the flat profile")
+		graphOnly = flag.Bool("graph", false, "print only the call graph profile")
+		lines     = flag.Bool("lines", false, "print the per-source-line profile")
+		dot       = flag.Bool("dot", false, "emit the call graph in Graphviz DOT form")
+		static    = flag.Bool("s", false, "merge the static call graph from the executable")
+		autoBreak = flag.Bool("C", false, "run the cycle-breaking heuristic")
+		maxBreak  = flag.Int("b", 0, "bound on arcs the heuristic may remove (0 = default)")
+		minPct    = flag.Float64("m", 0, "suppress entries below this %time")
+		focus     = flag.String("focus", "", "comma-separated routines: show only them and their neighbors")
+		exclude   = flag.String("E", "", "comma-separated routines to suppress from the listings")
+		brief     = flag.Bool("brief", false, "omit explanatory headers")
+	)
+	flag.Var(&removeArcs, "k", "remove arc caller/callee before analysis (repeatable)")
+	flag.Parse()
+
+	exe := "a.out"
+	profiles := []string{"gmon.out"}
+	if args := flag.Args(); len(args) > 0 {
+		exe = args[0]
+		if len(args) > 1 {
+			profiles = args[1:]
+		}
+	}
+	im, err := object.ReadImageFile(exe)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := gmon.ReadFiles(profiles)
+	if err != nil {
+		fatal(err)
+	}
+	opt := core.Options{
+		Static:       *static,
+		RemoveArcs:   removeArcs,
+		AutoBreak:    *autoBreak,
+		MaxBreakArcs: *maxBreak,
+		Report: report.Options{
+			MinPercent: *minPct,
+			NoHeaders:  *brief,
+		},
+	}
+	if *focus != "" {
+		opt.Report.Focus = strings.Split(*focus, ",")
+	}
+	if *exclude != "" {
+		opt.Report.Exclude = strings.Split(*exclude, ",")
+	}
+	res, err := core.Analyze(im, p, opt)
+	if err != nil {
+		fatal(err)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if *lines {
+		if err := report.LineProfile(w, im, p, nil); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *dot {
+		if err := report.WriteDOT(w, res.Graph, opt.Report); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	switch {
+	case *flatOnly:
+		err = res.WriteFlat(w)
+	case *graphOnly:
+		err = res.WriteCallGraph(w)
+	default:
+		err = res.WriteAll(w)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

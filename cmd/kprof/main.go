@@ -1,0 +1,139 @@
+// Command kprof demonstrates the programmer's interface the
+// retrospective added for profiling the Berkeley kernel: controlling the
+// profiler of a long-running program from outside, without the program's
+// cooperation and without taking it down — "turn the profiler on and
+// off, extract the profiling data, and reset the data".
+//
+// The "kernel" here is any long-running image (by default the `service`
+// workload). kprof attaches a collector and drives it from a schedule of
+// simulated-cycle thresholds:
+//
+//	kprof -workload service -enable-at 1e6 -dump-at 5e6 -disable-at 9e6 -o gmon.out
+//
+// At -dump-at the profile is extracted mid-run to <o>.mid while data
+// keeps accumulating, exactly the live-extraction use case.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gmon"
+	"repro/internal/mon"
+	"repro/internal/object"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// controller wraps a collector and applies a cycle-threshold schedule at
+// every clock tick, standing in for a human at the kernel-profiling
+// control tool.
+type controller struct {
+	inner   *mon.Collector
+	machine *vm.Machine
+
+	enableAt, disableAt, resetAt, dumpAt int64
+	dumpPath                             string
+
+	enabled, disabled, reset, dumped bool
+	err                              error
+}
+
+func (c *controller) Mcount(selfpc, frompc int64) int64 {
+	return c.inner.Mcount(selfpc, frompc)
+}
+
+func (c *controller) Control(op int) { c.inner.Control(op) }
+
+func (c *controller) Tick(pc int64) {
+	cycles := c.machine.Cycles()
+	if c.enableAt > 0 && !c.enabled && cycles >= c.enableAt {
+		c.enabled = true
+		c.inner.Enable()
+	}
+	if c.resetAt > 0 && !c.reset && cycles >= c.resetAt {
+		c.reset = true
+		c.inner.Reset()
+	}
+	if c.dumpAt > 0 && !c.dumped && cycles >= c.dumpAt {
+		c.dumped = true
+		if err := gmon.WriteFile(c.dumpPath, c.inner.Snapshot()); err != nil && c.err == nil {
+			c.err = err
+		}
+	}
+	if c.disableAt > 0 && !c.disabled && cycles >= c.disableAt {
+		c.disabled = true
+		c.inner.Disable()
+	}
+	c.inner.Tick(pc)
+}
+
+func main() {
+	var (
+		workload  = flag.String("workload", "service", "built-in workload to run")
+		image     = flag.String("image", "", "executable to run instead of a workload")
+		out       = flag.String("o", "gmon.out", "final profile data file")
+		saveExe   = flag.String("save", "a.out", "write the linked executable here ('' to skip)")
+		enableAt  = flag.Int64("enable-at", 0, "enable collection at this cycle count (0 = start enabled)")
+		disableAt = flag.Int64("disable-at", 0, "disable collection at this cycle count")
+		resetAt   = flag.Int64("reset-at", 0, "clear collected data at this cycle count")
+		dumpAt    = flag.Int64("dump-at", 0, "extract a mid-run profile to <o>.mid at this cycle count")
+		tick      = flag.Int64("tick", vm.DefaultTickCycles, "cycles per clock tick")
+		maxCyc    = flag.Int64("maxcycles", 1<<32, "abort after this many cycles")
+	)
+	flag.Parse()
+
+	var im *object.Image
+	var err error
+	if *image != "" {
+		im, err = object.ReadImageFile(*image)
+	} else {
+		im, err = workloads.Build(*workload, true)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *saveExe != "" && *image == "" {
+		if err := object.WriteImageFile(*saveExe, im); err != nil {
+			fatal(err)
+		}
+	}
+
+	collector := mon.New(im, mon.Config{StartDisabled: *enableAt > 0})
+	ctl := &controller{
+		inner:    collector,
+		enableAt: *enableAt, disableAt: *disableAt,
+		resetAt: *resetAt, dumpAt: *dumpAt,
+		dumpPath: *out + ".mid",
+	}
+	m := vm.New(im, vm.Config{
+		Monitor:    ctl,
+		TickCycles: *tick,
+		MaxCycles:  *maxCyc,
+		Stdout:     os.Stdout,
+	})
+	ctl.machine = m
+	res, err := m.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if ctl.err != nil {
+		fatal(ctl.err)
+	}
+	if err := gmon.WriteFile(*out, collector.Snapshot()); err != nil {
+		fatal(err)
+	}
+	st := collector.Stats()
+	fmt.Fprintf(os.Stderr, "exit %d after %d cycles; %d samples, %d arcs -> %s",
+		res.ExitCode, res.Cycles, st.Ticks, st.Inserts, *out)
+	if ctl.dumped {
+		fmt.Fprintf(os.Stderr, " (mid-run extract in %s.mid)", *out)
+	}
+	fmt.Fprintln(os.Stderr)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+// Command prof is the baseline flat profiler gprof improved on (the
+// UNIX prof(1) of the paper's introduction): per-routine time, call
+// counts, and average ms/call — no call graph, no propagation.
+//
+// Usage:
+//
+//	prof [a.out [gmon.out ...]]
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"repro/internal/gmon"
+	"repro/internal/object"
+	"repro/internal/prof"
+	"repro/internal/symtab"
+)
+
+func main() {
+	exe := "a.out"
+	profiles := []string{"gmon.out"}
+	if len(os.Args) > 1 {
+		exe = os.Args[1]
+		if len(os.Args) > 2 {
+			profiles = os.Args[2:]
+		}
+	}
+	im, err := object.ReadImageFile(exe)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := gmon.ReadFiles(profiles)
+	if err != nil {
+		fatal(err)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if err := prof.Write(w, symtab.New(im), p); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,222 @@
+// Command-line integration tests: build the real binaries and walk the
+// documented workflows end to end.
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles every command into a temp dir once per test run.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator), "./cmd/...")
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./cmd/...: %v\n%s", err, out)
+	}
+	return dir
+}
+
+func run(t *testing.T, dir, name string, args ...string) (string, string) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(dir, name), args...)
+	cmd.Dir = dir
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		if _, ok := err.(*exec.ExitError); !ok {
+			t.Fatalf("%s %v: %v", name, args, err)
+		}
+		// Non-zero exits are fine: vmrun propagates the program's code.
+	}
+	return stdout.String(), stderr.String()
+}
+
+func TestCommandPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := buildTools(t)
+
+	// vmrun -p -workload sort: writes a.out and gmon.out.
+	_, errOut := run(t, dir, "vmrun", "-p", "-workload", "sort")
+	if !strings.Contains(errOut, "mcount calls") {
+		t.Fatalf("vmrun summary missing: %q", errOut)
+	}
+	for _, f := range []string{"a.out", "gmon.out"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("vmrun did not write %s: %v", f, err)
+		}
+	}
+
+	// gprof a.out gmon.out
+	out, _ := run(t, dir, "gprof", "a.out", "gmon.out")
+	for _, want := range []string{"call graph profile", "flat profile", "qsort", "index by function name"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gprof output missing %q", want)
+		}
+	}
+
+	// gprof with the retrospective options.
+	out, _ = run(t, dir, "gprof", "-s", "-C", "-m", "1", "a.out", "gmon.out")
+	if !strings.Contains(out, "qsort") {
+		t.Errorf("gprof -s -C output missing qsort")
+	}
+	out, _ = run(t, dir, "gprof", "-focus", "partition", "-graph", "a.out", "gmon.out")
+	if !strings.Contains(out, "partition") || strings.Contains(out, "fill [") {
+		t.Errorf("focus filter ineffective:\n%s", out)
+	}
+
+	// prof a.out gmon.out
+	out, _ = run(t, dir, "prof", "a.out", "gmon.out")
+	if !strings.Contains(out, "ms/call") || !strings.Contains(out, "less") {
+		t.Errorf("prof output malformed:\n%s", out)
+	}
+
+	// disasm
+	out, _ = run(t, dir, "disasm", "-arcs", "a.out")
+	if !strings.Contains(out, "main -> qsort") {
+		t.Errorf("disasm -arcs missing static arc:\n%s", out)
+	}
+	out, _ = run(t, dir, "disasm", "a.out")
+	if !strings.Contains(out, "MCOUNT") {
+		t.Errorf("disasm missing profiled prologue:\n%s", out)
+	}
+}
+
+func TestCommandMultiRunMerge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := buildTools(t)
+	run(t, dir, "vmrun", "-p", "-workload", "matrix", "-o", "gmon.1")
+	run(t, dir, "vmrun", "-p", "-workload", "matrix", "-o", "gmon.2")
+	out, _ := run(t, dir, "gprof", "-flat", "a.out", "gmon.1", "gmon.2")
+	if !strings.Contains(out, "dot") {
+		t.Errorf("merged gprof output missing dot:\n%s", out)
+	}
+}
+
+func TestCommandKprof(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := buildTools(t)
+	_, errOut := run(t, dir, "kprof",
+		"-workload", "service",
+		"-enable-at", "50000",
+		"-dump-at", "800000",
+		"-o", "gmon.out")
+	if !strings.Contains(errOut, "mid-run extract") {
+		t.Fatalf("kprof did not extract mid-run: %q", errOut)
+	}
+	for _, f := range []string{"gmon.out", "gmon.out.mid"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("kprof did not write %s", f)
+		}
+	}
+	out, _ := run(t, dir, "gprof", "-graph", "a.out", "gmon.out.mid")
+	if !strings.Contains(out, "dispatch") {
+		t.Errorf("mid-run profile unusable:\n%s", out)
+	}
+}
+
+func TestCommandFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := buildTools(t)
+	out, _ := run(t, dir, "figures", "-list")
+	if !strings.Contains(out, "F4") || !strings.Contains(out, "E11") {
+		t.Errorf("figures -list incomplete:\n%s", out)
+	}
+	out, _ = run(t, dir, "figures", "-id", "F4")
+	if !strings.Contains(out, "PASS") || !strings.Contains(out, "EXAMPLE") {
+		t.Errorf("figures -id F4:\n%s", out)
+	}
+}
+
+func TestCommandLinesAndExclude(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := buildTools(t)
+	// Source on disk so -lines can show it.
+	src := "func hot() {\n\tvar i = 0;\n\tvar s = 0;\n\twhile (i < 30000) {\n\t\ts = (s*33+i) & 4095;\n\t\ti = i + 1;\n\t}\n\treturn s;\n}\nfunc main() { return hot() & 255; }\n"
+	if err := os.WriteFile(filepath.Join(dir, "hot.tl"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run(t, dir, "vmrun", "-p", "-q", "hot.tl")
+	out, _ := run(t, dir, "gprof", "-lines", "a.out", "gmon.out")
+	if !strings.Contains(out, "line-level profile") || !strings.Contains(out, "s = (s*33+i) & 4095;") {
+		t.Errorf("gprof -lines output:\n%s", out)
+	}
+	out, _ = run(t, dir, "gprof", "-E", "hot", "-flat", "a.out", "gmon.out")
+	if strings.Contains(out, "hot\n") {
+		t.Errorf("gprof -E left hot in the flat profile:\n%s", out)
+	}
+}
+
+func TestCommandStackprof(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := buildTools(t)
+	out, _ := run(t, dir, "stackprof", "-workload", "unequal")
+	if !strings.Contains(out, "stack-sample profile") || !strings.Contains(out, "pricey") {
+		t.Errorf("stackprof table:\n%s", out)
+	}
+	out, _ = run(t, dir, "stackprof", "-workload", "unequal", "-folded")
+	if !strings.Contains(out, "_start;main;pricey;work ") {
+		t.Errorf("stackprof -folded:\n%s", out)
+	}
+}
+
+// TestExamplesRun executes every example main to keep them working.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs examples")
+	}
+	examples, err := filepath.Glob("examples/*")
+	if err != nil || len(examples) < 5 {
+		t.Fatalf("examples missing: %v (%d found)", err, len(examples))
+	}
+	for _, dir := range examples {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./"+dir)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("%s produced no output", dir)
+			}
+		})
+	}
+}
+
+func TestCommandDotAndDump(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := buildTools(t)
+	run(t, dir, "vmrun", "-p", "-q", "-workload", "fptr")
+	out, _ := run(t, dir, "gprof", "-dot", "a.out", "gmon.out")
+	if !strings.Contains(out, "digraph callgraph") || !strings.Contains(out, `"apply" -> "opAdd"`) {
+		t.Errorf("gprof -dot output:\n%s", out)
+	}
+	out, _ = run(t, dir, "gmondump", "-exe", "a.out", "gmon.out")
+	for _, want := range []string{"histogram:", "arcs:", "(apply+", "ticks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gmondump missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Quickstart: compile a small program with profiling, run it on the
+// simulated machine, and print the gprof report — the complete §3-§5
+// pipeline in one file.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/mon"
+	"repro/internal/object"
+	"repro/internal/vm"
+)
+
+// The program under test: a tiny pipeline where `process` spends its
+// time inside the `checksum` abstraction.
+const program = `
+var buffer[64];
+
+func fill(seed) {
+	var i = 0;
+	while (i < 64) {
+		buffer[i] = (seed * 31 + i * 7) & 255;
+		i = i + 1;
+	}
+	return 0;
+}
+
+func checksum() {
+	var i = 0;
+	var sum = 0;
+	while (i < 64) {
+		var j = 0;
+		while (j < 16) {     // deliberately slow inner loop
+			sum = (sum * 33 + buffer[i]) & 65535;
+			j = j + 1;
+		}
+		i = i + 1;
+	}
+	return sum;
+}
+
+func process(round) {
+	fill(round);
+	return checksum();
+}
+
+func main() {
+	var total = 0;
+	var round = 0;
+	while (round < 50) {
+		total = (total + process(round)) & 65535;
+		round = round + 1;
+	}
+	return total;
+}
+`
+
+func main() {
+	// 1. Compile with profiling: every prologue gets a monitoring call.
+	obj, err := lang.Compile("quickstart.tl", program, lang.Options{Profile: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	im, err := object.Link([]*object.Object{obj}, object.LinkConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Run with the monitoring runtime attached: it gathers call-graph
+	// arcs at every prologue and histogram samples at every clock tick.
+	collector := mon.New(im, mon.Config{})
+	res, err := vm.New(im, vm.Config{Monitor: collector, TickCycles: 2000}).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("program exited %d after %d simulated cycles\n\n", res.ExitCode, res.Cycles)
+
+	// 3. Post-process: build the call graph, collapse cycles, propagate
+	// time, and render the profile.
+	result, err := core.Analyze(im, collector.Snapshot(), core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := result.WriteAll(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+// Selfprof: "of course, among the programs on which we used the new
+// profiler was the profiler itself" (§6). The Go-native collector
+// (package profgo) instruments the post-processing pipeline while it
+// analyzes a real profile; the resulting call-graph profile of gprof is
+// rendered by gprof's own reporter.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gmon"
+	"repro/internal/object"
+	"repro/internal/profgo"
+	"repro/internal/workloads"
+)
+
+var p = profgo.New()
+
+// The instrumented pipeline: each stage carries the monitoring call a
+// profiling compiler would have planted in its prologue.
+
+func buildWorkload() *object.Image {
+	defer p.Enter("buildWorkload")()
+	im, err := workloads.Build("sort", true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return im
+}
+
+func runWorkload(im *object.Image) *gmon.Profile {
+	defer p.Enter("runWorkload")()
+	prof, _, _, err := workloads.Run(im, workloads.RunConfig{TickCycles: 400, MaxCycles: 1 << 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return prof
+}
+
+func analyze(im *object.Image, prof *gmon.Profile) *core.Result {
+	defer p.Enter("analyze")()
+	res, err := core.Analyze(im, prof, core.Options{Static: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func render(res *core.Result, w io.Writer) {
+	defer p.Enter("render")()
+	if err := res.WriteAll(w); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	defer func() {
+		// The profiler's profile of itself, post-processed and printed
+		// by the same code it measured.
+		selfRes, err := core.AnalyzeTable(p.Table(), p.Snapshot(), core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("==== gprof, profiled by gprof ====")
+		if err := selfRes.WriteAll(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	done := p.Enter("main")
+	im := buildWorkload()
+	prof := runWorkload(im)
+	res := analyze(im, prof)
+	fmt.Println("==== the workload's profile (condensed) ====")
+	render(res, io.Discard) // full render measured; reprint a summary
+	var flat flatOnly
+	flat.res = res
+	flat.print()
+	done()
+}
+
+type flatOnly struct{ res *core.Result }
+
+func (f flatOnly) print() {
+	if err := f.res.WriteFlat(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

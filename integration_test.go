@@ -1,0 +1,244 @@
+// Integration tests: the end-to-end workflows a user of the tools walks
+// through, at the library level — compile, link, save the executable,
+// run profiled, write gmon.out, read both back, post-process, render.
+package repro
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gmon"
+	"repro/internal/object"
+	"repro/internal/prof"
+	"repro/internal/report"
+	"repro/internal/symtab"
+	"repro/internal/workloads"
+)
+
+// TestToolWorkflow is the vmrun -p → gprof round trip through real
+// files.
+func TestToolWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	exe := filepath.Join(dir, "a.out")
+	data := filepath.Join(dir, "gmon.out")
+
+	// vmrun -p -workload sort -save a.out -o gmon.out
+	im, err := workloads.Build("sort", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := object.WriteImageFile(exe, im); err != nil {
+		t.Fatal(err)
+	}
+	p, res, _, err := workloads.Run(im, workloads.RunConfig{Seed: 4, TickCycles: 400, MaxCycles: 1 << 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 1 {
+		t.Fatalf("sort exited %d, want 1", res.ExitCode)
+	}
+	if err := gmon.WriteFile(data, p); err != nil {
+		t.Fatal(err)
+	}
+
+	// gprof a.out gmon.out
+	im2, err := object.ReadImageFile(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := gmon.ReadFiles([]string{data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, err := core.Analyze(im2, p2, core.Options{Static: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := result.WriteAll(&out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"call graph profile", "flat profile", "index by function name",
+		"qsort", "partition", "less", "swap",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// The same data through prof (the baseline tool).
+	var profOut bytes.Buffer
+	if err := prof.Write(&profOut, symtab.New(im2), p2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(profOut.String(), "ms/call") {
+		t.Error("prof output malformed")
+	}
+}
+
+// TestMultiRunWorkflow: several gmon files summed by the reader.
+func TestMultiRunWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	im, err := workloads.Build("matrix", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	var singleTicks int64
+	for i := 0; i < 3; i++ {
+		p, _, _, err := workloads.Run(im, workloads.RunConfig{Seed: 5, TickCycles: 500, MaxCycles: 1 << 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			singleTicks = p.Hist.TotalTicks()
+		}
+		f := filepath.Join(dir, "gmon."+string(rune('0'+i)))
+		if err := gmon.WriteFile(f, p); err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	total, err := gmon.ReadFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := total.Hist.TotalTicks(); got != 3*singleTicks {
+		t.Errorf("merged ticks = %d, want %d", got, 3*singleTicks)
+	}
+	if _, err := core.Analyze(im, total, core.Options{}); err != nil {
+		t.Errorf("merged profile analysis: %v", err)
+	}
+}
+
+// TestProfiledRunPreservesBehaviour: for every workload, the profiled
+// build computes the same answer and emits data that analyzes cleanly
+// with every post-processing option combination.
+func TestProfiledRunPreservesBehaviour(t *testing.T) {
+	for _, name := range workloads.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			im, err := workloads.Build(name, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, _, _, err := workloads.Run(im, workloads.RunConfig{Seed: 11, TickCycles: 700, MaxCycles: 1 << 32})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, opt := range []core.Options{
+				{},
+				{Static: true},
+				{AutoBreak: true},
+				{Static: true, AutoBreak: true},
+				{Report: report.Options{MinPercent: 10}},
+			} {
+				res, err := core.Analyze(im, p, opt)
+				if err != nil {
+					t.Fatalf("options %+v: %v", opt, err)
+				}
+				var buf bytes.Buffer
+				if err := res.WriteAll(&buf); err != nil {
+					t.Fatalf("render with %+v: %v", opt, err)
+				}
+				if buf.Len() == 0 {
+					t.Fatalf("empty report with %+v", opt)
+				}
+			}
+		})
+	}
+}
+
+// TestGranularitySweep: coarser histograms still conserve total time.
+func TestGranularitySweep(t *testing.T) {
+	im, err := workloads.Build("hash", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gran := range []int64{1, 2, 8, 32, 128} {
+		p, _, _, err := workloads.Run(im, workloads.RunConfig{
+			Granularity: gran, TickCycles: 400, MaxCycles: 1 << 32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Analyze(im, p, core.Options{})
+		if err != nil {
+			t.Fatalf("granularity %d: %v", gran, err)
+		}
+		var selfSum float64
+		for _, n := range res.Graph.Nodes() {
+			selfSum += n.SelfTicks
+		}
+		diff := selfSum + res.Graph.LostTicks - res.Graph.TotalTicks
+		if diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("granularity %d: conservation off by %v", gran, diff)
+		}
+	}
+}
+
+// TestReportDeterminism: the same profile analyzed twice renders
+// byte-identical reports — no map-iteration order leaks into output.
+func TestReportDeterminism(t *testing.T) {
+	im, err := workloads.Build("service", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, _, err := workloads.Run(im, workloads.RunConfig{TickCycles: 300, MaxCycles: 1 << 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func() string {
+		res, err := core.Analyze(im, p.Clone(), core.Options{Static: true, AutoBreak: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteAll(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Error("two renders of the same profile differ")
+	}
+}
+
+// TestZeroTickProfile: a program too fast to receive any clock tick
+// still produces a usable report (call counts are exact even when the
+// histogram is empty).
+func TestZeroTickProfile(t *testing.T) {
+	src := `
+func leaf() { return 1; }
+func main() { return leaf(); }`
+	im, err := workloads.BuildSource("fast.tl", src, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, _, err := workloads.Run(im, workloads.RunConfig{TickCycles: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hist.TotalTicks() != 0 {
+		t.Fatalf("expected no ticks, got %d", p.Hist.TotalTicks())
+	}
+	res, err := core.Analyze(im, p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.MustNode("leaf").Calls() != 1 {
+		t.Error("call counts lost without histogram samples")
+	}
+	var buf bytes.Buffer
+	if err := res.WriteAll(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "leaf") {
+		t.Error("report unusable without samples")
+	}
+}

@@ -1,0 +1,572 @@
+// Package asm assembles textual programs for the simulated machine into
+// relocatable object files (package object).
+//
+// The assembler exists for the runtime library and for test and example
+// programs written by hand; programs in the high-level language are
+// compiled by package lang, which emits object files directly.
+//
+// # Syntax
+//
+// A program is a sequence of lines. Comments start with ';' or '#' and
+// run to end of line. Directives:
+//
+//	.global NAME SIZE [= v1 v2 ...]   declare a global of SIZE words
+//	.func NAME                        begin a routine
+//	.end                              end the current routine
+//
+// Inside a routine, each line is an optional "label:" prefix followed by
+// an instruction. Operand forms:
+//
+//	R0..R15, FP, SP, GP     registers (case-insensitive)
+//	123, -7, 0x1f           immediates
+//	$name                   word offset of global `name` (RelocGlobal)
+//	&name                   address of routine `name` (RelocFuncAddr)
+//	[Reg], [Reg+imm]        memory operands for LD/ST
+//	label or routine name   targets for JMP/BEQZ/BNEZ/CALL
+//
+// Branch targets may be labels in the current routine (assembled as
+// object-local offsets with a RelocText fixup) and CALL targets are
+// routine names (RelocCall).
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/object"
+)
+
+// Error describes an assembly failure with its source position.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+type assembler struct {
+	file string
+	obj  *object.Object
+
+	// per-routine state
+	inFunc    bool
+	funcName  string
+	funcStart int64
+	labels    map[string]int64 // label -> object text offset
+	fixups    []fixup
+	curLine   int32
+	marks     []object.LineMark
+}
+
+type fixup struct {
+	offset int64 // instruction word to patch
+	label  string
+	line   int
+}
+
+// Assemble translates source into an object file named name.
+func Assemble(name, source string) (*object.Object, error) {
+	a := &assembler{
+		file: name,
+		obj:  &object.Object{Name: name},
+	}
+	for i, raw := range strings.Split(source, "\n") {
+		if err := a.line(i+1, raw); err != nil {
+			return nil, err
+		}
+	}
+	if a.inFunc {
+		return nil, a.errf(0, "routine %s missing .end", a.funcName)
+	}
+	return a.obj, nil
+}
+
+func (a *assembler) errf(line int, format string, args ...any) error {
+	return &Error{File: a.file, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (a *assembler) line(n int, raw string) error {
+	if i := strings.IndexAny(raw, ";#"); i >= 0 {
+		raw = raw[:i]
+	}
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return nil
+	}
+	if strings.HasPrefix(s, ".") {
+		return a.directive(n, s)
+	}
+	if !a.inFunc {
+		return a.errf(n, "instruction outside .func: %q", s)
+	}
+	// Labels, possibly several on one line.
+	for {
+		i := strings.Index(s, ":")
+		if i < 0 {
+			break
+		}
+		head := strings.TrimSpace(s[:i])
+		if !isIdent(head) {
+			return a.errf(n, "bad label %q", head)
+		}
+		if _, dup := a.labels[head]; dup {
+			return a.errf(n, "duplicate label %q", head)
+		}
+		a.labels[head] = int64(len(a.obj.Text))
+		s = strings.TrimSpace(s[i+1:])
+		if s == "" {
+			return nil
+		}
+	}
+	return a.instruction(n, s)
+}
+
+func (a *assembler) directive(n int, s string) error {
+	fields := strings.Fields(s)
+	switch fields[0] {
+	case ".global":
+		if a.inFunc {
+			return a.errf(n, ".global inside .func")
+		}
+		return a.global(n, s, fields)
+	case ".func":
+		if a.inFunc {
+			return a.errf(n, "nested .func (missing .end?)")
+		}
+		if len(fields) != 2 || !isIdent(fields[1]) {
+			return a.errf(n, "usage: .func NAME")
+		}
+		a.inFunc = true
+		a.funcName = fields[1]
+		a.funcStart = int64(len(a.obj.Text))
+		a.labels = make(map[string]int64)
+		a.fixups = nil
+		a.curLine = 0
+		a.marks = nil
+		return nil
+	case ".end":
+		if !a.inFunc {
+			return a.errf(n, ".end outside .func")
+		}
+		for _, f := range a.fixups {
+			off, ok := a.labels[f.label]
+			if !ok {
+				return a.errf(f.line, "undefined label %q in routine %s", f.label, a.funcName)
+			}
+			instr, err := isa.Decode(a.obj.Text[f.offset])
+			if err != nil {
+				return a.errf(f.line, "internal: fixup target is not an instruction: %v", err)
+			}
+			instr.Imm = int32(off)
+			a.obj.Text[f.offset] = instr.Encode()
+			a.obj.Relocs = append(a.obj.Relocs, object.Reloc{
+				Offset: f.offset, Kind: object.RelocText,
+			})
+		}
+		a.obj.Funcs = append(a.obj.Funcs, object.FuncDef{
+			Name:   a.funcName,
+			Offset: a.funcStart,
+			Size:   int64(len(a.obj.Text)) - a.funcStart,
+			File:   a.file,
+			Lines:  a.marks,
+		})
+		a.inFunc = false
+		return nil
+	}
+	return a.errf(n, "unknown directive %s", fields[0])
+}
+
+func (a *assembler) global(n int, s string, fields []string) error {
+	// .global NAME SIZE [= v1 v2 ...]
+	if len(fields) < 3 || !isIdent(fields[1]) {
+		return a.errf(n, "usage: .global NAME SIZE [= v1 v2 ...]")
+	}
+	size, err := strconv.ParseInt(fields[2], 0, 64)
+	if err != nil || size <= 0 {
+		return a.errf(n, "bad global size %q", fields[2])
+	}
+	g := object.GlobalDef{Name: fields[1], Size: size}
+	if len(fields) > 3 {
+		if fields[3] != "=" {
+			return a.errf(n, "expected '=' before initializers")
+		}
+		for _, v := range fields[4:] {
+			w, err := strconv.ParseInt(v, 0, 64)
+			if err != nil {
+				return a.errf(n, "bad initializer %q", v)
+			}
+			g.Init = append(g.Init, w)
+		}
+		if int64(len(g.Init)) > size {
+			return a.errf(n, "global %s: %d initializers exceed size %d", g.Name, len(g.Init), size)
+		}
+	}
+	a.obj.Globals = append(a.obj.Globals, g)
+	return nil
+}
+
+// operand kinds expected by each mnemonic.
+type pattern int
+
+const (
+	pNone     pattern = iota // HALT NOP RET MCOUNT
+	pRdImm                   // MOVI rd, imm
+	pRdRs                    // MOV/NEG/NOT rd, rs
+	pRdMem                   // LD rd, [rs+imm]
+	pMemRs                   // ST [rs+imm], rs2
+	pRdRsImm                 // LEA rd, rs, imm
+	pRdRsRs                  // three-register ALU
+	pTarget                  // JMP/CALL target
+	pRsTarget                // BEQZ/BNEZ rs, target
+	pRs                      // CALLR/PUSH rs
+	pRd                      // POP rd
+	pImm                     // SYS imm
+)
+
+var mnemonics = map[string]struct {
+	op  isa.Op
+	pat pattern
+}{
+	"HALT": {isa.OpHalt, pNone}, "NOP": {isa.OpNop, pNone},
+	"RET": {isa.OpRet, pNone}, "MCOUNT": {isa.OpMcount, pNone},
+	"MOVI": {isa.OpMovI, pRdImm},
+	"MOV":  {isa.OpMov, pRdRs}, "NEG": {isa.OpNeg, pRdRs}, "NOT": {isa.OpNot, pRdRs},
+	"LD": {isa.OpLd, pRdMem}, "ST": {isa.OpSt, pMemRs},
+	"LEA": {isa.OpLea, pRdRsImm},
+	"ADD": {isa.OpAdd, pRdRsRs}, "SUB": {isa.OpSub, pRdRsRs},
+	"MUL": {isa.OpMul, pRdRsRs}, "DIV": {isa.OpDiv, pRdRsRs},
+	"MOD": {isa.OpMod, pRdRsRs}, "AND": {isa.OpAnd, pRdRsRs},
+	"OR": {isa.OpOr, pRdRsRs}, "XOR": {isa.OpXor, pRdRsRs},
+	"SHL": {isa.OpShl, pRdRsRs}, "SHR": {isa.OpShr, pRdRsRs},
+	"SLT": {isa.OpSlt, pRdRsRs}, "SLE": {isa.OpSle, pRdRsRs},
+	"SEQ": {isa.OpSeq, pRdRsRs}, "SNE": {isa.OpSne, pRdRsRs},
+	"JMP": {isa.OpJmp, pTarget}, "CALL": {isa.OpCall, pTarget},
+	"BEQZ": {isa.OpBeqz, pRsTarget}, "BNEZ": {isa.OpBnez, pRsTarget},
+	"CALLR": {isa.OpCallR, pRs}, "PUSH": {isa.OpPush, pRs},
+	"POP": {isa.OpPop, pRd},
+	"SYS": {isa.OpSys, pImm},
+}
+
+func (a *assembler) instruction(n int, s string) error {
+	mnem := s
+	rest := ""
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		mnem, rest = s[:i], strings.TrimSpace(s[i+1:])
+	}
+	def, ok := mnemonics[strings.ToUpper(mnem)]
+	if !ok {
+		return a.errf(n, "unknown mnemonic %q", mnem)
+	}
+	ops, err := splitOperands(rest)
+	if err != nil {
+		return a.errf(n, "%v", err)
+	}
+
+	instr := isa.Instr{Op: def.op}
+	emit := func() { a.obj.Text = append(a.obj.Text, instr.Encode()) }
+	here := int64(len(a.obj.Text))
+	if int32(n) != a.curLine {
+		a.curLine = int32(n)
+		a.marks = append(a.marks, object.LineMark{Offset: here, Line: a.curLine})
+	}
+
+	need := func(k int) error {
+		if len(ops) != k {
+			return a.errf(n, "%s wants %d operand(s), got %d", strings.ToUpper(mnem), k, len(ops))
+		}
+		return nil
+	}
+
+	switch def.pat {
+	case pNone:
+		if err := need(0); err != nil {
+			return err
+		}
+	case pRdImm:
+		if err := need(2); err != nil {
+			return err
+		}
+		if instr.Rd, err = parseReg(ops[0]); err != nil {
+			return a.errf(n, "%v", err)
+		}
+		imm, rel, err := a.parseImm(ops[1])
+		if err != nil {
+			return a.errf(n, "%v", err)
+		}
+		instr.Imm = imm
+		if rel != nil {
+			rel.Offset = here
+			a.obj.Relocs = append(a.obj.Relocs, *rel)
+		}
+	case pRdRs:
+		if err := need(2); err != nil {
+			return err
+		}
+		if instr.Rd, err = parseReg(ops[0]); err != nil {
+			return a.errf(n, "%v", err)
+		}
+		if instr.Rs1, err = parseReg(ops[1]); err != nil {
+			return a.errf(n, "%v", err)
+		}
+	case pRdMem:
+		if err := need(2); err != nil {
+			return err
+		}
+		if instr.Rd, err = parseReg(ops[0]); err != nil {
+			return a.errf(n, "%v", err)
+		}
+		base, imm, rel, err := a.parseMem(ops[1])
+		if err != nil {
+			return a.errf(n, "%v", err)
+		}
+		instr.Rs1, instr.Imm = base, imm
+		if rel != nil {
+			rel.Offset = here
+			a.obj.Relocs = append(a.obj.Relocs, *rel)
+		}
+	case pMemRs:
+		if err := need(2); err != nil {
+			return err
+		}
+		base, imm, rel, err := a.parseMem(ops[0])
+		if err != nil {
+			return a.errf(n, "%v", err)
+		}
+		instr.Rs1, instr.Imm = base, imm
+		if rel != nil {
+			rel.Offset = here
+			a.obj.Relocs = append(a.obj.Relocs, *rel)
+		}
+		if instr.Rs2, err = parseReg(ops[1]); err != nil {
+			return a.errf(n, "%v", err)
+		}
+	case pRdRsImm:
+		if err := need(3); err != nil {
+			return err
+		}
+		if instr.Rd, err = parseReg(ops[0]); err != nil {
+			return a.errf(n, "%v", err)
+		}
+		if instr.Rs1, err = parseReg(ops[1]); err != nil {
+			return a.errf(n, "%v", err)
+		}
+		imm, rel, err := a.parseImm(ops[2])
+		if err != nil {
+			return a.errf(n, "%v", err)
+		}
+		instr.Imm = imm
+		if rel != nil {
+			rel.Offset = here
+			a.obj.Relocs = append(a.obj.Relocs, *rel)
+		}
+	case pRdRsRs:
+		if err := need(3); err != nil {
+			return err
+		}
+		if instr.Rd, err = parseReg(ops[0]); err != nil {
+			return a.errf(n, "%v", err)
+		}
+		if instr.Rs1, err = parseReg(ops[1]); err != nil {
+			return a.errf(n, "%v", err)
+		}
+		if instr.Rs2, err = parseReg(ops[2]); err != nil {
+			return a.errf(n, "%v", err)
+		}
+	case pTarget:
+		if err := need(1); err != nil {
+			return err
+		}
+		a.target(n, ops[0], here, def.op == isa.OpCall)
+	case pRsTarget:
+		if err := need(2); err != nil {
+			return err
+		}
+		if instr.Rs1, err = parseReg(ops[0]); err != nil {
+			return a.errf(n, "%v", err)
+		}
+		emit()
+		a.target(n, ops[1], here, false)
+		return nil
+	case pRs:
+		if err := need(1); err != nil {
+			return err
+		}
+		if instr.Rs1, err = parseReg(ops[0]); err != nil {
+			return a.errf(n, "%v", err)
+		}
+	case pRd:
+		if err := need(1); err != nil {
+			return err
+		}
+		if instr.Rd, err = parseReg(ops[0]); err != nil {
+			return a.errf(n, "%v", err)
+		}
+	case pImm:
+		if err := need(1); err != nil {
+			return err
+		}
+		imm, rel, err := a.parseImm(ops[0])
+		if err != nil || rel != nil {
+			return a.errf(n, "bad immediate %q", ops[0])
+		}
+		instr.Imm = imm
+	}
+	emit()
+	return nil
+}
+
+// target records how to resolve a JMP/CALL/branch destination. CALL
+// targets are routine names resolved at link time; branch and JMP targets
+// are local labels resolved at .end.
+func (a *assembler) target(n int, name string, here int64, isCall bool) {
+	if isCall {
+		a.obj.Relocs = append(a.obj.Relocs, object.Reloc{
+			Offset: here, Name: name, Kind: object.RelocCall,
+		})
+		return
+	}
+	a.fixups = append(a.fixups, fixup{offset: here, label: name, line: n})
+}
+
+func (a *assembler) parseImm(s string) (int32, *object.Reloc, error) {
+	switch {
+	case strings.HasPrefix(s, "$"):
+		name := s[1:]
+		if !isIdent(name) {
+			return 0, nil, fmt.Errorf("bad global reference %q", s)
+		}
+		return 0, &object.Reloc{Name: name, Kind: object.RelocGlobal}, nil
+	case strings.HasPrefix(s, "&"):
+		name := s[1:]
+		if !isIdent(name) {
+			return 0, nil, fmt.Errorf("bad routine reference %q", s)
+		}
+		return 0, &object.Reloc{Name: name, Kind: object.RelocFuncAddr}, nil
+	}
+	v, err := strconv.ParseInt(s, 0, 32)
+	if err != nil {
+		return 0, nil, fmt.Errorf("bad immediate %q", s)
+	}
+	return int32(v), nil, nil
+}
+
+// parseMem parses [Reg], [Reg+imm], [Reg-imm], or [Reg+$name].
+func (a *assembler) parseMem(s string) (isa.Reg, int32, *object.Reloc, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, nil, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	regPart := inner
+	immPart := ""
+	for i := 1; i < len(inner); i++ {
+		if inner[i] == '+' || inner[i] == '-' {
+			regPart = strings.TrimSpace(inner[:i])
+			immPart = strings.TrimSpace(inner[i:])
+			if inner[i] == '+' {
+				immPart = strings.TrimSpace(immPart[1:])
+			}
+			break
+		}
+	}
+	reg, err := parseReg(regPart)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if immPart == "" {
+		return reg, 0, nil, nil
+	}
+	imm, rel, err := a.parseImm(immPart)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return reg, imm, rel, nil
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	switch strings.ToUpper(s) {
+	case "FP":
+		return isa.RegFP, nil
+	case "SP":
+		return isa.RegSP, nil
+	case "GP":
+		return isa.RegGP, nil
+	}
+	up := strings.ToUpper(s)
+	if strings.HasPrefix(up, "R") {
+		n, err := strconv.Atoi(up[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return isa.Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func splitOperands(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var ops []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced ']' in %q", s)
+			}
+		case ',':
+			if depth == 0 {
+				ops = append(ops, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("unbalanced '[' in %q", s)
+	}
+	ops = append(ops, strings.TrimSpace(s[start:]))
+	for _, op := range ops {
+		if op == "" {
+			return nil, fmt.Errorf("empty operand in %q", s)
+		}
+	}
+	return ops, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Mnemonics returns the sorted list of instruction mnemonics the
+// assembler accepts, for documentation and fuzzing.
+func Mnemonics() []string {
+	out := make([]string, 0, len(mnemonics))
+	for m := range mnemonics {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}

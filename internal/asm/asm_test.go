@@ -1,0 +1,294 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/object"
+)
+
+func mustAssemble(t *testing.T, src string) *object.Object {
+	t.Helper()
+	o, err := Assemble("test.s", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return o
+}
+
+func TestAssembleEmpty(t *testing.T) {
+	o := mustAssemble(t, "; nothing here\n\n# also nothing\n")
+	if len(o.Text) != 0 || len(o.Funcs) != 0 {
+		t.Errorf("empty source produced text=%d funcs=%d", len(o.Text), len(o.Funcs))
+	}
+}
+
+func TestAssembleSimpleFunc(t *testing.T) {
+	o := mustAssemble(t, `
+.func main
+	MOVI R0, 42
+	RET
+.end
+`)
+	if len(o.Funcs) != 1 {
+		t.Fatalf("got %d funcs, want 1", len(o.Funcs))
+	}
+	f := o.Funcs[0]
+	if f.Name != "main" || f.Offset != 0 || f.Size != 2 {
+		t.Errorf("func = %+v, want main at 0 size 2", f)
+	}
+	in, err := isa.Decode(o.Text[0])
+	if err != nil || in.Op != isa.OpMovI || in.Rd != 0 || in.Imm != 42 {
+		t.Errorf("first instr = %+v (%v)", in, err)
+	}
+	in, err = isa.Decode(o.Text[1])
+	if err != nil || in.Op != isa.OpRet {
+		t.Errorf("second instr = %+v (%v)", in, err)
+	}
+}
+
+func TestAssembleEveryMnemonic(t *testing.T) {
+	// One syntactically valid line per mnemonic.
+	lines := map[string]string{
+		"HALT": "HALT", "NOP": "NOP", "RET": "RET", "MCOUNT": "MCOUNT",
+		"MOVI": "MOVI R1, -5",
+		"MOV":  "MOV R1, R2", "NEG": "NEG R1, R2", "NOT": "NOT R3, R4",
+		"LD": "LD R1, [FP-2]", "ST": "ST [SP+1], R2",
+		"LEA": "LEA R1, GP, 7",
+		"ADD": "ADD R1, R2, R3", "SUB": "SUB R1, R2, R3",
+		"MUL": "MUL R1, R2, R3", "DIV": "DIV R1, R2, R3",
+		"MOD": "MOD R1, R2, R3", "AND": "AND R1, R2, R3",
+		"OR": "OR R1, R2, R3", "XOR": "XOR R1, R2, R3",
+		"SHL": "SHL R1, R2, R3", "SHR": "SHR R1, R2, R3",
+		"SLT": "SLT R1, R2, R3", "SLE": "SLE R1, R2, R3",
+		"SEQ": "SEQ R1, R2, R3", "SNE": "SNE R1, R2, R3",
+		"JMP": "JMP here", "CALL": "CALL main",
+		"BEQZ": "BEQZ R1, here", "BNEZ": "BNEZ R2, here",
+		"CALLR": "CALLR R5", "PUSH": "PUSH R6", "POP": "POP R7",
+		"SYS": "SYS 1",
+	}
+	for _, m := range Mnemonics() {
+		line, ok := lines[m]
+		if !ok {
+			t.Errorf("no test line for mnemonic %s", m)
+			continue
+		}
+		src := ".func main\nhere:\n" + line + "\n.end\n"
+		if _, err := Assemble("t.s", src); err != nil {
+			t.Errorf("%s: %v", m, err)
+		}
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	o := mustAssemble(t, `
+.func loopy
+	MOVI R1, 10
+top:
+	BEQZ R1, done
+	LEA R1, R1, -1
+	JMP top
+done:
+	RET
+.end
+`)
+	// BEQZ at offset 1 targets done (offset 4); JMP at 3 targets top (1).
+	beqz, _ := isa.Decode(o.Text[1])
+	if beqz.Imm != 4 {
+		t.Errorf("BEQZ imm = %d, want 4", beqz.Imm)
+	}
+	jmp, _ := isa.Decode(o.Text[3])
+	if jmp.Imm != 1 {
+		t.Errorf("JMP imm = %d, want 1", jmp.Imm)
+	}
+	// Both carry RelocText fixups.
+	var textRelocs int
+	for _, r := range o.Relocs {
+		if r.Kind == object.RelocText {
+			textRelocs++
+		}
+	}
+	if textRelocs != 2 {
+		t.Errorf("got %d RelocText relocs, want 2", textRelocs)
+	}
+}
+
+func TestCallReloc(t *testing.T) {
+	o := mustAssemble(t, `
+.func a
+	CALL b
+	RET
+.end
+.func b
+	RET
+.end
+`)
+	found := false
+	for _, r := range o.Relocs {
+		if r.Kind == object.RelocCall && r.Name == "b" && r.Offset == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing RelocCall for b; relocs = %+v", o.Relocs)
+	}
+}
+
+func TestGlobalAndRefs(t *testing.T) {
+	o := mustAssemble(t, `
+.global counter 1
+.global table 4 = 10 20 30
+.func main
+	LD R1, [GP+$counter]
+	ST [GP+$table], R1
+	MOVI R2, &main
+	RET
+.end
+`)
+	if len(o.Globals) != 2 {
+		t.Fatalf("got %d globals, want 2", len(o.Globals))
+	}
+	if o.Globals[1].Name != "table" || o.Globals[1].Size != 4 ||
+		len(o.Globals[1].Init) != 3 || o.Globals[1].Init[2] != 30 {
+		t.Errorf("table global = %+v", o.Globals[1])
+	}
+	kinds := map[object.RelocKind]int{}
+	for _, r := range o.Relocs {
+		kinds[r.Kind]++
+	}
+	if kinds[object.RelocGlobal] != 2 || kinds[object.RelocFuncAddr] != 1 {
+		t.Errorf("reloc kinds = %v", kinds)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"instr outside func", "MOVI R1, 1\n", "outside .func"},
+		{"missing end", ".func f\nRET\n", "missing .end"},
+		{"nested func", ".func f\n.func g\n", "nested"},
+		{"unknown mnemonic", ".func f\nFROB R1\n.end\n", "unknown mnemonic"},
+		{"bad register", ".func f\nMOV R1, R99\n.end\n", "bad register"},
+		{"wrong arity", ".func f\nADD R1, R2\n.end\n", "wants 3 operand"},
+		{"undefined label", ".func f\nJMP nowhere\n.end\n", "undefined label"},
+		{"duplicate label", ".func f\nx:\nx:\nRET\n.end\n", "duplicate label"},
+		{"bad global size", ".global g 0\n", "bad global size"},
+		{"too many inits", ".global g 1 = 1 2\n", "exceed"},
+		{"global in func", ".func f\n.global g 1\n.end\n", ".global inside"},
+		{"bad directive", ".franges\n", "unknown directive"},
+		{"bad imm", ".func f\nMOVI R1, banana\n.end\n", "bad immediate"},
+		{"bad mem", ".func f\nLD R1, R2\n.end\n", "bad memory operand"},
+		{"end outside", ".end\n", ".end outside"},
+		{"unbalanced bracket", ".func f\nLD R1, [FP\n.end\n", "unbalanced"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble("t.s", tc.src)
+			if err == nil {
+				t.Fatalf("assembled successfully, want error containing %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error = %q, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestErrorHasPosition(t *testing.T) {
+	_, err := Assemble("prog.s", "\n\nMOVI R1, 1\n")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	var ae *Error
+	if !errorsAs(err, &ae) {
+		t.Fatalf("error type %T, want *Error", err)
+	}
+	if ae.File != "prog.s" || ae.Line != 3 {
+		t.Errorf("position = %s:%d, want prog.s:3", ae.File, ae.Line)
+	}
+}
+
+// errorsAs avoids importing errors just for one call.
+func errorsAs(err error, target **Error) bool {
+	e, ok := err.(*Error)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+func TestDisasmRoundTrip(t *testing.T) {
+	// Everything the assembler emits should disassemble back to a string
+	// the assembler accepts (label/global refs excluded, so use plain
+	// immediates).
+	src := `
+.func f
+	MOVI R1, 7
+	MOV R2, R1
+	LD R3, [FP-1]
+	ST [SP+2], R3
+	LEA R4, GP, 5
+	ADD R5, R1, R2
+	SLT R6, R5, R1
+	CALLR R6
+	PUSH R1
+	POP R2
+	MCOUNT
+	SYS 1
+	RET
+.end
+`
+	o := mustAssemble(t, src)
+	for i, w := range o.Text {
+		text := isa.DisasmWord(w)
+		re, err := Assemble("rt.s", ".func f\n"+text+"\n.end\n")
+		if err != nil {
+			t.Fatalf("instr %d: reassembling %q: %v", i, text, err)
+		}
+		if re.Text[0] != w {
+			t.Errorf("instr %d: %q reassembled to %#x, want %#x", i, text, re.Text[0], w)
+		}
+	}
+}
+
+func TestAssemblerLineMarks(t *testing.T) {
+	o := mustAssemble(t, `
+.func f
+	MOVI R1, 1
+	MOVI R2, 2
+	ADD R3, R1, R2    ; same line as written
+	RET
+.end
+`)
+	f := o.Funcs[0]
+	if f.File != "test.s" {
+		t.Errorf("File = %q", f.File)
+	}
+	if len(f.Lines) != 4 {
+		t.Fatalf("marks = %+v, want one per instruction line", f.Lines)
+	}
+	// Source lines 3..6 of the literal above.
+	for i, m := range f.Lines {
+		if int(m.Line) != i+3 {
+			t.Errorf("mark %d line = %d, want %d", i, m.Line, i+3)
+		}
+		if m.Offset != int64(i) {
+			t.Errorf("mark %d offset = %d, want %d", i, m.Offset, i)
+		}
+	}
+}
+
+func TestMnemonicsComplete(t *testing.T) {
+	// Every defined opcode is reachable from the assembler.
+	covered := map[isa.Op]bool{}
+	for _, m := range Mnemonics() {
+		covered[mnemonics[m].op] = true
+	}
+	for op := isa.Op(0); int(op) < isa.NumOps; op++ {
+		if !covered[op] {
+			t.Errorf("opcode %v has no assembler mnemonic", op)
+		}
+	}
+}

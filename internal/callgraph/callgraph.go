@@ -1,0 +1,393 @@
+// Package callgraph builds and manipulates the dynamic call graph of a
+// profiled execution: nodes are routines, directed arcs represent calls
+// from call sites to routines (paper §2).
+//
+// The graph is assembled from three sources:
+//
+//   - the symbol table contributes one node per routine, so routines that
+//     were never called still appear (the flat profile lists them, §5.1);
+//   - the profile's arc records contribute dynamic arcs with traversal
+//     counts, summed over call sites within the same caller;
+//   - the static call graph recovered from the executable contributes
+//     arcs with a traversal count of zero, which "are never responsible
+//     for any time propagation" but "may affect the structure of the
+//     graph" by completing strongly-connected components (§4).
+//
+// Arcs whose caller could not be identified are "spontaneous": they have
+// a nil Caller, contribute to the callee's call count, and propagate time
+// to no one.
+package callgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gmon"
+	"repro/internal/object"
+	"repro/internal/symtab"
+)
+
+// Node is one routine in the call graph.
+type Node struct {
+	Name string
+
+	// SelfTicks is the routine's own sampled time, in clock ticks,
+	// attributed from the histogram (possibly fractional under coarse
+	// granularity).
+	SelfTicks float64
+
+	// In and Out are the incoming and outgoing arcs. Self-arcs appear in
+	// both. Spontaneous arcs appear only in In.
+	In  []*Arc
+	Out []*Arc
+
+	// Cycle is the strongly-connected component containing this node
+	// when that component has more than one member; nil otherwise.
+	// Assigned by package scc.
+	Cycle *Cycle
+
+	// TopoNum is the topological number assigned during cycle discovery:
+	// every arc not inside a cycle goes from a higher-numbered node to a
+	// lower-numbered one. Assigned by package scc.
+	TopoNum int
+
+	// ChildTicks is the time propagated to this routine from its
+	// descendants, in ticks. Assigned by package propagate.
+	ChildTicks float64
+
+	// Index is the entry number in the call-graph profile listing.
+	// Assigned by package report.
+	Index int
+}
+
+// Calls returns the number of times the routine was called, excluding
+// self-recursive calls: the sum of the counts on incoming non-self arcs
+// (§3.1: "call counts for routines can be determined by summing the
+// counts on arcs directed into that routine").
+func (n *Node) Calls() int64 {
+	var c int64
+	for _, a := range n.In {
+		if !a.Self() {
+			c += a.Count
+		}
+	}
+	return c
+}
+
+// SelfCalls returns the count of self-recursive calls.
+func (n *Node) SelfCalls() int64 {
+	var c int64
+	for _, a := range n.In {
+		if a.Self() {
+			c += a.Count
+		}
+	}
+	return c
+}
+
+// TotalTicks returns self plus propagated descendant time.
+func (n *Node) TotalTicks() float64 { return n.SelfTicks + n.ChildTicks }
+
+// InCycle reports whether the node belongs to a multi-member cycle.
+func (n *Node) InCycle() bool { return n.Cycle != nil }
+
+// Arc is a (caller, callee) pair with its traversal count. A nil Caller
+// marks a spontaneous arc.
+type Arc struct {
+	Caller *Node
+	Callee *Node
+	Count  int64
+	// Static marks arcs added from the static call graph; their Count is
+	// zero and they never propagate time.
+	Static bool
+	// Sites is the number of distinct call sites merged into this arc.
+	Sites int
+
+	// PropSelf and PropChild are the portions of the callee's self and
+	// descendant time propagated along this arc to the caller, in ticks.
+	// Assigned by package propagate.
+	PropSelf  float64
+	PropChild float64
+}
+
+// Self reports whether the arc is self-recursive.
+func (a *Arc) Self() bool { return a.Caller != nil && a.Caller == a.Callee }
+
+// Spontaneous reports whether the arc's caller is unidentifiable.
+func (a *Arc) Spontaneous() bool { return a.Caller == nil }
+
+// IntraCycle reports whether both endpoints are members of the same
+// multi-node cycle. Such arcs are listed in the profile but "do not
+// propagate any time" (§4).
+func (a *Arc) IntraCycle() bool {
+	return a.Caller != nil && a.Caller.Cycle != nil && a.Caller.Cycle == a.Callee.Cycle
+}
+
+func (a *Arc) String() string {
+	from := "<spontaneous>"
+	if a.Caller != nil {
+		from = a.Caller.Name
+	}
+	return fmt.Sprintf("%s -> %s (%d)", from, a.Callee.Name, a.Count)
+}
+
+// Cycle is a collapsed strongly-connected component with more than one
+// member, treated as a single entity for time propagation (§4).
+type Cycle struct {
+	Number  int // 1-based, for "<cycle N>" display
+	Members []*Node
+
+	// ChildTicks is the descendant time propagated into the cycle as a
+	// whole. Assigned by package propagate.
+	ChildTicks float64
+
+	// Index is the cycle's entry number in the call-graph profile
+	// listing. Assigned by package report.
+	Index int
+}
+
+// SelfTicks sums the members' self time: "our solution collects all
+// members of a cycle together, summing the time and call counts for all
+// members" (§4).
+func (c *Cycle) SelfTicks() float64 {
+	var t float64
+	for _, m := range c.Members {
+		t += m.SelfTicks
+	}
+	return t
+}
+
+// TotalTicks returns the cycle's self plus descendant time.
+func (c *Cycle) TotalTicks() float64 { return c.SelfTicks() + c.ChildTicks }
+
+// ExternalCalls counts calls into the cycle from outside it ("not
+// counting calls among members of the cycle").
+func (c *Cycle) ExternalCalls() int64 {
+	var n int64
+	for _, m := range c.Members {
+		for _, a := range m.In {
+			if !a.IntraCycle() && !a.Self() {
+				n += a.Count
+			}
+		}
+	}
+	return n
+}
+
+// InternalCalls counts calls among members (excluding self-recursion).
+func (c *Cycle) InternalCalls() int64 {
+	var n int64
+	for _, m := range c.Members {
+		for _, a := range m.In {
+			if a.IntraCycle() && !a.Self() {
+				n += a.Count
+			}
+		}
+	}
+	return n
+}
+
+// Graph is a dynamic call graph, optionally augmented with static arcs.
+type Graph struct {
+	nodes  map[string]*Node
+	order  []*Node // creation order: address order for image-built graphs
+	Cycles []*Cycle
+
+	// TotalTicks is the histogram's total tick count, including ticks
+	// that fell outside every routine.
+	TotalTicks float64
+	// LostTicks is the portion of TotalTicks not attributable to any
+	// routine.
+	LostTicks float64
+	// Hz is the clock rate: ticks/Hz = seconds.
+	Hz int64
+
+	// Spontaneous lists arcs with unidentifiable callers.
+	Spontaneous []*Arc
+}
+
+// Hertz returns the effective clock rate.
+func (g *Graph) Hertz() int64 {
+	if g.Hz > 0 {
+		return g.Hz
+	}
+	return gmon.DefaultHz
+}
+
+// Node returns the named node, if present.
+func (g *Graph) Node(name string) (*Node, bool) {
+	n, ok := g.nodes[name]
+	return n, ok
+}
+
+// MustNode returns the named node or panics; for tests.
+func (g *Graph) MustNode(name string) *Node {
+	n, ok := g.nodes[name]
+	if !ok {
+		panic("callgraph: no node " + name)
+	}
+	return n
+}
+
+// Nodes returns all nodes in creation (address) order. The caller must
+// not modify the slice.
+func (g *Graph) Nodes() []*Node { return g.order }
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.order) }
+
+// AddNode creates (or returns) the node for name.
+func (g *Graph) AddNode(name string) *Node {
+	if n, ok := g.nodes[name]; ok {
+		return n
+	}
+	n := &Node{Name: name}
+	g.nodes[name] = n
+	g.order = append(g.order, n)
+	return n
+}
+
+// AddArc records count traversals of caller→callee, merging with an
+// existing arc for the pair if present. A nil caller name ("") records a
+// spontaneous arc. It returns the arc.
+func (g *Graph) AddArc(caller, callee string, count int64) *Arc {
+	to := g.AddNode(callee)
+	var from *Node
+	if caller != "" {
+		from = g.AddNode(caller)
+	}
+	if a := g.findArc(from, to); a != nil {
+		a.Count += count
+		a.Sites++
+		return a
+	}
+	a := &Arc{Caller: from, Callee: to, Count: count, Sites: 1}
+	to.In = append(to.In, a)
+	if from != nil {
+		from.Out = append(from.Out, a)
+	} else {
+		g.Spontaneous = append(g.Spontaneous, a)
+	}
+	return a
+}
+
+func (g *Graph) findArc(from, to *Node) *Arc {
+	for _, a := range to.In {
+		if a.Caller == from {
+			return a
+		}
+	}
+	return nil
+}
+
+// Arcs returns every arc exactly once, ordered by (caller, callee) name
+// with spontaneous arcs first.
+func (g *Graph) Arcs() []*Arc {
+	var arcs []*Arc
+	for _, n := range g.order {
+		arcs = append(arcs, n.In...)
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		ci, cj := arcCallerName(arcs[i]), arcCallerName(arcs[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return arcs[i].Callee.Name < arcs[j].Callee.Name
+	})
+	return arcs
+}
+
+func arcCallerName(a *Arc) string {
+	if a.Caller == nil {
+		return ""
+	}
+	return a.Caller.Name
+}
+
+// New creates an empty graph.
+func New() *Graph {
+	return &Graph{nodes: make(map[string]*Node)}
+}
+
+// Build assembles the dynamic call graph for a profile against a symbol
+// table. Every routine in the table becomes a node; histogram ticks are
+// attributed to node self-times; arc records become graph arcs, with the
+// call-site address mapped to the calling routine and the callee prologue
+// address mapped to the called routine.
+//
+// Arc records whose callee address falls outside every routine are
+// rejected (the profile does not match the symbol table). Call sites
+// outside every routine are treated as spontaneous.
+func Build(tab *symtab.Table, p *gmon.Profile) (*Graph, error) {
+	g := New()
+	g.Hz = p.ClockHz()
+	for _, s := range tab.Syms() {
+		g.AddNode(s.Name)
+	}
+	ticks, lost := tab.AttributeHist(&p.Hist)
+	for name, t := range ticks {
+		g.MustNode(name).SelfTicks = t
+	}
+	g.TotalTicks = float64(p.Hist.TotalTicks())
+	g.LostTicks = lost
+	for _, rec := range p.Arcs {
+		callee, ok := tab.Find(rec.SelfPC)
+		if !ok {
+			return nil, fmt.Errorf("callgraph: arc callee pc %#x is not in any routine", rec.SelfPC)
+		}
+		caller := ""
+		if rec.FromPC >= 0 {
+			if c, ok := tab.Find(rec.FromPC); ok {
+				caller = c.Name
+			}
+		}
+		g.AddArc(caller, callee.Name, rec.Count)
+	}
+	return g, nil
+}
+
+// AddStatic merges statically discovered arcs into the graph: an arc
+// already present dynamically is left untouched ("no action is
+// required"); a new one is added with count zero, marked Static (§4).
+func (g *Graph) AddStatic(arcs []object.StaticArc) {
+	for _, sa := range arcs {
+		from, okF := g.Node(sa.Caller)
+		to, okT := g.Node(sa.Callee)
+		if okF && okT {
+			if a := g.findArc(from, to); a != nil {
+				continue
+			}
+		}
+		a := g.AddArc(sa.Caller, sa.Callee, 0)
+		a.Static = true
+	}
+}
+
+// RemoveArc deletes the caller→callee arc if present, returning whether
+// it was removed. This implements the retrospective's "option to specify
+// a set of arcs to be removed from the analysis" for separating
+// abstractions trapped in a cycle.
+func (g *Graph) RemoveArc(caller, callee string) bool {
+	from, okF := g.Node(caller)
+	to, okT := g.Node(callee)
+	if !okF || !okT {
+		return false
+	}
+	a := g.findArc(from, to)
+	if a == nil {
+		return false
+	}
+	to.In = removeArc(to.In, a)
+	from.Out = removeArc(from.Out, a)
+	return true
+}
+
+func removeArc(arcs []*Arc, a *Arc) []*Arc {
+	out := arcs[:0]
+	for _, x := range arcs {
+		if x != a {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+// Package core is the gprof post-processor: it ties the pipeline of the
+// paper's §4-§5 together behind one API.
+//
+// The pipeline, in order:
+//
+//  1. map the profile's addresses to routines (symtab) and build the
+//     dynamic call graph with self times attributed from the histogram
+//     (callgraph.Build);
+//  2. optionally merge the static call graph scanned from the executable
+//     — zero-count arcs that may complete cycles (object.Scan +
+//     Graph.AddStatic);
+//  3. delete any arcs the user asked to remove, and/or run the bounded
+//     cycle-breaking heuristic (cyclebreak);
+//  4. find strongly-connected components and topological numbers
+//     (scc.Analyze);
+//  5. propagate time from descendants to ancestors (propagate.Run);
+//  6. render the flat profile, the call graph profile, and the index
+//     (report).
+//
+// Use Analyze for profiles of simulated-machine executables, or
+// AnalyzeTable when the symbols come from elsewhere (e.g. the Go-native
+// collector in package profgo, which is how gprof profiles itself).
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/callgraph"
+	"repro/internal/cyclebreak"
+	"repro/internal/gmon"
+	"repro/internal/object"
+	"repro/internal/propagate"
+	"repro/internal/report"
+	"repro/internal/scc"
+	"repro/internal/symtab"
+)
+
+// Options selects the post-processing features.
+type Options struct {
+	// Static merges the statically discovered call graph (requires an
+	// image; ignored by AnalyzeTable).
+	Static bool
+	// RemoveArcs deletes these arcs before cycle analysis (the
+	// retrospective's -k caller/callee option).
+	RemoveArcs []cyclebreak.ArcID
+	// AutoBreak runs the bounded heuristic to choose further arcs whose
+	// removal breaks remaining cycles, and applies them.
+	AutoBreak bool
+	// MaxBreakArcs bounds AutoBreak; 0 means cyclebreak's default.
+	MaxBreakArcs int
+	// Report controls rendering (thresholds, focus, headers).
+	Report report.Options
+}
+
+// Result is an analyzed profile ready for rendering or inspection.
+type Result struct {
+	Graph *callgraph.Graph
+	// Suggestion holds the cycle-breaking heuristic's output when
+	// AutoBreak ran.
+	Suggestion *cyclebreak.Suggestion
+	// RemovedArcs counts arcs actually deleted (user-specified plus
+	// auto-chosen).
+	RemovedArcs int
+
+	opt Options
+}
+
+// Analyze post-processes a profile against a linked executable image.
+func Analyze(im *object.Image, p *gmon.Profile, opt Options) (*Result, error) {
+	tab := symtab.New(im)
+	if err := tab.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := callgraph.Build(tab, p)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Static {
+		g.AddStatic(object.Scan(im))
+	}
+	return finish(g, opt)
+}
+
+// AnalyzeTable post-processes a profile against an explicit symbol
+// table (no image, so no static arcs).
+func AnalyzeTable(tab *symtab.Table, p *gmon.Profile, opt Options) (*Result, error) {
+	if err := tab.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := callgraph.Build(tab, p)
+	if err != nil {
+		return nil, err
+	}
+	return finish(g, opt)
+}
+
+func finish(g *callgraph.Graph, opt Options) (*Result, error) {
+	res := &Result{Graph: g, opt: opt}
+	for _, id := range opt.RemoveArcs {
+		if g.RemoveArc(id.Caller, id.Callee) {
+			res.RemovedArcs++
+		}
+	}
+	scc.Analyze(g)
+	if opt.AutoBreak {
+		sug := cyclebreak.Suggest(g, cyclebreak.Options{MaxArcs: opt.MaxBreakArcs})
+		res.Suggestion = &sug
+		res.RemovedArcs += cyclebreak.Apply(g, sug.Arcs)
+	}
+	propagate.Run(g)
+	if err := sanity(g); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// sanity verifies the propagation invariant on every analysis; a failure
+// indicates a bug, not bad input.
+func sanity(g *callgraph.Graph) error {
+	if err := propagate.CheckConservation(g); err > 1e-6*(1+g.TotalTicks) {
+		return fmt.Errorf("core: internal error: propagation lost %g ticks", err)
+	}
+	return nil
+}
+
+// WriteFlat renders the flat profile (§5.1).
+func (r *Result) WriteFlat(w io.Writer) error {
+	return report.Flat(w, r.Graph, r.opt.Report)
+}
+
+// WriteCallGraph renders the call graph profile (§5.2).
+func (r *Result) WriteCallGraph(w io.Writer) error {
+	return report.CallGraph(w, r.Graph, r.opt.Report)
+}
+
+// WriteIndex renders the alphabetical routine index.
+func (r *Result) WriteIndex(w io.Writer) error {
+	return report.IndexListing(w, r.Graph)
+}
+
+// WriteAll renders the full gprof output: call graph profile, flat
+// profile, then the index.
+func (r *Result) WriteAll(w io.Writer) error {
+	if r.Suggestion != nil && len(r.Suggestion.Arcs) > 0 {
+		fmt.Fprintf(w, "cycle-breaking heuristic removed %d arc(s):\n", len(r.Suggestion.Arcs))
+		for i, a := range r.Suggestion.Arcs {
+			fmt.Fprintf(w, "    %s (count %d)\n", a, r.Suggestion.Counts[i])
+		}
+		if !r.Suggestion.Complete {
+			fmt.Fprintf(w, "    (bound reached; cycles remain)\n")
+		}
+		fmt.Fprintln(w)
+	}
+	if err := r.WriteCallGraph(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := r.WriteFlat(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return r.WriteIndex(w)
+}

@@ -1,0 +1,150 @@
+// Package cyclebreak chooses call-graph arcs to delete so that large
+// cycles break apart and the abstractions trapped inside them can be
+// timed separately.
+//
+// The retrospective describes the feature: profiling the BSD kernel
+// produced "several large cycles", closed by "just a few arcs — with low
+// traversal counts". gprof grew an option to remove a user-specified arc
+// set, and, for users unable to find one, "a heuristic to help choose
+// arcs to remove. The underlying problem is NP-complete, so we added a
+// bound on the number of arcs the tool would attempt to remove."
+//
+// The underlying problem is minimum feedback arc set. The heuristic here
+// is greedy: while any multi-member cycle remains and the bound is not
+// exhausted, delete the lowest-count dynamic arc internal to a cycle
+// (ties broken lexicographically), then re-run the component analysis.
+// Deleting low-count arcs loses the least information, matching the
+// retrospective's observation that "the information lost by omitting
+// these arcs was far less than the information gained by separating the
+// abstractions formerly contained in the cycle".
+package cyclebreak
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/callgraph"
+	"repro/internal/scc"
+)
+
+// ArcID names one arc by its endpoints.
+type ArcID struct {
+	Caller string
+	Callee string
+}
+
+func (a ArcID) String() string { return a.Caller + "/" + a.Callee }
+
+// ParseArcID parses "caller/callee" (the gprof -k option's syntax).
+func ParseArcID(s string) (ArcID, error) {
+	i := strings.IndexByte(s, '/')
+	if i <= 0 || i == len(s)-1 {
+		return ArcID{}, fmt.Errorf("cyclebreak: bad arc %q (want caller/callee)", s)
+	}
+	return ArcID{Caller: s[:i], Callee: s[i+1:]}, nil
+}
+
+// DefaultMaxArcs is the bound on the number of arcs the heuristic will
+// attempt to remove when Options.MaxArcs is zero.
+const DefaultMaxArcs = 10
+
+// Options controls the heuristic.
+type Options struct {
+	// MaxArcs bounds how many arcs Suggest may propose; 0 means
+	// DefaultMaxArcs.
+	MaxArcs int
+}
+
+// Suggestion is the heuristic's result.
+type Suggestion struct {
+	// Arcs to remove, in removal order.
+	Arcs []ArcID
+	// Counts holds each removed arc's traversal count (the information
+	// lost by deleting it).
+	Counts []int64
+	// Complete reports whether removing Arcs leaves the graph free of
+	// multi-member cycles; false means the bound was exhausted first.
+	Complete bool
+}
+
+// Suggest computes a set of arcs whose removal breaks every multi-member
+// cycle, without modifying g.
+func Suggest(g *callgraph.Graph, opt Options) Suggestion {
+	max := opt.MaxArcs
+	if max <= 0 {
+		max = DefaultMaxArcs
+	}
+	shadow := shadowOf(g)
+	var sug Suggestion
+	for len(sug.Arcs) < max {
+		scc.Analyze(shadow)
+		victim := pickVictim(shadow)
+		if victim == nil {
+			sug.Complete = true
+			return sug
+		}
+		sug.Arcs = append(sug.Arcs, ArcID{victim.Caller.Name, victim.Callee.Name})
+		sug.Counts = append(sug.Counts, victim.Count)
+		shadow.RemoveArc(victim.Caller.Name, victim.Callee.Name)
+	}
+	scc.Analyze(shadow)
+	sug.Complete = len(shadow.Cycles) == 0
+	return sug
+}
+
+// pickVictim returns the cheapest intra-cycle arc, or nil when acyclic.
+// Static (count-zero) arcs are the cheapest of all: they carry no
+// dynamic information.
+func pickVictim(g *callgraph.Graph) *callgraph.Arc {
+	var best *callgraph.Arc
+	for _, a := range g.Arcs() {
+		if a.Spontaneous() || a.Self() || !a.IntraCycle() {
+			continue
+		}
+		if best == nil || less(a, best) {
+			best = a
+		}
+	}
+	return best
+}
+
+func less(a, b *callgraph.Arc) bool {
+	if a.Count != b.Count {
+		return a.Count < b.Count
+	}
+	if a.Caller.Name != b.Caller.Name {
+		return a.Caller.Name < b.Caller.Name
+	}
+	return a.Callee.Name < b.Callee.Name
+}
+
+// Apply removes the named arcs from g and re-runs the component
+// analysis. It returns the number of arcs actually removed (arcs no
+// longer present are skipped, matching gprof's tolerant -k handling).
+func Apply(g *callgraph.Graph, arcs []ArcID) int {
+	removed := 0
+	for _, id := range arcs {
+		if g.RemoveArc(id.Caller, id.Callee) {
+			removed++
+		}
+	}
+	scc.Analyze(g)
+	return removed
+}
+
+// shadowOf builds a structural copy of g (names, arc counts, static
+// flags) sufficient for cycle analysis, so Suggest can mutate freely.
+func shadowOf(g *callgraph.Graph) *callgraph.Graph {
+	s := callgraph.New()
+	for _, n := range g.Nodes() {
+		s.AddNode(n.Name)
+	}
+	for _, a := range g.Arcs() {
+		if a.Spontaneous() {
+			continue
+		}
+		na := s.AddArc(a.Caller.Name, a.Callee.Name, a.Count)
+		na.Static = a.Static
+	}
+	return s
+}

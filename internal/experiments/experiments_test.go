@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass is the repository's reproduction gate: every
+// figure and claim in DESIGN.md's experiment index must hold.
+func TestAllExperimentsPass(t *testing.T) {
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			if !r.Pass {
+				t.Errorf("%s (%s) failed:\n  paper: %s\n  measured: %s\n%s",
+					r.ID, r.Title, r.Claim, r.Measure, r.Detail)
+			}
+			if r.Claim == "" || r.Measure == "" || r.Title == "" {
+				t.Errorf("%s: incomplete result record: %+v", r.ID, r)
+			}
+		})
+	}
+}
+
+func TestExperimentCount(t *testing.T) {
+	// DESIGN.md §4 indexes 15 artifacts: F1, F2/F3, F4, E1-E12.
+	if got := len(All()); got != 15 {
+		t.Errorf("experiment count = %d, want 15 (update DESIGN.md §4 if intentional)", got)
+	}
+}
+
+func TestByID(t *testing.T) {
+	if r, ok := ByID("f4"); !ok || r.ID != "F4" {
+		t.Errorf("ByID(f4) = %+v, %v", r.ID, ok)
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID(nope) found")
+	}
+	ids := IDs()
+	if len(ids) != len(All()) {
+		t.Error("IDs length mismatch")
+	}
+}
+
+func TestFig1Detail(t *testing.T) {
+	r := Fig1()
+	if !strings.Contains(r.Detail, "->") {
+		t.Errorf("Fig1 detail lacks edge listing:\n%s", r.Detail)
+	}
+}
+
+func TestFig4DetailIsRenderedEntry(t *testing.T) {
+	r := Fig4()
+	for _, want := range []string{"EXAMPLE", "CALLER1", "SUB1 <cycle1>"} {
+		if !strings.Contains(r.Detail, want) {
+			t.Errorf("Fig4 detail missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package gmon defines the profile data file ("gmon.out") written when a
+// profiled program exits and read by the post-processors.
+//
+// The paper (§3.2) condenses two data structures to the file as the
+// program terminates: the arc table — (call site, callee, traversal
+// count) triples — and the program-counter histogram, whose ranges "are
+// summarized as a lower and upper bound and a step size". This package is
+// the in-memory form of that file, its binary encoding, and the merge
+// operation that lets "the profile data for several executions of a
+// program be combined by the post-processing" (§3).
+package gmon
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SpontaneousPC is the FromPC of an arc whose caller could not be
+// identified (non-standard calling sequences, §3.1). It matches
+// vm.SpontaneousPC; the value is duplicated to keep this package free of
+// a vm dependency.
+const SpontaneousPC = int64(-1)
+
+// DefaultHz is the clock-tick rate used when a Profile does not specify
+// one: the paper's 1/60th-of-a-second system clock.
+const DefaultHz = 60
+
+// Histogram is the program-counter sampling histogram. Bucket i counts
+// clock ticks observed with Low+i*Step <= pc < Low+(i+1)*Step.
+type Histogram struct {
+	Low    int64 // first text address covered
+	High   int64 // one past the last text address covered
+	Step   int64 // words per bucket (1 = one-to-one with text words)
+	Counts []uint32
+}
+
+// NumBuckets returns the bucket count implied by the bounds and step.
+func (h *Histogram) NumBuckets() int {
+	if h.Step <= 0 || h.High <= h.Low {
+		return 0
+	}
+	return int((h.High - h.Low + h.Step - 1) / h.Step)
+}
+
+// BucketFor returns the bucket index covering pc, or -1 if out of range.
+func (h *Histogram) BucketFor(pc int64) int {
+	if pc < h.Low || pc >= h.High || h.Step <= 0 {
+		return -1
+	}
+	return int((pc - h.Low) / h.Step)
+}
+
+// BucketRange returns the [lo, hi) address range of bucket i.
+func (h *Histogram) BucketRange(i int) (lo, hi int64) {
+	lo = h.Low + int64(i)*h.Step
+	hi = lo + h.Step
+	if hi > h.High {
+		hi = h.High
+	}
+	return lo, hi
+}
+
+// TotalTicks sums all bucket counts.
+func (h *Histogram) TotalTicks() int64 {
+	var t int64
+	for _, c := range h.Counts {
+		t += int64(c)
+	}
+	return t
+}
+
+// Validate checks internal consistency.
+func (h *Histogram) Validate() error {
+	if h.Step <= 0 {
+		return fmt.Errorf("gmon: histogram step %d (want > 0)", h.Step)
+	}
+	if h.High < h.Low {
+		return fmt.Errorf("gmon: histogram bounds [%#x,%#x) inverted", h.Low, h.High)
+	}
+	if want := h.NumBuckets(); len(h.Counts) != want {
+		return fmt.Errorf("gmon: histogram has %d buckets, bounds imply %d", len(h.Counts), want)
+	}
+	return nil
+}
+
+// Arc is one dynamic call-graph arc with its traversal count. FromPC is
+// the address of the call instruction (the call site); SelfPC is the
+// address of the callee's profiled prologue, which the symbol table maps
+// to the callee routine.
+type Arc struct {
+	FromPC int64
+	SelfPC int64
+	Count  int64
+}
+
+// Profile is the complete contents of a profile data file.
+type Profile struct {
+	Hist Histogram
+	Arcs []Arc
+	// Hz is the clock-tick rate: histogram counts are ticks, and
+	// seconds = ticks / Hz. Zero means DefaultHz.
+	Hz int64
+}
+
+// ClockHz returns the effective tick rate.
+func (p *Profile) ClockHz() int64 {
+	if p.Hz > 0 {
+		return p.Hz
+	}
+	return DefaultHz
+}
+
+// TotalSeconds returns the sampled execution time in seconds.
+func (p *Profile) TotalSeconds() float64 {
+	return float64(p.Hist.TotalTicks()) / float64(p.ClockHz())
+}
+
+// Validate checks internal consistency of the whole profile.
+func (p *Profile) Validate() error {
+	if err := p.Hist.Validate(); err != nil {
+		return err
+	}
+	for i, a := range p.Arcs {
+		if a.Count < 0 {
+			return fmt.Errorf("gmon: arc %d has negative count %d", i, a.Count)
+		}
+		if a.SelfPC < 0 {
+			return fmt.Errorf("gmon: arc %d has invalid callee pc %#x", i, a.SelfPC)
+		}
+		if a.FromPC < 0 && a.FromPC != SpontaneousPC {
+			return fmt.Errorf("gmon: arc %d has invalid call-site pc %#x", i, a.FromPC)
+		}
+	}
+	return nil
+}
+
+// SortArcs orders arcs by (FromPC, SelfPC) for deterministic output.
+func (p *Profile) SortArcs() {
+	sort.Slice(p.Arcs, func(i, j int) bool {
+		if p.Arcs[i].FromPC != p.Arcs[j].FromPC {
+			return p.Arcs[i].FromPC < p.Arcs[j].FromPC
+		}
+		return p.Arcs[i].SelfPC < p.Arcs[j].SelfPC
+	})
+}
+
+// Merge accumulates other into p: histogram bucket counts and arc counts
+// add element-wise. Profiles are mergeable only when their histogram
+// geometry and clock rate agree, the same restriction real gprof places
+// on summed gmon.out files.
+func (p *Profile) Merge(other *Profile) error {
+	if p.Hist.Low != other.Hist.Low || p.Hist.High != other.Hist.High || p.Hist.Step != other.Hist.Step {
+		return fmt.Errorf("gmon: merge: histogram geometry mismatch: [%#x,%#x)/%d vs [%#x,%#x)/%d",
+			p.Hist.Low, p.Hist.High, p.Hist.Step,
+			other.Hist.Low, other.Hist.High, other.Hist.Step)
+	}
+	if p.ClockHz() != other.ClockHz() {
+		return fmt.Errorf("gmon: merge: clock rate mismatch: %d vs %d Hz", p.ClockHz(), other.ClockHz())
+	}
+	for i, c := range other.Hist.Counts {
+		p.Hist.Counts[i] += c
+	}
+	type key struct{ from, self int64 }
+	idx := make(map[key]int, len(p.Arcs))
+	for i, a := range p.Arcs {
+		idx[key{a.FromPC, a.SelfPC}] = i
+	}
+	for _, a := range other.Arcs {
+		if i, ok := idx[key{a.FromPC, a.SelfPC}]; ok {
+			p.Arcs[i].Count += a.Count
+		} else {
+			idx[key{a.FromPC, a.SelfPC}] = len(p.Arcs)
+			p.Arcs = append(p.Arcs, a)
+		}
+	}
+	p.SortArcs()
+	return nil
+}
+
+// Clone returns a deep copy of p.
+func (p *Profile) Clone() *Profile {
+	q := &Profile{Hist: p.Hist, Hz: p.Hz}
+	q.Hist.Counts = append([]uint32(nil), p.Hist.Counts...)
+	q.Arcs = append([]Arc(nil), p.Arcs...)
+	return q
+}

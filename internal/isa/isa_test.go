@@ -1,0 +1,131 @@
+package isa
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instr{
+		{Op: OpHalt},
+		{Op: OpNop},
+		{Op: OpMovI, Rd: 3, Imm: -1},
+		{Op: OpMovI, Rd: 0, Imm: math.MaxInt32},
+		{Op: OpMovI, Rd: 15, Imm: math.MinInt32},
+		{Op: OpMov, Rd: 1, Rs1: 2},
+		{Op: OpLd, Rd: 4, Rs1: RegFP, Imm: -3},
+		{Op: OpSt, Rs1: RegSP, Rs2: 7, Imm: 12},
+		{Op: OpLea, Rd: 5, Rs1: RegGP, Imm: 100},
+		{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpDiv, Rd: 15, Rs1: 14, Rs2: 13},
+		{Op: OpJmp, Imm: 0x2000},
+		{Op: OpBeqz, Rs1: 9, Imm: 0x1234},
+		{Op: OpCall, Imm: 0x1fff},
+		{Op: OpCallR, Rs1: 6},
+		{Op: OpRet},
+		{Op: OpPush, Rs1: 11},
+		{Op: OpPop, Rd: 12},
+		{Op: OpMcount},
+		{Op: OpSys, Imm: SysPutInt},
+	}
+	for _, in := range cases {
+		w := in.Encode()
+		out, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%v.Encode()): %v", in, err)
+		}
+		if out != in {
+			t.Errorf("round trip: got %+v, want %+v", out, in)
+		}
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(op uint8, rd, rs1, rs2 uint8, imm int32) bool {
+		in := Instr{
+			Op:  Op(int(op) % NumOps),
+			Rd:  Reg(rd % NumRegs),
+			Rs1: Reg(rs1 % NumRegs),
+			Rs2: Reg(rs2 % NumRegs),
+			Imm: imm,
+		}
+		out, err := Decode(in.Encode())
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeIllegal(t *testing.T) {
+	if _, err := Decode(Word(opMax)); err == nil {
+		t.Errorf("Decode(%d) succeeded, want illegal-opcode error", int(opMax))
+	}
+	if _, err := Decode(Word(0xff)); err == nil {
+		t.Error("Decode(0xff) succeeded, want illegal-opcode error")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op := Op(0); op < opMax; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "OP(") {
+			t.Errorf("opcode %d has no mnemonic", uint8(op))
+		}
+	}
+	if got := Op(200).String(); got != "OP(200)" {
+		t.Errorf("Op(200).String() = %q", got)
+	}
+}
+
+func TestRegString(t *testing.T) {
+	for _, tc := range []struct {
+		r    Reg
+		want string
+	}{
+		{RegRV, "R0"}, {RegT0, "R1"}, {RegFP, "FP"}, {RegSP, "SP"}, {RegGP, "GP"},
+	} {
+		if got := tc.r.String(); got != tc.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", uint8(tc.r), got, tc.want)
+		}
+	}
+}
+
+func TestCostsPositive(t *testing.T) {
+	for op := Op(0); op < opMax; op++ {
+		if op.Cost() <= 0 {
+			t.Errorf("%v.Cost() = %d, want > 0", op, op.Cost())
+		}
+	}
+}
+
+func TestMcountCostDominatesALU(t *testing.T) {
+	// The profiling hook must be meaningfully more expensive than an ALU
+	// op (it models a hashed table update) or the overhead experiment
+	// (paper §7: 5-30%) would be vacuous.
+	if OpMcount.Cost() < 4*OpAdd.Cost() {
+		t.Errorf("MCOUNT cost %d is implausibly cheap vs ADD cost %d",
+			OpMcount.Cost(), OpAdd.Cost())
+	}
+}
+
+func TestDisasmCoversAllOps(t *testing.T) {
+	for op := Op(0); op < opMax; op++ {
+		in := Instr{Op: op, Rd: 1, Rs1: 2, Rs2: 3, Imm: 5}
+		s := Disasm(in)
+		if s == "" || strings.Contains(s, "?") {
+			t.Errorf("Disasm has no rendering for %v: %q", op, s)
+		}
+		if !strings.HasPrefix(s, op.String()) {
+			t.Errorf("Disasm(%v) = %q, does not start with mnemonic", op, s)
+		}
+	}
+}
+
+func TestDisasmWordData(t *testing.T) {
+	if got := DisasmWord(Word(0xff)); got != ".word 255" {
+		t.Errorf("DisasmWord(0xff) = %q, want .word 255", got)
+	}
+}

@@ -1,0 +1,255 @@
+package lang
+
+// Program is a parsed source file.
+type Program struct {
+	Globals []*GlobalDecl
+	Externs []*ExternDecl
+	Funcs   []*FuncDecl
+}
+
+// ExternDecl declares a name defined in another compilation unit, for
+// separate compilation:
+//
+//	extern f;        // external function (arity unchecked)
+//	extern var g;    // external global scalar
+//	extern var a[];  // external global array
+//
+// Externs emit no storage; the linker resolves them by name.
+type ExternDecl struct {
+	Name    string
+	IsVar   bool
+	IsArray bool
+	Pos     Pos
+}
+
+// GlobalDecl declares a global scalar (Size 0) or array (Size > 0).
+// Scalars may carry a constant initializer.
+type GlobalDecl struct {
+	Name    string
+	Size    int64 // 0 for scalars, element count for arrays
+	Init    int64
+	HasInit bool
+	Pos     Pos
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   *Block
+	Pos    Pos
+
+	// NumLocals is the number of local slots the function needs,
+	// assigned by the checker and consumed by the code generator.
+	NumLocals int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// Block is a brace-delimited statement list with its own scope.
+type Block struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// VarStmt declares a local scalar (Size 0, optionally initialized) or a
+// local array of Size elements (zeroed, no initializer).
+type VarStmt struct {
+	Name string
+	Size int64 // 0 for scalars
+	Init Expr  // nil means zero; must be nil for arrays
+	Pos  Pos
+
+	// Slot is the local's first frame slot, assigned by the checker;
+	// arrays occupy Size consecutive slots.
+	Slot int64
+}
+
+// AssignStmt assigns to a local, global, or array element.
+type AssignStmt struct {
+	Target *VarRef // identifier or indexed global
+	Value  Expr
+	Pos    Pos
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil
+	Pos  Pos
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	Pos  Pos
+}
+
+// ForStmt is a C-style for loop. Init and Post may be nil (and Init may
+// declare a variable scoped to the loop); Cond nil means "forever".
+// `continue` inside the body transfers to Post, not to Cond.
+type ForStmt struct {
+	Init Stmt // *VarStmt, *AssignStmt, or *ExprStmt
+	Cond Expr
+	Post Stmt // *AssignStmt or *ExprStmt
+	Body *Block
+	Pos  Pos
+}
+
+// ReturnStmt returns a value (nil means 0).
+type ReturnStmt struct {
+	Value Expr
+	Pos   Pos
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt restarts the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// ExprStmt evaluates an expression for its effect (usually a call).
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+func (*Block) stmt()        {}
+func (*VarStmt) stmt()      {}
+func (*AssignStmt) stmt()   {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+func (*ExprStmt) stmt()     {}
+
+// Expr is an expression node.
+type Expr interface {
+	expr()
+	pos() Pos
+}
+
+// NumLit is an integer literal.
+type NumLit struct {
+	Value int64
+	Pos_  Pos
+}
+
+// StrLit is a string literal; it may appear only as the argument of the
+// puts builtin (the language has no string values).
+type StrLit struct {
+	Value string
+	Pos_  Pos
+}
+
+// VarRef names a variable, optionally indexed (arrays). The resolver
+// fills in Kind.
+type VarRef struct {
+	Name  string
+	Index Expr // nil for scalars
+	Pos_  Pos
+
+	// resolution results (set by the checker)
+	Ref RefKind
+	Off int64 // local slot / param index, by kind
+}
+
+// RefKind says what a resolved VarRef denotes.
+type RefKind int
+
+const (
+	RefUnresolved RefKind = iota
+	RefLocal              // local scalar; Off is the slot
+	RefLocalArray         // local array; Off is the first slot (must be indexed)
+	RefParam              // parameter; Off is the parameter index
+	RefGlobal             // global scalar
+	RefArray              // global array (must be indexed)
+	RefFunc               // function used as a value
+)
+
+// CallExpr calls a function (by name or through a variable holding a
+// function value) or a builtin.
+type CallExpr struct {
+	Callee string
+	Args   []Expr
+	Pos_   Pos
+
+	// resolution results
+	Target  CallTarget
+	Builtin Builtin // valid when Target == CallBuiltin
+	// VarRef used when Target == CallIndirect: the variable holding the
+	// function value.
+	Var *VarRef
+}
+
+// CallTarget says how a call dispatches.
+type CallTarget int
+
+const (
+	CallUnresolved CallTarget = iota
+	CallDirect                // CALL to a known function
+	CallIndirect              // CALLR through a variable
+	CallBuiltin               // inline system service
+)
+
+// Builtin identifies the built-in functions.
+type Builtin int
+
+const (
+	BuiltinNone Builtin = iota
+	BuiltinPrint
+	BuiltinPuts
+	BuiltinPutc
+	BuiltinCycles
+	BuiltinRand
+	BuiltinMonStart
+	BuiltinMonStop
+	BuiltinMonReset
+)
+
+var builtins = map[string]struct {
+	b     Builtin
+	arity int
+}{
+	"print":    {BuiltinPrint, 1},
+	"puts":     {BuiltinPuts, 1},
+	"putc":     {BuiltinPutc, 1},
+	"cycles":   {BuiltinCycles, 0},
+	"rand":     {BuiltinRand, 0},
+	"monstart": {BuiltinMonStart, 0},
+	"monstop":  {BuiltinMonStop, 0},
+	"monreset": {BuiltinMonReset, 0},
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	Op   Kind // Minus or Not
+	X    Expr
+	Pos_ Pos
+}
+
+// BinaryExpr is a binary operation, including short-circuit && and ||.
+type BinaryExpr struct {
+	Op   Kind
+	L, R Expr
+	Pos_ Pos
+}
+
+func (*NumLit) expr()     {}
+func (*StrLit) expr()     {}
+func (*VarRef) expr()     {}
+func (*CallExpr) expr()   {}
+func (*UnaryExpr) expr()  {}
+func (*BinaryExpr) expr() {}
+
+func (e *NumLit) pos() Pos     { return e.Pos_ }
+func (e *StrLit) pos() Pos     { return e.Pos_ }
+func (e *VarRef) pos() Pos     { return e.Pos_ }
+func (e *CallExpr) pos() Pos   { return e.Pos_ }
+func (e *UnaryExpr) pos() Pos  { return e.Pos_ }
+func (e *BinaryExpr) pos() Pos { return e.Pos_ }

@@ -1,0 +1,406 @@
+package lang
+
+import (
+	"fmt"
+	"math"
+)
+
+// checker resolves names, verifies arities and lvalues, assigns local
+// slots, and rejects programs the code generator cannot translate.
+type checker struct {
+	file    string
+	globals map[string]*GlobalDecl
+	externs map[string]*ExternDecl
+	funcs   map[string]*FuncDecl
+
+	// per-function state
+	fn        *FuncDecl
+	scopes    []map[string]localInfo // innermost last
+	params    map[string]int
+	nextSlot  int
+	loopDepth int
+}
+
+// Check resolves and validates a parsed program in place.
+func Check(file string, prog *Program) error {
+	c := &checker{
+		file:    file,
+		globals: make(map[string]*GlobalDecl),
+		externs: make(map[string]*ExternDecl),
+		funcs:   make(map[string]*FuncDecl),
+	}
+	for _, g := range prog.Globals {
+		if err := c.declareTop(g.Name, g.Pos); err != nil {
+			return err
+		}
+		c.globals[g.Name] = g
+	}
+	for _, e := range prog.Externs {
+		if err := c.declareTop(e.Name, e.Pos); err != nil {
+			return err
+		}
+		c.externs[e.Name] = e
+	}
+	for _, f := range prog.Funcs {
+		if err := c.declareTop(f.Name, f.Pos); err != nil {
+			return err
+		}
+		c.funcs[f.Name] = f
+	}
+	for _, f := range prog.Funcs {
+		if err := c.checkFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) errf(pos Pos, format string, args ...any) error {
+	return &Error{File: c.file, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (c *checker) declareTop(name string, pos Pos) error {
+	if _, ok := builtins[name]; ok {
+		return c.errf(pos, "%s is a builtin and cannot be redeclared", name)
+	}
+	if _, ok := c.globals[name]; ok {
+		return c.errf(pos, "duplicate top-level name %s", name)
+	}
+	if _, ok := c.externs[name]; ok {
+		return c.errf(pos, "duplicate top-level name %s", name)
+	}
+	if _, ok := c.funcs[name]; ok {
+		return c.errf(pos, "duplicate top-level name %s", name)
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(f *FuncDecl) error {
+	c.fn = f
+	c.params = make(map[string]int, len(f.Params))
+	for i, p := range f.Params {
+		if _, dup := c.params[p]; dup {
+			return c.errf(f.Pos, "duplicate parameter %s in %s", p, f.Name)
+		}
+		c.params[p] = i
+	}
+	c.scopes = nil
+	c.nextSlot = 0
+	c.loopDepth = 0
+	if err := c.checkBlock(f.Body); err != nil {
+		return err
+	}
+	f.NumLocals = c.nextSlot
+	return nil
+}
+
+// localInfo describes a declared local: its first frame slot and, for
+// arrays, its element count (0 for scalars).
+type localInfo struct {
+	slot int
+	size int64
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, make(map[string]localInfo)) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declareLocal(name string, size int64, pos Pos) (int, error) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		return 0, c.errf(pos, "duplicate variable %s in this scope", name)
+	}
+	slot := c.nextSlot
+	c.nextSlot++
+	if size > 1 {
+		c.nextSlot += int(size) - 1 // arrays occupy consecutive slots
+	}
+	top[name] = localInfo{slot: slot, size: size}
+	return slot, nil
+}
+
+func (c *checker) lookupLocal(name string) (localInfo, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if info, ok := c.scopes[i][name]; ok {
+			return info, true
+		}
+	}
+	return localInfo{}, false
+}
+
+func (c *checker) checkBlock(b *Block) error {
+	c.pushScope()
+	defer c.popScope()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch s := s.(type) {
+	case *Block:
+		return c.checkBlock(s)
+	case *VarStmt:
+		if s.Init != nil {
+			if s.Size > 0 {
+				return c.errf(s.Pos, "array %s cannot have an initializer", s.Name)
+			}
+			if err := c.checkExpr(s.Init); err != nil {
+				return err
+			}
+		}
+		// Declared after the initializer resolves, so `var x = x;`
+		// refers to an outer x (or fails).
+		slot, err := c.declareLocal(s.Name, s.Size, s.Pos)
+		if err != nil {
+			return err
+		}
+		s.Slot = int64(slot)
+		return nil
+	case *AssignStmt:
+		if err := c.checkExpr(s.Value); err != nil {
+			return err
+		}
+		if err := c.checkExpr(s.Target); err != nil {
+			return err
+		}
+		switch s.Target.Ref {
+		case RefLocal, RefLocalArray, RefParam, RefGlobal, RefArray:
+			return nil
+		case RefFunc:
+			return c.errf(s.Pos, "cannot assign to function %s", s.Target.Name)
+		}
+		return c.errf(s.Pos, "cannot assign to %s", s.Target.Name)
+	case *IfStmt:
+		if err := c.checkExpr(s.Cond); err != nil {
+			return err
+		}
+		if err := c.checkBlock(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.checkBlock(s.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.checkExpr(s.Cond); err != nil {
+			return err
+		}
+		c.loopDepth++
+		err := c.checkBlock(s.Body)
+		c.loopDepth--
+		return err
+	case *ForStmt:
+		// The init clause's declaration is scoped to the whole loop.
+		c.pushScope()
+		defer c.popScope()
+		if s.Init != nil {
+			if err := c.checkStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if err := c.checkExpr(s.Cond); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := c.checkStmt(s.Post); err != nil {
+				return err
+			}
+		}
+		c.loopDepth++
+		err := c.checkBlock(s.Body)
+		c.loopDepth--
+		return err
+	case *ReturnStmt:
+		if s.Value != nil {
+			return c.checkExpr(s.Value)
+		}
+		return nil
+	case *BreakStmt:
+		if c.loopDepth == 0 {
+			return c.errf(s.Pos, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loopDepth == 0 {
+			return c.errf(s.Pos, "continue outside loop")
+		}
+		return nil
+	case *ExprStmt:
+		return c.checkExpr(s.X)
+	}
+	return fmt.Errorf("lang: unknown statement %T", s)
+}
+
+func (c *checker) checkExpr(e Expr) error {
+	switch e := e.(type) {
+	case *NumLit:
+		if e.Value > math.MaxInt32 || e.Value < math.MinInt32 {
+			return c.errf(e.Pos_, "literal %d does not fit in 32 bits", e.Value)
+		}
+		return nil
+	case *StrLit:
+		return c.errf(e.Pos_, "string literals may only appear as the argument of puts")
+	case *VarRef:
+		return c.resolveRef(e)
+	case *UnaryExpr:
+		return c.checkExpr(e.X)
+	case *BinaryExpr:
+		if err := c.checkExpr(e.L); err != nil {
+			return err
+		}
+		return c.checkExpr(e.R)
+	case *CallExpr:
+		return c.checkCall(e)
+	}
+	return fmt.Errorf("lang: unknown expression %T", e)
+}
+
+// resolveRef binds a VarRef: innermost local, then parameter, then
+// global, then function-as-value.
+func (c *checker) resolveRef(r *VarRef) error {
+	if r.Index != nil {
+		if err := c.checkExpr(r.Index); err != nil {
+			return err
+		}
+	}
+	if info, ok := c.lookupLocal(r.Name); ok {
+		if info.size > 0 {
+			if r.Index == nil {
+				return c.errf(r.Pos_, "array %s must be indexed", r.Name)
+			}
+			r.Ref, r.Off = RefLocalArray, int64(info.slot)
+			return nil
+		}
+		if r.Index != nil {
+			return c.errf(r.Pos_, "%s is a scalar and cannot be indexed", r.Name)
+		}
+		r.Ref, r.Off = RefLocal, int64(info.slot)
+		return nil
+	}
+	if i, ok := c.params[r.Name]; ok {
+		if r.Index != nil {
+			return c.errf(r.Pos_, "parameter %s cannot be indexed", r.Name)
+		}
+		r.Ref, r.Off = RefParam, int64(i)
+		return nil
+	}
+	if g, ok := c.globals[r.Name]; ok {
+		if g.Size > 0 {
+			if r.Index == nil {
+				return c.errf(r.Pos_, "array %s must be indexed", r.Name)
+			}
+			r.Ref = RefArray
+			return nil
+		}
+		if r.Index != nil {
+			return c.errf(r.Pos_, "%s is a scalar and cannot be indexed", r.Name)
+		}
+		r.Ref = RefGlobal
+		return nil
+	}
+	if _, ok := c.funcs[r.Name]; ok {
+		if r.Index != nil {
+			return c.errf(r.Pos_, "function %s cannot be indexed", r.Name)
+		}
+		r.Ref = RefFunc
+		return nil
+	}
+	if e, ok := c.externs[r.Name]; ok {
+		switch {
+		case e.IsArray:
+			if r.Index == nil {
+				return c.errf(r.Pos_, "array %s must be indexed", r.Name)
+			}
+			r.Ref = RefArray
+		case e.IsVar:
+			if r.Index != nil {
+				return c.errf(r.Pos_, "%s is a scalar and cannot be indexed", r.Name)
+			}
+			r.Ref = RefGlobal
+		default:
+			if r.Index != nil {
+				return c.errf(r.Pos_, "function %s cannot be indexed", r.Name)
+			}
+			r.Ref = RefFunc
+		}
+		return nil
+	}
+	return c.errf(r.Pos_, "undefined name %s", r.Name)
+}
+
+func (c *checker) checkCall(call *CallExpr) error {
+	// puts takes exactly one string literal, handled before general
+	// argument checking (string literals are illegal elsewhere).
+	if call.Callee == "puts" {
+		if len(call.Args) != 1 {
+			return c.errf(call.Pos_, "puts takes 1 argument, got %d", len(call.Args))
+		}
+		if _, ok := call.Args[0].(*StrLit); !ok {
+			return c.errf(call.Pos_, "puts takes a string literal")
+		}
+		call.Target, call.Builtin = CallBuiltin, BuiltinPuts
+		return nil
+	}
+	for _, a := range call.Args {
+		if err := c.checkExpr(a); err != nil {
+			return err
+		}
+	}
+	if b, ok := builtins[call.Callee]; ok {
+		if len(call.Args) != b.arity {
+			return c.errf(call.Pos_, "%s takes %d argument(s), got %d",
+				call.Callee, b.arity, len(call.Args))
+		}
+		call.Target, call.Builtin = CallBuiltin, b.b
+		return nil
+	}
+	// A local or parameter shadowing a function name dispatches
+	// indirectly through the variable.
+	if info, ok := c.lookupLocal(call.Callee); ok {
+		if info.size > 0 {
+			return c.errf(call.Pos_, "array %s is not callable", call.Callee)
+		}
+		return c.indirect(call)
+	}
+	if _, ok := c.params[call.Callee]; ok {
+		return c.indirect(call)
+	}
+	if f, ok := c.funcs[call.Callee]; ok {
+		if len(call.Args) != len(f.Params) {
+			return c.errf(call.Pos_, "%s takes %d argument(s), got %d",
+				call.Callee, len(f.Params), len(call.Args))
+		}
+		call.Target = CallDirect
+		return nil
+	}
+	if g, ok := c.globals[call.Callee]; ok {
+		if g.Size > 0 {
+			return c.errf(call.Pos_, "array %s is not callable", call.Callee)
+		}
+		return c.indirect(call)
+	}
+	if e, ok := c.externs[call.Callee]; ok {
+		if e.IsArray {
+			return c.errf(call.Pos_, "array %s is not callable", call.Callee)
+		}
+		if e.IsVar {
+			return c.indirect(call)
+		}
+		// External function: arity is checked at link time by nothing —
+		// the classic separate-compilation tradeoff.
+		call.Target = CallDirect
+		return nil
+	}
+	return c.errf(call.Pos_, "undefined function %s", call.Callee)
+}
+
+func (c *checker) indirect(call *CallExpr) error {
+	call.Target = CallIndirect
+	call.Var = &VarRef{Name: call.Callee, Pos_: call.Pos_}
+	return c.resolveRef(call.Var)
+}

@@ -1,0 +1,630 @@
+package lang
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/object"
+)
+
+// Options controls compilation.
+type Options struct {
+	// Profile plants an MCOUNT call in the prologue of every routine,
+	// the paper's "augmented routine prologues". Unprofiled routines run
+	// at full speed.
+	Profile bool
+	// Inline expands trivial single-return functions at their call
+	// sites, the §6 optimization whose side effect is a more granular
+	// (less informative) profile. See Inline.
+	Inline bool
+}
+
+// Compile translates source into a relocatable object file.
+func Compile(file, src string, opt Options) (*object.Object, error) {
+	prog, err := Parse(file, src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(file, prog); err != nil {
+		return nil, err
+	}
+	if opt.Inline {
+		Inline(prog)
+	}
+	return Generate(file, prog, opt)
+}
+
+// Generate translates a checked program. Most callers want Compile.
+func Generate(file string, prog *Program, opt Options) (*object.Object, error) {
+	g := &codegen{
+		file: file,
+		opt:  opt,
+		obj:  &object.Object{Name: file},
+	}
+	for _, gd := range prog.Globals {
+		size := gd.Size
+		if size == 0 {
+			size = 1
+		}
+		def := object.GlobalDef{Name: gd.Name, Size: size}
+		if gd.HasInit {
+			def.Init = []isa.Word{gd.Init}
+		}
+		g.obj.Globals = append(g.obj.Globals, def)
+	}
+	for _, f := range prog.Funcs {
+		if err := g.genFunc(f); err != nil {
+			return nil, err
+		}
+	}
+	return g.obj, nil
+}
+
+type codegen struct {
+	file string
+	opt  Options
+	obj  *object.Object
+
+	fn *FuncDecl
+
+	// loop label stack for break/continue: indices of pending jumps and
+	// the loop-head offset.
+	loops []loopCtx
+
+	// fixups are branch instructions awaiting a target within the
+	// current object (resolved immediately via bind/patch).
+	epilogueJumps []int64
+
+	// line-number debug info for the current routine
+	curLine int32
+	marks   []object.LineMark
+}
+
+// mark records that instructions emitted from here on come from the
+// given source line.
+func (g *codegen) mark(pos Pos) {
+	line := int32(pos.Line)
+	if line <= 0 || line == g.curLine {
+		return
+	}
+	g.curLine = line
+	g.marks = append(g.marks, object.LineMark{Offset: g.here(), Line: line})
+}
+
+type loopCtx struct {
+	breaks []int64 // offsets of JMPs to patch to the loop end
+	// continues are patched to the continue target: the condition check
+	// for while loops, the post statement for for loops.
+	continues []int64
+}
+
+// here returns the current text offset.
+func (g *codegen) here() int64 { return int64(len(g.obj.Text)) }
+
+// emit appends one instruction.
+func (g *codegen) emit(i isa.Instr) int64 {
+	at := g.here()
+	g.obj.Text = append(g.obj.Text, i.Encode())
+	return at
+}
+
+// emitJump appends a branch with a placeholder target, returning its
+// offset for later patching.
+func (g *codegen) emitJump(op isa.Op, reg isa.Reg) int64 {
+	return g.emit(isa.Instr{Op: op, Rs1: reg})
+}
+
+// patch points the branch at `at` to target `to` (both object-local) and
+// records the RelocText fixup the linker needs.
+func (g *codegen) patch(at, to int64) {
+	instr, err := isa.Decode(g.obj.Text[at])
+	if err != nil {
+		panic(fmt.Sprintf("lang: patching non-instruction at %d: %v", at, err))
+	}
+	instr.Imm = int32(to)
+	g.obj.Text[at] = instr.Encode()
+	g.obj.Relocs = append(g.obj.Relocs, object.Reloc{Offset: at, Kind: object.RelocText})
+}
+
+// reloc records a symbol fixup for the most recently emitted instruction.
+func (g *codegen) reloc(name string, kind object.RelocKind) {
+	g.obj.Relocs = append(g.obj.Relocs, object.Reloc{
+		Offset: g.here() - 1, Name: name, Kind: kind,
+	})
+}
+
+func (g *codegen) genFunc(f *FuncDecl) error {
+	g.fn = f
+	g.loops = nil
+	g.epilogueJumps = nil
+	g.curLine = 0
+	g.marks = nil
+	start := g.here()
+	g.mark(f.Pos)
+
+	// Prologue. MCOUNT must be the first instruction: the word on top
+	// of the stack is still the return address the CALL pushed, which
+	// identifies the call site (§3.1).
+	if g.opt.Profile {
+		g.emit(isa.Instr{Op: isa.OpMcount})
+	}
+	g.emit(isa.Instr{Op: isa.OpPush, Rs1: isa.RegFP})
+	g.emit(isa.Instr{Op: isa.OpMov, Rd: isa.RegFP, Rs1: isa.RegSP})
+	if f.NumLocals > 0 {
+		g.emit(isa.Instr{Op: isa.OpLea, Rd: isa.RegSP, Rs1: isa.RegSP, Imm: int32(-f.NumLocals)})
+	}
+
+	if err := g.genBlock(f.Body); err != nil {
+		return err
+	}
+
+	// Implicit `return 0` falling off the end.
+	g.emit(isa.Instr{Op: isa.OpMovI, Rd: isa.RegRV, Imm: 0})
+	epilogue := g.here()
+	for _, at := range g.epilogueJumps {
+		g.patch(at, epilogue)
+	}
+	g.emit(isa.Instr{Op: isa.OpMov, Rd: isa.RegSP, Rs1: isa.RegFP})
+	g.emit(isa.Instr{Op: isa.OpPop, Rd: isa.RegFP})
+	g.emit(isa.Instr{Op: isa.OpRet})
+
+	g.obj.Funcs = append(g.obj.Funcs, object.FuncDef{
+		Name: f.Name, Offset: start, Size: g.here() - start,
+		File: g.file, Lines: g.marks,
+	})
+	return nil
+}
+
+// localAddr returns the FP-relative offset of local slot i.
+func localAddr(slot int64) int32 { return int32(-1 - slot) }
+
+// paramAddr returns the FP-relative offset of parameter i of an n-arg
+// function: args are pushed left to right, so the first argument is
+// deepest.
+func paramAddr(i, n int) int32 { return int32(2 + (n - 1 - i)) }
+
+func (g *codegen) genBlock(b *Block) error {
+	for _, s := range b.Stmts {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *codegen) genStmt(s Stmt) error {
+	g.mark(stmtPos(s))
+	switch s := s.(type) {
+	case *Block:
+		return g.genBlock(s)
+	case *VarStmt:
+		if s.Size > 0 {
+			// Zero the array's slots: frames are reused, so the stack
+			// holds stale words. Lowest address first, walking up.
+			g.emit(isa.Instr{Op: isa.OpMovI, Rd: isa.RegRV, Imm: 0})
+			g.emit(isa.Instr{Op: isa.OpLea, Rd: 1, Rs1: isa.RegFP,
+				Imm: localAddr(s.Slot) - int32(s.Size-1)})
+			g.emit(isa.Instr{Op: isa.OpMovI, Rd: 2, Imm: int32(s.Size)})
+			head := g.here()
+			exit := g.emitJump(isa.OpBeqz, 2)
+			g.emit(isa.Instr{Op: isa.OpSt, Rs1: 1, Rs2: isa.RegRV})
+			g.emit(isa.Instr{Op: isa.OpLea, Rd: 1, Rs1: 1, Imm: 1})
+			g.emit(isa.Instr{Op: isa.OpLea, Rd: 2, Rs1: 2, Imm: -1})
+			back := g.emitJump(isa.OpJmp, 0)
+			g.patch(back, head)
+			g.patch(exit, g.here())
+			return nil
+		}
+		if s.Init != nil {
+			if err := g.genExpr(s.Init); err != nil {
+				return err
+			}
+		} else {
+			g.emit(isa.Instr{Op: isa.OpMovI, Rd: isa.RegRV, Imm: 0})
+		}
+		g.emit(isa.Instr{Op: isa.OpSt, Rs1: isa.RegFP, Imm: localAddr(s.Slot), Rs2: isa.RegRV})
+		return nil
+	case *AssignStmt:
+		return g.genAssign(s)
+	case *IfStmt:
+		if err := g.genExpr(s.Cond); err != nil {
+			return err
+		}
+		toElse := g.emitJump(isa.OpBeqz, isa.RegRV)
+		if err := g.genBlock(s.Then); err != nil {
+			return err
+		}
+		if s.Else == nil {
+			g.patch(toElse, g.here())
+			return nil
+		}
+		toEnd := g.emitJump(isa.OpJmp, 0)
+		g.patch(toElse, g.here())
+		if err := g.genBlock(s.Else); err != nil {
+			return err
+		}
+		g.patch(toEnd, g.here())
+		return nil
+	case *WhileStmt:
+		head := g.here()
+		g.loops = append(g.loops, loopCtx{})
+		if err := g.genExpr(s.Cond); err != nil {
+			return err
+		}
+		exit := g.emitJump(isa.OpBeqz, isa.RegRV)
+		if err := g.genBlock(s.Body); err != nil {
+			return err
+		}
+		back := g.emitJump(isa.OpJmp, 0)
+		g.patch(back, head)
+		end := g.here()
+		g.patch(exit, end)
+		ctx := g.loops[len(g.loops)-1]
+		for _, at := range ctx.breaks {
+			g.patch(at, end)
+		}
+		for _, at := range ctx.continues {
+			g.patch(at, head)
+		}
+		g.loops = g.loops[:len(g.loops)-1]
+		return nil
+	case *ForStmt:
+		if s.Init != nil {
+			if err := g.genStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		head := g.here()
+		g.loops = append(g.loops, loopCtx{})
+		var exit int64 = -1
+		if s.Cond != nil {
+			if err := g.genExpr(s.Cond); err != nil {
+				return err
+			}
+			exit = g.emitJump(isa.OpBeqz, isa.RegRV)
+		}
+		if err := g.genBlock(s.Body); err != nil {
+			return err
+		}
+		post := g.here()
+		if s.Post != nil {
+			if err := g.genStmt(s.Post); err != nil {
+				return err
+			}
+		}
+		back := g.emitJump(isa.OpJmp, 0)
+		g.patch(back, head)
+		end := g.here()
+		if exit >= 0 {
+			g.patch(exit, end)
+		}
+		ctx := g.loops[len(g.loops)-1]
+		for _, at := range ctx.breaks {
+			g.patch(at, end)
+		}
+		for _, at := range ctx.continues {
+			g.patch(at, post)
+		}
+		g.loops = g.loops[:len(g.loops)-1]
+		return nil
+	case *ReturnStmt:
+		if s.Value != nil {
+			if err := g.genExpr(s.Value); err != nil {
+				return err
+			}
+		} else {
+			g.emit(isa.Instr{Op: isa.OpMovI, Rd: isa.RegRV, Imm: 0})
+		}
+		g.epilogueJumps = append(g.epilogueJumps, g.emitJump(isa.OpJmp, 0))
+		return nil
+	case *BreakStmt:
+		ctx := &g.loops[len(g.loops)-1]
+		ctx.breaks = append(ctx.breaks, g.emitJump(isa.OpJmp, 0))
+		return nil
+	case *ContinueStmt:
+		ctx := &g.loops[len(g.loops)-1]
+		ctx.continues = append(ctx.continues, g.emitJump(isa.OpJmp, 0))
+		return nil
+	case *ExprStmt:
+		return g.genExpr(s.X)
+	}
+	return fmt.Errorf("lang: cannot generate %T", s)
+}
+
+// stmtPos returns a statement's source position.
+func stmtPos(s Stmt) Pos {
+	switch s := s.(type) {
+	case *Block:
+		return s.Pos
+	case *VarStmt:
+		return s.Pos
+	case *AssignStmt:
+		return s.Pos
+	case *IfStmt:
+		return s.Pos
+	case *WhileStmt:
+		return s.Pos
+	case *ForStmt:
+		return s.Pos
+	case *ReturnStmt:
+		return s.Pos
+	case *BreakStmt:
+		return s.Pos
+	case *ContinueStmt:
+		return s.Pos
+	case *ExprStmt:
+		return s.Pos
+	}
+	return Pos{}
+}
+
+func (g *codegen) genAssign(s *AssignStmt) error {
+	t := s.Target
+	switch t.Ref {
+	case RefLocal, RefParam, RefGlobal:
+		if err := g.genExpr(s.Value); err != nil {
+			return err
+		}
+		switch t.Ref {
+		case RefLocal:
+			g.emit(isa.Instr{Op: isa.OpSt, Rs1: isa.RegFP, Imm: localAddr(t.Off), Rs2: isa.RegRV})
+		case RefParam:
+			g.emit(isa.Instr{Op: isa.OpSt, Rs1: isa.RegFP,
+				Imm: paramAddr(int(t.Off), len(g.fn.Params)), Rs2: isa.RegRV})
+		case RefGlobal:
+			g.emit(isa.Instr{Op: isa.OpSt, Rs1: isa.RegGP, Rs2: isa.RegRV})
+			g.reloc(t.Name, object.RelocGlobal)
+		}
+		return nil
+	case RefArray:
+		if err := g.genExpr(s.Value); err != nil {
+			return err
+		}
+		g.emit(isa.Instr{Op: isa.OpPush, Rs1: isa.RegRV})
+		if err := g.genExpr(t.Index); err != nil {
+			return err
+		}
+		g.emit(isa.Instr{Op: isa.OpLea, Rd: 1, Rs1: isa.RegGP})
+		g.reloc(t.Name, object.RelocGlobal)
+		g.emit(isa.Instr{Op: isa.OpAdd, Rd: 1, Rs1: 1, Rs2: isa.RegRV})
+		g.emit(isa.Instr{Op: isa.OpPop, Rd: 2})
+		g.emit(isa.Instr{Op: isa.OpSt, Rs1: 1, Rs2: 2})
+		return nil
+	case RefLocalArray:
+		if err := g.genExpr(s.Value); err != nil {
+			return err
+		}
+		g.emit(isa.Instr{Op: isa.OpPush, Rs1: isa.RegRV})
+		if err := g.genExpr(t.Index); err != nil {
+			return err
+		}
+		// Element j of an array based at slot b lives at FP-1-b-j
+		// (slots grow downward).
+		g.emit(isa.Instr{Op: isa.OpLea, Rd: 1, Rs1: isa.RegFP, Imm: localAddr(t.Off)})
+		g.emit(isa.Instr{Op: isa.OpSub, Rd: 1, Rs1: 1, Rs2: isa.RegRV})
+		g.emit(isa.Instr{Op: isa.OpPop, Rd: 2})
+		g.emit(isa.Instr{Op: isa.OpSt, Rs1: 1, Rs2: 2})
+		return nil
+	}
+	return fmt.Errorf("lang: bad assignment target %v", t.Ref)
+}
+
+// genExpr evaluates e into R0 (RegRV).
+func (g *codegen) genExpr(e Expr) error {
+	switch e := e.(type) {
+	case *NumLit:
+		g.emit(isa.Instr{Op: isa.OpMovI, Rd: isa.RegRV, Imm: int32(e.Value)})
+		return nil
+	case *VarRef:
+		return g.genLoad(e)
+	case *UnaryExpr:
+		if err := g.genExpr(e.X); err != nil {
+			return err
+		}
+		switch e.Op {
+		case Minus:
+			g.emit(isa.Instr{Op: isa.OpNeg, Rd: isa.RegRV, Rs1: isa.RegRV})
+		case Not:
+			g.emit(isa.Instr{Op: isa.OpMovI, Rd: 1, Imm: 0})
+			g.emit(isa.Instr{Op: isa.OpSeq, Rd: isa.RegRV, Rs1: isa.RegRV, Rs2: 1})
+		default:
+			return fmt.Errorf("lang: bad unary op %v", e.Op)
+		}
+		return nil
+	case *BinaryExpr:
+		return g.genBinary(e)
+	case *CallExpr:
+		return g.genCall(e)
+	}
+	return fmt.Errorf("lang: cannot generate %T", e)
+}
+
+func (g *codegen) genLoad(r *VarRef) error {
+	switch r.Ref {
+	case RefLocal:
+		g.emit(isa.Instr{Op: isa.OpLd, Rd: isa.RegRV, Rs1: isa.RegFP, Imm: localAddr(r.Off)})
+	case RefParam:
+		g.emit(isa.Instr{Op: isa.OpLd, Rd: isa.RegRV, Rs1: isa.RegFP,
+			Imm: paramAddr(int(r.Off), len(g.fn.Params))})
+	case RefGlobal:
+		g.emit(isa.Instr{Op: isa.OpLd, Rd: isa.RegRV, Rs1: isa.RegGP})
+		g.reloc(r.Name, object.RelocGlobal)
+	case RefArray:
+		if err := g.genExpr(r.Index); err != nil {
+			return err
+		}
+		g.emit(isa.Instr{Op: isa.OpLea, Rd: 1, Rs1: isa.RegGP})
+		g.reloc(r.Name, object.RelocGlobal)
+		g.emit(isa.Instr{Op: isa.OpAdd, Rd: 1, Rs1: 1, Rs2: isa.RegRV})
+		g.emit(isa.Instr{Op: isa.OpLd, Rd: isa.RegRV, Rs1: 1})
+	case RefLocalArray:
+		if err := g.genExpr(r.Index); err != nil {
+			return err
+		}
+		g.emit(isa.Instr{Op: isa.OpLea, Rd: 1, Rs1: isa.RegFP, Imm: localAddr(r.Off)})
+		g.emit(isa.Instr{Op: isa.OpSub, Rd: 1, Rs1: 1, Rs2: isa.RegRV})
+		g.emit(isa.Instr{Op: isa.OpLd, Rd: isa.RegRV, Rs1: 1})
+	case RefFunc:
+		g.emit(isa.Instr{Op: isa.OpMovI, Rd: isa.RegRV})
+		g.reloc(r.Name, object.RelocFuncAddr)
+	default:
+		return fmt.Errorf("lang: unresolved reference %s", r.Name)
+	}
+	return nil
+}
+
+func (g *codegen) genBinary(e *BinaryExpr) error {
+	switch e.Op {
+	case AndAnd, OrOr:
+		return g.genShortCircuit(e)
+	}
+	if err := g.genExpr(e.L); err != nil {
+		return err
+	}
+	g.emit(isa.Instr{Op: isa.OpPush, Rs1: isa.RegRV})
+	if err := g.genExpr(e.R); err != nil {
+		return err
+	}
+	g.emit(isa.Instr{Op: isa.OpPop, Rd: 1})
+	// Left operand in R1, right in R0.
+	L, R := isa.Reg(1), isa.RegRV
+	switch e.Op {
+	case Plus:
+		g.emit(isa.Instr{Op: isa.OpAdd, Rd: isa.RegRV, Rs1: L, Rs2: R})
+	case Minus:
+		g.emit(isa.Instr{Op: isa.OpSub, Rd: isa.RegRV, Rs1: L, Rs2: R})
+	case Star:
+		g.emit(isa.Instr{Op: isa.OpMul, Rd: isa.RegRV, Rs1: L, Rs2: R})
+	case Slash:
+		g.emit(isa.Instr{Op: isa.OpDiv, Rd: isa.RegRV, Rs1: L, Rs2: R})
+	case PercentOp:
+		g.emit(isa.Instr{Op: isa.OpMod, Rd: isa.RegRV, Rs1: L, Rs2: R})
+	case Amp:
+		g.emit(isa.Instr{Op: isa.OpAnd, Rd: isa.RegRV, Rs1: L, Rs2: R})
+	case Pipe:
+		g.emit(isa.Instr{Op: isa.OpOr, Rd: isa.RegRV, Rs1: L, Rs2: R})
+	case Caret:
+		g.emit(isa.Instr{Op: isa.OpXor, Rd: isa.RegRV, Rs1: L, Rs2: R})
+	case Shl:
+		g.emit(isa.Instr{Op: isa.OpShl, Rd: isa.RegRV, Rs1: L, Rs2: R})
+	case Shr:
+		g.emit(isa.Instr{Op: isa.OpShr, Rd: isa.RegRV, Rs1: L, Rs2: R})
+	case Lt:
+		g.emit(isa.Instr{Op: isa.OpSlt, Rd: isa.RegRV, Rs1: L, Rs2: R})
+	case Le:
+		g.emit(isa.Instr{Op: isa.OpSle, Rd: isa.RegRV, Rs1: L, Rs2: R})
+	case Gt:
+		g.emit(isa.Instr{Op: isa.OpSlt, Rd: isa.RegRV, Rs1: R, Rs2: L})
+	case Ge:
+		g.emit(isa.Instr{Op: isa.OpSle, Rd: isa.RegRV, Rs1: R, Rs2: L})
+	case EqEq:
+		g.emit(isa.Instr{Op: isa.OpSeq, Rd: isa.RegRV, Rs1: L, Rs2: R})
+	case NotEq:
+		g.emit(isa.Instr{Op: isa.OpSne, Rd: isa.RegRV, Rs1: L, Rs2: R})
+	default:
+		return fmt.Errorf("lang: bad binary op %v", e.Op)
+	}
+	return nil
+}
+
+func (g *codegen) genShortCircuit(e *BinaryExpr) error {
+	if err := g.genExpr(e.L); err != nil {
+		return err
+	}
+	var short int64
+	if e.Op == AndAnd {
+		short = g.emitJump(isa.OpBeqz, isa.RegRV)
+	} else {
+		short = g.emitJump(isa.OpBnez, isa.RegRV)
+	}
+	if err := g.genExpr(e.R); err != nil {
+		return err
+	}
+	var short2 int64
+	if e.Op == AndAnd {
+		short2 = g.emitJump(isa.OpBeqz, isa.RegRV)
+		g.emit(isa.Instr{Op: isa.OpMovI, Rd: isa.RegRV, Imm: 1})
+	} else {
+		short2 = g.emitJump(isa.OpBnez, isa.RegRV)
+		g.emit(isa.Instr{Op: isa.OpMovI, Rd: isa.RegRV, Imm: 0})
+	}
+	end := g.emitJump(isa.OpJmp, 0)
+	target := g.here()
+	g.patch(short, target)
+	g.patch(short2, target)
+	if e.Op == AndAnd {
+		g.emit(isa.Instr{Op: isa.OpMovI, Rd: isa.RegRV, Imm: 0})
+	} else {
+		g.emit(isa.Instr{Op: isa.OpMovI, Rd: isa.RegRV, Imm: 1})
+	}
+	g.patch(end, g.here())
+	return nil
+}
+
+func (g *codegen) genCall(call *CallExpr) error {
+	if call.Target == CallBuiltin {
+		return g.genBuiltin(call)
+	}
+	for _, a := range call.Args {
+		if err := g.genExpr(a); err != nil {
+			return err
+		}
+		g.emit(isa.Instr{Op: isa.OpPush, Rs1: isa.RegRV})
+	}
+	switch call.Target {
+	case CallDirect:
+		g.emit(isa.Instr{Op: isa.OpCall})
+		g.reloc(call.Callee, object.RelocCall)
+	case CallIndirect:
+		if err := g.genLoad(call.Var); err != nil {
+			return err
+		}
+		g.emit(isa.Instr{Op: isa.OpMov, Rd: 3, Rs1: isa.RegRV})
+		g.emit(isa.Instr{Op: isa.OpCallR, Rs1: 3})
+	default:
+		return fmt.Errorf("lang: unresolved call to %s", call.Callee)
+	}
+	if n := len(call.Args); n > 0 {
+		g.emit(isa.Instr{Op: isa.OpLea, Rd: isa.RegSP, Rs1: isa.RegSP, Imm: int32(n)})
+	}
+	return nil
+}
+
+func (g *codegen) genBuiltin(call *CallExpr) error {
+	if call.Builtin == BuiltinPuts {
+		str := call.Args[0].(*StrLit)
+		for i := 0; i < len(str.Value); i++ {
+			g.emit(isa.Instr{Op: isa.OpMovI, Rd: isa.RegRV, Imm: int32(str.Value[i])})
+			g.emit(isa.Instr{Op: isa.OpSys, Imm: isa.SysPutChar})
+		}
+		g.emit(isa.Instr{Op: isa.OpMovI, Rd: isa.RegRV, Imm: int32(len(str.Value))})
+		return nil
+	}
+	for _, a := range call.Args {
+		if err := g.genExpr(a); err != nil {
+			return err
+		}
+	}
+	switch call.Builtin {
+	case BuiltinPrint:
+		g.emit(isa.Instr{Op: isa.OpSys, Imm: isa.SysPutInt})
+	case BuiltinPutc:
+		g.emit(isa.Instr{Op: isa.OpSys, Imm: isa.SysPutChar})
+	case BuiltinCycles:
+		g.emit(isa.Instr{Op: isa.OpSys, Imm: isa.SysCycles})
+	case BuiltinRand:
+		g.emit(isa.Instr{Op: isa.OpSys, Imm: isa.SysRand})
+	case BuiltinMonStart:
+		g.emit(isa.Instr{Op: isa.OpSys, Imm: isa.SysMonStart})
+		g.emit(isa.Instr{Op: isa.OpMovI, Rd: isa.RegRV, Imm: 0})
+	case BuiltinMonStop:
+		g.emit(isa.Instr{Op: isa.OpSys, Imm: isa.SysMonStop})
+		g.emit(isa.Instr{Op: isa.OpMovI, Rd: isa.RegRV, Imm: 0})
+	case BuiltinMonReset:
+		g.emit(isa.Instr{Op: isa.OpSys, Imm: isa.SysMonReset})
+		g.emit(isa.Instr{Op: isa.OpMovI, Rd: isa.RegRV, Imm: 0})
+	default:
+		return fmt.Errorf("lang: bad builtin %d", call.Builtin)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package lang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// tokens the generator draws from: enough structure to sometimes parse,
+// enough chaos to exercise every error path.
+var fuzzTokens = []string{
+	"func", "var", "extern", "if", "else", "while", "return", "break", "continue",
+	"main", "f", "g", "x", "y", "table",
+	"0", "1", "42", "0x10", "99999999999999999999",
+	"(", ")", "{", "}", "[", "]", ",", ";",
+	"=", "+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+	"<", "<=", ">", ">=", "==", "!=", "&&", "||", "!",
+	"@", "$", "\x00", "/*", "*/", "//",
+}
+
+// TestParserNeverPanics: any token soup must produce a value or an
+// error, never a panic.
+func TestParserNeverPanics(t *testing.T) {
+	f := func(seed int64, nRaw uint8) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on seed %d: %v", seed, r)
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		for i := 0; i < int(nRaw)%200+1; i++ {
+			b.WriteString(fuzzTokens[rng.Intn(len(fuzzTokens))])
+			b.WriteByte(' ')
+		}
+		_, _ = Compile("fuzz.tl", b.String(), Options{Profile: rng.Intn(2) == 0})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStructuredFuzz: randomly generated *valid* programs must compile,
+// with and without profiling and inlining, and both builds must agree.
+func TestStructuredFuzz(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := genProgram(rng)
+		plain, err := Compile("gen.tl", src, Options{})
+		if err != nil {
+			t.Logf("seed %d: generated program failed to compile: %v\n%s", seed, err, src)
+			return false
+		}
+		inlined, err := Compile("gen.tl", src, Options{Profile: true, Inline: true})
+		if err != nil {
+			t.Logf("seed %d: profile+inline compile failed: %v", seed, err)
+			return false
+		}
+		return len(plain.Text) > 0 && len(inlined.Text) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// genProgram emits a random valid program: a few leaf functions with
+// expression bodies, one looping driver, and main.
+func genProgram(rng *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("var g0;\nvar arr[8];\n")
+	nLeaf := rng.Intn(4) + 1
+	for i := 0; i < nLeaf; i++ {
+		b.WriteString("func leaf")
+		b.WriteByte(byte('0' + i))
+		b.WriteString("(a, b) { return ")
+		b.WriteString(genExpr(rng, []string{"a", "b", "g0"}, 3))
+		b.WriteString("; }\n")
+	}
+	b.WriteString(`
+func driver(n) {
+	var acc = 0;
+	var i = 0;
+	while (i < n) {
+`)
+	for i := 0; i < nLeaf; i++ {
+		b.WriteString("\t\tacc = acc + leaf")
+		b.WriteByte(byte('0' + i))
+		b.WriteString("(i, acc & 255);\n")
+	}
+	b.WriteString(`		i = i + 1;
+	}
+	return acc;
+}
+func main() { g0 = 7; return driver(20) & 255; }
+`)
+	return b.String()
+}
+
+func genExpr(rng *rand.Rand, vars []string, depth int) string {
+	if depth == 0 || rng.Intn(3) == 0 {
+		if rng.Intn(2) == 0 {
+			return vars[rng.Intn(len(vars))]
+		}
+		digits := []string{"1", "2", "3", "7", "13", "100"}
+		return digits[rng.Intn(len(digits))]
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^"}
+	return "(" + genExpr(rng, vars, depth-1) + " " +
+		ops[rng.Intn(len(ops))] + " " + genExpr(rng, vars, depth-1) + ")"
+}

@@ -1,0 +1,380 @@
+package lang
+
+// Inline expansion, the optimization the paper's §6 discusses first:
+// "if this format routine is expanded inline in the output routine, the
+// overhead of a function call and return can be saved for each datum
+// that needs to be formatted. The drawback ... the profiling will also
+// become less useful since the loss of routines will make its output
+// more granular."
+//
+// The inliner is deliberately conservative — it exists to reproduce that
+// tradeoff, not to be a production optimizer:
+//
+//   - only functions whose body is exactly `return <expr>;` are inlined;
+//   - self-calls and indirect calls never inline;
+//   - functions whose address is taken (used as a value) never inline;
+//   - an argument expression may be duplicated only when it is a literal
+//     or a local/parameter reference (re-reading a global after another
+//     argument's call could observe a different value);
+//   - inlining iterates to a small fixed depth so chains of trivial
+//     wrappers collapse.
+//
+// Because the checker has already resolved every reference, substitution
+// is scope-safe: the only names a single-return body can mention are its
+// parameters (replaced by argument expressions resolved in the caller's
+// scope) and globals/functions (whose resolution is scope-independent).
+
+// maxInlineDepth bounds repeated passes so wrapper chains collapse
+// without risking nontermination.
+const maxInlineDepth = 3
+
+// Inline performs inline expansion on a checked program, in place. It
+// returns the number of call sites expanded.
+func Inline(prog *Program) int {
+	inl := &inliner{bodies: make(map[string]*FuncDecl)}
+	addressTaken := make(map[string]bool)
+	for _, f := range prog.Funcs {
+		walkExprs(f.Body, func(e Expr) {
+			if r, ok := e.(*VarRef); ok && r.Ref == RefFunc {
+				addressTaken[r.Name] = true
+			}
+		})
+	}
+	for _, f := range prog.Funcs {
+		if addressTaken[f.Name] {
+			continue
+		}
+		if len(f.Body.Stmts) != 1 {
+			continue
+		}
+		ret, ok := f.Body.Stmts[0].(*ReturnStmt)
+		if !ok || ret.Value == nil {
+			continue
+		}
+		// A body that dispatches through a variable (often a parameter)
+		// cannot be substituted textually; leave it alone.
+		indirect := false
+		walkExprInline(ret.Value, func(e Expr) {
+			if c, ok := e.(*CallExpr); ok && c.Target == CallIndirect {
+				indirect = true
+			}
+		})
+		if indirect {
+			continue
+		}
+		inl.bodies[f.Name] = f
+	}
+	total := 0
+	for depth := 0; depth < maxInlineDepth; depth++ {
+		n := 0
+		for _, f := range prog.Funcs {
+			inl.current = f
+			n += inl.block(f.Body)
+		}
+		total += n
+		if n == 0 {
+			break
+		}
+	}
+	return total
+}
+
+type inliner struct {
+	bodies  map[string]*FuncDecl
+	current *FuncDecl
+}
+
+func (inl *inliner) block(b *Block) int {
+	n := 0
+	for _, s := range b.Stmts {
+		n += inl.stmt(s)
+	}
+	return n
+}
+
+func (inl *inliner) stmt(s Stmt) int {
+	switch s := s.(type) {
+	case *Block:
+		return inl.block(s)
+	case *VarStmt:
+		if s.Init != nil {
+			return inl.expr(&s.Init)
+		}
+	case *AssignStmt:
+		n := inl.expr(&s.Value)
+		if s.Target.Index != nil {
+			n += inl.expr(&s.Target.Index)
+		}
+		return n
+	case *IfStmt:
+		n := inl.expr(&s.Cond) + inl.block(s.Then)
+		if s.Else != nil {
+			n += inl.block(s.Else)
+		}
+		return n
+	case *WhileStmt:
+		return inl.expr(&s.Cond) + inl.block(s.Body)
+	case *ForStmt:
+		n := 0
+		if s.Init != nil {
+			n += inl.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			n += inl.expr(&s.Cond)
+		}
+		if s.Post != nil {
+			n += inl.stmt(s.Post)
+		}
+		return n + inl.block(s.Body)
+	case *ReturnStmt:
+		if s.Value != nil {
+			return inl.expr(&s.Value)
+		}
+	case *ExprStmt:
+		return inl.expr(&s.X)
+	}
+	return 0
+}
+
+// expr rewrites *ep in place, returning the number of expansions.
+func (inl *inliner) expr(ep *Expr) int {
+	switch e := (*ep).(type) {
+	case *NumLit:
+		return 0
+	case *VarRef:
+		if e.Index != nil {
+			return inl.expr(&e.Index)
+		}
+		return 0
+	case *UnaryExpr:
+		return inl.expr(&e.X)
+	case *BinaryExpr:
+		return inl.expr(&e.L) + inl.expr(&e.R)
+	case *CallExpr:
+		n := 0
+		for i := range e.Args {
+			n += inl.expr(&e.Args[i])
+		}
+		if rep, ok := inl.tryInline(e); ok {
+			*ep = rep
+			return n + 1
+		}
+		return n
+	}
+	return 0
+}
+
+// tryInline returns the substituted body for a call, if legal.
+func (inl *inliner) tryInline(call *CallExpr) (Expr, bool) {
+	if call.Target != CallDirect {
+		return nil, false
+	}
+	callee, ok := inl.bodies[call.Callee]
+	if !ok || callee == inl.current {
+		return nil, false
+	}
+	body := callee.Body.Stmts[0].(*ReturnStmt).Value
+	uses := make([]int, len(callee.Params))
+	countParamUses(body, uses)
+	for i, u := range uses {
+		if u > 1 && !duplicable(call.Args[i]) {
+			return nil, false
+		}
+	}
+	return substitute(body, call.Args), true
+}
+
+// duplicable reports whether evaluating e twice is observationally
+// identical to once: literals and frame-local reads only.
+func duplicable(e Expr) bool {
+	switch e := e.(type) {
+	case *NumLit:
+		return true
+	case *VarRef:
+		return e.Index == nil && (e.Ref == RefLocal || e.Ref == RefParam)
+	}
+	return false
+}
+
+func countParamUses(e Expr, uses []int) {
+	switch e := e.(type) {
+	case *VarRef:
+		if e.Ref == RefParam {
+			uses[e.Off]++
+		}
+		if e.Index != nil {
+			countParamUses(e.Index, uses)
+		}
+	case *UnaryExpr:
+		countParamUses(e.X, uses)
+	case *BinaryExpr:
+		countParamUses(e.L, uses)
+		countParamUses(e.R, uses)
+	case *CallExpr:
+		for _, a := range e.Args {
+			countParamUses(a, uses)
+		}
+	}
+}
+
+// substitute clones e, replacing parameter references with the argument
+// expressions (shared, not cloned per use beyond the duplicable rule
+// enforced above — cloning keeps later rewrites independent).
+func substitute(e Expr, args []Expr) Expr {
+	switch e := e.(type) {
+	case *NumLit:
+		c := *e
+		return &c
+	case *VarRef:
+		if e.Ref == RefParam {
+			return cloneExpr(args[e.Off])
+		}
+		c := *e
+		if e.Index != nil {
+			c.Index = substitute(e.Index, args)
+		}
+		return &c
+	case *UnaryExpr:
+		c := *e
+		c.X = substitute(e.X, args)
+		return &c
+	case *BinaryExpr:
+		c := *e
+		c.L = substitute(e.L, args)
+		c.R = substitute(e.R, args)
+		return &c
+	case *CallExpr:
+		c := *e
+		c.Args = make([]Expr, len(e.Args))
+		for i, a := range e.Args {
+			c.Args[i] = substitute(a, args)
+		}
+		if e.Var != nil {
+			v := *e.Var
+			c.Var = &v
+		}
+		return &c
+	}
+	return e
+}
+
+// cloneExpr deep-copies an expression tree without substitution (the
+// caller's own parameter references must survive unchanged).
+func cloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case *NumLit:
+		c := *e
+		return &c
+	case *VarRef:
+		c := *e
+		if e.Index != nil {
+			c.Index = cloneExpr(e.Index)
+		}
+		return &c
+	case *UnaryExpr:
+		c := *e
+		c.X = cloneExpr(e.X)
+		return &c
+	case *BinaryExpr:
+		c := *e
+		c.L = cloneExpr(e.L)
+		c.R = cloneExpr(e.R)
+		return &c
+	case *CallExpr:
+		c := *e
+		c.Args = make([]Expr, len(e.Args))
+		for i, a := range e.Args {
+			c.Args[i] = cloneExpr(a)
+		}
+		if e.Var != nil {
+			v := *e.Var
+			c.Var = &v
+		}
+		return &c
+	}
+	return e
+}
+
+// walkExprInline visits every node of one expression tree.
+func walkExprInline(e Expr, visit func(Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch e := e.(type) {
+	case *VarRef:
+		walkExprInline(e.Index, visit)
+	case *UnaryExpr:
+		walkExprInline(e.X, visit)
+	case *BinaryExpr:
+		walkExprInline(e.L, visit)
+		walkExprInline(e.R, visit)
+	case *CallExpr:
+		for _, a := range e.Args {
+			walkExprInline(a, visit)
+		}
+	}
+}
+
+// walkExprs visits every expression in a block.
+func walkExprs(b *Block, visit func(Expr)) {
+	var walkE func(Expr)
+	walkE = func(e Expr) {
+		if e == nil {
+			return
+		}
+		visit(e)
+		switch e := e.(type) {
+		case *VarRef:
+			walkE(e.Index)
+		case *UnaryExpr:
+			walkE(e.X)
+		case *BinaryExpr:
+			walkE(e.L)
+			walkE(e.R)
+		case *CallExpr:
+			for _, a := range e.Args {
+				walkE(a)
+			}
+		}
+	}
+	var walkS func(Stmt)
+	walkS = func(s Stmt) {
+		switch s := s.(type) {
+		case *Block:
+			for _, inner := range s.Stmts {
+				walkS(inner)
+			}
+		case *VarStmt:
+			walkE(s.Init)
+		case *AssignStmt:
+			walkE(s.Target)
+			walkE(s.Value)
+		case *IfStmt:
+			walkE(s.Cond)
+			walkS(s.Then)
+			if s.Else != nil {
+				walkS(s.Else)
+			}
+		case *WhileStmt:
+			walkE(s.Cond)
+			walkS(s.Body)
+		case *ForStmt:
+			if s.Init != nil {
+				walkS(s.Init)
+			}
+			walkE(s.Cond)
+			if s.Post != nil {
+				walkS(s.Post)
+			}
+			walkS(s.Body)
+		case *ReturnStmt:
+			walkE(s.Value)
+		case *ExprStmt:
+			walkE(s.X)
+		}
+	}
+	for _, s := range b.Stmts {
+		walkS(s)
+	}
+}

@@ -1,0 +1,234 @@
+package lang
+
+import (
+	"testing"
+
+	"repro/internal/object"
+	"repro/internal/vm"
+)
+
+// compileBoth compiles src with and without inlining and runs both,
+// asserting identical results; returns the two exit codes and text
+// sizes.
+func compileBoth(t *testing.T, src string) (plainLen, inlinedLen int) {
+	t.Helper()
+	plainObj, err := Compile("t.tl", src, Options{})
+	if err != nil {
+		t.Fatalf("plain compile: %v", err)
+	}
+	inObj, err := Compile("t.tl", src, Options{Inline: true})
+	if err != nil {
+		t.Fatalf("inlined compile: %v", err)
+	}
+	codePlain, _ := runProgram(t, src, Options{})
+	codeIn, _ := runProgram(t, src, Options{Inline: true})
+	if codePlain != codeIn {
+		t.Fatalf("inlining changed the answer: %d vs %d", codePlain, codeIn)
+	}
+	return len(plainObj.Text), len(inObj.Text)
+}
+
+func TestInlineTrivialWrapper(t *testing.T) {
+	src := `
+func twice(x) { return x + x; }
+func main() {
+	var s = 0;
+	var i = 0;
+	while (i < 10) { s = s + twice(i); i = i + 1; }
+	return s;
+}`
+	prog, err := Parse("t.tl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check("t.tl", prog); err != nil {
+		t.Fatal(err)
+	}
+	if n := Inline(prog); n != 1 {
+		t.Errorf("inlined %d sites, want 1", n)
+	}
+	// x occurs twice but the argument is a local: duplicable.
+	code, _ := runProgram(t, src, Options{Inline: true})
+	if code != 90 {
+		t.Errorf("exit = %d, want 90", code)
+	}
+}
+
+func TestInlineRefusesImpureDuplication(t *testing.T) {
+	// bump() has a side effect; square uses its parameter twice, so the
+	// call must NOT be inlined.
+	src := `
+var n;
+func bump() { n = n + 1; return n; }
+func square(x) { return x * x; }
+func main() { return square(bump()) * 100 + n; }`
+	prog, err := Parse("t.tl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check("t.tl", prog); err != nil {
+		t.Fatal(err)
+	}
+	Inline(prog)
+	code, _ := runProgram(t, src, Options{Inline: true})
+	// bump once: n=1, square(1)=1 -> 101.
+	if code != 101 {
+		t.Errorf("exit = %d, want 101 (side effect ran twice?)", code)
+	}
+}
+
+func TestInlineSingleUseImpureArgOK(t *testing.T) {
+	// Parameter used once: an impure argument is safe to substitute.
+	src := `
+var n;
+func bump() { n = n + 1; return n; }
+func neg(x) { return -x; }
+func main() { return neg(bump()) + n*10; }`
+	code, _ := runProgram(t, src, Options{Inline: true})
+	if code != 9 { // -1 + 10
+		t.Errorf("exit = %d, want 9", code)
+	}
+}
+
+func TestInlineChainCollapses(t *testing.T) {
+	src := `
+func a(x) { return x + 1; }
+func b(x) { return a(x) + 1; }
+func c(x) { return b(x) + 1; }
+func main() { return c(0); }`
+	prog, err := Parse("t.tl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check("t.tl", prog); err != nil {
+		t.Fatal(err)
+	}
+	if n := Inline(prog); n < 3 {
+		t.Errorf("inlined %d sites, want >= 3 (chain)", n)
+	}
+	code, _ := runProgram(t, src, Options{Inline: true})
+	if code != 3 {
+		t.Errorf("exit = %d, want 3", code)
+	}
+}
+
+func TestInlineSkipsRecursion(t *testing.T) {
+	src := `
+func f(n) { return g(n); }
+func g(n) { return f(n); }
+func main() { return 5; }`
+	prog, err := Parse("t.tl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check("t.tl", prog); err != nil {
+		t.Fatal(err)
+	}
+	// Mutual recursion through single-return bodies: bounded by
+	// maxInlineDepth, never infinite.
+	Inline(prog)
+	code, _ := runProgram(t, src, Options{Inline: true})
+	if code != 5 {
+		t.Errorf("exit = %d", code)
+	}
+}
+
+func TestInlineSkipsAddressTaken(t *testing.T) {
+	src := `
+func inc(x) { return x + 1; }
+func apply(f, x) { return f(x); }
+func main() { return apply(inc, 4) + inc(10); }`
+	prog, err := Parse("t.tl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check("t.tl", prog); err != nil {
+		t.Fatal(err)
+	}
+	if n := Inline(prog); n != 0 {
+		t.Errorf("inlined %d sites; address-taken inc must not inline", n)
+	}
+	code, _ := runProgram(t, src, Options{Inline: true})
+	if code != 16 {
+		t.Errorf("exit = %d, want 16", code)
+	}
+}
+
+func TestInlineSkipsMultiStatementBodies(t *testing.T) {
+	src := `
+func big(x) { var y = x + 1; return y * 2; }
+func main() { return big(3); }`
+	prog, err := Parse("t.tl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check("t.tl", prog); err != nil {
+		t.Fatal(err)
+	}
+	if n := Inline(prog); n != 0 {
+		t.Errorf("inlined %d sites; multi-statement body must not inline", n)
+	}
+}
+
+func TestInlineRemovesCallSite(t *testing.T) {
+	// After expansion the call instruction is gone: no relocation
+	// targets format any more (and the profile will no longer see it —
+	// §6's "loss of routines").
+	src := `
+func format(d) { return (d * 100) / 7 + d % 13; }
+func main() {
+	var out = 0;
+	var i = 0;
+	while (i < 100) {
+		out = (out + format(i)) & 65535;
+		i = i + 1;
+	}
+	return out;
+}`
+	compileBoth(t, src) // behaviour preserved
+	inObj, err := Compile("t.tl", src, Options{Inline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range inObj.Relocs {
+		if r.Name == "format" {
+			t.Errorf("relocation to format survives inlining: %+v", r)
+		}
+	}
+}
+
+func TestInlineSavesCycles(t *testing.T) {
+	src := `
+func format(d) { return (d * 100) / 7 + d % 13; }
+func output(d) { return format(d) & 255; }
+func main() {
+	var out = 0;
+	var i = 0;
+	while (i < 200) {
+		out = (out + output(i)) & 65535;
+		i = i + 1;
+	}
+	return out;
+}`
+	run := func(opt Options) int64 {
+		t.Helper()
+		obj, err := Compile("t.tl", src, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		im, err := object.Link([]*object.Object{obj}, object.LinkConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := vm.New(im, vm.Config{MaxCycles: 1 << 28}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	plain := run(Options{})
+	inlined := run(Options{Inline: true})
+	if inlined >= plain {
+		t.Errorf("inlining did not save cycles: %d vs %d", inlined, plain)
+	}
+}

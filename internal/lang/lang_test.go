@@ -1,0 +1,518 @@
+package lang
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/object"
+	"repro/internal/vm"
+)
+
+// runProgram compiles, links, and executes src, returning the exit code
+// and stdout.
+func runProgram(t *testing.T, src string, opt Options) (int64, string) {
+	t.Helper()
+	obj, err := Compile("test.tl", src, opt)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	im, err := object.Link([]*object.Object{obj}, object.LinkConfig{})
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	var out bytes.Buffer
+	res, err := vm.New(im, vm.Config{Stdout: &out, MaxCycles: 1 << 28}).Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res.ExitCode, out.String()
+}
+
+func TestReturnLiteral(t *testing.T) {
+	code, _ := runProgram(t, `func main() { return 42; }`, Options{})
+	if code != 42 {
+		t.Errorf("exit = %d, want 42", code)
+	}
+}
+
+func TestImplicitReturnZero(t *testing.T) {
+	code, _ := runProgram(t, `func main() { var x = 5; }`, Options{})
+	if code != 0 {
+		t.Errorf("exit = %d, want 0", code)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"1 + 2*3", 7},
+		{"(1+2)*3", 9},
+		{"10 - 3 - 2", 5}, // left associativity
+		{"20 / 3", 6},
+		{"20 % 3", 2},
+		{"-5 + 2", -3},
+		{"- -7", 7},
+		{"6 & 3", 2},
+		{"6 | 3", 7},
+		{"6 ^ 3", 5},
+		{"1 << 4", 16},
+		{"64 >> 3", 8},
+		{"2 + 3 << 1", 2 + 6}, // shift binds tighter than +? No: C has + tighter.
+	}
+	// NOTE: our precedence places << below +, like C. 2 + 3 << 1 = (2+3)<<1 = 10.
+	cases[len(cases)-1].want = 10
+	for _, tc := range cases {
+		code, _ := runProgram(t, "func main() { return "+tc.expr+"; }", Options{})
+		if code != tc.want {
+			t.Errorf("%s = %d, want %d", tc.expr, code, tc.want)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"3 < 5", 1}, {"5 < 3", 0}, {"3 <= 3", 1},
+		{"5 > 3", 1}, {"3 > 5", 0}, {"3 >= 4", 0},
+		{"4 == 4", 1}, {"4 != 4", 0}, {"4 != 5", 1},
+		{"!0", 1}, {"!7", 0},
+		{"1 && 2", 1}, {"1 && 0", 0}, {"0 && 1", 0},
+		{"0 || 0", 0}, {"0 || 3", 1}, {"2 || 0", 1},
+	}
+	for _, tc := range cases {
+		code, _ := runProgram(t, "func main() { return "+tc.expr+"; }", Options{})
+		if code != tc.want {
+			t.Errorf("%s = %d, want %d", tc.expr, code, tc.want)
+		}
+	}
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	// The right operand must not run when the left decides.
+	src := `
+var hits;
+func bump() { hits = hits + 1; return 1; }
+func main() {
+	var a = 0 && bump();
+	var b = 1 || bump();
+	var c = 1 && bump();
+	var d = 0 || bump();
+	return hits*10 + a + b + c + d;
+}`
+	code, _ := runProgram(t, src, Options{})
+	// bump ran twice; a=0,b=1,c=1,d=1.
+	if code != 23 {
+		t.Errorf("exit = %d, want 23", code)
+	}
+}
+
+func TestLocalsAndScopes(t *testing.T) {
+	src := `
+func main() {
+	var x = 1;
+	{
+		var x = 2;
+		if (x != 2) { return 100; }
+	}
+	if (x != 1) { return 200; }
+	var y;
+	if (y != 0) { return 300; }
+	return 7;
+}`
+	code, _ := runProgram(t, src, Options{})
+	if code != 7 {
+		t.Errorf("exit = %d, want 7", code)
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	src := `
+func main() {
+	var sum = 0;
+	var i = 1;
+	while (i <= 10) {
+		sum = sum + i;
+		i = i + 1;
+	}
+	return sum;
+}`
+	code, _ := runProgram(t, src, Options{})
+	if code != 55 {
+		t.Errorf("exit = %d, want 55", code)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	src := `
+func main() {
+	var sum = 0;
+	var i = 0;
+	while (1) {
+		i = i + 1;
+		if (i > 10) { break; }
+		if (i % 2 == 0) { continue; }
+		sum = sum + i;  // 1+3+5+7+9
+	}
+	return sum;
+}`
+	code, _ := runProgram(t, src, Options{})
+	if code != 25 {
+		t.Errorf("exit = %d, want 25", code)
+	}
+}
+
+func TestNestedLoopsBreak(t *testing.T) {
+	src := `
+func main() {
+	var total = 0;
+	var i = 0;
+	while (i < 3) {
+		var j = 0;
+		while (1) {
+			if (j >= 4) { break; }
+			total = total + 1;
+			j = j + 1;
+		}
+		i = i + 1;
+	}
+	return total;
+}`
+	code, _ := runProgram(t, src, Options{})
+	if code != 12 {
+		t.Errorf("exit = %d, want 12", code)
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	src := `
+func classify(n) {
+	if (n < 0) { return 1; }
+	else if (n == 0) { return 2; }
+	else { return 3; }
+}
+func main() {
+	return classify(-5)*100 + classify(0)*10 + classify(9);
+}`
+	code, _ := runProgram(t, src, Options{})
+	if code != 123 {
+		t.Errorf("exit = %d, want 123", code)
+	}
+}
+
+func TestFunctionCallsAndParams(t *testing.T) {
+	src := `
+func add3(a, b, c) { return a*100 + b*10 + c; }
+func main() { return add3(1, 2, 3); }`
+	code, _ := runProgram(t, src, Options{})
+	if code != 123 {
+		t.Errorf("exit = %d, want 123 (argument order)", code)
+	}
+}
+
+func TestParamAssignment(t *testing.T) {
+	src := `
+func f(a) { a = a + 1; return a; }
+func main() { return f(4); }`
+	code, _ := runProgram(t, src, Options{})
+	if code != 5 {
+		t.Errorf("exit = %d, want 5", code)
+	}
+}
+
+func TestRecursionFib(t *testing.T) {
+	src := `
+func fib(n) {
+	if (n < 2) { return n; }
+	return fib(n-1) + fib(n-2);
+}
+func main() { return fib(15); }`
+	code, _ := runProgram(t, src, Options{})
+	if code != 610 {
+		t.Errorf("fib(15) = %d, want 610", code)
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	src := `
+func isEven(n) { if (n == 0) { return 1; } return isOdd(n-1); }
+func isOdd(n) { if (n == 0) { return 0; } return isEven(n-1); }
+func main() { return isEven(10)*10 + isOdd(7); }`
+	code, _ := runProgram(t, src, Options{})
+	if code != 11 {
+		t.Errorf("exit = %d, want 11", code)
+	}
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	src := `
+var counter;
+var table[10];
+func main() {
+	counter = 5;
+	var i = 0;
+	while (i < 10) {
+		table[i] = i * i;
+		i = i + 1;
+	}
+	return counter + table[7];
+}`
+	code, _ := runProgram(t, src, Options{})
+	if code != 54 {
+		t.Errorf("exit = %d, want 54", code)
+	}
+}
+
+func TestFunctionValues(t *testing.T) {
+	// Functional parameters: the case the paper's static call graph
+	// cannot see and the arc hash collides on.
+	src := `
+func double(x) { return 2*x; }
+func square(x) { return x*x; }
+func apply(f, x) { return f(x); }
+func main() {
+	return apply(double, 10) + apply(square, 4);
+}`
+	code, _ := runProgram(t, src, Options{})
+	if code != 36 {
+		t.Errorf("exit = %d, want 36", code)
+	}
+}
+
+func TestFunctionValueInGlobal(t *testing.T) {
+	src := `
+var handler;
+func inc(x) { return x + 1; }
+func main() {
+	handler = inc;
+	return handler(41);
+}`
+	code, _ := runProgram(t, src, Options{})
+	if code != 42 {
+		t.Errorf("exit = %d, want 42", code)
+	}
+}
+
+func TestPrintAndPutc(t *testing.T) {
+	src := `
+func main() {
+	print(123);
+	putc(104); putc(105); putc(10);
+	return 0;
+}`
+	_, out := runProgram(t, src, Options{})
+	if out != "123\nhi\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestCyclesAndRandBuiltins(t *testing.T) {
+	src := `
+func main() {
+	var c0 = cycles();
+	var r = rand();
+	var c1 = cycles();
+	if (c1 <= c0) { return 1; }
+	if (r < 0) { return 2; }
+	return 0;
+}`
+	code, _ := runProgram(t, src, Options{})
+	if code != 0 {
+		t.Errorf("exit = %d, want 0", code)
+	}
+}
+
+func TestMonControlBuiltinsCompile(t *testing.T) {
+	src := `
+func main() {
+	monstart();
+	monstop();
+	monreset();
+	return 0;
+}`
+	code, _ := runProgram(t, src, Options{})
+	if code != 0 {
+		t.Errorf("exit = %d", code)
+	}
+}
+
+func TestProfilePrologue(t *testing.T) {
+	src := `func f() { return 1; } func main() { return f(); }`
+	plain, err := Compile("t.tl", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := Compile("t.tl", src, Options{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each of the 2 functions gains exactly one word (the MCOUNT).
+	if len(prof.Text) != len(plain.Text)+2 {
+		t.Errorf("profiled text %d words, plain %d; want +2", len(prof.Text), len(plain.Text))
+	}
+	// Execution result is unchanged.
+	code, _ := runProgram(t, src, Options{Profile: true})
+	if code != 1 {
+		t.Errorf("profiled exit = %d, want 1", code)
+	}
+}
+
+func TestCommentsAndFormats(t *testing.T) {
+	src := `
+// line comment
+/* block
+   comment */
+func main() {
+	var x = 0x10; // hex
+	return x; /* trailing */
+}`
+	code, _ := runProgram(t, src, Options{})
+	if code != 16 {
+		t.Errorf("exit = %d, want 16", code)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"undefined var", `func main() { return x; }`, "undefined name x"},
+		{"undefined func", `func main() { return f(); }`, "undefined function f"},
+		{"arity", `func f(a) { return a; } func main() { return f(); }`, "takes 1 argument"},
+		{"builtin arity", `func main() { print(); return 0; }`, "takes 1 argument"},
+		{"redeclare builtin", `func print(x) { return x; }`, "builtin"},
+		{"dup function", `func f() { return 0; } func f() { return 1; } func main() { return 0; }`, "duplicate top-level"},
+		{"dup global", `var g; var g; func main() { return 0; }`, "duplicate top-level"},
+		{"dup local", `func main() { var x; var x; return 0; }`, "duplicate variable"},
+		{"dup param", `func f(a, a) { return a; } func main() { return 0; }`, "duplicate parameter"},
+		{"break outside", `func main() { break; }`, "break outside"},
+		{"continue outside", `func main() { continue; }`, "continue outside"},
+		{"assign to func", `func f() { return 0; } func main() { f = 1; return 0; }`, "cannot assign"},
+		{"index scalar", `var g; func main() { return g[0]; }`, "cannot be indexed"},
+		{"array unindexed", `var a[4]; func main() { return a; }`, "must be indexed"},
+		{"array call", `var a[4]; func main() { return a(); }`, "not callable"},
+		{"assign to call", `func f() { return 0; } func main() { f() = 3; return 0; }`, "left side"},
+		{"bad token", "func main() { return @; }", "unexpected character"},
+		{"unterminated comment", "/* func main() {}", "unterminated block comment"},
+		{"bad top level", "return 1;", "expected 'var', 'extern', or 'func'"},
+		{"eof in block", "func main() { return 0;", "unexpected end of file"},
+		{"huge literal", "func main() { return 99999999999; }", "32 bits"},
+		{"zero array", "var a[0]; func main() { return 0; }", "size 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile("t.tl", tc.src, Options{})
+			if err == nil {
+				t.Fatalf("compiled, want error containing %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error = %q, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestErrorsHavePositions(t *testing.T) {
+	_, err := Compile("prog.tl", "func main() {\n  return x;\n}", Options{})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.HasPrefix(err.Error(), "prog.tl:2:") {
+		t.Errorf("error lacks position: %q", err)
+	}
+}
+
+func TestMultiObjectLink(t *testing.T) {
+	// Separate compilation: two source files linked together, as the
+	// paper's "separately compiled programs".
+	lib := `
+var shared;
+func store(v) { shared = v; return 0; }
+func fetch() { return shared; }`
+	mainSrc := `
+extern store;
+extern fetch;
+func main() {
+	store(99);
+	return fetch();
+}`
+	libObj, err := Compile("lib.tl", lib, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainObj, err := Compile("main.tl", mainSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := object.Link([]*object.Object{mainObj, libObj}, object.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vm.New(im, vm.Config{}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 99 {
+		t.Errorf("exit = %d, want 99", res.ExitCode)
+	}
+}
+
+func TestDeepExpression(t *testing.T) {
+	// Stress the expression stack discipline.
+	src := `func main() { return ((((1+2)*(3+4))-((5-6)*(7+8)))*2) % 97; }`
+	// (3*7 - (-1*15))*2 = (21+15)*2 = 72
+	code, _ := runProgram(t, src, Options{})
+	if code != 72 {
+		t.Errorf("exit = %d, want 72", code)
+	}
+}
+
+func TestCallInExpression(t *testing.T) {
+	src := `
+func two() { return 2; }
+func three() { return 3; }
+func main() { return two() * three() + two(); }`
+	code, _ := runProgram(t, src, Options{})
+	if code != 8 {
+		t.Errorf("exit = %d, want 8", code)
+	}
+}
+
+func TestArgumentEvaluationOrder(t *testing.T) {
+	src := `
+var log;
+func note(v) { log = log*10 + v; return v; }
+func take3(a, b, c) { return log; }
+func main() { return take3(note(1), note(2), note(3)); }`
+	code, _ := runProgram(t, src, Options{})
+	if code != 123 {
+		t.Errorf("args evaluated in order %d, want 123 (left to right)", code)
+	}
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	src := `
+var a = 42;
+var b = -7;
+var c;
+func main() { return a + b + c; }`
+	code, _ := runProgram(t, src, Options{})
+	if code != 35 {
+		t.Errorf("exit = %d, want 35", code)
+	}
+}
+
+func TestGlobalInitializerErrors(t *testing.T) {
+	for _, src := range []string{
+		"var g = x;\nfunc main() { return 0; }",
+		"var g = 1 + 2;\nfunc main() { return 0; }",
+	} {
+		if _, err := Compile("t.tl", src, Options{}); err == nil {
+			t.Errorf("non-constant initializer accepted: %q", src)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type lexer struct {
+	file string
+	src  string
+	off  int
+	pos  Pos
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{file: file, src: src, pos: Pos{Line: 1, Col: 1}}
+}
+
+func (l *lexer) errf(pos Pos, format string, args ...any) error {
+	return &Error{File: l.file, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) nextByte() byte {
+	c := l.peekByte()
+	if c == 0 {
+		return 0
+	}
+	l.off++
+	if c == '\n' {
+		l.pos.Line++
+		l.pos.Col = 1
+	} else {
+		l.pos.Col++
+	}
+	return c
+}
+
+// skipSpace consumes whitespace and // and /* */ comments.
+func (l *lexer) skipSpace() error {
+	for {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.nextByte()
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/':
+			for l.peekByte() != 0 && l.peekByte() != '\n' {
+				l.nextByte()
+			}
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '*':
+			start := l.pos
+			l.nextByte()
+			l.nextByte()
+			for {
+				if l.peekByte() == 0 {
+					return l.errf(start, "unterminated block comment")
+				}
+				if l.peekByte() == '*' && l.off+1 < len(l.src) && l.src[l.off+1] == '/' {
+					l.nextByte()
+					l.nextByte()
+					break
+				}
+				l.nextByte()
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// stringLit scans a double-quoted literal with \n, \t, \\, and \"
+// escapes. The decoded bytes land in Token.Text.
+func (l *lexer) stringLit(pos Pos) (Token, error) {
+	l.nextByte() // opening quote
+	var out []byte
+	for {
+		c := l.peekByte()
+		switch c {
+		case 0, '\n':
+			return Token{}, l.errf(pos, "unterminated string literal")
+		case '"':
+			l.nextByte()
+			return Token{Kind: STRING, Text: string(out), Pos: pos}, nil
+		case '\\':
+			l.nextByte()
+			switch e := l.nextByte(); e {
+			case 'n':
+				out = append(out, '\n')
+			case 't':
+				out = append(out, '\t')
+			case '\\':
+				out = append(out, '\\')
+			case '"':
+				out = append(out, '"')
+			default:
+				return Token{}, l.errf(pos, "unknown escape \\%c in string", e)
+			}
+		default:
+			l.nextByte()
+			out = append(out, c)
+		}
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos
+	c := l.peekByte()
+	if c == 0 {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for isIdentPart(l.peekByte()) {
+			l.nextByte()
+		}
+		text := l.src[start:l.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: pos}, nil
+	case isDigit(c):
+		start := l.off
+		for isIdentPart(l.peekByte()) { // grabs hex digits and stray letters
+			l.nextByte()
+		}
+		text := l.src[start:l.off]
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			return Token{}, l.errf(pos, "bad number %q", text)
+		}
+		return Token{Kind: NUMBER, Text: text, Num: v, Pos: pos}, nil
+	}
+	if c == '"' {
+		return l.stringLit(pos)
+	}
+	l.nextByte()
+	two := func(second byte, both, single Kind) Token {
+		if l.peekByte() == second {
+			l.nextByte()
+			return Token{Kind: both, Pos: pos}
+		}
+		return Token{Kind: single, Pos: pos}
+	}
+	switch c {
+	case '(':
+		return Token{Kind: LParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: RParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: LBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: RBrace, Pos: pos}, nil
+	case '[':
+		return Token{Kind: LBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: RBracket, Pos: pos}, nil
+	case ',':
+		return Token{Kind: Comma, Pos: pos}, nil
+	case ';':
+		return Token{Kind: Semicolon, Pos: pos}, nil
+	case '+':
+		return Token{Kind: Plus, Pos: pos}, nil
+	case '-':
+		return Token{Kind: Minus, Pos: pos}, nil
+	case '*':
+		return Token{Kind: Star, Pos: pos}, nil
+	case '/':
+		return Token{Kind: Slash, Pos: pos}, nil
+	case '%':
+		return Token{Kind: PercentOp, Pos: pos}, nil
+	case '^':
+		return Token{Kind: Caret, Pos: pos}, nil
+	case '&':
+		return two('&', AndAnd, Amp), nil
+	case '|':
+		return two('|', OrOr, Pipe), nil
+	case '<':
+		if l.peekByte() == '<' {
+			l.nextByte()
+			return Token{Kind: Shl, Pos: pos}, nil
+		}
+		return two('=', Le, Lt), nil
+	case '>':
+		if l.peekByte() == '>' {
+			l.nextByte()
+			return Token{Kind: Shr, Pos: pos}, nil
+		}
+		return two('=', Ge, Gt), nil
+	case '=':
+		return two('=', EqEq, Assign), nil
+	case '!':
+		return two('=', NotEq, Not), nil
+	}
+	return Token{}, l.errf(pos, "unexpected character %q", string(c))
+}

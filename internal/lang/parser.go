@@ -1,0 +1,580 @@
+package lang
+
+import "fmt"
+
+type parser struct {
+	lex *lexer
+	tok Token
+}
+
+// Parse parses a source file into an AST.
+func Parse(file, src string) (*Program, error) {
+	p := &parser{lex: newLexer(file, src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	for p.tok.Kind != EOF {
+		switch p.tok.Kind {
+		case KwVar:
+			g, err := p.globalDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		case KwExtern:
+			e, err := p.externDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Externs = append(prog.Externs, e)
+		case KwFunc:
+			f, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			return nil, p.errf("expected 'var', 'extern', or 'func' at top level, got %s", p.tok.Kind)
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{File: p.lex.file, Pos: p.tok.Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) advance() error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = tok
+	return nil
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	if p.tok.Kind != k {
+		return Token{}, p.errf("expected %s, got %s", k, p.tok.Kind)
+	}
+	tok := p.tok
+	if err := p.advance(); err != nil {
+		return Token{}, err
+	}
+	return tok, nil
+}
+
+func (p *parser) accept(k Kind) (bool, error) {
+	if p.tok.Kind != k {
+		return false, nil
+	}
+	return true, p.advance()
+}
+
+// globalDecl = "var" IDENT ( "[" NUMBER "]" | [ "=" [-] NUMBER ] ) ";"
+//
+// Scalars may carry a constant initializer; arrays start zeroed.
+func (p *parser) globalDecl() (*GlobalDecl, error) {
+	pos := p.tok.Pos
+	if err := p.advance(); err != nil { // consume 'var'
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Name: name.Text, Pos: pos}
+	if ok, err := p.accept(LBracket); err != nil {
+		return nil, err
+	} else if ok {
+		size, err := p.expect(NUMBER)
+		if err != nil {
+			return nil, err
+		}
+		if size.Num <= 0 {
+			return nil, p.errf("array %s has size %d", g.Name, size.Num)
+		}
+		g.Size = size.Num
+		if _, err := p.expect(RBracket); err != nil {
+			return nil, err
+		}
+		_, err = p.expect(Semicolon)
+		return g, err
+	}
+	if ok, err := p.accept(Assign); err != nil {
+		return nil, err
+	} else if ok {
+		neg := false
+		if ok, err := p.accept(Minus); err != nil {
+			return nil, err
+		} else if ok {
+			neg = true
+		}
+		v, err := p.expect(NUMBER)
+		if err != nil {
+			return nil, p.errf("global initializers must be integer constants")
+		}
+		g.Init = v.Num
+		if neg {
+			g.Init = -g.Init
+		}
+		g.HasInit = true
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// externDecl = "extern" [ "var" ] IDENT [ "[" "]" ] ";"
+func (p *parser) externDecl() (*ExternDecl, error) {
+	pos := p.tok.Pos
+	if err := p.advance(); err != nil { // consume 'extern'
+		return nil, err
+	}
+	e := &ExternDecl{Pos: pos}
+	if ok, err := p.accept(KwVar); err != nil {
+		return nil, err
+	} else if ok {
+		e.IsVar = true
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	e.Name = name.Text
+	if ok, err := p.accept(LBracket); err != nil {
+		return nil, err
+	} else if ok {
+		if !e.IsVar {
+			return nil, p.errf("extern function %s cannot be an array", e.Name)
+		}
+		e.IsArray = true
+		if _, err := p.expect(RBracket); err != nil {
+			return nil, err
+		}
+	}
+	_, err = p.expect(Semicolon)
+	return e, err
+}
+
+// funcDecl = "func" IDENT "(" [params] ")" block
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	pos := p.tok.Pos
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{Name: name.Text, Pos: pos}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != RParen {
+		for {
+			param, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			f.Params = append(f.Params, param.Text)
+			if ok, err := p.accept(Comma); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: pos}
+	for p.tok.Kind != RBrace {
+		if p.tok.Kind == EOF {
+			return nil, p.errf("unexpected end of file inside block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, p.advance() // consume '}'
+}
+
+func (p *parser) statement() (Stmt, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case LBrace:
+		return p.block()
+	case KwVar:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		s := &VarStmt{Name: name.Text, Pos: pos}
+		if ok, err := p.accept(LBracket); err != nil {
+			return nil, err
+		} else if ok {
+			size, err := p.expect(NUMBER)
+			if err != nil {
+				return nil, err
+			}
+			if size.Num <= 0 {
+				return nil, p.errf("array %s has size %d", s.Name, size.Num)
+			}
+			s.Size = size.Num
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			_, err = p.expect(Semicolon)
+			return s, err
+		}
+		if ok, err := p.accept(Assign); err != nil {
+			return nil, err
+		} else if ok {
+			if s.Init, err = p.expression(); err != nil {
+				return nil, err
+			}
+		}
+		_, err = p.expect(Semicolon)
+		return s, err
+	case KwIf:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		s := &IfStmt{Cond: cond, Then: then, Pos: pos}
+		if ok, err := p.accept(KwElse); err != nil {
+			return nil, err
+		} else if ok {
+			if p.tok.Kind == KwIf {
+				inner, err := p.statement() // else if chains
+				if err != nil {
+					return nil, err
+				}
+				s.Else = &Block{Stmts: []Stmt{inner}, Pos: pos}
+			} else if s.Else, err = p.block(); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	case KwWhile:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Pos: pos}, nil
+	case KwFor:
+		return p.forStmt(pos)
+	case KwReturn:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		s := &ReturnStmt{Pos: pos}
+		if p.tok.Kind != Semicolon {
+			var err error
+			if s.Value, err = p.expression(); err != nil {
+				return nil, err
+			}
+		}
+		_, err := p.expect(Semicolon)
+		return s, err
+	case KwBreak:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(Semicolon)
+		return &BreakStmt{Pos: pos}, err
+	case KwContinue:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(Semicolon)
+		return &ContinueStmt{Pos: pos}, err
+	}
+	// Assignment or expression statement. Parse an expression; if it is
+	// a plain variable reference followed by '=', it is an assignment.
+	x, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind == Assign {
+		ref, ok := x.(*VarRef)
+		if !ok {
+			return nil, p.errf("left side of assignment must be a variable or array element")
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		val, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Target: ref, Value: val, Pos: pos}, nil
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: x, Pos: pos}, nil
+}
+
+// forStmt = "for" "(" [simple] ";" [expr] ";" [simple] ")" block
+func (p *parser) forStmt(pos Pos) (Stmt, error) {
+	if err := p.advance(); err != nil { // consume 'for'
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Pos: pos}
+	var err error
+	if p.tok.Kind != Semicolon {
+		if s.Init, err = p.simpleStmt(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != Semicolon {
+		if s.Cond, err = p.expression(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != RParen {
+		if s.Post, err = p.simpleStmt(); err != nil {
+			return nil, err
+		}
+		if vs, ok := s.Post.(*VarStmt); ok {
+			return nil, p.errf("cannot declare %s in the post clause of a for", vs.Name)
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	if s.Body, err = p.block(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// simpleStmt parses a var declaration, assignment, or expression without
+// consuming a trailing terminator; used by the for clauses.
+func (p *parser) simpleStmt() (Stmt, error) {
+	pos := p.tok.Pos
+	if p.tok.Kind == KwVar {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		s := &VarStmt{Name: name.Text, Pos: pos}
+		if ok, err := p.accept(Assign); err != nil {
+			return nil, err
+		} else if ok {
+			if s.Init, err = p.expression(); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+	x, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind == Assign {
+		ref, ok := x.(*VarRef)
+		if !ok {
+			return nil, p.errf("left side of assignment must be a variable or array element")
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		val, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Target: ref, Value: val, Pos: pos}, nil
+	}
+	return &ExprStmt{X: x, Pos: pos}, nil
+}
+
+// Binary operator precedence, tightest last. Matches C's ordering for
+// the operators we have.
+var precedence = map[Kind]int{
+	OrOr:   1,
+	AndAnd: 2,
+	Pipe:   3,
+	Caret:  4,
+	Amp:    5,
+	EqEq:   6, NotEq: 6,
+	Lt: 7, Le: 7, Gt: 7, Ge: 7,
+	Shl: 8, Shr: 8,
+	Plus: 9, Minus: 9,
+	Star: 10, Slash: 10, PercentOp: 10,
+}
+
+func (p *parser) expression() (Expr, error) { return p.binary(1) }
+
+func (p *parser) binary(minPrec int) (Expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := precedence[p.tok.Kind]
+		if !ok || prec < minPrec {
+			return left, nil
+		}
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, L: left, R: right, Pos_: pos}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	switch p.tok.Kind {
+	case Minus, Not:
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: op, X: x, Pos_: pos}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case NUMBER:
+		v := p.tok.Num
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &NumLit{Value: v, Pos_: pos}, nil
+	case STRING:
+		v := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &StrLit{Value: v, Pos_: pos}, nil
+	case LParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(RParen)
+		return x, err
+	case IDENT:
+		name := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch p.tok.Kind {
+		case LParen: // call
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			call := &CallExpr{Callee: name, Pos_: pos}
+			if p.tok.Kind != RParen {
+				for {
+					arg, err := p.expression()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if ok, err := p.accept(Comma); err != nil {
+						return nil, err
+					} else if !ok {
+						break
+					}
+				}
+			}
+			_, err := p.expect(RParen)
+			return call, err
+		case LBracket: // array index
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			idx, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			return &VarRef{Name: name, Index: idx, Pos_: pos}, nil
+		}
+		return &VarRef{Name: name, Pos_: pos}, nil
+	}
+	return nil, p.errf("expected an expression, got %s", p.tok.Kind)
+}

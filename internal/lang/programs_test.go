@@ -1,0 +1,428 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Whole-program tests: complete programs with independently computed
+// expected results, run both plain and profiled+inlined to confirm the
+// compiler options never change semantics.
+
+func checkProgram(t *testing.T, name, src string, wantExit int64, wantOut string) {
+	t.Helper()
+	for _, opt := range []Options{
+		{},
+		{Profile: true},
+		{Inline: true},
+		{Profile: true, Inline: true},
+	} {
+		code, out := runProgram(t, src, opt)
+		if code != wantExit {
+			t.Errorf("%s %+v: exit = %d, want %d", name, opt, code, wantExit)
+		}
+		if wantOut != "" && out != wantOut {
+			t.Errorf("%s %+v: output = %q, want %q", name, opt, out, wantOut)
+		}
+	}
+}
+
+func TestProgramSieve(t *testing.T) {
+	// Count primes below 500: pi(500) = 95.
+	src := `
+var composite[500];
+func sieve(n) {
+	var count = 0;
+	var i = 2;
+	while (i < n) {
+		if (composite[i] == 0) {
+			count = count + 1;
+			var j = i * i;
+			while (j < n) {
+				composite[j] = 1;
+				j = j + i;
+			}
+		}
+		i = i + 1;
+	}
+	return count;
+}
+func main() { return sieve(500); }`
+	checkProgram(t, "sieve", src, 95, "")
+}
+
+func TestProgramGCD(t *testing.T) {
+	// gcd(252, 105) = 21, lcm = 1260; print both.
+	src := `
+func gcd(a, b) {
+	while (b != 0) {
+		var t = b;
+		b = a % b;
+		a = t;
+	}
+	return a;
+}
+func lcm(a, b) { return a / gcd(a, b) * b; }
+func main() {
+	print(gcd(252, 105));
+	print(lcm(252, 105));
+	return 0;
+}`
+	checkProgram(t, "gcd", src, 0, "21\n1260\n")
+}
+
+func TestProgramCollatz(t *testing.T) {
+	// Steps for 27 to reach 1: 111.
+	src := `
+func steps(n) {
+	var c = 0;
+	while (n != 1) {
+		if (n % 2 == 0) { n = n / 2; }
+		else { n = 3*n + 1; }
+		c = c + 1;
+	}
+	return c;
+}
+func main() { return steps(27); }`
+	checkProgram(t, "collatz", src, 111, "")
+}
+
+func TestProgramFixedPointSqrt(t *testing.T) {
+	// Integer square roots via Newton's method.
+	src := `
+func isqrt(n) {
+	if (n < 2) { return n; }
+	var x = n;
+	var y = (x + 1) / 2;
+	while (y < x) {
+		x = y;
+		y = (x + n / x) / 2;
+	}
+	return x;
+}
+func main() {
+	var i = 0;
+	var sum = 0;
+	while (i <= 100) {
+		sum = sum + isqrt(i);
+		i = i + 1;
+	}
+	return sum;
+}`
+	// sum of floor(sqrt(i)) for i in 0..100
+	want := int64(0)
+	for i := 0; i <= 100; i++ {
+		x := 0
+		for (x+1)*(x+1) <= i {
+			x++
+		}
+		want += int64(x)
+	}
+	checkProgram(t, "isqrt", src, want, "")
+}
+
+func TestProgramAckermannSmall(t *testing.T) {
+	// Deep recursion stress: A(2, 3) = 9.
+	src := `
+func ack(m, n) {
+	if (m == 0) { return n + 1; }
+	if (n == 0) { return ack(m - 1, 1); }
+	return ack(m - 1, ack(m, n - 1));
+}
+func main() { return ack(2, 3); }`
+	checkProgram(t, "ackermann", src, 9, "")
+}
+
+func TestProgramStringOutput(t *testing.T) {
+	// putc-based text output.
+	var want strings.Builder
+	for i := 0; i < 5; i++ {
+		fmt.Fprintf(&want, "%c", 'a'+i)
+	}
+	want.WriteByte('\n')
+	src := `
+func putrange(lo, n) {
+	var i = 0;
+	while (i < n) {
+		putc(lo + i);
+		i = i + 1;
+	}
+	return 0;
+}
+func main() {
+	putrange(97, 5);
+	putc(10);
+	return 0;
+}`
+	checkProgram(t, "strings", src, 0, want.String())
+}
+
+func TestProgramMatrixChain(t *testing.T) {
+	// Dynamic programming over a global table: minimal scalar
+	// multiplications for dims [10,20,30,40] = 18000.
+	src := `
+var dims[4];
+var cost[16];
+func setDims() {
+	dims[0] = 10; dims[1] = 20; dims[2] = 30; dims[3] = 40;
+	return 0;
+}
+func solve(n) {
+	var len = 2;
+	while (len <= n) {
+		var i = 0;
+		while (i + len <= n) {
+			var j = i + len;
+			var best = 1 << 30;
+			var k = i + 1;
+			while (k < j) {
+				var c = cost[i*4 + k] + cost[k*4 + j] + dims[i]*dims[k]*dims[j];
+				if (c < best) { best = c; }
+				k = k + 1;
+			}
+			cost[i*4 + j] = best;
+			i = i + 1;
+		}
+		len = len + 1;
+	}
+	return cost[0*4 + n];
+}
+func main() {
+	setDims();
+	return solve(3) / 1000;
+}`
+	checkProgram(t, "matrixchain", src, 18, "")
+}
+
+func TestForLoopBasic(t *testing.T) {
+	src := `
+func main() {
+	var sum = 0;
+	for (var i = 1; i <= 10; i = i + 1) {
+		sum = sum + i;
+	}
+	return sum;
+}`
+	checkProgram(t, "forbasic", src, 55, "")
+}
+
+func TestForLoopContinueRunsPost(t *testing.T) {
+	// The crucial semantics: continue must execute the post statement,
+	// or this loop never terminates.
+	src := `
+func main() {
+	var sum = 0;
+	for (var i = 0; i < 10; i = i + 1) {
+		if (i % 2 == 0) { continue; }
+		sum = sum + i;   // 1+3+5+7+9
+	}
+	return sum;
+}`
+	checkProgram(t, "forcontinue", src, 25, "")
+}
+
+func TestForLoopBreak(t *testing.T) {
+	src := `
+func main() {
+	var n = 0;
+	for (;;) {
+		n = n + 1;
+		if (n >= 7) { break; }
+	}
+	return n;
+}`
+	checkProgram(t, "forbreak", src, 7, "")
+}
+
+func TestForLoopScoping(t *testing.T) {
+	// The init variable is scoped to the loop; an outer i is untouched.
+	src := `
+func main() {
+	var i = 100;
+	var sum = 0;
+	for (var i = 0; i < 3; i = i + 1) {
+		sum = sum + i;
+	}
+	return i + sum;
+}`
+	checkProgram(t, "forscope", src, 103, "")
+}
+
+func TestForLoopNested(t *testing.T) {
+	src := `
+func main() {
+	var total = 0;
+	for (var i = 0; i < 4; i = i + 1) {
+		for (var j = 0; j < 5; j = j + 1) {
+			if (j == 3) { continue; }
+			total = total + 1;
+		}
+	}
+	return total;
+}`
+	checkProgram(t, "fornested", src, 16, "")
+}
+
+func TestForLoopNoInitNoPost(t *testing.T) {
+	src := `
+func main() {
+	var i = 0;
+	for (; i < 5;) {
+		i = i + 1;
+	}
+	return i;
+}`
+	checkProgram(t, "forbare", src, 5, "")
+}
+
+func TestForLoopErrors(t *testing.T) {
+	for _, tc := range []struct{ name, src, wantSub string }{
+		{"var in post", "func main() { for (;; var x = 1) { break; } return 0; }", "post clause"},
+		{"init scope leak", "func main() { for (var i = 0; i < 1; i = i + 1) {} return i; }", "undefined name i"},
+		{"assign to call", "func f() { return 0; } func main() { for (f() = 1;;) {} return 0; }", "left side"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile("t.tl", tc.src, Options{})
+			if err == nil {
+				t.Fatalf("compiled, want error with %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error = %q, want %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestLocalArrays(t *testing.T) {
+	src := `
+func sumsquares(n) {
+	var buf[16];
+	for (var i = 0; i < n; i = i + 1) {
+		buf[i] = i * i;
+	}
+	var s = 0;
+	for (var i = 0; i < n; i = i + 1) {
+		s = s + buf[i];
+	}
+	return s;
+}
+func main() { return sumsquares(5); }` // 0+1+4+9+16 = 30
+	checkProgram(t, "localarray", src, 30, "")
+}
+
+func TestLocalArrayZeroed(t *testing.T) {
+	// Frames are reused: dirty() fills its frame, then clean() must
+	// still observe zeroed array slots.
+	src := `
+func dirty() {
+	var junk[8];
+	for (var i = 0; i < 8; i = i + 1) { junk[i] = 999; }
+	return junk[7];
+}
+func clean() {
+	var buf[8];
+	var s = 0;
+	for (var i = 0; i < 8; i = i + 1) { s = s + buf[i]; }
+	return s;
+}
+func main() {
+	dirty();
+	return clean();
+}`
+	checkProgram(t, "zeroed", src, 0, "")
+}
+
+func TestLocalArrayPerFrame(t *testing.T) {
+	// Recursion: each frame gets its own array.
+	src := `
+func rec(depth) {
+	var a[4];
+	a[0] = depth;
+	if (depth > 0) { rec(depth - 1); }
+	return a[0];   // must still be this frame's value
+}
+func main() { return rec(6); }`
+	checkProgram(t, "perframe", src, 6, "")
+}
+
+func TestLocalArrayErrors(t *testing.T) {
+	for _, tc := range []struct{ name, src, wantSub string }{
+		{"unindexed", "func main() { var a[3]; return a; }", "must be indexed"},
+		{"init", "func main() { var a[3] = 5; return 0; }", ""},
+		{"zero size", "func main() { var a[0]; return 0; }", "size 0"},
+		{"call", "func main() { var a[3]; return a(); }", "not callable"},
+		{"scalar indexed", "func main() { var x; return x[0]; }", "cannot be indexed"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile("t.tl", tc.src, Options{})
+			if err == nil {
+				t.Fatalf("compiled, want error")
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error = %q, want %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestLocalArrayInsertionSort(t *testing.T) {
+	src := `
+func sortcheck() {
+	var a[10];
+	for (var i = 0; i < 10; i = i + 1) { a[i] = (7 * (10 - i)) % 23; }
+	for (var i = 1; i < 10; i = i + 1) {
+		var v = a[i];
+		var j = i - 1;
+		while (j >= 0 && a[j] > v) {
+			a[j + 1] = a[j];
+			j = j - 1;
+		}
+		a[j + 1] = v;
+	}
+	var ok = 1;
+	for (var i = 1; i < 10; i = i + 1) {
+		if (a[i - 1] > a[i]) { ok = 0; }
+	}
+	return ok;
+}
+func main() { return sortcheck(); }`
+	checkProgram(t, "insertion", src, 1, "")
+}
+
+func TestPuts(t *testing.T) {
+	src := `
+func main() {
+	puts("hello, world\n");
+	puts("tab\tquote\" backslash\\\n");
+	return puts("abc");
+}`
+	code, out := runProgram(t, src, Options{})
+	if out != "hello, world\ntab\tquote\" backslash\\\nabc" {
+		t.Errorf("output = %q", out)
+	}
+	if code != 3 { // puts yields the byte count
+		t.Errorf("exit = %d, want 3", code)
+	}
+}
+
+func TestPutsErrors(t *testing.T) {
+	for _, tc := range []struct{ name, src, wantSub string }{
+		{"non-literal", `func main() { puts(42); return 0; }`, "string literal"},
+		{"string elsewhere", `func main() { return "x"; }`, "only appear as the argument"},
+		{"string in arith", `func main() { print("a" + 1); return 0; }`, "only appear"},
+		{"unterminated", "func main() { puts(\"oops); }", "unterminated"},
+		{"bad escape", `func main() { puts("\q"); return 0; }`, "unknown escape"},
+		{"arity", `func main() { puts("a", "b"); return 0; }`, "takes 1 argument"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile("t.tl", tc.src, Options{})
+			if err == nil {
+				t.Fatalf("compiled, want error with %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error = %q, want %q", err, tc.wantSub)
+			}
+		})
+	}
+}

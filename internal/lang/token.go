@@ -1,0 +1,129 @@
+// Package lang implements a small imperative language and its compiler
+// for the simulated machine. It exists so profiled programs are real
+// compiled programs: the code generator plants an MCOUNT call in the
+// prologue of every routine when profiling is requested, exactly as the
+// paper's C, Fortran77, and Pascal compilers "insert calls to a
+// monitoring routine in the prologue for each routine" (§3). Programs
+// need no changes to be profiled — recompilation with Options.Profile
+// is the only requirement, matching the paper's "no planning on part of
+// the programmer".
+//
+// The language has integer scalars and fixed-size global arrays,
+// functions with value parameters, the usual control flow, function
+// values (compiled to indirect calls, the "functional parameters" the
+// static call graph cannot see), and builtins for output, cycle counts,
+// deterministic randomness, and the profiler's control interface.
+package lang
+
+import "fmt"
+
+// Kind classifies tokens.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+	STRING
+
+	// keywords
+	KwFunc
+	KwVar
+	KwExtern
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwBreak
+	KwContinue
+
+	// punctuation
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Comma
+	Semicolon
+	Assign
+
+	// operators
+	Plus
+	Minus
+	Star
+	Slash
+	PercentOp
+	Amp
+	Pipe
+	Caret
+	Shl
+	Shr
+	Lt
+	Le
+	Gt
+	Ge
+	EqEq
+	NotEq
+	AndAnd
+	OrOr
+	Not
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", NUMBER: "number",
+	STRING: "string literal",
+	KwFunc: "'func'", KwVar: "'var'", KwExtern: "'extern'",
+	KwIf: "'if'", KwElse: "'else'",
+	KwWhile: "'while'", KwFor: "'for'", KwReturn: "'return'", KwBreak: "'break'",
+	KwContinue: "'continue'",
+	LParen:     "'('", RParen: "')'", LBrace: "'{'", RBrace: "'}'",
+	LBracket: "'['", RBracket: "']'", Comma: "','", Semicolon: "';'",
+	Assign: "'='",
+	Plus:   "'+'", Minus: "'-'", Star: "'*'", Slash: "'/'", PercentOp: "'%'",
+	Amp: "'&'", Pipe: "'|'", Caret: "'^'", Shl: "'<<'", Shr: "'>>'",
+	Lt: "'<'", Le: "'<='", Gt: "'>'", Ge: "'>='", EqEq: "'=='", NotEq: "'!='",
+	AndAnd: "'&&'", OrOr: "'||'", Not: "'!'",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"func": KwFunc, "var": KwVar, "extern": KwExtern, "if": KwIf, "else": KwElse,
+	"while": KwWhile, "for": KwFor, "return": KwReturn, "break": KwBreak,
+	"continue": KwContinue,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexeme.
+type Token struct {
+	Kind Kind
+	Text string
+	Num  int64 // valid for NUMBER
+	Pos  Pos
+}
+
+// Error is a compilation failure with its source position.
+type Error struct {
+	File string
+	Pos  Pos
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%s: %s", e.File, e.Pos, e.Msg)
+}

@@ -1,0 +1,259 @@
+// Package mon is the monitoring runtime: the production implementation of
+// the VM's Monitor interface, corresponding to the paper's §3.
+//
+// It maintains two data structures during execution:
+//
+//   - The arc table (§3.1). Each MCOUNT executed in a routine prologue
+//     records the call-graph arc (call site → callee) and increments its
+//     traversal count. Following the paper, the table is "accessed through
+//     a hash table" whose primary key is the call site: because the text
+//     segment is addressable one-to-one, "our hash function is trivial to
+//     calculate and collisions occur only for call sites which call
+//     multiple destinations (e.g. functional parameters)". A chain per
+//     call site holds the (callee, count) pairs.
+//
+//   - The program-counter histogram (§3.2). Every clock tick delivered by
+//     the VM bumps the bucket covering the sampled PC. Granularity is
+//     configurable; at Granularity 1 "program counter values map
+//     one-to-one onto the histogram".
+//
+// The collector also implements the programmer's interface the
+// retrospective describes for profiling the kernel: Enable, Disable,
+// Reset, and Snapshot ("extract the profiling data") work while the
+// program keeps running.
+//
+// Mcount returns the simulated cycles the monitoring routine consumed
+// beyond the MCOUNT instruction's base cost, so profiling overhead is
+// charged to the program and the paper's 5-30% overhead claim (§7) is a
+// measurable quantity.
+package mon
+
+import (
+	"fmt"
+
+	"repro/internal/gmon"
+	"repro/internal/isa"
+	"repro/internal/object"
+)
+
+// Strategy selects the primary key of the arc hash table.
+type Strategy int
+
+const (
+	// SiteKeyed is the paper's choice: the call site is the primary key
+	// and the callee the secondary key, so the common one-callee-per-site
+	// case costs a single probe.
+	SiteKeyed Strategy = iota
+	// CalleeKeyed is the alternative the paper rejects: the callee is
+	// the primary key and the call site the secondary, which associates
+	// callers with callees "at the expense of longer lookups". Provided
+	// for the ablation benchmark (E9).
+	CalleeKeyed
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case SiteKeyed:
+		return "site-keyed"
+	case CalleeKeyed:
+		return "callee-keyed"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Config controls a Collector.
+type Config struct {
+	// Granularity is the number of text words per histogram bucket.
+	// 0 or 1 gives the one-to-one mapping.
+	Granularity int64
+	// Hz is the clock-tick rate recorded in emitted profiles; 0 means
+	// gmon.DefaultHz. It is metadata only — the VM decides how often
+	// ticks actually fire.
+	Hz int64
+	// Strategy selects the arc-table keying; the zero value is the
+	// paper's site-keyed table.
+	Strategy Strategy
+	// StartDisabled creates the collector with recording off; the
+	// program (or host) must call Enable / SysMonStart.
+	StartDisabled bool
+}
+
+// Stats reports the collector's internal behaviour, for tests and the
+// hash-strategy ablation.
+type Stats struct {
+	McountCalls int64 // MCOUNT executions observed (recording on)
+	Probes      int64 // secondary-key chain probes beyond the first cell
+	Inserts     int64 // new arc cells created
+	Spontaneous int64 // arcs recorded with an unidentifiable caller
+	Ticks       int64 // histogram samples recorded
+	LostTicks   int64 // samples outside the text range (none expected)
+}
+
+type arcCell struct {
+	key   int64 // secondary key: callee pc (SiteKeyed) or call-site pc (CalleeKeyed)
+	count int64
+	next  *arcCell
+}
+
+// Collector gathers profile data for one text range. It is not safe for
+// concurrent use; the simulated machine is single-threaded.
+type Collector struct {
+	cfg      Config
+	textBase int64
+	textLen  int64
+
+	enabled bool
+	table   []*arcCell      // primary hash: one slot per text word
+	spont   map[int64]int64 // callee pc -> count for spontaneous arcs
+	hist    []uint32
+	stats   Stats
+}
+
+// New creates a collector sized for the image's text segment.
+func New(im *object.Image, cfg Config) *Collector {
+	if cfg.Granularity <= 0 {
+		cfg.Granularity = 1
+	}
+	if cfg.Hz <= 0 {
+		cfg.Hz = gmon.DefaultHz
+	}
+	textLen := int64(len(im.Text))
+	nbkt := (textLen + cfg.Granularity - 1) / cfg.Granularity
+	return &Collector{
+		cfg:      cfg,
+		textBase: im.TextBase,
+		textLen:  textLen,
+		enabled:  !cfg.StartDisabled,
+		table:    make([]*arcCell, textLen),
+		spont:    make(map[int64]int64),
+		hist:     make([]uint32, nbkt),
+	}
+}
+
+// Enabled reports whether recording is on.
+func (c *Collector) Enabled() bool { return c.enabled }
+
+// Enable turns recording on (the paper's moncontrol-style interface).
+func (c *Collector) Enable() { c.enabled = true }
+
+// Disable turns recording off. The program keeps running at (nearly)
+// full speed; MCOUNT becomes a cheap no-op.
+func (c *Collector) Disable() { c.enabled = false }
+
+// Reset clears all accumulated data without changing the enabled state.
+func (c *Collector) Reset() {
+	for i := range c.table {
+		c.table[i] = nil
+	}
+	c.spont = make(map[int64]int64)
+	for i := range c.hist {
+		c.hist[i] = 0
+	}
+	c.stats = Stats{}
+}
+
+// Control implements the VM's monitor-control syscalls.
+func (c *Collector) Control(op int) {
+	switch op {
+	case isa.SysMonStart:
+		c.Enable()
+	case isa.SysMonStop:
+		c.Disable()
+	case isa.SysMonReset:
+		c.Reset()
+	}
+}
+
+// Stats returns a copy of the collector's counters.
+func (c *Collector) Stats() Stats { return c.stats }
+
+// Mcount records the arc (frompc → selfpc) and returns the extra cycles
+// the monitoring routine consumed. frompc is the call-site address or a
+// negative value when the caller is unidentifiable (spontaneous).
+func (c *Collector) Mcount(selfpc, frompc int64) int64 {
+	if !c.enabled {
+		return 0
+	}
+	c.stats.McountCalls++
+	if frompc < 0 {
+		// Spontaneous: the apparent source "is not a call site at all".
+		c.stats.Spontaneous++
+		c.spont[selfpc]++
+		return isa.McountProbeCost
+	}
+	var primary, secondary int64
+	switch c.cfg.Strategy {
+	case CalleeKeyed:
+		primary, secondary = selfpc, frompc
+	default:
+		primary, secondary = frompc, selfpc
+	}
+	slot := primary - c.textBase
+	if slot < 0 || slot >= c.textLen {
+		// A caller outside text should have been reported spontaneous;
+		// tolerate it the same way rather than corrupting the table.
+		c.stats.Spontaneous++
+		c.spont[selfpc]++
+		return isa.McountProbeCost
+	}
+	var extra int64
+	for cell := c.table[slot]; cell != nil; cell = cell.next {
+		if cell.key == secondary {
+			cell.count++
+			return extra
+		}
+		c.stats.Probes++
+		extra += isa.McountProbeCost
+	}
+	c.stats.Inserts++
+	c.table[slot] = &arcCell{key: secondary, count: 1, next: c.table[slot]}
+	return extra + isa.McountInsertCost
+}
+
+// Tick records one program-counter sample.
+func (c *Collector) Tick(pc int64) {
+	if !c.enabled {
+		return
+	}
+	idx := pc - c.textBase
+	if idx < 0 || idx >= c.textLen {
+		c.stats.LostTicks++
+		return
+	}
+	c.stats.Ticks++
+	c.hist[idx/c.cfg.Granularity]++
+}
+
+// Snapshot condenses the current data into a profile, the operation the
+// program performs as it exits — or that the programmer's interface
+// performs on a live program. The collector keeps accumulating.
+func (c *Collector) Snapshot() *gmon.Profile {
+	p := &gmon.Profile{
+		Hist: gmon.Histogram{
+			Low:    c.textBase,
+			High:   c.textBase + c.textLen,
+			Step:   c.cfg.Granularity,
+			Counts: append([]uint32(nil), c.hist...),
+		},
+		Hz: c.cfg.Hz,
+	}
+	for slot, cell := range c.table {
+		for ; cell != nil; cell = cell.next {
+			a := gmon.Arc{Count: cell.count}
+			switch c.cfg.Strategy {
+			case CalleeKeyed:
+				a.SelfPC = c.textBase + int64(slot)
+				a.FromPC = cell.key
+			default:
+				a.FromPC = c.textBase + int64(slot)
+				a.SelfPC = cell.key
+			}
+			p.Arcs = append(p.Arcs, a)
+		}
+	}
+	for selfpc, count := range c.spont {
+		p.Arcs = append(p.Arcs, gmon.Arc{FromPC: gmon.SpontaneousPC, SelfPC: selfpc, Count: count})
+	}
+	p.SortArcs()
+	return p
+}

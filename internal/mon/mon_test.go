@@ -1,0 +1,427 @@
+package mon
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/gmon"
+	"repro/internal/isa"
+	"repro/internal/object"
+	"repro/internal/vm"
+)
+
+// testImage links a trivial image whose text is n words, for direct
+// collector tests that do not run the VM.
+func testImage(t *testing.T, n int) *object.Image {
+	t.Helper()
+	text := make([]isa.Word, n)
+	for i := range text {
+		text[i] = isa.Instr{Op: isa.OpNop}.Encode()
+	}
+	o := &object.Object{
+		Name:  "t.o",
+		Text:  text,
+		Funcs: []object.FuncDef{{Name: "main", Offset: 0, Size: int64(n)}},
+	}
+	im, err := object.Link([]*object.Object{o}, object.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestArcCounting(t *testing.T) {
+	im := testImage(t, 16)
+	c := New(im, Config{})
+	site1, site2 := im.TextBase+3, im.TextBase+5
+	callee := im.TextBase + 10
+	for i := 0; i < 4; i++ {
+		c.Mcount(callee, site1)
+	}
+	for i := 0; i < 6; i++ {
+		c.Mcount(callee, site2)
+	}
+	p := c.Snapshot()
+	if len(p.Arcs) != 2 {
+		t.Fatalf("arcs = %+v, want 2", p.Arcs)
+	}
+	for _, a := range p.Arcs {
+		switch a.FromPC {
+		case site1:
+			if a.Count != 4 {
+				t.Errorf("site1 count = %d, want 4", a.Count)
+			}
+		case site2:
+			if a.Count != 6 {
+				t.Errorf("site2 count = %d, want 6", a.Count)
+			}
+		default:
+			t.Errorf("unexpected arc %+v", a)
+		}
+		if a.SelfPC != callee {
+			t.Errorf("arc callee = %#x, want %#x", a.SelfPC, callee)
+		}
+	}
+	st := c.Stats()
+	if st.McountCalls != 10 || st.Inserts != 2 || st.Probes != 0 {
+		t.Errorf("stats = %+v, want 10 calls, 2 inserts, 0 probes", st)
+	}
+}
+
+func TestSiteKeyedCollision(t *testing.T) {
+	// One call site calling two destinations (a functional parameter):
+	// the only case the paper's trivial hash collides on.
+	im := testImage(t, 16)
+	c := New(im, Config{})
+	site := im.TextBase + 2
+	c.Mcount(im.TextBase+8, site)
+	c.Mcount(im.TextBase+9, site) // second callee: one probe + insert
+	c.Mcount(im.TextBase+8, site) // now behind the newer cell: one probe
+	st := c.Stats()
+	if st.Inserts != 2 {
+		t.Errorf("inserts = %d, want 2", st.Inserts)
+	}
+	if st.Probes != 2 {
+		t.Errorf("probes = %d, want 2", st.Probes)
+	}
+	p := c.Snapshot()
+	if len(p.Arcs) != 2 {
+		t.Fatalf("arcs = %+v", p.Arcs)
+	}
+}
+
+func TestCalleeKeyedStrategy(t *testing.T) {
+	// Many callers of one callee: callee-keyed chains grow with the
+	// number of callers, site-keyed ones do not. This is the paper's
+	// stated reason to prefer site keying.
+	im := testImage(t, 64)
+	callee := im.TextBase + 50
+
+	sk := New(im, Config{Strategy: SiteKeyed})
+	ck := New(im, Config{Strategy: CalleeKeyed})
+	const callers = 20
+	for rep := 0; rep < 3; rep++ {
+		for i := 0; i < callers; i++ {
+			site := im.TextBase + int64(i)
+			sk.Mcount(callee, site)
+			ck.Mcount(callee, site)
+		}
+	}
+	if sk.Stats().Probes != 0 {
+		t.Errorf("site-keyed probes = %d, want 0", sk.Stats().Probes)
+	}
+	if ck.Stats().Probes == 0 {
+		t.Error("callee-keyed probes = 0, want > 0 (chain per callee)")
+	}
+	// Both must condense to the same arc multiset.
+	ps, pc := sk.Snapshot(), ck.Snapshot()
+	if len(ps.Arcs) != callers || len(pc.Arcs) != callers {
+		t.Fatalf("arc counts: site=%d callee=%d, want %d", len(ps.Arcs), len(pc.Arcs), callers)
+	}
+	for i := range ps.Arcs {
+		if ps.Arcs[i] != pc.Arcs[i] {
+			t.Errorf("arc %d differs: %+v vs %+v", i, ps.Arcs[i], pc.Arcs[i])
+		}
+	}
+}
+
+func TestSpontaneous(t *testing.T) {
+	im := testImage(t, 8)
+	c := New(im, Config{})
+	c.Mcount(im.TextBase+4, vm.SpontaneousPC)
+	c.Mcount(im.TextBase+4, vm.SpontaneousPC)
+	c.Mcount(im.TextBase+4, im.TextBase-100) // outside text: treated the same
+	p := c.Snapshot()
+	if len(p.Arcs) != 1 || p.Arcs[0].FromPC != gmon.SpontaneousPC || p.Arcs[0].Count != 3 {
+		t.Errorf("arcs = %+v, want one spontaneous with count 3", p.Arcs)
+	}
+	if c.Stats().Spontaneous != 3 {
+		t.Errorf("spontaneous stat = %d", c.Stats().Spontaneous)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	im := testImage(t, 10)
+	c := New(im, Config{})
+	c.Tick(im.TextBase + 3)
+	c.Tick(im.TextBase + 3)
+	c.Tick(im.TextBase + 9)
+	c.Tick(im.TextBase - 1)  // outside
+	c.Tick(im.TextBase + 99) // outside
+	p := c.Snapshot()
+	if p.Hist.Counts[3] != 2 || p.Hist.Counts[9] != 1 {
+		t.Errorf("hist = %v", p.Hist.Counts)
+	}
+	if p.Hist.TotalTicks() != 3 {
+		t.Errorf("total ticks = %d, want 3", p.Hist.TotalTicks())
+	}
+	if c.Stats().LostTicks != 2 {
+		t.Errorf("lost ticks = %d, want 2", c.Stats().LostTicks)
+	}
+}
+
+func TestGranularity(t *testing.T) {
+	im := testImage(t, 10) // text = 2 (_start) + 10 = 12 words
+	c := New(im, Config{Granularity: 4})
+	p := c.Snapshot()
+	if len(p.Hist.Counts) != 3 {
+		t.Fatalf("buckets = %d, want 3", len(p.Hist.Counts))
+	}
+	c.Tick(im.TextBase + 0)
+	c.Tick(im.TextBase + 3)
+	c.Tick(im.TextBase + 4)
+	c.Tick(im.TextBase + 11)
+	p = c.Snapshot()
+	want := []uint32{2, 1, 1}
+	for i, w := range want {
+		if p.Hist.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, p.Hist.Counts[i], w)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("snapshot invalid: %v", err)
+	}
+}
+
+func TestEnableDisableReset(t *testing.T) {
+	im := testImage(t, 8)
+	c := New(im, Config{})
+	if !c.Enabled() {
+		t.Fatal("collector starts disabled")
+	}
+	c.Disable()
+	c.Mcount(im.TextBase+1, im.TextBase)
+	c.Tick(im.TextBase)
+	p := c.Snapshot()
+	if len(p.Arcs) != 0 || p.Hist.TotalTicks() != 0 {
+		t.Error("disabled collector recorded data")
+	}
+	c.Enable()
+	c.Mcount(im.TextBase+1, im.TextBase)
+	c.Tick(im.TextBase)
+	p = c.Snapshot()
+	if len(p.Arcs) != 1 || p.Hist.TotalTicks() != 1 {
+		t.Error("enabled collector did not record")
+	}
+	c.Reset()
+	p = c.Snapshot()
+	if len(p.Arcs) != 0 || p.Hist.TotalTicks() != 0 {
+		t.Error("reset did not clear data")
+	}
+	if !c.Enabled() {
+		t.Error("Reset changed enabled state")
+	}
+}
+
+func TestStartDisabled(t *testing.T) {
+	im := testImage(t, 8)
+	c := New(im, Config{StartDisabled: true})
+	if c.Enabled() {
+		t.Error("StartDisabled collector is enabled")
+	}
+}
+
+func TestControlSyscallMapping(t *testing.T) {
+	im := testImage(t, 8)
+	c := New(im, Config{})
+	c.Control(isa.SysMonStop)
+	if c.Enabled() {
+		t.Error("SysMonStop did not disable")
+	}
+	c.Control(isa.SysMonStart)
+	if !c.Enabled() {
+		t.Error("SysMonStart did not enable")
+	}
+	c.Mcount(im.TextBase+1, im.TextBase)
+	c.Control(isa.SysMonReset)
+	if len(c.Snapshot().Arcs) != 0 {
+		t.Error("SysMonReset did not clear")
+	}
+	c.Control(999) // unknown ops are ignored
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	im := testImage(t, 8)
+	c := New(im, Config{})
+	c.Tick(im.TextBase)
+	p := c.Snapshot()
+	c.Tick(im.TextBase)
+	if p.Hist.Counts[0] != 1 {
+		t.Error("snapshot shares histogram storage with collector")
+	}
+	q := c.Snapshot()
+	if q.Hist.Counts[0] != 2 {
+		t.Error("collector stopped accumulating after snapshot")
+	}
+}
+
+func TestHzMetadata(t *testing.T) {
+	im := testImage(t, 4)
+	if got := New(im, Config{}).Snapshot().ClockHz(); got != gmon.DefaultHz {
+		t.Errorf("default Hz = %d", got)
+	}
+	if got := New(im, Config{Hz: 100}).Snapshot().ClockHz(); got != 100 {
+		t.Errorf("Hz = %d, want 100", got)
+	}
+}
+
+// TestEndToEndWithVM runs a real program under the collector and checks
+// the resulting profile: call counts exact, histogram totals matching
+// delivered ticks.
+func TestEndToEndWithVM(t *testing.T) {
+	src := `
+.func main
+	MOVI R2, 100
+loop:
+	BEQZ R2, done
+	CALL work
+	LEA R2, R2, -1
+	JMP loop
+done:
+	MOVI R0, 0
+	RET
+.end
+.func work
+	MCOUNT
+	MOVI R3, 50
+spin:
+	BEQZ R3, out
+	LEA R3, R3, -1
+	JMP spin
+out:
+	RET
+.end
+`
+	o, err := asm.Assemble("t.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := object.Link([]*object.Object{o}, object.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(im, Config{})
+	res, err := vm.New(im, vm.Config{Monitor: c, TickCycles: 64}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Snapshot()
+	if len(p.Arcs) != 1 {
+		t.Fatalf("arcs = %+v, want exactly 1", p.Arcs)
+	}
+	if p.Arcs[0].Count != 100 {
+		t.Errorf("arc count = %d, want 100 (call counts are exact)", p.Arcs[0].Count)
+	}
+	work, _ := im.LookupFunc("work")
+	if p.Arcs[0].SelfPC != work.Addr {
+		t.Errorf("arc callee = %#x, want %#x", p.Arcs[0].SelfPC, work.Addr)
+	}
+	main, _ := im.LookupFunc("main")
+	site := p.Arcs[0].FromPC
+	if site < main.Addr || site >= main.End() {
+		t.Errorf("call site %#x not inside main [%#x,%#x)", site, main.Addr, main.End())
+	}
+	if p.Hist.TotalTicks() != res.Ticks {
+		t.Errorf("histogram ticks %d != delivered %d", p.Hist.TotalTicks(), res.Ticks)
+	}
+	if res.Ticks == 0 {
+		t.Error("no ticks delivered; tick interval too coarse for test")
+	}
+	// Most samples must land in `work` (the spin loop dominates).
+	var inWork int64
+	for i, n := range p.Hist.Counts {
+		lo, _ := p.Hist.BucketRange(i)
+		if lo >= work.Addr && lo < work.End() {
+			inWork += int64(n)
+		}
+	}
+	if inWork*2 < p.Hist.TotalTicks() {
+		t.Errorf("only %d/%d samples in work; expected a majority", inWork, p.Hist.TotalTicks())
+	}
+}
+
+func TestTraceCollectorEquivalence(t *testing.T) {
+	// The trace, reduced offline, carries the same information as the
+	// condensed table — at vastly higher collection cost and volume.
+	src := `
+.func main
+	MOVI R2, 50
+loop:
+	BEQZ R2, done
+	CALL work
+	LEA R2, R2, -1
+	JMP loop
+done:
+	MOVI R0, 0
+	RET
+.end
+.func work
+	MCOUNT
+	RET
+.end
+`
+	o, err := asm.Assemble("t.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := object.Link([]*object.Object{o}, object.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	condensed := New(im, Config{})
+	resC, err := vm.New(im, vm.Config{Monitor: condensed, TickCycles: 64}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := NewTrace(im, 0)
+	resT, err := vm.New(im, vm.Config{Monitor: trace, TickCycles: 64}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same arcs after offline reduction.
+	pc, pt := condensed.Snapshot(), trace.Snapshot()
+	if len(pc.Arcs) != len(pt.Arcs) {
+		t.Fatalf("arc sets differ: %d vs %d", len(pc.Arcs), len(pt.Arcs))
+	}
+	for i := range pc.Arcs {
+		if pc.Arcs[i] != pt.Arcs[i] {
+			t.Errorf("arc %d: %+v vs %+v", i, pc.Arcs[i], pt.Arcs[i])
+		}
+	}
+	// Tracing costs far more time...
+	if resT.Cycles <= resC.Cycles {
+		t.Errorf("tracing (%d cycles) not slower than condensing (%d)", resT.Cycles, resC.Cycles)
+	}
+	// ...and far more space.
+	if trace.TraceWords() <= 10*CondensedWords(pc) {
+		t.Errorf("trace volume %d words vs condensed %d; expected >10x",
+			trace.TraceWords(), CondensedWords(pc))
+	}
+	if trace.Events() != 50 {
+		t.Errorf("events = %d, want 50", trace.Events())
+	}
+}
+
+func TestTraceCollectorControl(t *testing.T) {
+	im := testImage(t, 8)
+	c := NewTrace(im, 100)
+	c.Mcount(im.TextBase+1, im.TextBase)
+	c.Tick(im.TextBase)
+	c.Control(isa.SysMonStop)
+	c.Mcount(im.TextBase+1, im.TextBase)
+	c.Tick(im.TextBase)
+	if c.Events() != 1 {
+		t.Errorf("disabled trace recorded: %d events", c.Events())
+	}
+	c.Control(isa.SysMonReset)
+	if c.Events() != 0 || c.TraceWords() != 0 {
+		t.Error("reset did not clear the trace")
+	}
+	c.Control(isa.SysMonStart)
+	if got := c.Mcount(im.TextBase+1, im.TextBase); got != DefaultTraceEventCost {
+		t.Errorf("event cost = %d", got)
+	}
+	if c.Snapshot().ClockHz() != 100 {
+		t.Error("hz metadata lost")
+	}
+}

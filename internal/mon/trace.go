@@ -1,0 +1,144 @@
+package mon
+
+import (
+	"repro/internal/gmon"
+	"repro/internal/isa"
+	"repro/internal/object"
+)
+
+// TraceCollector is the design the paper rejects in §3: instead of
+// condensing arcs into an in-memory table, it emits one trace record per
+// monitoring event ("the monitoring routine must not produce trace
+// output each time it is invoked. The volume of data thus produced would
+// be unmanageably large, and the time required to record it would
+// overwhelm the running time of most programs").
+//
+// It exists to make that claim measurable (experiment E12): each event
+// is charged the simulated cost of writing a small buffered record, and
+// the collector counts the words a trace file would contain, to compare
+// against the condensed arc table's size and mcount's overhead.
+//
+// For equivalence checks, the trace is reduced to a Profile at Snapshot
+// time (what an offline reducer would do with the trace file) — the
+// *information* is the same as mcount's; only the collection cost and
+// data volume differ. Tick events are recorded the same way real PC
+// tracing would.
+type TraceCollector struct {
+	textBase int64
+	textLen  int64
+	enabled  bool
+	hz       int64
+	gran     int64
+
+	// EventCost is the simulated cycles charged per traced call event
+	// (a buffered two-word record write). The default models a cheap
+	// buffered write; a real 1982 trace to disk would be far worse.
+	EventCost int64
+
+	events []traceEvent
+	ticks  []int64
+	words  int64
+}
+
+type traceEvent struct{ selfpc, frompc int64 }
+
+// DefaultTraceEventCost is the per-event charge when EventCost is 0.
+const DefaultTraceEventCost = 80
+
+// traceRecordWords is the size of one trace record (selfpc, frompc).
+const traceRecordWords = 2
+
+// NewTrace creates a trace-based collector for the image.
+func NewTrace(im *object.Image, hz int64) *TraceCollector {
+	if hz <= 0 {
+		hz = gmon.DefaultHz
+	}
+	return &TraceCollector{
+		textBase:  im.TextBase,
+		textLen:   int64(len(im.Text)),
+		enabled:   true,
+		hz:        hz,
+		gran:      1,
+		EventCost: DefaultTraceEventCost,
+	}
+}
+
+// Mcount records one trace event and returns its (large) cost.
+func (c *TraceCollector) Mcount(selfpc, frompc int64) int64 {
+	if !c.enabled {
+		return 0
+	}
+	c.events = append(c.events, traceEvent{selfpc, frompc})
+	c.words += traceRecordWords
+	return c.EventCost
+}
+
+// Tick records a PC sample event (also traced, also two words: a marker
+// and the pc).
+func (c *TraceCollector) Tick(pc int64) {
+	if !c.enabled {
+		return
+	}
+	c.ticks = append(c.ticks, pc)
+	c.words += traceRecordWords
+}
+
+// Control implements the monitor-control syscalls.
+func (c *TraceCollector) Control(op int) {
+	switch op {
+	case isa.SysMonStart:
+		c.enabled = true
+	case isa.SysMonStop:
+		c.enabled = false
+	case isa.SysMonReset:
+		c.events = c.events[:0]
+		c.ticks = c.ticks[:0]
+		c.words = 0
+	}
+}
+
+// Events returns the number of traced call events.
+func (c *TraceCollector) Events() int64 { return int64(len(c.events)) }
+
+// TraceWords returns the size of the trace a file would hold, in words.
+func (c *TraceCollector) TraceWords() int64 { return c.words }
+
+// Snapshot reduces the trace offline into the same profile mcount
+// produces online, proving the information content is identical.
+func (c *TraceCollector) Snapshot() *gmon.Profile {
+	reduced := &gmon.Profile{
+		Hist: gmon.Histogram{
+			Low:    c.textBase,
+			High:   c.textBase + c.textLen,
+			Step:   c.gran,
+			Counts: make([]uint32, c.textLen),
+		},
+		Hz: c.hz,
+	}
+	type key struct{ from, self int64 }
+	counts := make(map[key]int64)
+	for _, e := range c.events {
+		from := e.frompc
+		if from < 0 {
+			from = gmon.SpontaneousPC
+		}
+		counts[key{from, e.selfpc}]++
+	}
+	for k, n := range counts {
+		reduced.Arcs = append(reduced.Arcs, gmon.Arc{FromPC: k.from, SelfPC: k.self, Count: n})
+	}
+	for _, pc := range c.ticks {
+		if i := reduced.Hist.BucketFor(pc); i >= 0 {
+			reduced.Hist.Counts[i]++
+		}
+	}
+	reduced.SortArcs()
+	return reduced
+}
+
+// CondensedWords returns the size, in words, of the condensed arc table
+// an mcount-style collector would write for the same data (three words
+// per distinct arc, as in the gmon format).
+func CondensedWords(p *gmon.Profile) int64 {
+	return int64(len(p.Arcs)) * 3
+}

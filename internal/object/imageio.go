@@ -1,0 +1,243 @@
+package object
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Executable file format ("a.out" for the simulated machine), all fields
+// little-endian:
+//
+//	magic    [4]byte "SIMX"
+//	version  uint32
+//	textBase int64
+//	entry    int64
+//	dataBase int64
+//	stackTop int64
+//	ntext    uint32
+//	ndata    uint32
+//	nfuncs   uint32
+//	nglobals uint32
+//	text     [ntext]int64
+//	data     [ndata]int64
+//	funcs    [nfuncs]{nameLen uint32, name []byte, addr int64, size int64,
+//	                  fileLen uint32, file []byte,
+//	                  nmarks uint32, marks [nmarks]{off int64, line int32}}
+//	globals  [nglobals]{nameLen uint32, name []byte, off int64}
+var imageMagic = [4]byte{'S', 'I', 'M', 'X'}
+
+// ImageVersion is the current executable format version. Version 2
+// added per-routine source files and line marks.
+const ImageVersion = 2
+
+const maxImageRecords = 1 << 28
+
+// WriteImage encodes a linked image to w.
+func WriteImage(w io.Writer, im *Image) error {
+	bw := bufio.NewWriter(w)
+	put := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
+	putString := func(s string) error {
+		if err := put(uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if _, err := bw.Write(imageMagic[:]); err != nil {
+		return err
+	}
+	for _, v := range []any{
+		uint32(ImageVersion), im.TextBase, im.Entry, im.DataBase, im.StackTop,
+		uint32(len(im.Text)), uint32(len(im.Data)),
+		uint32(len(im.Funcs)), uint32(len(im.globals)),
+	} {
+		if err := put(v); err != nil {
+			return err
+		}
+	}
+	if err := put(im.Text); err != nil {
+		return err
+	}
+	if err := put(im.Data); err != nil {
+		return err
+	}
+	for _, f := range im.Funcs {
+		if err := putString(f.Name); err != nil {
+			return err
+		}
+		if err := put(f.Addr); err != nil {
+			return err
+		}
+		if err := put(f.Size); err != nil {
+			return err
+		}
+		if err := putString(f.File); err != nil {
+			return err
+		}
+		if err := put(uint32(len(f.Lines))); err != nil {
+			return err
+		}
+		for _, m := range f.Lines {
+			if err := put(m.Offset); err != nil {
+				return err
+			}
+			if err := put(m.Line); err != nil {
+				return err
+			}
+		}
+	}
+	// Deterministic global order: by offset.
+	type g struct {
+		name string
+		off  int64
+	}
+	gs := make([]g, 0, len(im.globals))
+	for name, off := range im.globals {
+		gs = append(gs, g{name, off})
+	}
+	for i := 1; i < len(gs); i++ {
+		for j := i; j > 0 && gs[j-1].off > gs[j].off; j-- {
+			gs[j-1], gs[j] = gs[j], gs[j-1]
+		}
+	}
+	for _, x := range gs {
+		if err := putString(x.name); err != nil {
+			return err
+		}
+		if err := put(x.off); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadImage decodes an executable from r.
+func ReadImage(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	get := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+	getString := func() (string, error) {
+		var n uint32
+		if err := get(&n); err != nil {
+			return "", err
+		}
+		if n > maxImageRecords {
+			return "", fmt.Errorf("object: implausible string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("object: reading magic: %w", err)
+	}
+	if m != imageMagic {
+		return nil, fmt.Errorf("object: bad magic %q (not an executable)", m[:])
+	}
+	var version uint32
+	if err := get(&version); err != nil {
+		return nil, err
+	}
+	if version != ImageVersion {
+		return nil, fmt.Errorf("object: unsupported executable version %d", version)
+	}
+	im := &Image{globals: make(map[string]int64)}
+	var ntext, ndata, nfuncs, nglobals uint32
+	for _, v := range []any{&im.TextBase, &im.Entry, &im.DataBase, &im.StackTop,
+		&ntext, &ndata, &nfuncs, &nglobals} {
+		if err := get(v); err != nil {
+			return nil, fmt.Errorf("object: reading header: %w", err)
+		}
+	}
+	if ntext > maxImageRecords || ndata > maxImageRecords ||
+		nfuncs > maxImageRecords || nglobals > maxImageRecords {
+		return nil, fmt.Errorf("object: implausible record counts")
+	}
+	im.Text = make([]int64, ntext)
+	if err := get(im.Text); err != nil {
+		return nil, err
+	}
+	im.Data = make([]int64, ndata)
+	if err := get(im.Data); err != nil {
+		return nil, err
+	}
+	im.Funcs = make([]Sym, nfuncs)
+	for i := range im.Funcs {
+		name, err := getString()
+		if err != nil {
+			return nil, err
+		}
+		im.Funcs[i].Name = name
+		if err := get(&im.Funcs[i].Addr); err != nil {
+			return nil, err
+		}
+		if err := get(&im.Funcs[i].Size); err != nil {
+			return nil, err
+		}
+		if im.Funcs[i].File, err = getString(); err != nil {
+			return nil, err
+		}
+		var nmarks uint32
+		if err := get(&nmarks); err != nil {
+			return nil, err
+		}
+		if nmarks > maxImageRecords {
+			return nil, fmt.Errorf("object: implausible line mark count %d", nmarks)
+		}
+		if nmarks > 0 {
+			im.Funcs[i].Lines = make([]LineMark, nmarks)
+			for j := range im.Funcs[i].Lines {
+				if err := get(&im.Funcs[i].Lines[j].Offset); err != nil {
+					return nil, err
+				}
+				if err := get(&im.Funcs[i].Lines[j].Line); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for i := uint32(0); i < nglobals; i++ {
+		name, err := getString()
+		if err != nil {
+			return nil, err
+		}
+		var off int64
+		if err := get(&off); err != nil {
+			return nil, err
+		}
+		im.globals[name] = off
+	}
+	return im, nil
+}
+
+// WriteImageFile writes an executable to the named file.
+func WriteImageFile(name string, im *Image) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := WriteImage(f, im); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadImageFile reads an executable from the named file.
+func ReadImageFile(name string) (*Image, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	im, err := ReadImage(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return im, nil
+}

@@ -1,0 +1,164 @@
+package object
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// StartName is the name of the routine the linker synthesizes to call the
+// entry function and exit with its return value. It is not compiled with
+// profiling, so arcs into the entry function have their source inside
+// StartName — mirroring how crt0 appears in real gprof output.
+const StartName = "_start"
+
+// LinkConfig controls linking.
+type LinkConfig struct {
+	// Entry is the routine _start calls. Defaults to "main".
+	Entry string
+	// StackWords is the size of the stack segment. Defaults to 64 Ki words.
+	StackWords int64
+}
+
+// DefaultStackWords is the stack size used when LinkConfig.StackWords is 0.
+const DefaultStackWords = 64 * 1024
+
+// Link combines objects into an executable image. It lays out a
+// synthesized _start routine followed by each object's text, allocates
+// the data segment, and applies all relocations.
+func Link(objs []*Object, cfg LinkConfig) (*Image, error) {
+	if cfg.Entry == "" {
+		cfg.Entry = "main"
+	}
+	if cfg.StackWords == 0 {
+		cfg.StackWords = DefaultStackWords
+	}
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("link: no objects")
+	}
+
+	im := &Image{TextBase: isa.TextBase, globals: make(map[string]int64)}
+
+	// _start: CALL <entry>; SYS exit. Two words at TextBase.
+	const startSize = 2
+	im.Entry = im.TextBase
+	im.Funcs = append(im.Funcs, Sym{Name: StartName, Addr: im.TextBase, Size: startSize})
+
+	// First pass: assign function addresses and global offsets.
+	funcAddr := make(map[string]int64)
+	base := im.TextBase + startSize
+	objBase := make([]int64, len(objs))
+	var dataOff int64
+	for i, o := range objs {
+		objBase[i] = base
+		for _, f := range o.Funcs {
+			if f.Offset < 0 || f.Size < 0 || f.Offset+f.Size > int64(len(o.Text)) {
+				return nil, fmt.Errorf("link: %s: routine %s spans [%d,%d) outside text of %d words",
+					o.Name, f.Name, f.Offset, f.Offset+f.Size, len(o.Text))
+			}
+			if _, dup := funcAddr[f.Name]; dup {
+				return nil, fmt.Errorf("link: duplicate routine %s (in %s)", f.Name, o.Name)
+			}
+			addr := base + f.Offset
+			funcAddr[f.Name] = addr
+			sym := Sym{Name: f.Name, Addr: addr, Size: f.Size, File: f.File}
+			for _, m := range f.Lines {
+				sym.Lines = append(sym.Lines, LineMark{Offset: base + m.Offset, Line: m.Line})
+			}
+			im.Funcs = append(im.Funcs, sym)
+		}
+		for _, g := range o.Globals {
+			if g.Size <= 0 {
+				return nil, fmt.Errorf("link: %s: global %s has size %d", o.Name, g.Name, g.Size)
+			}
+			if int64(len(g.Init)) > g.Size {
+				return nil, fmt.Errorf("link: %s: global %s has %d initializers for %d words",
+					o.Name, g.Name, len(g.Init), g.Size)
+			}
+			if _, dup := im.globals[g.Name]; dup {
+				return nil, fmt.Errorf("link: duplicate global %s (in %s)", g.Name, o.Name)
+			}
+			im.globals[g.Name] = dataOff
+			dataOff += g.Size
+		}
+		base += int64(len(o.Text))
+	}
+	if funcAddr[StartName] != 0 {
+		return nil, fmt.Errorf("link: routine name %s is reserved", StartName)
+	}
+	entryAddr, ok := funcAddr[cfg.Entry]
+	if !ok {
+		return nil, fmt.Errorf("link: undefined entry routine %s", cfg.Entry)
+	}
+
+	// Emit text: _start, then object bodies.
+	im.Text = make([]isa.Word, 0, startSize+int(base-im.TextBase-startSize))
+	im.Text = append(im.Text,
+		isa.Instr{Op: isa.OpCall, Imm: int32(entryAddr)}.Encode(),
+		isa.Instr{Op: isa.OpSys, Imm: isa.SysExit}.Encode(),
+	)
+	for _, o := range objs {
+		im.Text = append(im.Text, o.Text...)
+	}
+
+	// Data segment sits right after text; stack above data.
+	im.DataBase = im.TextEnd()
+	im.Data = make([]isa.Word, dataOff)
+	for _, o := range objs {
+		for _, g := range o.Globals {
+			copy(im.Data[im.globals[g.Name]:], g.Init)
+		}
+	}
+	im.StackTop = im.DataBase + dataOff + cfg.StackWords
+
+	// Second pass: apply relocations.
+	for i, o := range objs {
+		for _, r := range o.Relocs {
+			if r.Offset < 0 || r.Offset >= int64(len(o.Text)) {
+				return nil, fmt.Errorf("link: %s: relocation offset %d outside text", o.Name, r.Offset)
+			}
+			idx := objBase[i] - im.TextBase + r.Offset
+			instr, err := isa.Decode(im.Text[idx])
+			if err != nil {
+				return nil, fmt.Errorf("link: %s: relocation at offset %d targets non-instruction: %v",
+					o.Name, r.Offset, err)
+			}
+			var value int64
+			switch r.Kind {
+			case RelocCall, RelocFuncAddr:
+				addr, ok := funcAddr[r.Name]
+				if !ok {
+					return nil, fmt.Errorf("link: %s: undefined routine %s", o.Name, r.Name)
+				}
+				value = addr
+			case RelocGlobal:
+				off, ok := im.globals[r.Name]
+				if !ok {
+					return nil, fmt.Errorf("link: %s: undefined global %s", o.Name, r.Name)
+				}
+				value = off
+			case RelocText:
+				value = objBase[i]
+			default:
+				return nil, fmt.Errorf("link: %s: unknown relocation kind %v", o.Name, r.Kind)
+			}
+			patched := int64(instr.Imm) + value // existing Imm acts as an addend
+			if patched > math.MaxInt32 || patched < math.MinInt32 {
+				return nil, fmt.Errorf("link: %s: relocation %s overflows imm field", o.Name, r.Name)
+			}
+			instr.Imm = int32(patched)
+			im.Text[idx] = instr.Encode()
+		}
+	}
+
+	sort.Slice(im.Funcs, func(a, b int) bool { return im.Funcs[a].Addr < im.Funcs[b].Addr })
+	for i := 1; i < len(im.Funcs); i++ {
+		if im.Funcs[i].Addr < im.Funcs[i-1].End() {
+			return nil, fmt.Errorf("link: routines %s and %s overlap",
+				im.Funcs[i-1].Name, im.Funcs[i].Name)
+		}
+	}
+	return im, nil
+}

@@ -1,0 +1,193 @@
+// Package object models relocatable object files, the linker that
+// combines them into an executable image, and the text-segment scanner
+// that recovers the static call graph from a linked image.
+//
+// The paper obtains its static call graph by examining "the instructions
+// in the object program, looking for calls to routines" (gprof, §4) — the
+// executable is available and language-independent where the source text
+// may not be. Scan (in scan.go) is exactly that facility for our ISA.
+package object
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// RelocKind says how a relocation patches the instruction it refers to.
+type RelocKind uint8
+
+const (
+	// RelocCall patches the Imm field of a CALL or JMP with the absolute
+	// address of a function.
+	RelocCall RelocKind = iota
+	// RelocFuncAddr patches the Imm field of a MOVI with the absolute
+	// address of a function, materializing a function pointer.
+	RelocFuncAddr
+	// RelocGlobal patches the Imm field of a LD/ST/LEA with the word
+	// offset of a global variable from the data base (GP register).
+	RelocGlobal
+	// RelocText adds the absolute address of the object's first text word
+	// to the Imm field. Assemblers and compilers emit branch targets as
+	// object-local offsets with a RelocText fixup, since final addresses
+	// are only known at link time. Name is unused.
+	RelocText
+)
+
+func (k RelocKind) String() string {
+	switch k {
+	case RelocCall:
+		return "call"
+	case RelocFuncAddr:
+		return "funcaddr"
+	case RelocGlobal:
+		return "global"
+	case RelocText:
+		return "text"
+	}
+	return fmt.Sprintf("reloc(%d)", uint8(k))
+}
+
+// Reloc records one fixup to perform at link time.
+type Reloc struct {
+	Offset int64  // word offset of the instruction within the object's text
+	Name   string // referenced symbol
+	Kind   RelocKind
+}
+
+// LineMark associates an instruction with a source line: instructions
+// from Offset up to the next mark came from Line. Offsets are
+// object-relative in FuncDef and absolute in Sym.
+type LineMark struct {
+	Offset int64
+	Line   int32
+}
+
+// FuncDef describes one routine defined in an object file.
+type FuncDef struct {
+	Name   string
+	Offset int64 // word offset of the first instruction within the object's text
+	Size   int64 // number of instruction words
+	File   string
+	Lines  []LineMark // sorted by Offset; optional debug info
+}
+
+// GlobalDef describes one global variable (or array) defined in an object
+// file. Init, when non-nil, provides initial values; missing words are
+// zero.
+type GlobalDef struct {
+	Name string
+	Size int64 // words
+	Init []isa.Word
+}
+
+// Object is a relocatable unit produced by the assembler or the compiler.
+type Object struct {
+	Name    string // source name, for diagnostics
+	Text    []isa.Word
+	Funcs   []FuncDef
+	Globals []GlobalDef
+	Relocs  []Reloc
+}
+
+// Func returns the definition of the named routine, if present.
+func (o *Object) Func(name string) (FuncDef, bool) {
+	for _, f := range o.Funcs {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FuncDef{}, false
+}
+
+// Sym is a linked symbol: a routine placed at its final address.
+type Sym struct {
+	Name string
+	Addr int64 // absolute address of the first instruction
+	Size int64 // instruction words
+	File string
+	// Lines holds absolute-address line marks (see LineMark); may be
+	// empty when the routine was assembled without debug info.
+	Lines []LineMark
+}
+
+// End returns the address one past the last instruction of the routine.
+func (s Sym) End() int64 { return s.Addr + s.Size }
+
+// LineFor returns the source line covering pc, or 0 when unknown.
+func (s Sym) LineFor(pc int64) int32 {
+	line := int32(0)
+	for _, m := range s.Lines {
+		if m.Offset > pc {
+			break
+		}
+		line = m.Line
+	}
+	return line
+}
+
+// Image is a linked executable.
+type Image struct {
+	Text     []isa.Word
+	TextBase int64 // address of Text[0]
+	Entry    int64 // address of the synthesized start routine
+	Funcs    []Sym // sorted by Addr, non-overlapping
+	DataBase int64 // address of the first data word (GP register value)
+	Data     []isa.Word
+	StackTop int64 // initial SP
+	globals  map[string]int64
+}
+
+// TextEnd returns the address one past the last text word.
+func (im *Image) TextEnd() int64 { return im.TextBase + int64(len(im.Text)) }
+
+// FindFunc returns the routine containing address pc, if any.
+func (im *Image) FindFunc(pc int64) (Sym, bool) {
+	i := sort.Search(len(im.Funcs), func(i int) bool { return im.Funcs[i].End() > pc })
+	if i < len(im.Funcs) && im.Funcs[i].Addr <= pc && pc < im.Funcs[i].End() {
+		return im.Funcs[i], true
+	}
+	return Sym{}, false
+}
+
+// LookupFunc returns the symbol for the named routine.
+func (im *Image) LookupFunc(name string) (Sym, bool) {
+	for _, s := range im.Funcs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Sym{}, false
+}
+
+// LineFor maps an address to its source position, when debug info is
+// present.
+func (im *Image) LineFor(pc int64) (file string, line int32, ok bool) {
+	fn, found := im.FindFunc(pc)
+	if !found || fn.File == "" {
+		return "", 0, false
+	}
+	l := fn.LineFor(pc)
+	if l == 0 {
+		return "", 0, false
+	}
+	return fn.File, l, true
+}
+
+// GlobalAddr returns the absolute address of a linked global variable.
+func (im *Image) GlobalAddr(name string) (int64, bool) {
+	off, ok := im.globals[name]
+	if !ok {
+		return 0, false
+	}
+	return im.DataBase + off, true
+}
+
+// Fetch returns the text word at address pc.
+func (im *Image) Fetch(pc int64) (isa.Word, error) {
+	if pc < im.TextBase || pc >= im.TextEnd() {
+		return 0, fmt.Errorf("object: text fetch out of range: %#x", pc)
+	}
+	return im.Text[pc-im.TextBase], nil
+}

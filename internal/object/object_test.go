@@ -1,0 +1,349 @@
+package object
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// buildObj constructs a tiny object by hand: two routines, one global.
+//
+//	f: MOVI R0, &g-ish... actually:
+//	f: CALL g; RET        (offsets 0,1)
+//	g: LD R0,[GP+$x]; RET (offsets 2,3)
+func buildObj() *Object {
+	return &Object{
+		Name: "hand.o",
+		Text: []isa.Word{
+			isa.Instr{Op: isa.OpCall}.Encode(),
+			isa.Instr{Op: isa.OpRet}.Encode(),
+			isa.Instr{Op: isa.OpLd, Rd: 0, Rs1: isa.RegGP}.Encode(),
+			isa.Instr{Op: isa.OpRet}.Encode(),
+		},
+		Funcs: []FuncDef{
+			{Name: "f", Offset: 0, Size: 2},
+			{Name: "g", Offset: 2, Size: 2},
+		},
+		Globals: []GlobalDef{{Name: "x", Size: 2, Init: []isa.Word{7}}},
+		Relocs: []Reloc{
+			{Offset: 0, Name: "g", Kind: RelocCall},
+			{Offset: 2, Name: "x", Kind: RelocGlobal},
+		},
+	}
+}
+
+func TestLinkLayout(t *testing.T) {
+	im, err := Link([]*Object{buildObj()}, LinkConfig{Entry: "f"})
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	if im.TextBase != isa.TextBase {
+		t.Errorf("TextBase = %#x", im.TextBase)
+	}
+	if im.Entry != im.TextBase {
+		t.Errorf("Entry = %#x, want _start at TextBase", im.Entry)
+	}
+	// _start(2) + 4 object words.
+	if len(im.Text) != 6 {
+		t.Fatalf("text len = %d, want 6", len(im.Text))
+	}
+	f, ok := im.LookupFunc("f")
+	if !ok || f.Addr != im.TextBase+2 || f.Size != 2 {
+		t.Errorf("f = %+v ok=%v", f, ok)
+	}
+	g, ok := im.LookupFunc("g")
+	if !ok || g.Addr != im.TextBase+4 {
+		t.Errorf("g = %+v ok=%v", g, ok)
+	}
+	// _start's CALL targets f.
+	start, _ := isa.Decode(im.Text[0])
+	if start.Op != isa.OpCall || int64(start.Imm) != f.Addr {
+		t.Errorf("_start call = %+v, want CALL %#x", start, f.Addr)
+	}
+	// The CALL in f was relocated to g.
+	call, _ := isa.Decode(im.Text[2])
+	if int64(call.Imm) != g.Addr {
+		t.Errorf("f's CALL imm = %#x, want %#x", call.Imm, g.Addr)
+	}
+	// Global x: data segment right after text, initialized.
+	addr, ok := im.GlobalAddr("x")
+	if !ok || addr != im.DataBase {
+		t.Errorf("GlobalAddr(x) = %#x ok=%v, want %#x", addr, ok, im.DataBase)
+	}
+	if im.DataBase != im.TextEnd() {
+		t.Errorf("DataBase = %#x, want TextEnd %#x", im.DataBase, im.TextEnd())
+	}
+	if len(im.Data) != 2 || im.Data[0] != 7 || im.Data[1] != 0 {
+		t.Errorf("Data = %v, want [7 0]", im.Data)
+	}
+	// The LD picked up x's offset (0) as its Imm.
+	ld, _ := isa.Decode(im.Text[4])
+	if ld.Imm != 0 {
+		t.Errorf("LD imm = %d, want 0", ld.Imm)
+	}
+	if im.StackTop != im.DataBase+2+DefaultStackWords {
+		t.Errorf("StackTop = %#x", im.StackTop)
+	}
+}
+
+func TestFindFunc(t *testing.T) {
+	im, err := Link([]*Object{buildObj()}, LinkConfig{Entry: "f"})
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	f, _ := im.LookupFunc("f")
+	for pc := f.Addr; pc < f.End(); pc++ {
+		got, ok := im.FindFunc(pc)
+		if !ok || got.Name != "f" {
+			t.Errorf("FindFunc(%#x) = %v,%v, want f", pc, got.Name, ok)
+		}
+	}
+	if _, ok := im.FindFunc(im.TextEnd()); ok {
+		t.Error("FindFunc past text succeeded")
+	}
+	if _, ok := im.FindFunc(0); ok {
+		t.Error("FindFunc(0) succeeded")
+	}
+	if got, ok := im.FindFunc(im.TextBase); !ok || got.Name != StartName {
+		t.Errorf("FindFunc(TextBase) = %v,%v, want %s", got.Name, ok, StartName)
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	dup := buildObj()
+	dup2 := buildObj()
+	dup2.Name = "dup2.o"
+	dup2.Globals = nil
+	cases := []struct {
+		name    string
+		objs    []*Object
+		cfg     LinkConfig
+		wantSub string
+	}{
+		{"no objects", nil, LinkConfig{}, "no objects"},
+		{"missing entry", []*Object{buildObj()}, LinkConfig{Entry: "nope"}, "undefined entry"},
+		{"default entry missing", []*Object{buildObj()}, LinkConfig{}, "undefined entry routine main"},
+		{"duplicate func", []*Object{dup, dup2}, LinkConfig{Entry: "f"}, "duplicate routine"},
+		{"undefined call", []*Object{{
+			Name:   "u.o",
+			Text:   []isa.Word{isa.Instr{Op: isa.OpCall}.Encode()},
+			Funcs:  []FuncDef{{Name: "main", Offset: 0, Size: 1}},
+			Relocs: []Reloc{{Offset: 0, Name: "ghost", Kind: RelocCall}},
+		}}, LinkConfig{}, "undefined routine ghost"},
+		{"undefined global", []*Object{{
+			Name:   "u.o",
+			Text:   []isa.Word{isa.Instr{Op: isa.OpLd}.Encode()},
+			Funcs:  []FuncDef{{Name: "main", Offset: 0, Size: 1}},
+			Relocs: []Reloc{{Offset: 0, Name: "ghost", Kind: RelocGlobal}},
+		}}, LinkConfig{}, "undefined global ghost"},
+		{"func out of range", []*Object{{
+			Name:  "u.o",
+			Text:  []isa.Word{isa.Instr{Op: isa.OpRet}.Encode()},
+			Funcs: []FuncDef{{Name: "main", Offset: 0, Size: 5}},
+		}}, LinkConfig{}, "outside text"},
+		{"reserved name", []*Object{{
+			Name:  "u.o",
+			Text:  []isa.Word{isa.Instr{Op: isa.OpRet}.Encode(), isa.Instr{Op: isa.OpRet}.Encode()},
+			Funcs: []FuncDef{{Name: StartName, Offset: 0, Size: 1}, {Name: "main", Offset: 1, Size: 1}},
+		}}, LinkConfig{}, "reserved"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Link(tc.objs, tc.cfg)
+			if err == nil {
+				t.Fatalf("linked, want error containing %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error = %q, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestLinkMultipleObjects(t *testing.T) {
+	o1 := &Object{
+		Name: "a.o",
+		Text: []isa.Word{
+			isa.Instr{Op: isa.OpCall}.Encode(), // CALL helper (other object)
+			isa.Instr{Op: isa.OpRet}.Encode(),
+		},
+		Funcs:  []FuncDef{{Name: "main", Offset: 0, Size: 2}},
+		Relocs: []Reloc{{Offset: 0, Name: "helper", Kind: RelocCall}},
+	}
+	o2 := &Object{
+		Name:    "b.o",
+		Text:    []isa.Word{isa.Instr{Op: isa.OpRet}.Encode()},
+		Funcs:   []FuncDef{{Name: "helper", Offset: 0, Size: 1}},
+		Globals: []GlobalDef{{Name: "shared", Size: 3}},
+	}
+	im, err := Link([]*Object{o1, o2}, LinkConfig{})
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	h, ok := im.LookupFunc("helper")
+	if !ok {
+		t.Fatal("helper not linked")
+	}
+	call, _ := isa.Decode(im.Text[2])
+	if int64(call.Imm) != h.Addr {
+		t.Errorf("cross-object CALL imm = %#x, want %#x", call.Imm, h.Addr)
+	}
+	if _, ok := im.GlobalAddr("shared"); !ok {
+		t.Error("global from second object not linked")
+	}
+}
+
+func TestScanStaticArcs(t *testing.T) {
+	// main calls helper twice (two sites) and leaf once; helper calls
+	// leaf; an indirect CALLR must not produce an arc.
+	o := &Object{
+		Name: "s.o",
+		Text: []isa.Word{
+			// main at 0..4
+			isa.Instr{Op: isa.OpCall}.Encode(),          // -> helper
+			isa.Instr{Op: isa.OpCall}.Encode(),          // -> helper
+			isa.Instr{Op: isa.OpCall}.Encode(),          // -> leaf
+			isa.Instr{Op: isa.OpCallR, Rs1: 1}.Encode(), // indirect
+			isa.Instr{Op: isa.OpRet}.Encode(),           //
+			// helper at 5..6
+			isa.Instr{Op: isa.OpCall}.Encode(), // -> leaf
+			isa.Instr{Op: isa.OpRet}.Encode(),
+			// leaf at 7
+			isa.Instr{Op: isa.OpRet}.Encode(),
+		},
+		Funcs: []FuncDef{
+			{Name: "main", Offset: 0, Size: 5},
+			{Name: "helper", Offset: 5, Size: 2},
+			{Name: "leaf", Offset: 7, Size: 1},
+		},
+		Relocs: []Reloc{
+			{Offset: 0, Name: "helper", Kind: RelocCall},
+			{Offset: 1, Name: "helper", Kind: RelocCall},
+			{Offset: 2, Name: "leaf", Kind: RelocCall},
+			{Offset: 5, Name: "leaf", Kind: RelocCall},
+		},
+	}
+	im, err := Link([]*Object{o}, LinkConfig{})
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	arcs := Scan(im)
+	type pair struct{ c, e string }
+	count := map[pair]int{}
+	for _, a := range arcs {
+		count[pair{a.Caller, a.Callee}]++
+	}
+	want := map[pair]int{
+		{StartName, "main"}: 1, // the synthesized start call
+		{"main", "helper"}:  2,
+		{"main", "leaf"}:    1,
+		{"helper", "leaf"}:  1,
+	}
+	for p, n := range want {
+		if count[p] != n {
+			t.Errorf("arc %s->%s: got %d sites, want %d", p.c, p.e, count[p], n)
+		}
+	}
+	if len(arcs) != 5 {
+		t.Errorf("got %d arcs total, want 5: %+v", len(arcs), arcs)
+	}
+	// Sorted order by caller name.
+	for i := 1; i < len(arcs); i++ {
+		if arcs[i-1].Caller > arcs[i].Caller {
+			t.Errorf("arcs not sorted: %v before %v", arcs[i-1], arcs[i])
+		}
+	}
+}
+
+func TestObjectFunc(t *testing.T) {
+	o := buildObj()
+	if f, ok := o.Func("g"); !ok || f.Offset != 2 {
+		t.Errorf("Func(g) = %+v, %v", f, ok)
+	}
+	if _, ok := o.Func("zz"); ok {
+		t.Error("Func(zz) found")
+	}
+}
+
+func TestImageFetch(t *testing.T) {
+	im, err := Link([]*Object{buildObj()}, LinkConfig{Entry: "f"})
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	if _, err := im.Fetch(im.TextBase); err != nil {
+		t.Errorf("Fetch(TextBase): %v", err)
+	}
+	if _, err := im.Fetch(im.TextEnd()); err == nil {
+		t.Error("Fetch(TextEnd) succeeded")
+	}
+	if _, err := im.Fetch(0); err == nil {
+		t.Error("Fetch(0) succeeded")
+	}
+}
+
+func TestRelocKindString(t *testing.T) {
+	for k, want := range map[RelocKind]string{
+		RelocCall: "call", RelocFuncAddr: "funcaddr",
+		RelocGlobal: "global", RelocText: "text", RelocKind(99): "reloc(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("RelocKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestLineMarks(t *testing.T) {
+	o := &Object{
+		Name: "l.o",
+		Text: []isa.Word{
+			isa.Instr{Op: isa.OpNop}.Encode(),
+			isa.Instr{Op: isa.OpNop}.Encode(),
+			isa.Instr{Op: isa.OpRet}.Encode(),
+		},
+		Funcs: []FuncDef{{
+			Name: "main", Offset: 0, Size: 3, File: "l.tl",
+			Lines: []LineMark{{Offset: 0, Line: 2}, {Offset: 2, Line: 4}},
+		}},
+	}
+	im, err := Link([]*Object{o}, LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := im.LookupFunc("main")
+	if m.File != "l.tl" || len(m.Lines) != 2 {
+		t.Fatalf("sym = %+v", m)
+	}
+	// Marks rebased to absolute addresses.
+	if m.Lines[0].Offset != m.Addr || m.Lines[1].Offset != m.Addr+2 {
+		t.Errorf("marks = %+v", m.Lines)
+	}
+	if got := m.LineFor(m.Addr + 1); got != 2 {
+		t.Errorf("LineFor(+1) = %d, want 2", got)
+	}
+	if got := m.LineFor(m.Addr + 2); got != 4 {
+		t.Errorf("LineFor(+2) = %d, want 4", got)
+	}
+	if file, line, ok := im.LineFor(m.Addr + 2); !ok || file != "l.tl" || line != 4 {
+		t.Errorf("Image.LineFor = %s:%d,%v", file, line, ok)
+	}
+	// _start has no debug info.
+	if _, _, ok := im.LineFor(im.TextBase); ok {
+		t.Error("LineFor(_start) claimed line info")
+	}
+	// Line marks survive serialization.
+	var buf bytes.Buffer
+	if err := WriteImage(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := back.LookupFunc("main")
+	if !reflect.DeepEqual(m, m2) {
+		t.Errorf("round trip: %+v vs %+v", m, m2)
+	}
+}

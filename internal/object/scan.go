@@ -1,0 +1,61 @@
+package object
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// StaticArc is a call-graph arc recovered from the executable's
+// instructions: a CALL at address Site, inside routine Caller, targeting
+// routine Callee.
+type StaticArc struct {
+	Caller string
+	Callee string
+	Site   int64 // address of the CALL instruction
+}
+
+// Scan crawls the text segment of a linked image and returns every
+// statically apparent call arc, i.e. every direct CALL instruction whose
+// target lies inside a known routine.
+//
+// Indirect calls (CALLR — functional parameters and variables) have no
+// statically apparent target and are not reported; as the paper notes,
+// the static call graph "includes all possible arcs that are not calls to
+// functional parameters or variables" (§2). Calls from or to addresses
+// outside any routine are also skipped.
+//
+// The result is sorted by (Caller, Callee, Site) and deduplicated per
+// (Caller, Callee) pair only by the post-processor; every site is
+// reported here so tools can display call sites.
+func Scan(im *Image) []StaticArc {
+	var arcs []StaticArc
+	for _, fn := range im.Funcs {
+		for pc := fn.Addr; pc < fn.End(); pc++ {
+			w, err := im.Fetch(pc)
+			if err != nil {
+				break
+			}
+			instr, err := isa.Decode(w)
+			if err != nil || instr.Op != isa.OpCall {
+				continue
+			}
+			callee, ok := im.FindFunc(int64(instr.Imm))
+			if !ok {
+				continue
+			}
+			arcs = append(arcs, StaticArc{Caller: fn.Name, Callee: callee.Name, Site: pc})
+		}
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		a, b := arcs[i], arcs[j]
+		if a.Caller != b.Caller {
+			return a.Caller < b.Caller
+		}
+		if a.Callee != b.Callee {
+			return a.Callee < b.Callee
+		}
+		return a.Site < b.Site
+	})
+	return arcs
+}

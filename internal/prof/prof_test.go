@@ -1,0 +1,114 @@
+package prof
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gmon"
+	"repro/internal/object"
+	"repro/internal/symtab"
+	"repro/internal/workloads"
+)
+
+func TestTableBasic(t *testing.T) {
+	tab := symtab.FromSyms([]object.Sym{
+		{Name: "f", Addr: 0, Size: 10},
+		{Name: "g", Addr: 10, Size: 10},
+		{Name: "quiet", Addr: 20, Size: 10},
+	})
+	p := &gmon.Profile{
+		Hist: gmon.Histogram{Low: 0, High: 30, Step: 1, Counts: make([]uint32, 30)},
+		Hz:   60,
+	}
+	p.Hist.Counts[5] = 30  // f: 30 ticks = 0.5s
+	p.Hist.Counts[15] = 90 // g: 90 ticks = 1.5s
+	p.Arcs = []gmon.Arc{
+		{FromPC: 5, SelfPC: 10, Count: 3}, // f calls g 3 times
+		{FromPC: 6, SelfPC: 10, Count: 1},
+	}
+	rows := Table(tab, p)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v, want 2 (quiet omitted)", rows)
+	}
+	if rows[0].Name != "g" || rows[1].Name != "f" {
+		t.Errorf("order = %s,%s, want g,f", rows[0].Name, rows[1].Name)
+	}
+	g := rows[0]
+	if g.Seconds != 1.5 || g.Calls != 4 {
+		t.Errorf("g = %+v, want 1.5s / 4 calls", g)
+	}
+	if g.MsPerCall != 375 {
+		t.Errorf("g ms/call = %v, want 375", g.MsPerCall)
+	}
+	if g.Percent != 75 {
+		t.Errorf("g%% = %v, want 75", g.Percent)
+	}
+	f := rows[1]
+	if f.Calls != 0 || f.MsPerCall != 0 {
+		t.Errorf("f = %+v, want uncalled root", f)
+	}
+}
+
+func TestWriteFormat(t *testing.T) {
+	tab := symtab.FromSyms([]object.Sym{{Name: "busy", Addr: 0, Size: 4}})
+	p := &gmon.Profile{
+		Hist: gmon.Histogram{Low: 0, High: 4, Step: 1, Counts: []uint32{60, 0, 0, 0}},
+		Arcs: []gmon.Arc{{FromPC: 2, SelfPC: 0, Count: 10}},
+		Hz:   60,
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tab, p); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"busy", "100.0", "1.00", "total: 1.00 seconds", "ms/call"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestProfVsGprofOnAbstraction shows the paper's motivation: prof sees
+// only where time is spent, not which abstraction is responsible. On
+// the matrix workload, prof charges `at` for its own time but cannot
+// tell that `mul` is accountable for nearly the entire run.
+func TestProfVsGprofOnAbstraction(t *testing.T) {
+	im, err := workloads.Build("matrix", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, _, err := workloads.Run(im, workloads.RunConfig{TickCycles: 300, MaxCycles: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := symtab.New(im)
+	rows := Table(tab, p)
+	byName := map[string]Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// The leaf `at` dominates self time; the orchestrator `mul` has
+	// little self time. prof's table shows mul as cheap — the
+	// misleading signal gprof was built to fix.
+	at, mul := byName["at"], byName["mul"]
+	if at.Seconds <= mul.Seconds {
+		t.Errorf("expected at (%.2fs) to dwarf mul (%.2fs) in prof's view",
+			at.Seconds, mul.Seconds)
+	}
+	if mul.Percent > 20 {
+		t.Errorf("mul self%% = %.1f; prof should under-report the abstraction", mul.Percent)
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	tab := symtab.FromSyms(nil)
+	p := &gmon.Profile{Hist: gmon.Histogram{Low: 0, High: 0, Step: 1}}
+	if rows := Table(tab, p); len(rows) != 0 {
+		t.Errorf("rows = %+v", rows)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tab, p); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+// Package profgo is a call-graph profiling collector for Go code,
+// producing the same profile model (package gmon) the simulated
+// machine's monitor produces, so the whole gprof post-processing and
+// reporting pipeline applies unchanged.
+//
+// It exists for the paper's signature stunt — "of course, among the
+// programs on which we used the new profiler was the profiler itself"
+// (§6) — and for any host-side tooling that wants call-graph profiles
+// without the simulator. Instrumentation is explicit, mirroring the
+// monitoring-routine call a compiler would plant in each prologue:
+//
+//	func parse(...) {
+//	    defer p.Enter("parse")()
+//	    ...
+//	}
+//
+// Each instrumented function gets a synthetic address range; Enter
+// records the (caller → callee) arc exactly like mcount — caller
+// identified from the collector's shadow call stack, "spontaneous" when
+// the stack is empty — and self time is accumulated between
+// instrumentation events, then quantized into histogram ticks on
+// Snapshot, standing in for the kernel's statistical sampler.
+//
+// The collector is safe for use from a single goroutine per Profiler
+// (the shadow stack models one thread of control, like the original).
+package profgo
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/gmon"
+	"repro/internal/object"
+	"repro/internal/symtab"
+)
+
+// FuncWords is the synthetic text-range size of each instrumented
+// function: word 0 is the "prologue" (arc selfpc), word 1 the canonical
+// call site for outgoing calls, the rest the function "body" whose
+// histogram bucket receives its ticks.
+const FuncWords = 16
+
+// DefaultTick is the quantization unit for self time: one histogram
+// tick per 10µs, i.e. a 100 kHz clock.
+const DefaultTick = 10 * time.Microsecond
+
+// Option configures a Profiler.
+type Option func(*Profiler)
+
+// WithClock substitutes the time source (for deterministic tests).
+func WithClock(now func() time.Time) Option {
+	return func(p *Profiler) { p.now = now }
+}
+
+// WithTick sets the self-time quantization unit.
+func WithTick(d time.Duration) Option {
+	return func(p *Profiler) {
+		if d > 0 {
+			p.tick = d
+		}
+	}
+}
+
+type arcKey struct{ from, self int64 }
+
+// Profiler collects call arcs and self time for instrumented functions.
+type Profiler struct {
+	mu   sync.Mutex
+	now  func() time.Time
+	tick time.Duration
+
+	names map[string]int // name -> function index
+	order []string
+
+	stack []int // function indices, innermost last
+	last  time.Time
+	self  []time.Duration // per function index
+	arcs  map[arcKey]int64
+}
+
+// New creates an empty profiler.
+func New(opts ...Option) *Profiler {
+	p := &Profiler{
+		now:   time.Now,
+		tick:  DefaultTick,
+		names: make(map[string]int),
+		arcs:  make(map[arcKey]int64),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	p.last = p.now()
+	return p
+}
+
+func (p *Profiler) fnIndex(name string) int {
+	if i, ok := p.names[name]; ok {
+		return i
+	}
+	i := len(p.order)
+	p.names[name] = i
+	p.order = append(p.order, name)
+	p.self = append(p.self, 0)
+	return i
+}
+
+// addr returns the synthetic base address of function index i.
+func addr(i int) int64 { return int64(i+1) * FuncWords }
+
+// Enter records entry to the named function and returns the function to
+// defer for its exit:
+//
+//	defer p.Enter("name")()
+func (p *Profiler) Enter(name string) func() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.charge()
+	idx := p.fnIndex(name)
+	key := arcKey{from: gmon.SpontaneousPC, self: addr(idx)}
+	if len(p.stack) > 0 {
+		key.from = addr(p.stack[len(p.stack)-1]) + 1 // caller's call-site word
+	}
+	p.arcs[key]++
+	p.stack = append(p.stack, idx)
+	return p.leave
+}
+
+func (p *Profiler) leave() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.charge()
+	if len(p.stack) > 0 {
+		p.stack = p.stack[:len(p.stack)-1]
+	}
+}
+
+// charge attributes the time since the last event to the function on
+// top of the shadow stack.
+func (p *Profiler) charge() {
+	now := p.now()
+	if len(p.stack) > 0 {
+		p.self[p.stack[len(p.stack)-1]] += now.Sub(p.last)
+	}
+	p.last = now
+}
+
+// Table returns the synthetic symbol table for the functions observed
+// so far.
+func (p *Profiler) Table() *symtab.Table {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	syms := make([]object.Sym, len(p.order))
+	for i, name := range p.order {
+		syms[i] = object.Sym{Name: name, Addr: addr(i), Size: FuncWords}
+	}
+	return symtab.FromSyms(syms)
+}
+
+// Snapshot condenses the collected data into a profile. Self time is
+// quantized into ticks of the configured unit and charged to the
+// function's body bucket.
+func (p *Profiler) Snapshot() *gmon.Profile {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.order)
+	hz := int64(time.Second / p.tick)
+	prof := &gmon.Profile{
+		Hist: gmon.Histogram{
+			Low:    FuncWords,
+			High:   int64(n+1) * FuncWords,
+			Step:   FuncWords,
+			Counts: make([]uint32, n),
+		},
+		Hz: hz,
+	}
+	for i, d := range p.self {
+		prof.Hist.Counts[i] = uint32(d / p.tick)
+	}
+	for k, c := range p.arcs {
+		prof.Arcs = append(prof.Arcs, gmon.Arc{FromPC: k.from, SelfPC: k.self, Count: c})
+	}
+	prof.SortArcs()
+	return prof
+}

@@ -1,0 +1,129 @@
+// Package propagate implements the paper's time-propagation scheme (§4):
+// starting from each routine's sampled self time, execution time flows
+// from descendants to ancestors along the call graph's arcs,
+//
+//	T_r = S_r + Σ_{r CALLS e} T_e × C_e^r / C_e
+//
+// where C_e is the number of calls to e and C_e^r the calls from r to e:
+// each caller is accountable for its share of the callee's total time, in
+// proportion to how often it called.
+//
+// Nodes are visited in the topological order assigned by package scc
+// (callees before callers), so "execution time can be propagated from
+// descendants to ancestors after a single traversal of each arc".
+//
+// Cycles found by scc are treated as single entities: member self times
+// sum, calls into the cycle share the cycle's total, intra-cycle arcs are
+// listed but propagate nothing, and self-recursive arcs never propagate
+// (§4: "time is not propagated from one member of a cycle to another").
+// Static arcs carry count zero and therefore propagate nothing. Time
+// attributed to a spontaneous caller is computed (for display) but flows
+// to no one.
+package propagate
+
+import (
+	"math"
+
+	"repro/internal/callgraph"
+	"repro/internal/scc"
+)
+
+// Run performs propagation over an analyzed graph (scc.Analyze must have
+// been called). It fills in Node.ChildTicks, Cycle.ChildTicks, and the
+// per-arc PropSelf/PropChild fields. Run is idempotent.
+func Run(g *callgraph.Graph) {
+	for _, n := range g.Nodes() {
+		n.ChildTicks = 0
+		for _, a := range n.In {
+			a.PropSelf, a.PropChild = 0, 0
+		}
+	}
+	for _, c := range g.Cycles {
+		c.ChildTicks = 0
+	}
+
+	done := make(map[*callgraph.Cycle]bool)
+	for _, n := range scc.TopoOrder(g) {
+		if c := n.Cycle; c != nil {
+			if done[c] {
+				continue
+			}
+			done[c] = true
+			self := c.SelfTicks()
+			child := c.ChildTicks
+			var in []*callgraph.Arc
+			for _, m := range c.Members {
+				for _, a := range m.In {
+					if !a.IntraCycle() && !a.Self() {
+						in = append(in, a)
+					}
+				}
+			}
+			distribute(self, child, c.ExternalCalls(), in)
+			continue
+		}
+		var in []*callgraph.Arc
+		for _, a := range n.In {
+			if !a.Self() {
+				in = append(in, a)
+			}
+		}
+		distribute(n.SelfTicks, n.ChildTicks, n.Calls(), in)
+	}
+}
+
+// distribute shares self+child time among the incoming arcs in
+// proportion to their counts, accumulating into each caller's unit.
+func distribute(self, child float64, calls int64, in []*callgraph.Arc) {
+	if calls <= 0 {
+		return
+	}
+	for _, a := range in {
+		if a.Count <= 0 {
+			continue // static arcs never propagate
+		}
+		frac := float64(a.Count) / float64(calls)
+		a.PropSelf = self * frac
+		a.PropChild = child * frac
+		if a.Caller == nil {
+			continue // spontaneous: computed for display, flows nowhere
+		}
+		if pc := a.Caller.Cycle; pc != nil {
+			pc.ChildTicks += a.PropSelf + a.PropChild
+		} else {
+			a.Caller.ChildTicks += a.PropSelf + a.PropChild
+		}
+	}
+}
+
+// CheckConservation verifies the propagation invariant: every unit's
+// total time is either retained (units nothing calls) or fully
+// distributed to parents and spontaneous shares. It returns the absolute
+// discrepancy between (retained + spontaneous) and total self time; a
+// correct run returns a value within floating-point noise of zero. Used
+// by tests and the experiment harness.
+func CheckConservation(g *callgraph.Graph) float64 {
+	var retained, selfSum, spont float64
+	seen := make(map[*callgraph.Cycle]bool)
+	for _, n := range g.Nodes() {
+		if c := n.Cycle; c != nil {
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			selfSum += c.SelfTicks()
+			if c.ExternalCalls() == 0 {
+				retained += c.TotalTicks()
+			}
+			continue
+		}
+		selfSum += n.SelfTicks
+		if n.Calls() == 0 {
+			retained += n.TotalTicks()
+		}
+	}
+	for _, a := range g.Spontaneous {
+		spont += a.PropSelf + a.PropChild
+	}
+	return math.Abs(retained + spont - selfSum)
+}

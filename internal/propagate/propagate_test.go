@@ -1,0 +1,382 @@
+package propagate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/callgraph"
+	"repro/internal/scc"
+)
+
+const eps = 1e-9
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+// TestLinearChain: main -> mid -> leaf, each called once. All of leaf's
+// time flows to mid, and leaf+mid's to main.
+func TestLinearChain(t *testing.T) {
+	g := callgraph.New()
+	g.AddArc("main", "mid", 1)
+	g.AddArc("mid", "leaf", 1)
+	g.MustNode("main").SelfTicks = 10
+	g.MustNode("mid").SelfTicks = 20
+	g.MustNode("leaf").SelfTicks = 30
+	scc.Analyze(g)
+	Run(g)
+	if !near(g.MustNode("mid").ChildTicks, 30) {
+		t.Errorf("mid child = %v, want 30", g.MustNode("mid").ChildTicks)
+	}
+	if !near(g.MustNode("main").ChildTicks, 50) {
+		t.Errorf("main child = %v, want 50", g.MustNode("main").ChildTicks)
+	}
+	if !near(g.MustNode("main").TotalTicks(), 60) {
+		t.Errorf("main total = %v, want 60", g.MustNode("main").TotalTicks())
+	}
+	if got := CheckConservation(g); got > eps {
+		t.Errorf("conservation error %v", got)
+	}
+}
+
+// TestProportionalSharing: the paper's core rule. Two callers call
+// `shared` 4 and 6 times: they receive 40% and 60% of its total time.
+func TestProportionalSharing(t *testing.T) {
+	g := callgraph.New()
+	a1 := g.AddArc("caller1", "shared", 4)
+	a2 := g.AddArc("caller2", "shared", 6)
+	g.MustNode("shared").SelfTicks = 100
+	scc.Analyze(g)
+	Run(g)
+	if !near(g.MustNode("caller1").ChildTicks, 40) {
+		t.Errorf("caller1 = %v, want 40", g.MustNode("caller1").ChildTicks)
+	}
+	if !near(g.MustNode("caller2").ChildTicks, 60) {
+		t.Errorf("caller2 = %v, want 60", g.MustNode("caller2").ChildTicks)
+	}
+	if !near(a1.PropSelf, 40) || !near(a1.PropChild, 0) {
+		t.Errorf("arc1 prop = %v/%v, want 40/0", a1.PropSelf, a1.PropChild)
+	}
+	if !near(a2.PropSelf, 60) {
+		t.Errorf("arc2 PropSelf = %v", a2.PropSelf)
+	}
+}
+
+// TestDescendantSplit: child time and self time are reported separately
+// on arcs (Figure 4's self/descendants columns).
+func TestDescendantSplit(t *testing.T) {
+	g := callgraph.New()
+	arc := g.AddArc("top", "mid", 2)
+	g.AddArc("mid", "leaf", 1)
+	g.MustNode("mid").SelfTicks = 10
+	g.MustNode("leaf").SelfTicks = 40
+	scc.Analyze(g)
+	Run(g)
+	if !near(arc.PropSelf, 10) {
+		t.Errorf("PropSelf = %v, want 10 (mid's own time)", arc.PropSelf)
+	}
+	if !near(arc.PropChild, 40) {
+		t.Errorf("PropChild = %v, want 40 (leaf's time through mid)", arc.PropChild)
+	}
+}
+
+// TestSelfRecursionExcluded: self-arcs are listed but "do not participate
+// in time propagation" — a self-recursive routine's time goes entirely to
+// its external callers.
+func TestSelfRecursionExcluded(t *testing.T) {
+	g := callgraph.New()
+	g.AddArc("main", "fact", 1)
+	g.AddArc("fact", "fact", 9)
+	g.MustNode("fact").SelfTicks = 100
+	scc.Analyze(g)
+	Run(g)
+	if !near(g.MustNode("main").ChildTicks, 100) {
+		t.Errorf("main child = %v, want all 100 despite 9 self-calls",
+			g.MustNode("main").ChildTicks)
+	}
+	if got := CheckConservation(g); got > eps {
+		t.Errorf("conservation error %v", got)
+	}
+}
+
+// TestCycleAsSingleEntity: mutual recursion p<->q. Members' self times
+// sum; the whole flows to the external caller; intra-cycle arcs get no
+// propagation.
+func TestCycleAsSingleEntity(t *testing.T) {
+	g := callgraph.New()
+	g.AddArc("main", "p", 2)
+	pq := g.AddArc("p", "q", 50)
+	qp := g.AddArc("q", "p", 49)
+	g.AddArc("q", "leaf", 10)
+	g.MustNode("p").SelfTicks = 30
+	g.MustNode("q").SelfTicks = 20
+	g.MustNode("leaf").SelfTicks = 5
+	scc.Analyze(g)
+	Run(g)
+	c := g.Cycles[0]
+	if !near(c.SelfTicks(), 50) {
+		t.Errorf("cycle self = %v, want 50", c.SelfTicks())
+	}
+	// leaf's 5 flows into the cycle (q is its only caller).
+	if !near(c.ChildTicks, 5) {
+		t.Errorf("cycle child = %v, want 5", c.ChildTicks)
+	}
+	// main receives the cycle's whole 55 (sole external caller).
+	if !near(g.MustNode("main").ChildTicks, 55) {
+		t.Errorf("main child = %v, want 55", g.MustNode("main").ChildTicks)
+	}
+	if pq.PropSelf != 0 || pq.PropChild != 0 || qp.PropSelf != 0 {
+		t.Error("intra-cycle arcs carry propagated time")
+	}
+	if c.ExternalCalls() != 2 {
+		t.Errorf("external calls = %d, want 2", c.ExternalCalls())
+	}
+	if c.InternalCalls() != 99 {
+		t.Errorf("internal calls = %d, want 99", c.InternalCalls())
+	}
+	if got := CheckConservation(g); got > eps {
+		t.Errorf("conservation error %v", got)
+	}
+}
+
+// TestCycleSharedByCallers: two external callers of a cycle share its
+// total in proportion to their call counts into any member.
+func TestCycleSharedByCallers(t *testing.T) {
+	g := callgraph.New()
+	g.AddArc("a", "p", 1) // into member p
+	g.AddArc("b", "q", 3) // into member q
+	g.AddArc("p", "q", 10)
+	g.AddArc("q", "p", 10)
+	g.MustNode("p").SelfTicks = 60
+	g.MustNode("q").SelfTicks = 20
+	scc.Analyze(g)
+	Run(g)
+	if !near(g.MustNode("a").ChildTicks, 20) {
+		t.Errorf("a = %v, want 80*1/4 = 20", g.MustNode("a").ChildTicks)
+	}
+	if !near(g.MustNode("b").ChildTicks, 60) {
+		t.Errorf("b = %v, want 80*3/4 = 60", g.MustNode("b").ChildTicks)
+	}
+}
+
+// TestStaticArcNoPropagation: an arc with count zero affects structure
+// but never carries time (§4).
+func TestStaticArcNoPropagation(t *testing.T) {
+	g := callgraph.New()
+	g.AddArc("main", "used", 5)
+	st := g.AddArc("other", "used", 0)
+	st.Static = true
+	g.MustNode("used").SelfTicks = 50
+	scc.Analyze(g)
+	Run(g)
+	if g.MustNode("other").ChildTicks != 0 {
+		t.Errorf("static arc propagated %v ticks", g.MustNode("other").ChildTicks)
+	}
+	if !near(g.MustNode("main").ChildTicks, 50) {
+		t.Errorf("main = %v, want 50 (denominator excludes count-0 arcs)",
+			g.MustNode("main").ChildTicks)
+	}
+}
+
+// TestSpontaneousShareVanishes: time attributed to an unidentifiable
+// caller is computed for display but flows to no node.
+func TestSpontaneousShareVanishes(t *testing.T) {
+	g := callgraph.New()
+	g.AddArc("main", "handler", 3)
+	g.AddArc("", "handler", 1) // spontaneous
+	g.MustNode("handler").SelfTicks = 40
+	scc.Analyze(g)
+	Run(g)
+	if !near(g.MustNode("main").ChildTicks, 30) {
+		t.Errorf("main = %v, want 30 (3 of 4 calls)", g.MustNode("main").ChildTicks)
+	}
+	sp := g.Spontaneous[0]
+	if !near(sp.PropSelf, 10) {
+		t.Errorf("spontaneous share = %v, want 10", sp.PropSelf)
+	}
+	if got := CheckConservation(g); got > eps {
+		t.Errorf("conservation error %v", got)
+	}
+}
+
+// TestFigure4Numbers reproduces the paper's Figure 4 arithmetic: EXAMPLE
+// with parents CALLER1 (4/10) and CALLER2 (6/10), self-recursion (+4),
+// children SUB1<cycle1> (20/40), SUB2 (1/5), SUB3 (0/5). The paper's
+// entry shows EXAMPLE self 0.50, descendants 3.00; CALLER1 receives
+// 0.20/1.20, CALLER2 0.30/1.80; SUB1's cycle passes 1.50/1.00, SUB2
+// passes 0.00/0.50.
+func TestFigure4Numbers(t *testing.T) {
+	g := figure4Graph()
+	scc.Analyze(g)
+	Run(g)
+
+	ex := g.MustNode("EXAMPLE")
+	if !near(ex.SelfTicks, 0.50) {
+		t.Errorf("EXAMPLE self = %v, want 0.50", ex.SelfTicks)
+	}
+	if !near(ex.ChildTicks, 3.00) {
+		t.Errorf("EXAMPLE descendants = %v, want 3.00", ex.ChildTicks)
+	}
+	if ex.Calls() != 10 || ex.SelfCalls() != 4 {
+		t.Errorf("EXAMPLE called %d+%d, want 10+4", ex.Calls(), ex.SelfCalls())
+	}
+
+	find := func(from, to string) *callgraph.Arc {
+		for _, a := range g.Arcs() {
+			if !a.Spontaneous() && a.Caller.Name == from && a.Callee.Name == to {
+				return a
+			}
+		}
+		t.Fatalf("no arc %s->%s", from, to)
+		return nil
+	}
+	c1 := find("CALLER1", "EXAMPLE")
+	if !near(c1.PropSelf, 0.20) || !near(c1.PropChild, 1.20) {
+		t.Errorf("CALLER1 gets %.2f/%.2f, want 0.20/1.20", c1.PropSelf, c1.PropChild)
+	}
+	c2 := find("CALLER2", "EXAMPLE")
+	if !near(c2.PropSelf, 0.30) || !near(c2.PropChild, 1.80) {
+		t.Errorf("CALLER2 gets %.2f/%.2f, want 0.30/1.80", c2.PropSelf, c2.PropChild)
+	}
+	s1 := find("EXAMPLE", "SUB1")
+	if !near(s1.PropSelf, 1.50) || !near(s1.PropChild, 1.00) {
+		t.Errorf("SUB1 passes %.2f/%.2f, want 1.50/1.00", s1.PropSelf, s1.PropChild)
+	}
+	s2 := find("EXAMPLE", "SUB2")
+	if !near(s2.PropSelf, 0.00) || !near(s2.PropChild, 0.50) {
+		t.Errorf("SUB2 passes %.2f/%.2f, want 0.00/0.50", s2.PropSelf, s2.PropChild)
+	}
+	s3 := find("EXAMPLE", "SUB3")
+	if s3.PropSelf != 0 || s3.PropChild != 0 {
+		t.Error("never-traversed SUB3 arc propagated time")
+	}
+	if got := CheckConservation(g); got > eps {
+		t.Errorf("conservation error %v", got)
+	}
+}
+
+// figure4Graph builds the call-graph fragment of the paper's Figure 4,
+// with tick values chosen (in seconds, Hz=1) to reproduce the published
+// numbers exactly. Shared with the report golden test via the figures
+// harness, which reconstructs the same shape.
+func figure4Graph() *callgraph.Graph {
+	g := callgraph.New()
+	// Parents: 4 and 6 calls; EXAMPLE also calls itself 4 times.
+	g.AddArc("CALLER1", "EXAMPLE", 4)
+	g.AddArc("CALLER2", "EXAMPLE", 6)
+	g.AddArc("EXAMPLE", "EXAMPLE", 4)
+	// Children: SUB1 is in cycle1 with PARTNER; EXAMPLE's 20 calls are
+	// half the cycle's 40 external calls (the rest come from elsewhere).
+	g.AddArc("EXAMPLE", "SUB1", 20)
+	g.AddArc("OTHER", "SUB1", 20)
+	g.AddArc("SUB1", "PARTNER", 7)
+	g.AddArc("PARTNER", "SUB1", 7)
+	// SUB2: EXAMPLE's 1 call of 5 total.
+	g.AddArc("EXAMPLE", "SUB2", 1)
+	g.AddArc("OTHER", "SUB2", 4)
+	// SUB3: arc exists but never traversed (static), 0 of 5 calls.
+	st := g.AddArc("EXAMPLE", "SUB3", 0)
+	st.Static = true
+	g.AddArc("OTHER", "SUB3", 5)
+
+	// Self times (seconds at Hz=1):
+	// EXAMPLE's own time.
+	g.MustNode("EXAMPLE").SelfTicks = 0.50
+	// cycle1 members: self sums to 3.00; their descendants (DEEP)
+	// contribute 2.00, so the cycle passes (3.00+2.00)*20/40 = 2.50 to
+	// EXAMPLE, split 1.50 self / 1.00 descendants.
+	g.MustNode("SUB1").SelfTicks = 2.00
+	g.MustNode("PARTNER").SelfTicks = 1.00
+	g.AddArc("SUB1", "DEEP", 8)
+	g.MustNode("DEEP").SelfTicks = 2.00
+	// SUB2: no self time; descendants only. 5 calls total, EXAMPLE's 1
+	// call earns 20%: 0.00 self, 0.50 descendants => SUB2's child time
+	// must be 2.50.
+	g.MustNode("SUB2").SelfTicks = 0.00
+	g.AddArc("SUB2", "SUB2LEAF", 3)
+	g.MustNode("SUB2LEAF").SelfTicks = 2.50
+	// SUB3 has some time of its own; none reaches EXAMPLE.
+	g.MustNode("SUB3").SelfTicks = 0.75
+	return g
+}
+
+// TestConservationRandom: on random DAG-ish graphs with random self
+// times, propagated time is conserved: retained-at-roots plus vanished
+// spontaneous shares equals the sum of self times.
+func TestConservationRandom(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%25) + 2
+		g := callgraph.New()
+		names := make([]string, n)
+		for i := range names {
+			names[i] = "f" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+			g.AddNode(names[i])
+			g.MustNode(names[i]).SelfTicks = float64(rng.Intn(100))
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Float64() < 0.15 {
+					g.AddArc(names[i], names[j], int64(rng.Intn(6)+1))
+				}
+			}
+		}
+		// Sprinkle self-arcs and a spontaneous arc.
+		if n > 2 {
+			g.AddArc(names[0], names[0], int64(rng.Intn(3)+1))
+			g.AddArc("", names[1], int64(rng.Intn(3)+1))
+		}
+		scc.Analyze(g)
+		Run(g)
+		return CheckConservation(g) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIdempotent: running propagation twice gives the same results.
+func TestIdempotent(t *testing.T) {
+	g := figure4Graph()
+	scc.Analyze(g)
+	Run(g)
+	first := g.MustNode("EXAMPLE").ChildTicks
+	Run(g)
+	if got := g.MustNode("EXAMPLE").ChildTicks; got != first {
+		t.Errorf("second run changed ChildTicks: %v -> %v", first, got)
+	}
+}
+
+// TestRecurrenceEquation verifies T_r = S_r + sum(T_e * C_e^r / C_e)
+// directly on an acyclic graph, node by node.
+func TestRecurrenceEquation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := callgraph.New()
+	const n = 12
+	names := make([]string, n)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+		g.AddNode(names[i])
+		g.MustNode(names[i]).SelfTicks = float64(rng.Intn(50) + 1)
+	}
+	// Edges only i -> j with i < j: guaranteed acyclic.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.3 {
+				g.AddArc(names[i], names[j], int64(rng.Intn(5)+1))
+			}
+		}
+	}
+	scc.Analyze(g)
+	Run(g)
+	for _, r := range g.Nodes() {
+		want := r.SelfTicks
+		for _, a := range r.Out {
+			e := a.Callee
+			want += e.TotalTicks() * float64(a.Count) / float64(e.Calls())
+		}
+		if !near(r.TotalTicks(), want) {
+			t.Errorf("node %s: T = %v, recurrence gives %v", r.Name, r.TotalTicks(), want)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/callgraph"
+)
+
+// WriteDOT renders the call graph in Graphviz DOT form. The paper's
+// authors wanted to "print the call graph of the program" but "were
+// limited by the two-dimensional nature of our output devices" and by
+// character terminals (§5.2, retrospective); this is that graph for
+// renderers that came later.
+//
+// Nodes show the routine, its self and total seconds, and its call
+// count; fill darkens with the routine's share of total time. Edges are
+// labeled with traversal counts and weighted by propagated time; static
+// (never-traversed) arcs are dashed; intra-cycle arcs are drawn inside a
+// cluster per cycle. Options' Focus/MinPercent/Exclude filters apply.
+func WriteDOT(w io.Writer, g *callgraph.Graph, opt Options) error {
+	focus := focusSet(g, opt.Focus)
+	keep := func(n *callgraph.Node) bool {
+		return wantNode(g, n, opt, focus)
+	}
+
+	fmt.Fprintln(w, "digraph callgraph {")
+	fmt.Fprintln(w, `  rankdir=TB;`)
+	fmt.Fprintln(w, `  node [shape=box, style=filled, fontname="monospace"];`)
+
+	// Stable node order.
+	nodes := append([]*callgraph.Node(nil), g.Nodes()...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+
+	kept := make(map[*callgraph.Node]bool)
+	for _, n := range nodes {
+		if keep(n) {
+			kept[n] = true
+		}
+	}
+
+	// Cycle clusters first, then free nodes.
+	emitted := make(map[*callgraph.Node]bool)
+	for _, c := range g.Cycles {
+		any := false
+		for _, m := range c.Members {
+			if kept[m] {
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		fmt.Fprintf(w, "  subgraph cluster_%d {\n", c.Number)
+		fmt.Fprintf(w, "    label=\"cycle %d\";\n    style=dashed;\n", c.Number)
+		for _, m := range c.Members {
+			if kept[m] {
+				emitNode(w, g, m, "    ")
+				emitted[m] = true
+			}
+		}
+		fmt.Fprintln(w, "  }")
+	}
+	for _, n := range nodes {
+		if kept[n] && !emitted[n] {
+			emitNode(w, g, n, "  ")
+		}
+	}
+
+	// Edges between kept nodes.
+	for _, a := range g.Arcs() {
+		if a.Spontaneous() || !kept[a.Callee] || !kept[a.Caller] {
+			continue
+		}
+		attrs := []string{fmt.Sprintf("label=\"%d\"", a.Count)}
+		switch {
+		case a.Static:
+			attrs = append(attrs, "style=dashed", `color="gray50"`)
+		case a.Self():
+			attrs = append(attrs, "dir=back")
+		}
+		if t := seconds(g, a.PropSelf+a.PropChild); t > 0 {
+			width := 1 + 4*percent(g, a.PropSelf+a.PropChild)/100
+			attrs = append(attrs, fmt.Sprintf("penwidth=%.2f", width))
+		}
+		fmt.Fprintf(w, "  %q -> %q [%s];\n", a.Caller.Name, a.Callee.Name, strings.Join(attrs, ", "))
+	}
+	fmt.Fprintln(w, "}")
+	return nil
+}
+
+func emitNode(w io.Writer, g *callgraph.Graph, n *callgraph.Node, indent string) {
+	pct := percent(g, n.TotalTicks())
+	// White through a warm tone as the node gets hotter.
+	shade := int(255 - 1.6*pct)
+	if shade < 96 {
+		shade = 96
+	}
+	label := fmt.Sprintf("%s\\n%.2fs self / %.2fs total\\n%d calls",
+		n.Name, seconds(g, n.SelfTicks), seconds(g, n.TotalTicks()),
+		n.Calls()+n.SelfCalls())
+	fmt.Fprintf(w, "%s%q [label=\"%s\", fillcolor=\"#ff%02x%02x\"];\n",
+		indent, n.Name, label, shade, shade)
+}

@@ -1,0 +1,112 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/callgraph"
+)
+
+// Flat renders the flat profile (§5.1): routines sorted by decreasing
+// self time, with cumulative seconds, call counts, and per-call times,
+// followed by the list of routines never called during the execution.
+// The self-seconds column sums to the total sampled run time (any ticks
+// that fell outside known routines are reported explicitly so the sum
+// still reconciles).
+func Flat(w io.Writer, g *callgraph.Graph, opt Options) error {
+	type row struct {
+		n     *callgraph.Node
+		calls int64
+	}
+	var rows []row
+	var never []*callgraph.Node
+	for _, n := range g.Nodes() {
+		calls := n.Calls() + n.SelfCalls()
+		if calls == 0 && n.SelfTicks == 0 {
+			never = append(never, n)
+			continue
+		}
+		rows = append(rows, row{n, calls})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].n.SelfTicks != rows[j].n.SelfTicks {
+			return rows[i].n.SelfTicks > rows[j].n.SelfTicks
+		}
+		if rows[i].calls != rows[j].calls {
+			return rows[i].calls > rows[j].calls
+		}
+		return rows[i].n.Name < rows[j].n.Name
+	})
+
+	totalSecs := seconds(g, g.TotalTicks)
+	if !opt.NoHeaders {
+		fmt.Fprintf(w, "flat profile:\n\n")
+		fmt.Fprintf(w, "  %%         cumulative    self                self    total\n")
+		fmt.Fprintf(w, " time        seconds    seconds     calls  ms/call  ms/call name\n")
+	}
+	var cum float64
+	for _, r := range rows {
+		if opt.MinPercent > 0 && percent(g, r.n.SelfTicks) < opt.MinPercent {
+			continue
+		}
+		if opt.excluded(r.n.Name) {
+			continue
+		}
+		selfSecs := seconds(g, r.n.SelfTicks)
+		cum += selfSecs
+		selfPer, totalPer := "", ""
+		if r.calls > 0 {
+			selfPer = fmt.Sprintf("%8.2f", selfSecs*1000/float64(r.calls))
+			if !r.n.InCycle() {
+				totalPer = fmt.Sprintf("%8.2f", seconds(g, r.n.TotalTicks())*1000/float64(r.calls))
+			}
+		}
+		fmt.Fprintf(w, "%5.1f %14.2f %10.2f %9d %8s %8s %s\n",
+			percent(g, r.n.SelfTicks), cum, selfSecs, r.calls, selfPer, totalPer, label(r.n))
+	}
+	if g.LostTicks > 0 {
+		fmt.Fprintf(w, "%5.1f %14.2f %10.2f %9s %8s %8s %s\n",
+			percent(g, g.LostTicks), cum+seconds(g, g.LostTicks), seconds(g, g.LostTicks),
+			"", "", "", "<outside any routine>")
+	}
+	if !opt.NoHeaders {
+		fmt.Fprintf(w, "\ntotal: %.2f seconds\n", totalSecs)
+	}
+
+	if len(never) > 0 {
+		sort.Slice(never, func(i, j int) bool { return never[i].Name < never[j].Name })
+		fmt.Fprintf(w, "\nroutines never called during this execution:\n")
+		for _, n := range never {
+			fmt.Fprintf(w, "    %s\n", n.Name)
+		}
+	}
+	return nil
+}
+
+// IndexListing renders the alphabetical index gprof appends: each
+// routine name with its entry number, so entries can be found in the
+// call graph profile. AssignIndexes (or CallGraph) must have run.
+func IndexListing(w io.Writer, g *callgraph.Graph) error {
+	type item struct {
+		name string
+		idx  int
+	}
+	var items []item
+	for _, n := range g.Nodes() {
+		if n.Index > 0 {
+			items = append(items, item{label(n), n.Index})
+		}
+	}
+	for _, c := range g.Cycles {
+		if c.Index > 0 {
+			items = append(items, item{fmt.Sprintf("<cycle %d>", c.Number), c.Index})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].name < items[j].name })
+	fmt.Fprintf(w, "index by function name:\n\n")
+	for _, it := range items {
+		fmt.Fprintf(w, "  [%d] %s\n", it.idx, it.name)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/mon"
+	"repro/internal/object"
+	"repro/internal/vm"
+)
+
+// lineTestProgram has a known hot line (the inner-loop statement at a
+// predictable line number).
+const lineTestProgram = `func work() {
+	var i = 0;
+	var s = 0;
+	while (i < 20000) {
+		s = (s * 33 + i) & 65535;
+		i = i + 1;
+	}
+	return s;
+}
+func main() {
+	return work() & 255;
+}
+`
+
+func buildLineProfile(t *testing.T) (*object.Image, *mon.Collector) {
+	t.Helper()
+	obj, err := lang.Compile("linetest.tl", lineTestProgram, lang.Options{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := object.Link([]*object.Object{obj}, object.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mon.New(im, mon.Config{})
+	if _, err := vm.New(im, vm.Config{Monitor: c, TickCycles: 100, MaxCycles: 1 << 28}).Run(); err != nil {
+		t.Fatal(err)
+	}
+	return im, c
+}
+
+func TestLineMarksThroughToolchain(t *testing.T) {
+	im, _ := buildLineProfile(t)
+	work, ok := im.LookupFunc("work")
+	if !ok {
+		t.Fatal("no work symbol")
+	}
+	if work.File != "linetest.tl" {
+		t.Errorf("File = %q", work.File)
+	}
+	if len(work.Lines) == 0 {
+		t.Fatal("no line marks")
+	}
+	// Marks are sorted and inside the routine.
+	for i, m := range work.Lines {
+		if m.Offset < work.Addr || m.Offset >= work.End() {
+			t.Errorf("mark %d offset %#x outside work", i, m.Offset)
+		}
+		if i > 0 && m.Offset < work.Lines[i-1].Offset {
+			t.Errorf("marks unsorted at %d", i)
+		}
+	}
+	// The routine spans lines 1..9 of the source.
+	if first := work.LineFor(work.Addr); first != 1 {
+		t.Errorf("first line = %d, want 1 (func work() {)", first)
+	}
+	if file, line, ok := im.LineFor(work.Addr + 2); !ok || file != "linetest.tl" || line < 1 || line > 9 {
+		t.Errorf("LineFor = %s:%d,%v", file, line, ok)
+	}
+}
+
+func TestLineProfileHotLine(t *testing.T) {
+	im, c := buildLineProfile(t)
+	var buf bytes.Buffer
+	src := MapSource{"linetest.tl": lineTestProgram}
+	if err := LineProfile(&buf, im, c.Snapshot(), src); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "line-level profile") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	// work is the hottest routine and listed first.
+	iWork := strings.Index(out, "work (linetest.tl")
+	iMain := strings.Index(out, "main (linetest.tl")
+	if iWork < 0 {
+		t.Fatalf("work section missing:\n%s", out)
+	}
+	if iMain >= 0 && iMain < iWork {
+		t.Errorf("main listed before hotter work:\n%s", out)
+	}
+	// Source text printed in parallel.
+	if !strings.Contains(out, "s = (s * 33 + i) & 65535;") {
+		t.Errorf("hot source line text missing:\n%s", out)
+	}
+	// The hot line (5) carries most of work's seconds: its row shows a
+	// number, not the cold-dot placeholder.
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "| \ts = (s * 33 + i)") || strings.Contains(l, "s = (s * 33 + i)") {
+			if strings.Contains(l, ".  ") {
+				t.Errorf("hot line shown as cold: %q", l)
+			}
+		}
+	}
+}
+
+func TestLineProfileWithoutSource(t *testing.T) {
+	im, c := buildLineProfile(t)
+	var buf bytes.Buffer
+	if err := LineProfile(&buf, im, c.Snapshot(), MapSource{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Positions still listed, just without text.
+	if !strings.Contains(out, "work (linetest.tl") {
+		t.Errorf("positions missing when source unavailable:\n%s", out)
+	}
+}
+
+func TestMapSource(t *testing.T) {
+	m := MapSource{"a.tl": "one\ntwo"}
+	lines, ok := m.Lines("a.tl")
+	if !ok || len(lines) != 2 || lines[1] != "two" {
+		t.Errorf("Lines = %v, %v", lines, ok)
+	}
+	if _, ok := m.Lines("b.tl"); ok {
+		t.Error("missing file found")
+	}
+}

@@ -1,0 +1,433 @@
+// Package report renders profile data for people: the flat profile
+// (paper §5.1) and the call graph profile (§5.2, Figure 4).
+//
+// The flat profile lists every routine exercised by the execution with
+// its call count and the seconds it is itself accountable for, sorted by
+// decreasing self time; routines never called are listed separately "to
+// verify that nothing important is omitted by this execution". The
+// individual times sum to the total execution time.
+//
+// The call graph profile lists one entry per routine — "a window into
+// the call graph" — sorted by self-plus-descendant time. Each entry
+// shows the routine's parents above it (with the self and descendant
+// time the routine propagates to each, and the fraction of calls each
+// parent accounts for) and its children below it (with the time each
+// child passes up and the fraction of the child's calls the routine
+// makes). Cycles appear as single entities whose members are listed in
+// place of children; self-recursive calls are split out of the call
+// count ("called+self") because only outside calls propagate time.
+//
+// The retrospective's filtering features are provided as Options: a
+// minimum-%time threshold ("show only hot functions") and a focus set
+// ("only parts of the graph containing certain methods").
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/callgraph"
+)
+
+// Options controls both reports.
+type Options struct {
+	// MinPercent suppresses call-graph entries whose total time is below
+	// this percentage of the run, and flat-profile rows with zero time
+	// below it (0 shows everything).
+	MinPercent float64
+	// Focus, when non-empty, restricts the call-graph profile to entries
+	// for the named routines, their direct parents, and their direct
+	// children.
+	Focus []string
+	// Exclude suppresses the named routines' entries and flat-profile
+	// rows (gprof's -E display exclusion). Their time still propagates:
+	// exclusion is presentation-only.
+	Exclude []string
+	// NoHeaders omits the explanatory column headers.
+	NoHeaders bool
+}
+
+// excluded reports whether a routine is display-suppressed.
+func (o *Options) excluded(name string) bool {
+	for _, e := range o.Exclude {
+		if e == name {
+			return true
+		}
+	}
+	return false
+}
+
+// entry is one unit of the call-graph listing: a plain node or a whole
+// cycle.
+type entry struct {
+	node  *callgraph.Node  // nil for cycle entries
+	cycle *callgraph.Cycle // nil for node entries
+}
+
+func (e entry) total() float64 {
+	if e.cycle != nil {
+		return e.cycle.TotalTicks()
+	}
+	return e.node.TotalTicks()
+}
+
+func (e entry) name() string {
+	if e.cycle != nil {
+		return fmt.Sprintf("<cycle %d as a whole>", e.cycle.Number)
+	}
+	return e.node.Name
+}
+
+// AssignIndexes orders profile entries by decreasing total time and
+// numbers them. Cycle members receive indices immediately after their
+// cycle's entry, ordered by decreasing self time. It returns the entry
+// list in listing order. CallGraph calls it; it is exported for tools
+// that need stable indices without rendering.
+func AssignIndexes(g *callgraph.Graph) []entryExport {
+	entries := buildEntries(g)
+	idx := 1
+	var out []entryExport
+	for _, e := range entries {
+		if e.cycle != nil {
+			e.cycle.Index = idx
+			idx++
+			out = append(out, entryExport{Cycle: e.cycle})
+			members := append([]*callgraph.Node(nil), e.cycle.Members...)
+			sort.SliceStable(members, func(i, j int) bool {
+				return members[i].SelfTicks > members[j].SelfTicks
+			})
+			for _, m := range members {
+				m.Index = idx
+				idx++
+				out = append(out, entryExport{Node: m})
+			}
+			continue
+		}
+		e.node.Index = idx
+		idx++
+		out = append(out, entryExport{Node: e.node})
+	}
+	return out
+}
+
+// entryExport is the public shape of a listing entry.
+type entryExport struct {
+	Node  *callgraph.Node
+	Cycle *callgraph.Cycle
+}
+
+// buildEntries collects units (plain nodes and cycles) sorted by
+// decreasing total time, ties broken by name for determinism. Units with
+// neither time nor calls (never touched) are excluded from the call
+// graph listing — they appear in the flat profile's never-called list.
+func buildEntries(g *callgraph.Graph) []entry {
+	var entries []entry
+	for _, n := range g.Nodes() {
+		if n.InCycle() {
+			continue
+		}
+		entries = append(entries, entry{node: n})
+	}
+	for _, c := range g.Cycles {
+		entries = append(entries, entry{cycle: c})
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		ti, tj := entries[i].total(), entries[j].total()
+		if ti != tj {
+			return ti > tj
+		}
+		return entries[i].name() < entries[j].name()
+	})
+	return entries
+}
+
+// seconds converts ticks to seconds at the graph's clock rate.
+func seconds(g *callgraph.Graph, ticks float64) float64 {
+	return ticks / float64(g.Hertz())
+}
+
+// percent returns ticks as a percentage of the total run.
+func percent(g *callgraph.Graph, ticks float64) float64 {
+	if g.TotalTicks <= 0 {
+		return 0
+	}
+	return 100 * ticks / g.TotalTicks
+}
+
+// label renders a routine name with its cycle tag, e.g. "SUB1 <cycle1>".
+func label(n *callgraph.Node) string {
+	if n.InCycle() {
+		return fmt.Sprintf("%s <cycle%d>", n.Name, n.Cycle.Number)
+	}
+	return n.Name
+}
+
+// CallGraph renders the call graph profile. The graph must already be
+// analyzed (scc) and propagated (propagate). Indices are (re)assigned.
+func CallGraph(w io.Writer, g *callgraph.Graph, opt Options) error {
+	listing := AssignIndexes(g)
+	focus := focusSet(g, opt.Focus)
+
+	totalSecs := seconds(g, g.TotalTicks)
+	if !opt.NoHeaders {
+		fmt.Fprintf(w, "call graph profile:\n")
+		fmt.Fprintf(w, "granularity: each sample hit covers 1 word for %.2f%% of %.2f seconds\n\n",
+			percentPerTick(g), totalSecs)
+		fmt.Fprintf(w, "                                  called/total       parents\n")
+		fmt.Fprintf(w, "index  %%time    self descendants  called+self    name           index\n")
+		fmt.Fprintf(w, "                                  called/total       children\n\n")
+	}
+
+	rule := strings.Repeat("-", 72)
+	printed := 0
+	for _, ex := range listing {
+		if ex.Cycle != nil {
+			if !wantCycle(g, ex.Cycle, opt, focus) {
+				continue
+			}
+			if printed > 0 {
+				fmt.Fprintln(w, rule)
+			}
+			printCycleEntry(w, g, ex.Cycle)
+			printed++
+			continue
+		}
+		if !wantNode(g, ex.Node, opt, focus) {
+			continue
+		}
+		if printed > 0 {
+			fmt.Fprintln(w, rule)
+		}
+		printNodeEntry(w, g, ex.Node)
+		printed++
+	}
+	if printed == 0 {
+		fmt.Fprintln(w, "no entries selected")
+	}
+	return nil
+}
+
+func percentPerTick(g *callgraph.Graph) float64 {
+	if g.TotalTicks <= 0 {
+		return 0
+	}
+	return 100 / g.TotalTicks
+}
+
+func focusSet(g *callgraph.Graph, names []string) map[*callgraph.Node]bool {
+	if len(names) == 0 {
+		return nil
+	}
+	set := make(map[*callgraph.Node]bool)
+	for _, name := range names {
+		n, ok := g.Node(name)
+		if !ok {
+			continue
+		}
+		set[n] = true
+		for _, a := range n.In {
+			if a.Caller != nil {
+				set[a.Caller] = true
+			}
+		}
+		for _, a := range n.Out {
+			set[a.Callee] = true
+		}
+	}
+	return set
+}
+
+func wantNode(g *callgraph.Graph, n *callgraph.Node, opt Options, focus map[*callgraph.Node]bool) bool {
+	if n.TotalTicks() == 0 && n.Calls() == 0 && n.SelfCalls() == 0 {
+		return false // never touched; lives in the flat profile's never-called list
+	}
+	if opt.excluded(n.Name) {
+		return false
+	}
+	if focus != nil && !focus[n] {
+		return false
+	}
+	if opt.MinPercent > 0 && percent(g, n.TotalTicks()) < opt.MinPercent {
+		return false
+	}
+	return true
+}
+
+func wantCycle(g *callgraph.Graph, c *callgraph.Cycle, opt Options, focus map[*callgraph.Node]bool) bool {
+	if focus != nil {
+		any := false
+		for _, m := range c.Members {
+			if focus[m] {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return false
+		}
+	}
+	if opt.MinPercent > 0 && percent(g, c.TotalTicks()) < opt.MinPercent {
+		return false
+	}
+	return true
+}
+
+// printNodeEntry renders one routine's entry: parents, the self line,
+// then children.
+func printNodeEntry(w io.Writer, g *callgraph.Graph, n *callgraph.Node) {
+	// Parents, ascending by contribution (the paper's Figure 4 order).
+	var parents []*callgraph.Arc
+	for _, a := range n.In {
+		if !a.Self() {
+			parents = append(parents, a)
+		}
+	}
+	sort.SliceStable(parents, func(i, j int) bool {
+		ti := parents[i].PropSelf + parents[i].PropChild
+		tj := parents[j].PropSelf + parents[j].PropChild
+		if ti != tj {
+			return ti < tj
+		}
+		return parentName(parents[i]) < parentName(parents[j])
+	})
+	// Total calls for the x/y column: calls into this node, or into the
+	// whole cycle when the node is a member.
+	totalCalls := n.Calls()
+	if n.InCycle() {
+		totalCalls = n.Cycle.ExternalCalls()
+	}
+	for _, a := range parents {
+		if a.Spontaneous() {
+			fmt.Fprintf(w, "%45s<spontaneous>\n", "")
+			continue
+		}
+		if a.IntraCycle() {
+			// Calls from within the cycle: listed, never propagated.
+			fmt.Fprintf(w, "%14s%8s %11s %9d %s%s [%d]\n",
+				"", "", "", a.Count, "    ", label(a.Caller), a.Caller.Index)
+			continue
+		}
+		fmt.Fprintf(w, "%14s%8.2f %11.2f %7d/%-7d %s [%d]\n",
+			"",
+			seconds(g, a.PropSelf), seconds(g, a.PropChild),
+			a.Count, totalCalls,
+			label(a.Caller), a.Caller.Index)
+	}
+
+	// The self line: index, %time, self, descendants, called+self.
+	called := fmt.Sprintf("%d", n.Calls())
+	if sc := n.SelfCalls(); sc > 0 {
+		called = fmt.Sprintf("%d+%d", n.Calls(), sc)
+	}
+	fmt.Fprintf(w, "%-6s %5.1f %8.2f %11.2f %15s %s [%d]\n",
+		fmt.Sprintf("[%d]", n.Index),
+		percent(g, n.TotalTicks()),
+		seconds(g, n.SelfTicks), seconds(g, n.ChildTicks),
+		called, label(n), n.Index)
+
+	// Children, descending by time passed up.
+	var children []*callgraph.Arc
+	for _, a := range n.Out {
+		if !a.Self() {
+			children = append(children, a)
+		}
+	}
+	sort.SliceStable(children, func(i, j int) bool {
+		ti := children[i].PropSelf + children[i].PropChild
+		tj := children[j].PropSelf + children[j].PropChild
+		if ti != tj {
+			return ti > tj
+		}
+		return children[i].Callee.Name < children[j].Callee.Name
+	})
+	for _, a := range children {
+		child := a.Callee
+		if a.IntraCycle() {
+			fmt.Fprintf(w, "%14s%8s %11s %9d %s%s [%d]\n",
+				"", "", "", a.Count, "    ", label(child), child.Index)
+			continue
+		}
+		// Denominator: calls into the child (or its whole cycle).
+		den := child.Calls()
+		if child.InCycle() {
+			den = child.Cycle.ExternalCalls()
+		}
+		fmt.Fprintf(w, "%14s%8.2f %11.2f %7d/%-7d %s [%d]\n",
+			"",
+			seconds(g, a.PropSelf), seconds(g, a.PropChild),
+			a.Count, den,
+			label(child), child.Index)
+	}
+}
+
+func parentName(a *callgraph.Arc) string {
+	if a.Caller == nil {
+		return ""
+	}
+	return a.Caller.Name
+}
+
+// printCycleEntry renders a cycle-as-a-whole entry: external parents,
+// the cycle line, then the members "listed in place of the children"
+// with their calls from within the cycle.
+func printCycleEntry(w io.Writer, g *callgraph.Graph, c *callgraph.Cycle) {
+	var parents []*callgraph.Arc
+	for _, m := range c.Members {
+		for _, a := range m.In {
+			if !a.IntraCycle() && !a.Self() {
+				parents = append(parents, a)
+			}
+		}
+	}
+	sort.SliceStable(parents, func(i, j int) bool {
+		ti := parents[i].PropSelf + parents[i].PropChild
+		tj := parents[j].PropSelf + parents[j].PropChild
+		if ti != tj {
+			return ti < tj
+		}
+		return parentName(parents[i]) < parentName(parents[j])
+	})
+	ext := c.ExternalCalls()
+	for _, a := range parents {
+		if a.Spontaneous() {
+			fmt.Fprintf(w, "%45s<spontaneous>\n", "")
+			continue
+		}
+		fmt.Fprintf(w, "%14s%8.2f %11.2f %7d/%-7d %s [%d]\n",
+			"",
+			seconds(g, a.PropSelf), seconds(g, a.PropChild),
+			a.Count, ext,
+			label(a.Caller), a.Caller.Index)
+	}
+	called := fmt.Sprintf("%d", ext)
+	if in := c.InternalCalls(); in > 0 {
+		called = fmt.Sprintf("%d+%d", ext, in)
+	}
+	fmt.Fprintf(w, "%-6s %5.1f %8.2f %11.2f %15s <cycle %d as a whole> [%d]\n",
+		fmt.Sprintf("[%d]", c.Index),
+		percent(g, c.TotalTicks()),
+		seconds(g, c.SelfTicks()), seconds(g, c.ChildTicks),
+		called, c.Number, c.Index)
+	// Members with their calls from within the cycle (incoming intra
+	// arcs plus self calls), sorted by self time.
+	members := append([]*callgraph.Node(nil), c.Members...)
+	sort.SliceStable(members, func(i, j int) bool {
+		return members[i].SelfTicks > members[j].SelfTicks
+	})
+	for _, m := range members {
+		var intra int64
+		for _, a := range m.In {
+			if a.IntraCycle() && !a.Self() {
+				intra += a.Count
+			}
+		}
+		called := fmt.Sprintf("%d", intra)
+		if sc := m.SelfCalls(); sc > 0 {
+			called = fmt.Sprintf("%d+%d", intra, sc)
+		}
+		fmt.Fprintf(w, "%14s%8.2f %11.2f %15s %s [%d]\n",
+			"", seconds(g, m.SelfTicks), 0.0, called, label(m), m.Index)
+	}
+}

@@ -1,0 +1,154 @@
+// Package scc discovers strongly-connected components in the call graph
+// and assigns topological numbers, implementing the paper's §4:
+//
+//	"we discover strongly-connected components in the call graph, treat
+//	each such component as a single node, and then sort the resulting
+//	graph. We use a variation of Tarjan's strongly-connected components
+//	algorithm that discovers strongly-connected components as it is
+//	assigning topological order numbers."
+//
+// Tarjan's algorithm completes components in reverse topological order of
+// the condensation graph — a component is finished only after everything
+// it calls has finished — so numbering components in completion order
+// yields exactly the paper's invariant: every arc that is not internal to
+// a cycle goes from a higher-numbered node to a lower-numbered node
+// (Figure 1, and Figure 3 after cycle collapsing).
+//
+// Only components with more than one member become Cycles. A
+// self-recursive routine is "a trivial cycle in the call graph" whose
+// self-arcs are listed but excluded from propagation; it needs no
+// collapsing.
+package scc
+
+import (
+	"sort"
+
+	"repro/internal/callgraph"
+)
+
+// Analyze finds strongly-connected components among the graph's nodes,
+// records multi-member components as cycles (setting Node.Cycle and
+// Graph.Cycles), and assigns Node.TopoNum. Static (count-zero) arcs
+// participate: they "may complete strongly connected components" (§4).
+// Self-arcs do not. Analyze may be called again after arcs are removed;
+// it clears previous results first.
+func Analyze(g *callgraph.Graph) {
+	nodes := g.Nodes()
+	n := len(nodes)
+	g.Cycles = nil
+	for _, nd := range nodes {
+		nd.Cycle = nil
+		nd.TopoNum = 0
+	}
+
+	// Adjacency as indices, excluding self-arcs.
+	id := make(map[*callgraph.Node]int, n)
+	for i, nd := range nodes {
+		id[nd] = i
+	}
+	outs := make([][]int, n)
+	for i, nd := range nodes {
+		for _, a := range nd.Out {
+			if a.Self() {
+				continue
+			}
+			outs[i] = append(outs[i], id[a.Callee])
+		}
+	}
+
+	var (
+		idx     = make([]int, n) // 0 = unvisited
+		low     = make([]int, n)
+		onStack = make([]bool, n)
+		stack   = make([]int, 0, n)
+		counter int
+		topo    int
+	)
+
+	type frame struct {
+		v  int
+		ai int
+	}
+	var frames []frame
+
+	visit := func(v int) {
+		counter++
+		idx[v], low[v] = counter, counter
+		stack = append(stack, v)
+		onStack[v] = true
+		frames = append(frames, frame{v: v})
+	}
+
+	for s := 0; s < n; s++ {
+		if idx[s] != 0 {
+			continue
+		}
+		visit(s)
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			descended := false
+			for f.ai < len(outs[v]) {
+				w := outs[v][f.ai]
+				f.ai++
+				if idx[w] == 0 {
+					visit(w)
+					descended = true
+					break
+				}
+				if onStack[w] && idx[w] < low[v] {
+					low[v] = idx[w]
+				}
+			}
+			if descended {
+				continue
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] != idx[v] {
+				continue
+			}
+			// v is the root of a component; everything above it on the
+			// stack is a member. Components complete callee-first, so
+			// this numbering gives callers higher numbers.
+			topo++
+			var members []*callgraph.Node
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				nodes[w].TopoNum = topo
+				members = append(members, nodes[w])
+				if w == v {
+					break
+				}
+			}
+			if len(members) > 1 {
+				// Reverse to creation (address) order for determinism.
+				for i, j := 0, len(members)-1; i < j; i, j = i+1, j-1 {
+					members[i], members[j] = members[j], members[i]
+				}
+				c := &callgraph.Cycle{Number: len(g.Cycles) + 1, Members: members}
+				for _, m := range members {
+					m.Cycle = c
+				}
+				g.Cycles = append(g.Cycles, c)
+			}
+		}
+	}
+}
+
+// TopoOrder returns the graph's nodes sorted by ascending topological
+// number (callees before callers), the order in which time propagation
+// must visit them. Members of a cycle share a number and stay adjacent.
+func TopoOrder(g *callgraph.Graph) []*callgraph.Node {
+	nodes := append([]*callgraph.Node(nil), g.Nodes()...)
+	// A stable sort keeps address order within a cycle's members.
+	sort.SliceStable(nodes, func(i, j int) bool { return nodes[i].TopoNum < nodes[j].TopoNum })
+	return nodes
+}

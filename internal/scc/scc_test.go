@@ -1,0 +1,329 @@
+package scc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/callgraph"
+)
+
+// build constructs a graph from arc pairs.
+func build(arcs [][2]string) *callgraph.Graph {
+	g := callgraph.New()
+	for _, a := range arcs {
+		g.AddArc(a[0], a[1], 1)
+	}
+	return g
+}
+
+// checkTopoInvariant verifies the paper's Figure 1/3 property: every arc
+// that is neither self-recursive nor internal to a cycle goes from a
+// higher topological number to a lower one.
+func checkTopoInvariant(t *testing.T, g *callgraph.Graph) {
+	t.Helper()
+	for _, a := range g.Arcs() {
+		if a.Spontaneous() || a.Self() || a.IntraCycle() {
+			continue
+		}
+		if a.Caller.TopoNum <= a.Callee.TopoNum {
+			t.Errorf("arc %v: caller topo %d <= callee topo %d",
+				a, a.Caller.TopoNum, a.Callee.TopoNum)
+		}
+	}
+	for _, n := range g.Nodes() {
+		if n.TopoNum == 0 {
+			t.Errorf("node %s not numbered", n.Name)
+		}
+	}
+}
+
+func TestChainTopo(t *testing.T) {
+	g := build([][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}})
+	Analyze(g)
+	checkTopoInvariant(t, g)
+	if len(g.Cycles) != 0 {
+		t.Errorf("chain produced %d cycles", len(g.Cycles))
+	}
+	// d is the leaf: lowest number; a the root: highest.
+	if g.MustNode("d").TopoNum != 1 || g.MustNode("a").TopoNum != 4 {
+		t.Errorf("topo numbers: a=%d d=%d, want 4 and 1",
+			g.MustNode("a").TopoNum, g.MustNode("d").TopoNum)
+	}
+}
+
+func TestDiamond(t *testing.T) {
+	g := build([][2]string{{"r", "x"}, {"r", "y"}, {"x", "l"}, {"y", "l"}})
+	Analyze(g)
+	checkTopoInvariant(t, g)
+	if len(g.Cycles) != 0 {
+		t.Error("diamond is acyclic; got cycles")
+	}
+}
+
+func TestSelfLoopIsNotACycle(t *testing.T) {
+	// A self-recursive routine is a "trivial cycle" that must NOT be
+	// collapsed (§4: its self-arcs are simply excluded from propagation).
+	g := build([][2]string{{"main", "fact"}, {"fact", "fact"}})
+	Analyze(g)
+	checkTopoInvariant(t, g)
+	if len(g.Cycles) != 0 {
+		t.Errorf("self-loop collapsed into a cycle: %+v", g.Cycles)
+	}
+	if g.MustNode("fact").InCycle() {
+		t.Error("self-recursive node marked as cycle member")
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	// Figures 2-3: two mutually recursive routines collapse into one
+	// cycle; the condensed graph is then topologically numbered.
+	g := build([][2]string{
+		{"main", "p"}, {"p", "q"}, {"q", "p"}, {"q", "leaf"},
+	})
+	Analyze(g)
+	checkTopoInvariant(t, g)
+	if len(g.Cycles) != 1 {
+		t.Fatalf("cycles = %d, want 1", len(g.Cycles))
+	}
+	c := g.Cycles[0]
+	if len(c.Members) != 2 {
+		t.Fatalf("cycle members = %d, want 2 (p, q)", len(c.Members))
+	}
+	if !g.MustNode("p").InCycle() || !g.MustNode("q").InCycle() {
+		t.Error("p or q not marked in-cycle")
+	}
+	if g.MustNode("p").Cycle != g.MustNode("q").Cycle {
+		t.Error("p and q in different cycles")
+	}
+	if g.MustNode("main").InCycle() || g.MustNode("leaf").InCycle() {
+		t.Error("main or leaf wrongly in a cycle")
+	}
+	// Members share a topological number; main above, leaf below.
+	if g.MustNode("p").TopoNum != g.MustNode("q").TopoNum {
+		t.Error("cycle members have different topo numbers")
+	}
+	if !(g.MustNode("main").TopoNum > g.MustNode("p").TopoNum) {
+		t.Error("main not above the cycle")
+	}
+	if !(g.MustNode("p").TopoNum > g.MustNode("leaf").TopoNum) {
+		t.Error("cycle not above leaf")
+	}
+	if c.Number != 1 {
+		t.Errorf("cycle number = %d, want 1", c.Number)
+	}
+}
+
+func TestThreeNodeCycleWithTail(t *testing.T) {
+	g := build([][2]string{
+		{"a", "b"}, {"b", "c"}, {"c", "a"}, // 3-cycle
+		{"c", "d"}, {"d", "e"}, // tail
+		{"root", "a"},
+	})
+	Analyze(g)
+	checkTopoInvariant(t, g)
+	if len(g.Cycles) != 1 || len(g.Cycles[0].Members) != 3 {
+		t.Fatalf("cycles = %+v, want one 3-member", g.Cycles)
+	}
+}
+
+func TestTwoDisjointCycles(t *testing.T) {
+	g := build([][2]string{
+		{"a", "b"}, {"b", "a"},
+		{"x", "y"}, {"y", "x"},
+		{"main", "a"}, {"main", "x"},
+	})
+	Analyze(g)
+	checkTopoInvariant(t, g)
+	if len(g.Cycles) != 2 {
+		t.Fatalf("cycles = %d, want 2", len(g.Cycles))
+	}
+	if g.Cycles[0].Number != 1 || g.Cycles[1].Number != 2 {
+		t.Errorf("cycle numbers = %d,%d", g.Cycles[0].Number, g.Cycles[1].Number)
+	}
+	if g.MustNode("a").Cycle == g.MustNode("x").Cycle {
+		t.Error("disjoint cycles merged")
+	}
+}
+
+func TestNestedCyclesMergeIntoOne(t *testing.T) {
+	// a->b->a and b->c->b overlap in b: one SCC {a,b,c}.
+	g := build([][2]string{
+		{"a", "b"}, {"b", "a"}, {"b", "c"}, {"c", "b"},
+	})
+	Analyze(g)
+	if len(g.Cycles) != 1 || len(g.Cycles[0].Members) != 3 {
+		t.Fatalf("cycles = %+v, want one with 3 members", g.Cycles)
+	}
+}
+
+func TestStaticArcCompletesCycle(t *testing.T) {
+	// Dynamic arcs a->b->c; a static (count 0) arc c->a completes the
+	// cycle — the reason static construction precedes ordering (§4).
+	g := build([][2]string{{"a", "b"}, {"b", "c"}})
+	staticArc := g.AddArc("c", "a", 0)
+	staticArc.Static = true
+	Analyze(g)
+	if len(g.Cycles) != 1 || len(g.Cycles[0].Members) != 3 {
+		t.Fatalf("static arc did not complete the cycle: %+v", g.Cycles)
+	}
+}
+
+func TestReanalyzeAfterArcRemoval(t *testing.T) {
+	g := build([][2]string{{"a", "b"}, {"b", "a"}, {"main", "a"}})
+	Analyze(g)
+	if len(g.Cycles) != 1 {
+		t.Fatalf("want 1 cycle, got %d", len(g.Cycles))
+	}
+	if !g.RemoveArc("b", "a") {
+		t.Fatal("RemoveArc failed")
+	}
+	Analyze(g)
+	if len(g.Cycles) != 0 {
+		t.Errorf("cycle persists after removing its closing arc")
+	}
+	checkTopoInvariant(t, g)
+	if g.MustNode("a").InCycle() || g.MustNode("b").InCycle() {
+		t.Error("stale cycle membership after re-analysis")
+	}
+}
+
+func TestSpontaneousArcsIgnored(t *testing.T) {
+	g := callgraph.New()
+	g.AddArc("", "handler", 3) // spontaneous
+	g.AddArc("main", "handler", 1)
+	Analyze(g)
+	checkTopoInvariant(t, g)
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := build([][2]string{{"a", "b"}, {"b", "c"}, {"a", "c"}})
+	Analyze(g)
+	order := TopoOrder(g)
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n.Name] = i
+	}
+	if !(pos["c"] < pos["b"] && pos["b"] < pos["a"]) {
+		t.Errorf("TopoOrder = %v, want callees first", pos)
+	}
+}
+
+// randomGraph builds a random digraph over n nodes with edge probability
+// p, using single-letter-ish names.
+func randomGraph(rng *rand.Rand, n int, p float64) *callgraph.Graph {
+	g := callgraph.New()
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "n" + string(rune('A'+i%26)) + string(rune('0'+i/26))
+		g.AddNode(names[i])
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < p {
+				g.AddArc(names[i], names[j], int64(rng.Intn(5)+1))
+			}
+		}
+	}
+	return g
+}
+
+// reaches reports whether from reaches to using only nodes in members.
+func reaches(from, to *callgraph.Node, members map[*callgraph.Node]bool) bool {
+	seen := map[*callgraph.Node]bool{from: true}
+	queue := []*callgraph.Node{from}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == to {
+			return true
+		}
+		for _, a := range n.Out {
+			if a.Self() || !members[a.Callee] || seen[a.Callee] {
+				continue
+			}
+			seen[a.Callee] = true
+			queue = append(queue, a.Callee)
+		}
+	}
+	return false
+}
+
+func TestRandomGraphProperties(t *testing.T) {
+	f := func(seed int64, nRaw, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%30) + 2
+		p := float64(pRaw%40)/100 + 0.02
+		g := randomGraph(rng, n, p)
+		Analyze(g)
+
+		// (1) topological invariant
+		for _, a := range g.Arcs() {
+			if a.Self() || a.IntraCycle() || a.Spontaneous() {
+				continue
+			}
+			if a.Caller.TopoNum <= a.Callee.TopoNum {
+				return false
+			}
+		}
+		// (2) cycles are strongly connected within their member set
+		for _, c := range g.Cycles {
+			members := map[*callgraph.Node]bool{}
+			for _, m := range c.Members {
+				members[m] = true
+			}
+			for _, u := range c.Members {
+				for _, v := range c.Members {
+					if u != v && !reaches(u, v, members) {
+						return false
+					}
+				}
+			}
+		}
+		// (3) maximality: any 2-cycle u<->v implies same component
+		for _, a := range g.Arcs() {
+			if a.Self() || a.Spontaneous() {
+				continue
+			}
+			for _, back := range a.Callee.Out {
+				if back.Callee == a.Caller && !a.IntraCycle() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeGraphIterativeTarjan(t *testing.T) {
+	// A long chain would blow the stack under a recursive Tarjan; the
+	// iterative version must handle it.
+	g := callgraph.New()
+	const n = 50000
+	prev := "f0"
+	g.AddNode(prev)
+	for i := 1; i < n; i++ {
+		name := "f" + itoa(i)
+		g.AddArc(prev, name, 1)
+		prev = name
+	}
+	Analyze(g)
+	if g.MustNode("f0").TopoNum != n {
+		t.Errorf("root topo = %d, want %d", g.MustNode("f0").TopoNum, n)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,210 @@
+// Package stacksample implements the technique the retrospective credits
+// with replacing gprof: "periodically gathering not just isolated program
+// counter samples and isolated call graph arcs, but complete call
+// stacks".
+//
+// At every clock tick the sampler records the entire active call stack
+// (by walking the frame-pointer chain the compiler's calling convention
+// maintains). From whole stacks it computes, per routine,
+//
+//   - self ticks: samples whose innermost frame is the routine, and
+//   - inclusive ticks: samples with the routine anywhere on the stack
+//     (counted once per sample even under recursion).
+//
+// Inclusive time measured this way is exact up to sampling error. gprof
+// instead *estimates* inclusive time by distributing a callee's total to
+// callers in proportion to call counts — §3.2's "simplifying assumption
+// that all calls to a specific routine require the same amount of time".
+// Experiment E8 uses this package as ground truth to quantify the error
+// of that assumption on workloads where call sites have unequal costs.
+package stacksample
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/symtab"
+	"repro/internal/vm"
+)
+
+// MaxDepth bounds the stack walk per sample.
+const MaxDepth = 256
+
+// Sampler implements vm.Monitor by recording whole call stacks at clock
+// ticks. Attach the machine before running; MCOUNT and control events
+// are ignored (the technique needs no prologue instrumentation at all —
+// part of its appeal).
+type Sampler struct {
+	tab     *symtab.Table
+	machine *vm.Machine
+
+	selfTicks      map[string]int64
+	inclusiveTicks map[string]int64
+	samples        int64
+	truncated      int64 // walks stopped early (prologue skid etc.)
+
+	// stacks counts each distinct stack (leaf-first names joined by
+	// ";"), the data a modern flame-graph view would consume.
+	stacks map[string]int64
+}
+
+// New creates a sampler resolving addresses against tab.
+func New(tab *symtab.Table) *Sampler {
+	return &Sampler{
+		tab:            tab,
+		selfTicks:      make(map[string]int64),
+		inclusiveTicks: make(map[string]int64),
+		stacks:         make(map[string]int64),
+	}
+}
+
+// Attach gives the sampler access to the machine whose stack it walks.
+func (s *Sampler) Attach(m *vm.Machine) { s.machine = m }
+
+// Mcount ignores prologue events: stack sampling needs no instrumented
+// prologues. It returns zero extra cycles, which is exactly the point —
+// the overhead is per-tick, not per-call, and "can be hidden by backing
+// off the frequency with which the call stacks are sampled".
+func (s *Sampler) Mcount(selfpc, frompc int64) int64 { return 0 }
+
+// Control is a no-op; the sampler has no kernel-style switch.
+func (s *Sampler) Control(op int) {}
+
+// Tick records one whole-stack sample.
+func (s *Sampler) Tick(pc int64) {
+	s.samples++
+	names := make([]string, 0, 8)
+	seen := make(map[string]bool, 8)
+	add := func(pc int64) bool {
+		fn, ok := s.tab.Find(pc)
+		if !ok {
+			return false
+		}
+		names = append(names, fn.Name)
+		if !seen[fn.Name] {
+			seen[fn.Name] = true
+			s.inclusiveTicks[fn.Name]++
+		}
+		return true
+	}
+	if !add(pc) {
+		s.truncated++
+		return
+	}
+	s.selfTicks[names[0]]++
+	if s.machine != nil {
+		ras := s.machine.ReturnAddresses(MaxDepth)
+		for _, ra := range ras {
+			if !add(ra - 1) { // ra points after the CALL
+				s.truncated++
+				break
+			}
+		}
+		if len(ras) == MaxDepth {
+			s.truncated++
+		}
+	}
+	key := join(names)
+	s.stacks[key]++
+}
+
+func join(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ";"
+		}
+		out += n
+	}
+	return out
+}
+
+// Samples returns the number of ticks observed.
+func (s *Sampler) Samples() int64 { return s.samples }
+
+// Truncated returns how many walks ended early (unknown pc or depth
+// limit) — the prologue-skid artifacts.
+func (s *Sampler) Truncated() int64 { return s.truncated }
+
+// SelfTicks returns the routine's leaf-sample count.
+func (s *Sampler) SelfTicks(name string) int64 { return s.selfTicks[name] }
+
+// InclusiveTicks returns the routine's anywhere-on-stack sample count:
+// measured (not estimated) total time in sampling units.
+func (s *Sampler) InclusiveTicks(name string) int64 { return s.inclusiveTicks[name] }
+
+// Stacks returns the distinct sampled stacks (leaf-first, ";"-joined)
+// with their counts.
+func (s *Sampler) Stacks() map[string]int64 { return s.stacks }
+
+// Row is one line of the report.
+type Row struct {
+	Name      string
+	Self      int64
+	Inclusive int64
+}
+
+// Rows returns per-routine results sorted by decreasing inclusive ticks.
+func (s *Sampler) Rows() []Row {
+	var rows []Row
+	for name, inc := range s.inclusiveTicks {
+		rows = append(rows, Row{Name: name, Self: s.selfTicks[name], Inclusive: inc})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Inclusive != rows[j].Inclusive {
+			return rows[i].Inclusive > rows[j].Inclusive
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}
+
+// WriteFolded emits the samples in collapsed-stack ("folded") form, one
+// line per distinct stack — root;...;leaf count — the input format of
+// modern flame-graph renderers. Lines are sorted for determinism.
+func (s *Sampler) WriteFolded(w io.Writer) error {
+	lines := make([]string, 0, len(s.stacks))
+	for key, count := range s.stacks {
+		frames := splitStack(key)
+		// stored leaf-first; folded format is root-first
+		for i, j := 0, len(frames)-1; i < j; i, j = i+1, j-1 {
+			frames[i], frames[j] = frames[j], frames[i]
+		}
+		lines = append(lines, fmt.Sprintf("%s %d", join(frames), count))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func splitStack(key string) []string {
+	var frames []string
+	start := 0
+	for i := 0; i <= len(key); i++ {
+		if i == len(key) || key[i] == ';' {
+			frames = append(frames, key[start:i])
+			start = i + 1
+		}
+	}
+	return frames
+}
+
+// Write renders the per-routine table with tick counts and percentages.
+func (s *Sampler) Write(w io.Writer) error {
+	fmt.Fprintf(w, "stack-sample profile: %d samples (%d truncated walks)\n", s.samples, s.truncated)
+	fmt.Fprintf(w, "  %%incl   %%self  inclusive    self  name\n")
+	for _, r := range s.Rows() {
+		pi, ps := 0.0, 0.0
+		if s.samples > 0 {
+			pi = 100 * float64(r.Inclusive) / float64(s.samples)
+			ps = 100 * float64(r.Self) / float64(s.samples)
+		}
+		fmt.Fprintf(w, "%7.1f %7.1f %10d %7d  %s\n", pi, ps, r.Inclusive, r.Self, r.Name)
+	}
+	return nil
+}

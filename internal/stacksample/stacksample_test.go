@@ -1,0 +1,223 @@
+package stacksample
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/callgraph"
+	"repro/internal/propagate"
+	"repro/internal/scc"
+	"repro/internal/symtab"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// sample runs a workload under the stack sampler.
+func sample(t *testing.T, name string, tick int64) (*Sampler, *symtab.Table) {
+	t.Helper()
+	im, err := workloads.Build(name, false) // no MCOUNT needed!
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := symtab.New(im)
+	s := New(tab)
+	m := vm.New(im, vm.Config{Monitor: s, TickCycles: tick, MaxCycles: 1 << 30})
+	s.Attach(m)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return s, tab
+}
+
+func TestSamplesCollected(t *testing.T) {
+	s, _ := sample(t, "sort", 200)
+	if s.Samples() == 0 {
+		t.Fatal("no samples")
+	}
+	if s.SelfTicks("partition")+s.SelfTicks("less")+s.SelfTicks("swap") == 0 {
+		t.Error("no self samples in the sort kernels")
+	}
+	// main is on (almost) every stack.
+	if incl := s.InclusiveTicks("main"); float64(incl) < 0.9*float64(s.Samples()) {
+		t.Errorf("main inclusive %d of %d samples; want ~all", incl, s.Samples())
+	}
+}
+
+func TestInclusiveExceedsSelf(t *testing.T) {
+	s, _ := sample(t, "matrix", 200)
+	for _, name := range []string{"mul", "dot", "main"} {
+		if s.InclusiveTicks(name) < s.SelfTicks(name) {
+			t.Errorf("%s: inclusive %d < self %d", name, s.InclusiveTicks(name), s.SelfTicks(name))
+		}
+	}
+	// The orchestrator mul has tiny self but huge inclusive time — the
+	// signal prof cannot produce and gprof only estimates.
+	if s.InclusiveTicks("mul") < 5*s.SelfTicks("mul")+1 {
+		t.Errorf("mul: inclusive %d vs self %d; expected inclusive >> self",
+			s.InclusiveTicks("mul"), s.SelfTicks("mul"))
+	}
+}
+
+func TestRecursionCountedOncePerSample(t *testing.T) {
+	s, _ := sample(t, "sort", 200)
+	// qsort is deeply self-recursive; inclusive must never exceed the
+	// sample count (each sample counts it once).
+	if s.InclusiveTicks("qsort") > s.Samples() {
+		t.Errorf("qsort inclusive %d > samples %d (double-counted recursion)",
+			s.InclusiveTicks("qsort"), s.Samples())
+	}
+}
+
+func TestStacksRecorded(t *testing.T) {
+	s, _ := sample(t, "matrix", 500)
+	if len(s.Stacks()) == 0 {
+		t.Fatal("no stacks recorded")
+	}
+	// Some sampled stack should show the full abstraction chain.
+	found := false
+	for stack := range s.Stacks() {
+		if strings.Contains(stack, "dot") && strings.Contains(stack, "mul") &&
+			strings.Contains(stack, "main") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("no stack contains dot;...;mul;...;main: %v", keys(s.Stacks()))
+	}
+}
+
+func keys(m map[string]int64) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestWriteReport(t *testing.T) {
+	s, _ := sample(t, "sort", 300)
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"stack-sample profile", "%incl", "qsort", "main"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAverageTimeAssumptionError is experiment E8's core: on the
+// `unequal` workload, cheap() makes 90 fast calls to work and pricey()
+// makes 10 slow ones. gprof divides work's total time by call count, so
+// it hands cheap() 90% of the time; the measured stacks show pricey()
+// owns nearly all of it.
+func TestAverageTimeAssumptionError(t *testing.T) {
+	// Ground truth from whole stacks.
+	s, _ := sample(t, "unequal", 200)
+	samples := float64(s.Samples())
+	if samples == 0 {
+		t.Fatal("no samples")
+	}
+	truthCheap := float64(s.InclusiveTicks("cheap")) / samples
+	truthPricey := float64(s.InclusiveTicks("pricey")) / samples
+	if truthPricey < 0.8 {
+		t.Errorf("ground truth: pricey owns %.0f%%, expected > 80%%", truthPricey*100)
+	}
+	if truthCheap > 0.2 {
+		t.Errorf("ground truth: cheap owns %.0f%%, expected < 20%%", truthCheap*100)
+	}
+
+	// gprof's estimate on the same program (instrumented build).
+	im, err := workloads.Build("unequal", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, _, err := workloads.Run(im, workloads.RunConfig{TickCycles: 200, MaxCycles: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := symtab.New(im)
+	g, err := callgraph.Build(tab, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scc.Analyze(g)
+	propagate.Run(g)
+	total := g.TotalTicks
+	estCheap := g.MustNode("cheap").TotalTicks() / total
+	estPricey := g.MustNode("pricey").TotalTicks() / total
+
+	// gprof's average-time assumption must visibly misattribute:
+	// it gives cheap() the majority share (90 of 100 calls).
+	if estCheap < 0.5 {
+		t.Errorf("gprof estimate for cheap = %.0f%%; expected the wrong, call-count-driven majority", estCheap*100)
+	}
+	if estPricey > 0.5 {
+		t.Errorf("gprof estimate for pricey = %.0f%%; expected under-attribution", estPricey*100)
+	}
+	// And the stack sampler must be far closer to the truth than gprof.
+	gprofErr := abs(estPricey - truthPricey)
+	if gprofErr < 0.3 {
+		t.Errorf("expected a large gprof error on unequal call sites, got %.2f", gprofErr)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestMcountIgnored(t *testing.T) {
+	s := New(symtab.FromSyms(nil))
+	if cost := s.Mcount(1, 2); cost != 0 {
+		t.Errorf("Mcount cost = %d, want 0", cost)
+	}
+	s.Control(99) // no-op
+}
+
+func TestTickOutsideText(t *testing.T) {
+	s := New(symtab.FromSyms(nil))
+	s.Tick(0xdead)
+	if s.Truncated() != 1 || s.Samples() != 1 {
+		t.Errorf("stats = %d truncated / %d samples", s.Truncated(), s.Samples())
+	}
+}
+
+func TestWriteFolded(t *testing.T) {
+	s, _ := sample(t, "matrix", 500)
+	var buf bytes.Buffer
+	if err := s.WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no folded lines")
+	}
+	prev := ""
+	var total int64
+	for _, l := range lines {
+		if l <= prev {
+			t.Errorf("folded output not sorted: %q after %q", l, prev)
+		}
+		prev = l
+		// root-first: every line starts at _start or main.
+		if !strings.HasPrefix(l, "_start") && !strings.HasPrefix(l, "main") {
+			t.Errorf("folded stack not root-first: %q", l)
+		}
+		var n int64
+		if _, err := fmt.Sscanf(l[strings.LastIndexByte(l, ' ')+1:], "%d", &n); err != nil {
+			t.Fatalf("bad folded line %q: %v", l, err)
+		}
+		total += n
+	}
+	if total != s.Samples() {
+		t.Errorf("folded counts sum to %d, want %d samples", total, s.Samples())
+	}
+}

@@ -1,0 +1,119 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/object"
+)
+
+// TestRandomTextNeverPanics: arbitrary words in the text segment must
+// execute to a trap, an exit, or the cycle limit — never a host panic or
+// a hang. This is the machine's equivalent of kernel robustness against
+// jumping into garbage.
+func TestRandomTextNeverPanics(t *testing.T) {
+	f := func(seed int64, nRaw uint8) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on seed %d: %v", seed, r)
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%64) + 1
+		text := make([]isa.Word, n)
+		for i := range text {
+			switch rng.Intn(3) {
+			case 0: // valid-ish instruction
+				text[i] = isa.Instr{
+					Op:  isa.Op(rng.Intn(isa.NumOps)),
+					Rd:  isa.Reg(rng.Intn(isa.NumRegs)),
+					Rs1: isa.Reg(rng.Intn(isa.NumRegs)),
+					Rs2: isa.Reg(rng.Intn(isa.NumRegs)),
+					Imm: int32(rng.Int63()),
+				}.Encode()
+			case 1: // raw garbage
+				text[i] = isa.Word(rng.Uint64())
+			default: // plausible small value
+				text[i] = isa.Word(rng.Intn(1 << 16))
+			}
+		}
+		o := &object.Object{
+			Name:  "fuzz.o",
+			Text:  text,
+			Funcs: []object.FuncDef{{Name: "main", Offset: 0, Size: int64(n)}},
+		}
+		im, err := object.Link([]*object.Object{o}, object.LinkConfig{StackWords: 64})
+		if err != nil {
+			return true // linker rejected it; fine
+		}
+		m := New(im, Config{MaxCycles: 20000})
+		_, _ = m.Run() // error or clean exit are both acceptable
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomValidProgramsTerminate: random but well-formed straight-line
+// arithmetic always runs to the HALT.
+func TestRandomValidProgramsTerminate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var text []isa.Word
+		for i := 0; i < 100; i++ {
+			ops := []isa.Op{isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpAnd,
+				isa.OpOr, isa.OpXor, isa.OpSlt, isa.OpMov, isa.OpMovI, isa.OpLea}
+			op := ops[rng.Intn(len(ops))]
+			text = append(text, isa.Instr{
+				Op:  op,
+				Rd:  isa.Reg(rng.Intn(12)), // keep off FP/SP/GP
+				Rs1: isa.Reg(rng.Intn(12)),
+				Rs2: isa.Reg(rng.Intn(12)),
+				Imm: int32(rng.Intn(1000) - 500),
+			}.Encode())
+		}
+		text = append(text, isa.Instr{Op: isa.OpHalt}.Encode())
+		o := &object.Object{
+			Name:  "straight.o",
+			Text:  text,
+			Funcs: []object.FuncDef{{Name: "main", Offset: 0, Size: int64(len(text))}},
+		}
+		im, err := object.Link([]*object.Object{o}, object.LinkConfig{})
+		if err != nil {
+			return false
+		}
+		_, err = New(im, Config{MaxCycles: 1 << 16}).Run()
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReturnAddressesSafety: walking the FP chain from arbitrary machine
+// states must never index out of bounds.
+func TestReturnAddressesSafety(t *testing.T) {
+	o := &object.Object{
+		Name:  "w.o",
+		Text:  []isa.Word{isa.Instr{Op: isa.OpHalt}.Encode()},
+		Funcs: []object.FuncDef{{Name: "main", Offset: 0, Size: 1}},
+	}
+	im, err := object.Link([]*object.Object{o}, object.LinkConfig{StackWords: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(fp int64, junk []int64) bool {
+		m := New(im, Config{})
+		copy(m.mem, junk)
+		m.regs[isa.RegFP] = fp
+		_ = m.ReturnAddresses(64) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,447 @@
+// Package vm executes linked images (package object) on the simulated
+// machine defined by package isa.
+//
+// The machine plays two roles from the paper:
+//
+//   - it runs the profiled program, charging each instruction its cycle
+//     cost, so execution time is a deterministic, measurable quantity; and
+//   - it stands in for the operating system's clock: every TickCycles
+//     simulated cycles it delivers a "clock tick" to the attached Monitor
+//     with the current program counter, exactly the kernel facility gprof
+//     uses to build the program-counter histogram (§3.2).
+//
+// When the program executes the MCOUNT instruction a compiler planted in
+// a routine prologue, the VM invokes the Monitor with the two addresses
+// the paper's monitoring routine discovers: the address of the MCOUNT
+// itself (which lies in the callee) and the routine's return address
+// (which identifies the call site in the caller). If the top of stack
+// does not hold a plausible return address — a non-standard calling
+// sequence — the VM passes SpontaneousPC and the arc is recorded as
+// "spontaneous" (§3.1).
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+	"repro/internal/object"
+)
+
+// SpontaneousPC is passed to Monitor.Mcount as the call-site address when
+// the caller cannot be identified.
+const SpontaneousPC = int64(-1)
+
+// DefaultTickCycles is the simulated clock-tick interval: the number of
+// cycles between program-counter samples. The paper's clock ran at 60 Hz;
+// the ratio of tick interval to routine length is what matters for
+// sampling accuracy, not the absolute rate.
+const DefaultTickCycles = 10000
+
+// Monitor receives profiling events from the machine. Package mon
+// provides the production implementation; tests provide fakes.
+type Monitor interface {
+	// Mcount reports execution of a routine prologue: selfpc is the
+	// address of the MCOUNT instruction, frompc the call-site address or
+	// SpontaneousPC. It returns the number of additional cycles the
+	// monitoring routine consumed, which the VM charges to the program —
+	// this is how profiling overhead becomes measurable.
+	Mcount(selfpc, frompc int64) int64
+	// Tick reports that a clock tick occurred while the instruction at pc
+	// was executing.
+	Tick(pc int64)
+	// Control handles the programmer's-interface syscalls
+	// (isa.SysMonStart, SysMonStop, SysMonReset).
+	Control(op int)
+}
+
+// Config controls execution.
+type Config struct {
+	// Monitor receives profiling events; nil runs unprofiled.
+	Monitor Monitor
+	// TickCycles overrides DefaultTickCycles when positive.
+	TickCycles int64
+	// MaxCycles aborts execution when positive and exceeded.
+	MaxCycles int64
+	// Stdout receives SysPutInt/SysPutChar output; nil discards it.
+	Stdout io.Writer
+	// RandSeed seeds the deterministic PRNG behind SysRand; 0 means 1.
+	RandSeed uint64
+	// Trace, when non-nil, receives one line per executed instruction
+	// (address and disassembly) — a debugging aid, not a profiling
+	// mechanism; it slows execution enormously.
+	Trace io.Writer
+}
+
+// Result summarizes a completed execution.
+type Result struct {
+	ExitCode int64
+	Cycles   int64 // total simulated cycles, including monitoring overhead
+	Ticks    int64 // clock ticks delivered
+	Retired  int64 // instructions executed
+}
+
+// TrapError reports an execution fault.
+type TrapError struct {
+	PC     int64
+	Cycles int64
+	Msg    string
+}
+
+func (e *TrapError) Error() string {
+	return fmt.Sprintf("vm: trap at pc %#x (cycle %d): %s", e.PC, e.Cycles, e.Msg)
+}
+
+// ErrCycleLimit is wrapped by the error returned when MaxCycles is hit.
+var ErrCycleLimit = errors.New("cycle limit exceeded")
+
+// Machine is a loaded program ready to run. Create one with New; a
+// Machine is single-use per Run but may be inspected afterwards.
+type Machine struct {
+	im   *object.Image
+	cfg  Config
+	text []isa.Instr // pre-decoded text segment
+	bad  []bool      // text words that failed to decode (data in text)
+
+	regs   [isa.NumRegs]int64
+	pc     int64
+	mem    []int64 // data + stack; index 0 is address im.DataBase
+	cycles int64
+	ticks  int64
+	rand   uint64
+}
+
+// New loads an image. Text is pre-decoded once; words that do not decode
+// trap only if executed.
+func New(im *object.Image, cfg Config) *Machine {
+	m := &Machine{
+		im:   im,
+		cfg:  cfg,
+		text: make([]isa.Instr, len(im.Text)),
+		bad:  make([]bool, len(im.Text)),
+		mem:  make([]int64, im.StackTop-im.DataBase),
+		rand: cfg.RandSeed,
+	}
+	if m.cfg.TickCycles <= 0 {
+		m.cfg.TickCycles = DefaultTickCycles
+	}
+	if m.rand == 0 {
+		m.rand = 1
+	}
+	for i, w := range im.Text {
+		instr, err := isa.Decode(w)
+		if err != nil {
+			m.bad[i] = true
+			continue
+		}
+		m.text[i] = instr
+	}
+	copy(m.mem, im.Data)
+	m.regs[isa.RegSP] = im.StackTop
+	m.regs[isa.RegGP] = im.DataBase
+	m.pc = im.Entry
+	return m
+}
+
+// Cycles returns the cycles consumed so far (valid during and after Run).
+func (m *Machine) Cycles() int64 { return m.cycles }
+
+func (m *Machine) trap(format string, args ...any) error {
+	return &TrapError{PC: m.pc, Cycles: m.cycles, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (m *Machine) load(addr int64) (int64, error) {
+	switch {
+	case addr >= m.im.DataBase && addr < m.im.StackTop:
+		return m.mem[addr-m.im.DataBase], nil
+	case addr >= m.im.TextBase && addr < m.im.TextEnd():
+		return m.im.Text[addr-m.im.TextBase], nil
+	}
+	return 0, m.trap("load from unmapped address %#x", addr)
+}
+
+func (m *Machine) store(addr, v int64) error {
+	if addr >= m.im.DataBase && addr < m.im.StackTop {
+		m.mem[addr-m.im.DataBase] = v
+		return nil
+	}
+	if addr >= m.im.TextBase && addr < m.im.TextEnd() {
+		return m.trap("store to text segment at %#x", addr)
+	}
+	return m.trap("store to unmapped address %#x", addr)
+}
+
+func (m *Machine) push(v int64) error {
+	sp := m.regs[isa.RegSP] - 1
+	if sp < m.im.DataBase+int64(len(m.im.Data)) {
+		return m.trap("stack overflow (sp %#x)", sp)
+	}
+	m.regs[isa.RegSP] = sp
+	m.mem[sp-m.im.DataBase] = v
+	return nil
+}
+
+func (m *Machine) pop() (int64, error) {
+	sp := m.regs[isa.RegSP]
+	if sp >= m.im.StackTop {
+		return 0, m.trap("stack underflow (sp %#x)", sp)
+	}
+	m.regs[isa.RegSP] = sp + 1
+	return m.mem[sp-m.im.DataBase], nil
+}
+
+// Run executes until the program exits, traps, or hits the cycle limit.
+func (m *Machine) Run() (Result, error) {
+	nextTick := m.cfg.TickCycles
+	var retired int64
+	for {
+		if m.pc < m.im.TextBase || m.pc >= m.im.TextEnd() {
+			return m.result(retired), m.trap("pc outside text segment")
+		}
+		idx := m.pc - m.im.TextBase
+		if m.bad[idx] {
+			return m.result(retired), m.trap("illegal instruction word %#x", uint64(m.im.Text[idx]))
+		}
+		instr := m.text[idx]
+		curPC := m.pc
+		m.pc++ // default fall-through; control transfers overwrite
+		if m.cfg.Trace != nil {
+			fmt.Fprintf(m.cfg.Trace, "%#06x  %s\n", curPC, isa.Disasm(instr))
+		}
+
+		halt, err := m.exec(instr, curPC)
+		m.cycles += instr.Op.Cost()
+		retired++
+
+		// Deliver clock ticks that elapsed during this instruction,
+		// attributing the sample to the instruction that was executing.
+		for m.cycles >= nextTick {
+			m.ticks++
+			if m.cfg.Monitor != nil {
+				m.cfg.Monitor.Tick(curPC)
+			}
+			nextTick += m.cfg.TickCycles
+		}
+		if err != nil {
+			return m.result(retired), err
+		}
+		if halt {
+			return m.result(retired), nil
+		}
+		if m.cfg.MaxCycles > 0 && m.cycles > m.cfg.MaxCycles {
+			return m.result(retired), fmt.Errorf("vm: at pc %#x after %d cycles: %w",
+				curPC, m.cycles, ErrCycleLimit)
+		}
+	}
+}
+
+func (m *Machine) result(retired int64) Result {
+	return Result{ExitCode: m.regs[isa.RegRV], Cycles: m.cycles, Ticks: m.ticks, Retired: retired}
+}
+
+func (m *Machine) exec(i isa.Instr, curPC int64) (halt bool, err error) {
+	r := &m.regs
+	switch i.Op {
+	case isa.OpHalt:
+		return true, nil
+	case isa.OpNop:
+	case isa.OpMovI:
+		r[i.Rd] = int64(i.Imm)
+	case isa.OpMov:
+		r[i.Rd] = r[i.Rs1]
+	case isa.OpLd:
+		v, err := m.load(r[i.Rs1] + int64(i.Imm))
+		if err != nil {
+			return false, err
+		}
+		r[i.Rd] = v
+	case isa.OpSt:
+		if err := m.store(r[i.Rs1]+int64(i.Imm), r[i.Rs2]); err != nil {
+			return false, err
+		}
+	case isa.OpLea:
+		r[i.Rd] = r[i.Rs1] + int64(i.Imm)
+	case isa.OpAdd:
+		r[i.Rd] = r[i.Rs1] + r[i.Rs2]
+	case isa.OpSub:
+		r[i.Rd] = r[i.Rs1] - r[i.Rs2]
+	case isa.OpMul:
+		r[i.Rd] = r[i.Rs1] * r[i.Rs2]
+	case isa.OpDiv:
+		if r[i.Rs2] == 0 {
+			return false, m.trap("division by zero")
+		}
+		r[i.Rd] = r[i.Rs1] / r[i.Rs2]
+	case isa.OpMod:
+		if r[i.Rs2] == 0 {
+			return false, m.trap("modulo by zero")
+		}
+		r[i.Rd] = r[i.Rs1] % r[i.Rs2]
+	case isa.OpAnd:
+		r[i.Rd] = r[i.Rs1] & r[i.Rs2]
+	case isa.OpOr:
+		r[i.Rd] = r[i.Rs1] | r[i.Rs2]
+	case isa.OpXor:
+		r[i.Rd] = r[i.Rs1] ^ r[i.Rs2]
+	case isa.OpShl:
+		r[i.Rd] = r[i.Rs1] << uint64(r[i.Rs2]&63)
+	case isa.OpShr:
+		r[i.Rd] = int64(uint64(r[i.Rs1]) >> uint64(r[i.Rs2]&63))
+	case isa.OpNeg:
+		r[i.Rd] = -r[i.Rs1]
+	case isa.OpNot:
+		r[i.Rd] = ^r[i.Rs1]
+	case isa.OpSlt:
+		r[i.Rd] = b2i(r[i.Rs1] < r[i.Rs2])
+	case isa.OpSle:
+		r[i.Rd] = b2i(r[i.Rs1] <= r[i.Rs2])
+	case isa.OpSeq:
+		r[i.Rd] = b2i(r[i.Rs1] == r[i.Rs2])
+	case isa.OpSne:
+		r[i.Rd] = b2i(r[i.Rs1] != r[i.Rs2])
+	case isa.OpJmp:
+		m.pc = int64(i.Imm)
+	case isa.OpBeqz:
+		if r[i.Rs1] == 0 {
+			m.pc = int64(i.Imm)
+		}
+	case isa.OpBnez:
+		if r[i.Rs1] != 0 {
+			m.pc = int64(i.Imm)
+		}
+	case isa.OpCall:
+		if err := m.push(curPC + 1); err != nil {
+			return false, err
+		}
+		m.pc = int64(i.Imm)
+	case isa.OpCallR:
+		if err := m.push(curPC + 1); err != nil {
+			return false, err
+		}
+		m.pc = r[i.Rs1]
+	case isa.OpRet:
+		ra, err := m.pop()
+		if err != nil {
+			return false, err
+		}
+		m.pc = ra
+	case isa.OpPush:
+		if err := m.push(r[i.Rs1]); err != nil {
+			return false, err
+		}
+	case isa.OpPop:
+		v, err := m.pop()
+		if err != nil {
+			return false, err
+		}
+		r[i.Rd] = v
+	case isa.OpMcount:
+		if m.cfg.Monitor != nil {
+			m.cycles += m.cfg.Monitor.Mcount(curPC, m.callSite())
+		}
+	case isa.OpSys:
+		return m.syscall(int(i.Imm))
+	default:
+		return false, m.trap("unimplemented opcode %v", i.Op)
+	}
+	return false, nil
+}
+
+// ReturnAddresses walks the frame-pointer chain and returns the return
+// addresses of the active call frames, innermost first, up to max.
+//
+// The walk relies on the compiler's calling convention — every routine
+// saves the caller's FP and leaves its return address one word above it —
+// which is the retrospective's observation that gathering complete call
+// stacks "depends on being able to find the return addresses all the way
+// up the stack, a convention imposed in order to debug programs". A
+// sample taken mid-prologue (before FP is established) walks one frame
+// short, the classic prologue-skid artifact of real stack samplers; the
+// bounds checks below keep such walks safe.
+func (m *Machine) ReturnAddresses(max int) []int64 {
+	var out []int64
+	fp := m.regs[isa.RegFP]
+	stackLow := m.im.DataBase + int64(len(m.im.Data))
+	for len(out) < max {
+		if fp < stackLow || fp+1 >= m.im.StackTop {
+			break
+		}
+		ra := m.mem[fp+1-m.im.DataBase]
+		if ra <= m.im.TextBase || ra > m.im.TextEnd() {
+			break
+		}
+		out = append(out, ra)
+		next := m.mem[fp-m.im.DataBase]
+		if next <= fp { // frames must move toward higher addresses
+			break
+		}
+		fp = next
+	}
+	return out
+}
+
+// callSite recovers the call-site address for the routine whose prologue
+// is executing: the word on top of the stack is the return address pushed
+// by CALL/CALLR, so the call site is one word before it. A top of stack
+// that is not a plausible return address yields SpontaneousPC.
+func (m *Machine) callSite() int64 {
+	sp := m.regs[isa.RegSP]
+	if sp >= m.im.StackTop || sp < m.im.DataBase+int64(len(m.im.Data)) {
+		return SpontaneousPC
+	}
+	ra := m.mem[sp-m.im.DataBase]
+	site := ra - 1
+	if site < m.im.TextBase || site >= m.im.TextEnd() {
+		return SpontaneousPC
+	}
+	instr, err := isa.Decode(m.im.Text[site-m.im.TextBase])
+	if err != nil || (instr.Op != isa.OpCall && instr.Op != isa.OpCallR) {
+		return SpontaneousPC
+	}
+	return site
+}
+
+func (m *Machine) syscall(op int) (halt bool, err error) {
+	switch op {
+	case isa.SysExit:
+		return true, nil
+	case isa.SysPutInt:
+		if m.cfg.Stdout != nil {
+			fmt.Fprintf(m.cfg.Stdout, "%d\n", m.regs[isa.RegRV])
+		}
+	case isa.SysPutChar:
+		if m.cfg.Stdout != nil {
+			fmt.Fprintf(m.cfg.Stdout, "%c", byte(m.regs[isa.RegRV]))
+		}
+	case isa.SysMonStart:
+		if m.cfg.Monitor != nil {
+			m.cfg.Monitor.Control(isa.SysMonStart)
+		}
+	case isa.SysMonStop:
+		if m.cfg.Monitor != nil {
+			m.cfg.Monitor.Control(isa.SysMonStop)
+		}
+	case isa.SysMonReset:
+		if m.cfg.Monitor != nil {
+			m.cfg.Monitor.Control(isa.SysMonReset)
+		}
+	case isa.SysCycles:
+		m.regs[isa.RegRV] = m.cycles
+	case isa.SysRand:
+		m.rand ^= m.rand << 13
+		m.rand ^= m.rand >> 7
+		m.rand ^= m.rand << 17
+		m.regs[isa.RegRV] = int64(m.rand >> 1) // keep it non-negative
+	default:
+		return false, m.trap("unknown syscall %d", op)
+	}
+	return false, nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,583 @@
+package vm
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/object"
+)
+
+// link assembles and links a single source file.
+func link(t *testing.T, src string) *object.Image {
+	t.Helper()
+	o, err := asm.Assemble("t.s", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	im, err := object.Link([]*object.Object{o}, object.LinkConfig{})
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return im
+}
+
+func run(t *testing.T, src string, cfg Config) (Result, string) {
+	t.Helper()
+	var out bytes.Buffer
+	if cfg.Stdout == nil {
+		cfg.Stdout = &out
+	}
+	m := New(link(t, src), cfg)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res, out.String()
+}
+
+func TestExitCode(t *testing.T) {
+	res, _ := run(t, `
+.func main
+	MOVI R0, 42
+	RET
+.end
+`, Config{})
+	if res.ExitCode != 42 {
+		t.Errorf("exit = %d, want 42", res.ExitCode)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	// Computes ((10*7 - 4) / 2) % 5 => 33 % 5 = 3, prints it.
+	res, out := run(t, `
+.func main
+	MOVI R1, 10
+	MOVI R2, 7
+	MUL R3, R1, R2
+	MOVI R4, 4
+	SUB R3, R3, R4
+	MOVI R4, 2
+	DIV R3, R3, R4
+	MOVI R4, 5
+	MOD R0, R3, R4
+	SYS 1
+	RET
+.end
+`, Config{})
+	if res.ExitCode != 3 {
+		t.Errorf("exit = %d, want 3", res.ExitCode)
+	}
+	if out != "3\n" {
+		t.Errorf("output = %q, want 3\\n", out)
+	}
+}
+
+func TestBitOps(t *testing.T) {
+	res, _ := run(t, `
+.func main
+	MOVI R1, 12
+	MOVI R2, 10
+	AND R3, R1, R2   ; 8
+	OR R4, R1, R2    ; 14
+	XOR R5, R3, R4   ; 6
+	MOVI R6, 1
+	SHL R5, R5, R6   ; 12
+	SHR R5, R5, R6   ; 6
+	NEG R7, R5       ; -6
+	NOT R8, R7       ; 5
+	MOV R0, R8
+	RET
+.end
+`, Config{})
+	if res.ExitCode != 5 {
+		t.Errorf("exit = %d, want 5", res.ExitCode)
+	}
+}
+
+func TestComparisonsAndBranches(t *testing.T) {
+	// Sum 1..10 with a loop: expect 55.
+	res, _ := run(t, `
+.func main
+	MOVI R1, 10
+	MOVI R0, 0
+loop:
+	BEQZ R1, done
+	ADD R0, R0, R1
+	LEA R1, R1, -1
+	JMP loop
+done:
+	RET
+.end
+`, Config{})
+	if res.ExitCode != 55 {
+		t.Errorf("exit = %d, want 55", res.ExitCode)
+	}
+}
+
+func TestSltFamily(t *testing.T) {
+	res, _ := run(t, `
+.func main
+	MOVI R1, 3
+	MOVI R2, 5
+	SLT R3, R1, R2  ; 1
+	SLE R4, R2, R2  ; 1
+	SEQ R5, R1, R2  ; 0
+	SNE R6, R1, R2  ; 1
+	ADD R0, R3, R4
+	ADD R0, R0, R5
+	ADD R0, R0, R6
+	RET
+.end
+`, Config{})
+	if res.ExitCode != 3 {
+		t.Errorf("exit = %d, want 3", res.ExitCode)
+	}
+}
+
+func TestGlobalsLoadStore(t *testing.T) {
+	res, _ := run(t, `
+.global acc 1
+.global arr 3 = 5 6 7
+.func main
+	LD R1, [GP+$arr]     ; 5
+	LEA R2, GP, $arr
+	LD R3, [R2+2]        ; 7
+	ADD R4, R1, R3       ; 12
+	ST [GP+$acc], R4
+	LD R0, [GP+$acc]
+	RET
+.end
+`, Config{})
+	if res.ExitCode != 12 {
+		t.Errorf("exit = %d, want 12", res.ExitCode)
+	}
+}
+
+func TestCallsAndStack(t *testing.T) {
+	// main calls double(21) via direct call and add1 via function pointer.
+	res, _ := run(t, `
+.func main
+	MOVI R1, 21
+	PUSH R1
+	CALL double
+	POP R1          ; discard arg
+	MOVI R1, &add1
+	PUSH R0
+	CALLR R1
+	POP R2
+	RET
+.end
+.func double
+	LD R1, [SP+1]   ; arg above return address
+	ADD R0, R1, R1
+	RET
+.end
+.func add1
+	LD R1, [SP+1]
+	LEA R0, R1, 1
+	RET
+.end
+`, Config{})
+	if res.ExitCode != 43 {
+		t.Errorf("exit = %d, want 43", res.ExitCode)
+	}
+}
+
+func TestRecursionFactorial(t *testing.T) {
+	res, _ := run(t, `
+.func main
+	MOVI R1, 10
+	PUSH R1
+	CALL fact
+	POP R1
+	RET
+.end
+.func fact
+	LD R1, [SP+1]
+	BNEZ R1, rec
+	MOVI R0, 1
+	RET
+rec:
+	LEA R2, R1, -1
+	PUSH R2
+	CALL fact
+	POP R2
+	LD R1, [SP+1]
+	MUL R0, R0, R1
+	RET
+.end
+`, Config{})
+	if res.ExitCode != 3628800 {
+		t.Errorf("exit = %d, want 10!", res.ExitCode)
+	}
+}
+
+func TestPutChar(t *testing.T) {
+	_, out := run(t, `
+.func main
+	MOVI R0, 104
+	SYS 2
+	MOVI R0, 105
+	SYS 2
+	MOVI R0, 0
+	RET
+.end
+`, Config{})
+	if out != "hi" {
+		t.Errorf("output = %q, want hi", out)
+	}
+}
+
+func TestSysCyclesAndRand(t *testing.T) {
+	res, _ := run(t, `
+.func main
+	SYS 6          ; cycles -> R0
+	MOV R5, R0
+	SYS 7          ; rand -> R0
+	MOV R6, R0
+	SLT R0, R5, R6 ; unlikely meaningful; just ensure both ran
+	MOV R0, R5
+	RET
+.end
+`, Config{RandSeed: 99})
+	if res.ExitCode <= 0 {
+		t.Errorf("SysCycles returned %d, want > 0", res.ExitCode)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	src := `
+.func main
+	SYS 7
+	RET
+.end
+`
+	a, _ := run(t, src, Config{RandSeed: 7})
+	b, _ := run(t, src, Config{RandSeed: 7})
+	c, _ := run(t, src, Config{RandSeed: 8})
+	if a.ExitCode != b.ExitCode {
+		t.Errorf("same seed, different values: %d vs %d", a.ExitCode, b.ExitCode)
+	}
+	if a.ExitCode == c.ExitCode {
+		t.Errorf("different seeds, same value %d", a.ExitCode)
+	}
+	if a.ExitCode < 0 {
+		t.Errorf("rand value negative: %d", a.ExitCode)
+	}
+}
+
+func runErr(t *testing.T, src string, cfg Config) error {
+	t.Helper()
+	m := New(link(t, src), cfg)
+	_, err := m.Run()
+	return err
+}
+
+func TestTraps(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"div by zero", ".func main\nMOVI R1, 0\nDIV R0, R1, R1\n.end\n", "division by zero"},
+		{"mod by zero", ".func main\nMOVI R1, 0\nMOD R0, R1, R1\n.end\n", "modulo by zero"},
+		{"null load", ".func main\nMOVI R1, 0\nLD R0, [R1]\n.end\n", "unmapped"},
+		{"text store", ".func main\nMOVI R1, 4096\nST [R1], R1\n.end\n", "text segment"},
+		{"stack underflow", ".func main\nPOP R1\nPOP R1\nPOP R1\nRET\n.end\n", "underflow"},
+		{"bad syscall", ".func main\nSYS 99\n.end\n", "unknown syscall"},
+		{"run off end", ".func main\nNOP\n.end\n", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := runErr(t, tc.src, Config{MaxCycles: 1 << 20})
+			if err == nil {
+				t.Fatal("ran to completion, want trap")
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error = %q, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestStackOverflowTrap(t *testing.T) {
+	err := runErr(t, `
+.func main
+loop:
+	PUSH R1
+	JMP loop
+.end
+`, Config{MaxCycles: 1 << 24})
+	if err == nil || !strings.Contains(err.Error(), "stack overflow") {
+		t.Errorf("err = %v, want stack overflow", err)
+	}
+}
+
+func TestCycleLimit(t *testing.T) {
+	err := runErr(t, `
+.func main
+loop:
+	JMP loop
+.end
+`, Config{MaxCycles: 1000})
+	if !errors.Is(err, ErrCycleLimit) {
+		t.Errorf("err = %v, want ErrCycleLimit", err)
+	}
+}
+
+// fakeMonitor records profiling events.
+type fakeMonitor struct {
+	arcs    []([2]int64)
+	ticks   []int64
+	control []int
+	cost    int64
+}
+
+func (f *fakeMonitor) Mcount(selfpc, frompc int64) int64 {
+	f.arcs = append(f.arcs, [2]int64{selfpc, frompc})
+	return f.cost
+}
+func (f *fakeMonitor) Tick(pc int64)  { f.ticks = append(f.ticks, pc) }
+func (f *fakeMonitor) Control(op int) { f.control = append(f.control, op) }
+
+func TestMcountReportsCallSite(t *testing.T) {
+	src := `
+.func main
+	CALL child
+	CALL child
+	MOVI R0, 0
+	RET
+.end
+.func child
+	MCOUNT
+	RET
+.end
+`
+	mon := &fakeMonitor{}
+	im := link(t, src)
+	m := New(im, Config{Monitor: mon})
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(mon.arcs) != 2 {
+		t.Fatalf("got %d mcount events, want 2", len(mon.arcs))
+	}
+	child, _ := im.LookupFunc("child")
+	main, _ := im.LookupFunc("main")
+	for i, a := range mon.arcs {
+		if a[0] != child.Addr {
+			t.Errorf("event %d selfpc = %#x, want child prologue %#x", i, a[0], child.Addr)
+		}
+	}
+	// The two call sites are main+0 and main+1.
+	if mon.arcs[0][1] != main.Addr || mon.arcs[1][1] != main.Addr+1 {
+		t.Errorf("call sites = %#x,%#x, want %#x,%#x",
+			mon.arcs[0][1], mon.arcs[1][1], main.Addr, main.Addr+1)
+	}
+}
+
+func TestMcountIndirectCallSite(t *testing.T) {
+	src := `
+.func main
+	MOVI R1, &child
+	CALLR R1
+	MOVI R0, 0
+	RET
+.end
+.func child
+	MCOUNT
+	RET
+.end
+`
+	mon := &fakeMonitor{}
+	im := link(t, src)
+	m := New(im, Config{Monitor: mon})
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	main, _ := im.LookupFunc("main")
+	if len(mon.arcs) != 1 || mon.arcs[0][1] != main.Addr+1 {
+		t.Fatalf("arcs = %v, want CALLR site %#x", mon.arcs, main.Addr+1)
+	}
+}
+
+func TestMcountSpontaneous(t *testing.T) {
+	// Enter a profiled prologue without a CALL (computed jump via
+	// push+RET): the word on top of the stack is then garbage, not a
+	// return address, so the arc must be spontaneous. This models the
+	// paper's non-standard calling sequences (exception handlers).
+	src := `
+.func main
+	MOVI R2, 12345
+	PUSH R2
+	MOVI R1, &handler
+	PUSH R1
+	RET             ; computed jump into handler
+.end
+.func handler
+	MCOUNT
+	MOVI R0, 7
+	SYS 0
+.end
+`
+	mon := &fakeMonitor{}
+	m := New(link(t, src), Config{Monitor: mon})
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.ExitCode != 7 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+	if len(mon.arcs) != 1 || mon.arcs[0][1] != SpontaneousPC {
+		t.Errorf("arcs = %v, want one spontaneous", mon.arcs)
+	}
+}
+
+func TestMcountOverheadCharged(t *testing.T) {
+	src := `
+.func main
+	MOVI R2, 200
+loop:
+	BEQZ R2, done
+	CALL child
+	LEA R2, R2, -1
+	JMP loop
+done:
+	MOVI R0, 0
+	RET
+.end
+.func child
+	MCOUNT
+	RET
+.end
+`
+	im := link(t, src)
+	base := New(im, Config{})
+	resBase, err := base.Run()
+	if err != nil {
+		t.Fatalf("base run: %v", err)
+	}
+	prof := New(im, Config{Monitor: &fakeMonitor{cost: 50}})
+	resProf, err := prof.Run()
+	if err != nil {
+		t.Fatalf("profiled run: %v", err)
+	}
+	extra := resProf.Cycles - resBase.Cycles
+	if extra != 200*50 {
+		t.Errorf("monitoring overhead = %d cycles, want %d", extra, 200*50)
+	}
+}
+
+func TestTicksDelivered(t *testing.T) {
+	src := `
+.func main
+	MOVI R2, 5000
+loop:
+	BEQZ R2, done
+	LEA R2, R2, -1
+	JMP loop
+done:
+	MOVI R0, 0
+	RET
+.end
+`
+	mon := &fakeMonitor{}
+	m := New(link(t, src), Config{Monitor: mon, TickCycles: 100})
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Ticks != int64(len(mon.ticks)) {
+		t.Errorf("result ticks %d != delivered %d", res.Ticks, len(mon.ticks))
+	}
+	want := res.Cycles / 100
+	if res.Ticks != want {
+		t.Errorf("ticks = %d, want cycles/interval = %d", res.Ticks, want)
+	}
+	im := link(t, src)
+	for _, pc := range mon.ticks {
+		if pc < im.TextBase || pc >= im.TextEnd() {
+			t.Errorf("tick pc %#x outside text", pc)
+		}
+	}
+}
+
+func TestControlSyscalls(t *testing.T) {
+	src := `
+.func main
+	SYS 3   ; start
+	SYS 4   ; stop
+	SYS 5   ; reset
+	MOVI R0, 0
+	RET
+.end
+`
+	mon := &fakeMonitor{}
+	m := New(link(t, src), Config{Monitor: mon})
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := []int{isa.SysMonStart, isa.SysMonStop, isa.SysMonReset}
+	if len(mon.control) != 3 {
+		t.Fatalf("control events = %v, want %v", mon.control, want)
+	}
+	for i := range want {
+		if mon.control[i] != want[i] {
+			t.Errorf("control[%d] = %d, want %d", i, mon.control[i], want[i])
+		}
+	}
+}
+
+func TestDeterministicCycles(t *testing.T) {
+	src := `
+.func main
+	MOVI R2, 1000
+loop:
+	BEQZ R2, done
+	LEA R2, R2, -1
+	JMP loop
+done:
+	MOVI R0, 0
+	RET
+.end
+`
+	im := link(t, src)
+	a, err := New(im, Config{}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(im, Config{}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Retired != b.Retired {
+		t.Errorf("nondeterministic execution: %+v vs %+v", a, b)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	var trace bytes.Buffer
+	src := `
+.func main
+	MOVI R0, 3
+	RET
+.end
+`
+	m := New(link(t, src), Config{Trace: &trace})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := trace.String()
+	for _, want := range []string{"CALL", "MOVI R0, 3", "RET", "SYS 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	// One line per retired instruction: _start CALL, MOVI, RET, SYS.
+	if lines := strings.Count(out, "\n"); lines != 4 {
+		t.Errorf("trace has %d lines, want 4", lines)
+	}
+}

@@ -1,0 +1,601 @@
+// Package workloads holds the profiled programs used by the examples,
+// benchmarks, and experiment harness, written in the little language of
+// package lang, plus helpers to build and run them under the profiler.
+//
+// The programs mirror the paper's motivating software: "numerous small
+// routines that implement various abstractions" (§1). Each workload
+// exercises a different aspect of the profiler:
+//
+//	sort      an abstraction (ordering) spread across small routines
+//	matrix    nested numeric kernels with a deep helper chain
+//	hash      a table abstraction with an expensive rehash (§6's example)
+//	parser    a recursive-descent evaluator — the monolithic-cycle case §6
+//	          calls "not easily analyzed by gprof"
+//	fptr      function-valued dispatch (arc-hash collisions; arcs the
+//	          static call graph cannot see)
+//	unequal   one routine whose cost depends on its argument, called
+//	          cheaply from one site and expensively from another — the
+//	          average-time assumption's worst case (retrospective)
+//	service   a long-running request loop driven by the programmer's
+//	          control interface (monstart/monstop/monreset)
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gmon"
+	"repro/internal/lang"
+	"repro/internal/mon"
+	"repro/internal/object"
+	"repro/internal/vm"
+)
+
+// sources maps workload names to little-language programs.
+var sources = map[string]string{
+	"sort": `
+// Quicksort over a pseudo-random array, with the ordering abstraction
+// split across less/swap/partition the way §1's modular programs are.
+var data[512];
+var n;
+
+func less(i, j) { return data[i] < data[j]; }
+
+func swap(i, j) {
+	var t = data[i];
+	data[i] = data[j];
+	data[j] = t;
+}
+
+func partition(lo, hi) {
+	var p = lo;
+	var i = lo + 1;
+	while (i <= hi) {
+		if (less(i, lo)) {
+			p = p + 1;
+			swap(p, i);
+		}
+		i = i + 1;
+	}
+	swap(lo, p);
+	return p;
+}
+
+func qsort(lo, hi) {
+	if (lo >= hi) { return 0; }
+	var p = partition(lo, hi);
+	qsort(lo, p - 1);
+	qsort(p + 1, hi);
+	return 0;
+}
+
+func fill() {
+	var i = 0;
+	while (i < n) {
+		data[i] = rand() % 10000;
+		i = i + 1;
+	}
+	return 0;
+}
+
+func check() {
+	var i = 1;
+	while (i < n) {
+		if (less(i, i - 1)) { return 0; }
+		i = i + 1;
+	}
+	return 1;
+}
+
+func main() {
+	n = 512;
+	var rounds = 0;
+	var ok = 1;
+	while (rounds < 8) {
+		fill();
+		qsort(0, n - 1);
+		ok = ok & check();
+		rounds = rounds + 1;
+	}
+	return ok;
+}
+`,
+
+	"matrix": `
+// Fixed-size matrix multiply with the inner product factored into its
+// own routines, so the abstraction's time spreads across them.
+var a[256];
+var b[256];
+var c[256];
+
+func at(m, i, j) {
+	if (m == 0) { return a[i*16 + j]; }
+	if (m == 1) { return b[i*16 + j]; }
+	return c[i*16 + j];
+}
+
+func put(i, j, v) { c[i*16 + j] = v; return 0; }
+
+func dot(i, j) {
+	var k = 0;
+	var sum = 0;
+	while (k < 16) {
+		sum = sum + at(0, i, k) * at(1, k, j);
+		k = k + 1;
+	}
+	return sum;
+}
+
+func mul() {
+	var i = 0;
+	while (i < 16) {
+		var j = 0;
+		while (j < 16) {
+			put(i, j, dot(i, j));
+			j = j + 1;
+		}
+		i = i + 1;
+	}
+	return 0;
+}
+
+func init0() {
+	var i = 0;
+	while (i < 256) {
+		a[i] = i % 7 + 1;
+		b[i] = i % 5 + 1;
+		i = i + 1;
+	}
+	return 0;
+}
+
+func trace() {
+	var i = 0;
+	var t = 0;
+	while (i < 16) {
+		t = t + at(2, i, i);
+		i = i + 1;
+	}
+	return t;
+}
+
+func main() {
+	init0();
+	var r = 0;
+	while (r < 12) {
+		mul();
+		r = r + 1;
+	}
+	return trace() % 251;
+}
+`,
+
+	"hash": `
+// Open-addressing hash table whose rehash is deliberately expensive:
+// the §6 scenario where "a rehashing function is being called
+// excessively" shows up in the call graph profile.
+var keys[1024];
+var vals[1024];
+var used;
+
+func hashfn(k) { return ((k * 2654435) ^ (k >> 7)) & 1023; }
+
+func probe(k) {
+	var h = hashfn(k);
+	while (keys[h] != 0 && keys[h] != k) {
+		h = (h + 1) & 1023;
+	}
+	return h;
+}
+
+func rehash(k) {
+	// A deliberately costly secondary hash.
+	var x = k;
+	var i = 0;
+	while (i < 64) {
+		x = (x * 31 + 17) % 65521;
+		i = i + 1;
+	}
+	return x & 1023;
+}
+
+func insert(k, v) {
+	var h = probe(k);
+	if (keys[h] == 0) {
+		used = used + 1;
+		if ((used & 7) == 0) { h = probe(k + rehash(k) - rehash(k)); }
+	}
+	keys[h] = k;
+	vals[h] = v;
+	return h;
+}
+
+func lookup(k) {
+	return vals[probe(k)];
+}
+
+func main() {
+	var i = 1;
+	while (i <= 600) {
+		insert(i * 3 + 1, i);
+		i = i + 1;
+	}
+	var sum = 0;
+	i = 1;
+	while (i <= 600) {
+		sum = sum + lookup(i * 3 + 1);
+		i = i + 1;
+	}
+	return sum % 1000;
+}
+`,
+
+	"parser": `
+// Recursive-descent expression parser and evaluator over a token
+// stream: expr/term/factor are mutually recursive, so gprof sees one
+// monolithic cycle — the weakness §6 admits.
+var toks[256];
+var ntoks;
+var pos;
+
+// token encoding: 1..9 digits as 100+d, '+'=1, '*'=2, '('=3, ')'=4
+func peek() { if (pos < ntoks) { return toks[pos]; } return 0; }
+func advance() { pos = pos + 1; return 0; }
+
+func factor() {
+	var t = peek();
+	if (t >= 100) { advance(); return t - 100; }
+	if (t == 3) {
+		advance();
+		var v = expr();
+		advance(); // ')'
+		return v;
+	}
+	return 0;
+}
+
+func term() {
+	var v = factor();
+	while (peek() == 2) {
+		advance();
+		v = v * factor();
+	}
+	return v;
+}
+
+func expr() {
+	var v = term();
+	while (peek() == 1) {
+		advance();
+		v = v + term();
+	}
+	return v;
+}
+
+func gen(seed) {
+	// Build "(d+d*d)+d*(d+d)" style streams deterministically.
+	ntoks = 0;
+	var i = 0;
+	while (i < 30) {
+		toks[ntoks] = 3; ntoks = ntoks + 1;             // (
+		toks[ntoks] = 100 + (seed + i) % 9 + 1; ntoks = ntoks + 1;
+		toks[ntoks] = 1; ntoks = ntoks + 1;             // +
+		toks[ntoks] = 100 + (seed + i*2) % 9 + 1; ntoks = ntoks + 1;
+		toks[ntoks] = 2; ntoks = ntoks + 1;             // *
+		toks[ntoks] = 100 + (seed + i*3) % 9 + 1; ntoks = ntoks + 1;
+		toks[ntoks] = 4; ntoks = ntoks + 1;             // )
+		if (i != 29) { toks[ntoks] = 1; ntoks = ntoks + 1; } // +
+		i = i + 1;
+	}
+	return 0;
+}
+
+func main() {
+	var total = 0;
+	var round = 0;
+	while (round < 40) {
+		gen(round);
+		pos = 0;
+		total = total + expr();
+		round = round + 1;
+	}
+	return total % 1000;
+}
+`,
+
+	"fptr": `
+// Dispatch through function values: one call site with several
+// destinations. This is the only case where the paper's call-site hash
+// collides, and these arcs never appear in the static call graph.
+func opAdd(x) { return x + 3; }
+func opMul(x) { return x * 3; }
+func opXor(x) { return x ^ 129; }
+
+func apply(f, x) { return f(x); }
+
+func main() {
+	var acc = 1;
+	var i = 0;
+	while (i < 3000) {
+		var m = i % 3;
+		if (m == 0) { acc = apply(opAdd, acc); }
+		if (m == 1) { acc = apply(opMul, acc); }
+		if (m == 2) { acc = apply(opXor, acc); }
+		acc = acc & 65535;
+		i = i + 1;
+	}
+	return acc;
+}
+`,
+
+	"fanin": `
+// Many call sites sharing one callee: the shape that motivates keying
+// the arc hash by call site (§3.1). Round-robin among the wrappers makes
+// a callee-keyed table probe its caller chain at every depth.
+func helper(x) { return (x * 7 + 3) & 1023; }
+
+func w0(n) { var i = 0; var s = 0; while (i < n) { s = s + helper(s + i); i = i + 1; } return s; }
+func w1(n) { var i = 0; var s = 0; while (i < n) { s = s + helper(s + i); i = i + 1; } return s; }
+func w2(n) { var i = 0; var s = 0; while (i < n) { s = s + helper(s + i); i = i + 1; } return s; }
+func w3(n) { var i = 0; var s = 0; while (i < n) { s = s + helper(s + i); i = i + 1; } return s; }
+
+func main() {
+	var r = 0;
+	var t = 0;
+	while (r < 400) {
+		t = t + w0(2) + w1(2) + w2(2) + w3(2);
+		t = t & 65535;
+		r = r + 1;
+	}
+	return t & 255;
+}
+`,
+
+	"unequal": `
+// One routine whose running time depends on its argument. cheap() makes
+// many fast calls; pricey() makes few slow ones. gprof's average-time
+// assumption splits work's time by call counts, overcharging cheap()
+// and undercharging pricey(); whole-stack sampling gets it right.
+func work(n) {
+	var i = 0;
+	var x = 0;
+	while (i < n) {
+		x = x + i*i;
+		i = i + 1;
+	}
+	return x;
+}
+
+func cheap() {
+	var i = 0;
+	var s = 0;
+	while (i < 90) {
+		s = s + work(4);         // 90 calls x tiny
+		i = i + 1;
+	}
+	return s;
+}
+
+func pricey() {
+	var s = 0;
+	var i = 0;
+	while (i < 10) {
+		s = s + work(3000);      // 10 calls x huge
+		i = i + 1;
+	}
+	return s;
+}
+
+func main() {
+	var a = cheap();
+	var b = pricey();
+	return (a + b) & 255;
+}
+`,
+
+	"tdcg": `
+// A table-driven code generator, the program the paper's authors were
+// improving when they built gprof ("An Experiment in Table Driven Code
+// Generation", the [Graham82] citation). IR nodes are matched against a
+// rule table; the cheapest matching rule emits an instruction word.
+var ir[384];      // 128 nodes x (op, a, b)
+var nir;
+var rules[64];    // 16 rules x (op, baseCost, latency, opcode)
+var nrules;
+var out[512];
+var nout;
+
+func emitWord(w) {
+	out[nout % 512] = w;
+	nout = nout + 1;
+	return 0;
+}
+
+func ruleMatches(r, op) { return rules[r*4] == op; }
+
+func ruleCost(r, a, b) { return rules[r*4 + 1] + (a & 3) + (b & 1); }
+
+func pickRule(op, a, b) {
+	var best = -1;
+	var bestCost = 1 << 30;
+	var r = 0;
+	while (r < nrules) {
+		if (ruleMatches(r, op)) {
+			var c = ruleCost(r, a, b);
+			if (c < bestCost) { bestCost = c; best = r; }
+		}
+		r = r + 1;
+	}
+	return best;
+}
+
+func genNode(i) {
+	var op = ir[i*3];
+	var a = ir[i*3 + 1];
+	var b = ir[i*3 + 2];
+	var r = pickRule(op, a, b);
+	if (r < 0) { return 0; }
+	emitWord(rules[r*4 + 3] ^ (a << 8) ^ (b << 16));
+	return rules[r*4 + 2];  // latency estimate
+}
+
+func genAll() {
+	var lat = 0;
+	var i = 0;
+	while (i < nir) {
+		lat = lat + genNode(i);
+		i = i + 1;
+	}
+	return lat;
+}
+
+func setup() {
+	nrules = 16;
+	var r = 0;
+	while (r < 16) {
+		rules[r*4] = r % 8;
+		rules[r*4 + 1] = (r * 5) % 11 + 1;
+		rules[r*4 + 2] = r % 4 + 1;
+		rules[r*4 + 3] = r * 37 + 5;
+		r = r + 1;
+	}
+	nir = 128;
+	var i = 0;
+	while (i < 128) {
+		ir[i*3] = rand() % 8;
+		ir[i*3 + 1] = rand() % 64;
+		ir[i*3 + 2] = rand() % 64;
+		i = i + 1;
+	}
+	return 0;
+}
+
+func main() {
+	setup();
+	var total = 0;
+	var pass = 0;
+	while (pass < 20) {
+		total = total + genAll();
+		pass = pass + 1;
+	}
+	return total & 255;
+}
+`,
+
+	"service": `
+// A long-running request loop, the kernel-profiling scenario: warm up
+// unprofiled, enable the profiler for the steady state, disable it for
+// shutdown. The interesting cycle: dispatch <-> retry.
+var handled;
+
+func netin(req) { return req * 7 % 97; }
+func fsread(req) { var i = 0; var s = 0; while (i < req % 13 + 5) { s = s + i; i = i + 1; } return s; }
+
+func retry(req, depth) {
+	if (depth <= 0) { return 0; }
+	return dispatch(req, depth - 1);
+}
+
+func dispatch(req, depth) {
+	var v = netin(req) + fsread(req);
+	if (req % 31 == 0) { v = v + retry(req, depth); } // rare cycle-closing arc
+	handled = handled + 1;
+	return v;
+}
+
+func serve(lo, hi) {
+	var req = lo;
+	var acc = 0;
+	while (req < hi) {
+		acc = acc + dispatch(req, 2);
+		req = req + 1;
+	}
+	return acc;
+}
+
+func main() {
+	monstop();            // warm-up runs unprofiled
+	serve(0, 200);
+	monreset();
+	monstart();           // profile the steady state only
+	var acc = serve(200, 1200);
+	monstop();
+	serve(1200, 1300);    // shutdown unprofiled
+	return acc & 255;
+}
+`,
+}
+
+// Names returns the available workload names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(sources))
+	for n := range sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Source returns the program text of a named workload.
+func Source(name string) (string, bool) {
+	s, ok := sources[name]
+	return s, ok
+}
+
+// Build compiles and links a named workload.
+func Build(name string, profile bool) (*object.Image, error) {
+	src, ok := sources[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+	}
+	return BuildSource(name+".tl", src, profile)
+}
+
+// BuildSource compiles and links arbitrary program text.
+func BuildSource(file, src string, profile bool) (*object.Image, error) {
+	obj, err := lang.Compile(file, src, lang.Options{Profile: profile})
+	if err != nil {
+		return nil, err
+	}
+	return object.Link([]*object.Object{obj}, object.LinkConfig{})
+}
+
+// RunConfig controls a profiled run.
+type RunConfig struct {
+	TickCycles  int64 // sampling interval; 0 means vm.DefaultTickCycles
+	Granularity int64 // histogram words per bucket; 0 means 1
+	Hz          int64 // clock rate metadata; 0 means gmon.DefaultHz
+	Seed        uint64
+	MaxCycles   int64
+	Strategy    mon.Strategy
+}
+
+// Run executes an image with a monitoring collector attached and returns
+// the condensed profile, the execution result, and the collector (for
+// its stats).
+func Run(im *object.Image, cfg RunConfig) (*gmon.Profile, vm.Result, *mon.Collector, error) {
+	collector := mon.New(im, mon.Config{
+		Granularity: cfg.Granularity,
+		Hz:          cfg.Hz,
+		Strategy:    cfg.Strategy,
+	})
+	res, err := vm.New(im, vm.Config{
+		Monitor:    collector,
+		TickCycles: cfg.TickCycles,
+		RandSeed:   cfg.Seed,
+		MaxCycles:  cfg.MaxCycles,
+	}).Run()
+	if err != nil {
+		return nil, res, nil, err
+	}
+	return collector.Snapshot(), res, collector, nil
+}
+
+// RunPlain executes without any monitoring, for overhead baselines.
+func RunPlain(im *object.Image, cfg RunConfig) (vm.Result, error) {
+	return vm.New(im, vm.Config{
+		TickCycles: cfg.TickCycles,
+		RandSeed:   cfg.Seed,
+		MaxCycles:  cfg.MaxCycles,
+	}).Run()
+}

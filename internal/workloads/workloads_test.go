@@ -1,0 +1,139 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/vm"
+)
+
+func TestAllWorkloadsBuildAndRun(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			// Unprofiled build runs clean.
+			im, err := Build(name, false)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			resPlain, err := RunPlain(im, RunConfig{Seed: 42, MaxCycles: 1 << 30})
+			if err != nil {
+				t.Fatalf("plain run: %v", err)
+			}
+			// Profiled build runs clean and produces data.
+			imP, err := Build(name, true)
+			if err != nil {
+				t.Fatalf("profiled build: %v", err)
+			}
+			p, resProf, collector, err := Run(imP, RunConfig{Seed: 42, TickCycles: 500, MaxCycles: 1 << 30})
+			if err != nil {
+				t.Fatalf("profiled run: %v", err)
+			}
+			if resPlain.ExitCode != resProf.ExitCode {
+				t.Errorf("profiling changed the answer: %d vs %d",
+					resPlain.ExitCode, resProf.ExitCode)
+			}
+			if err := p.Validate(); err != nil {
+				t.Errorf("profile invalid: %v", err)
+			}
+			if len(p.Arcs) == 0 {
+				t.Error("no arcs recorded")
+			}
+			if p.Hist.TotalTicks() == 0 {
+				t.Error("no histogram samples")
+			}
+			if collector.Stats().McountCalls == 0 {
+				t.Error("mcount never ran")
+			}
+			if resProf.Cycles <= resPlain.Cycles {
+				t.Errorf("profiled run not slower: %d vs %d cycles",
+					resProf.Cycles, resPlain.Cycles)
+			}
+		})
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		im, err := Build(name, true)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		p1, r1, _, err := Run(im, RunConfig{Seed: 7, TickCycles: 1000, MaxCycles: 1 << 30})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		p2, r2, _, err := Run(im, RunConfig{Seed: 7, TickCycles: 1000, MaxCycles: 1 << 30})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r1.Cycles != r2.Cycles || p1.Hist.TotalTicks() != p2.Hist.TotalTicks() {
+			t.Errorf("%s: nondeterministic runs", name)
+		}
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	if _, err := Build("nope", false); err == nil {
+		t.Error("Build(nope) succeeded")
+	}
+	if _, ok := Source("nope"); ok {
+		t.Error("Source(nope) found")
+	}
+	if src, ok := Source("sort"); !ok || src == "" {
+		t.Error("Source(sort) missing")
+	}
+}
+
+func TestServiceControlInterface(t *testing.T) {
+	// The service workload profiles only its steady state: dispatch
+	// appears in the arcs, and the mcount totals are far below the
+	// total number of dispatches (warm-up and shutdown are unprofiled).
+	im, err := Build("service", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, collector, err := Run(im, RunConfig{TickCycles: 200, MaxCycles: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dispatch, ok := im.LookupFunc("dispatch")
+	if !ok {
+		t.Fatal("no dispatch symbol")
+	}
+	var dispatchCalls int64
+	for _, a := range p.Arcs {
+		if a.SelfPC == dispatch.Addr {
+			dispatchCalls += a.Count
+		}
+	}
+	// Steady state serves requests 200..1200 (1000 dispatches) plus
+	// rare retries; warm-up (200) and shutdown (100) are excluded.
+	if dispatchCalls < 1000 || dispatchCalls > 1100 {
+		t.Errorf("dispatch calls = %d, want ~1000 (steady state only)", dispatchCalls)
+	}
+	if collector.Enabled() {
+		t.Error("collector left enabled after monstop")
+	}
+}
+
+func TestRunPlainNoMonitor(t *testing.T) {
+	im, err := Build("sort", true) // even with MCOUNTs, no monitor attached
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunPlain(im, RunConfig{Seed: 1, MaxCycles: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 1 {
+		t.Errorf("sort returned %d, want 1 (sorted)", res.ExitCode)
+	}
+}
+
+var _ vm.Monitor = (*nopMonitor)(nil)
+
+type nopMonitor struct{}
+
+func (nopMonitor) Mcount(selfpc, frompc int64) int64 { return 0 }
+func (nopMonitor) Tick(pc int64)                     {}
+func (nopMonitor) Control(op int)                    {}
