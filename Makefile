@@ -1,0 +1,24 @@
+# Tier-1: the gate every change must keep green.
+.PHONY: check
+check:
+	go build ./... && go test ./...
+
+# Tier-1.5: static analysis plus the race detector over the parallel
+# pipeline stages (profile merging, histogram attribution, propagation,
+# the shared static-layer cache).
+.PHONY: race
+race:
+	go vet ./... && go test -race ./...
+
+.PHONY: bench
+bench:
+	go test -bench=. -benchmem ./...
+
+# Parallel-stage benchmarks only: the -jobs scaling story.
+.PHONY: bench-parallel
+bench-parallel:
+	go test -run xxx -bench 'Parallel|AnalyzeCached' .
+
+.PHONY: figures
+figures:
+	go run ./cmd/figures -all

@@ -8,6 +8,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -506,4 +507,94 @@ func BenchmarkSamplingInterval(b *testing.B) {
 			b.ReportMetric(float64(samples), "samples")
 		})
 	}
+}
+
+// --- parallel pipeline stages (the -jobs flag) -----------------------
+
+// BenchmarkMergeParallel measures the tree-parallel fan-in merge of 16
+// profiles at several worker-pool widths (jobs=1 is the sequential
+// fold). The acceptance target is >= 1.5x at 4 workers on a
+// multi-core host.
+func BenchmarkMergeParallel(b *testing.B) {
+	ps := make([]*gmon.Profile, 16)
+	for i := range ps {
+		ps[i] = syntheticProfile(20000)
+	}
+	for _, jobs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := gmon.MergeAll(context.Background(), ps, jobs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAttributeParallel measures the sharded histogram-sample
+// attribution against the serial scan.
+func BenchmarkAttributeParallel(b *testing.B) {
+	const nsyms = 2000
+	syms := make([]object.Sym, nsyms)
+	for i := range syms {
+		syms[i] = object.Sym{Name: fmt.Sprintf("f%d", i), Addr: int64(i * 64), Size: 64}
+	}
+	tab := symtab.FromSyms(syms)
+	h := &gmon.Histogram{Low: 0, High: nsyms * 64, Step: 1, Counts: make([]uint32, nsyms*64)}
+	for i := range h.Counts {
+		h.Counts[i] = uint32(i % 7)
+	}
+	for _, jobs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tab.AttributeHistN(h, jobs)
+			}
+		})
+	}
+}
+
+// BenchmarkPropagateParallel measures the level-scheduled propagation
+// against the serial topological traversal.
+func BenchmarkPropagateParallel(b *testing.B) {
+	g := randomGraph(10000, 3, 43)
+	scc.Analyze(g)
+	for _, jobs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := propagate.RunCtx(context.Background(), g, jobs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyzeCached measures repeated analyses of one executable
+// with and without the static-layer cache (the kprof extract-repeatedly
+// pattern).
+func BenchmarkAnalyzeCached(b *testing.B) {
+	im, err := workloads.Build("sort", true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, _, _, err := workloads.Run(im, workloads.RunConfig{TickCycles: 300, MaxCycles: 1 << 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := core.ImageSource{Image: im}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(context.Background(), src, p, core.Options{Static: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		cache := core.NewCache(0)
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(context.Background(), src, p, core.Options{Static: true, Cache: cache}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
@@ -25,8 +26,11 @@ func main() {
 		id   = flag.String("id", "", "run a single experiment by id (e.g. F4, E8)")
 		list = flag.Bool("list", false, "list experiment ids")
 		md   = flag.Bool("md", false, "emit the summary as Markdown")
+		jobs = flag.Int("jobs", runtime.GOMAXPROCS(0),
+			"worker-pool width for the analyses behind each experiment (1 = serial)")
 	)
 	flag.Parse()
+	experiments.SetJobs(*jobs)
 
 	switch {
 	case *list:

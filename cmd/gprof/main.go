@@ -8,17 +8,22 @@
 //	gprof [flags] [a.out [gmon.out ...]]
 //
 // Multiple profile data files are summed, the paper's "profile of many
-// executions". Flags expose the retrospective's later features: -k
-// removes arcs, -C runs the bounded cycle-breaking heuristic, -s merges
-// the static call graph scanned from the executable, -m and -focus
-// filter the output.
+// executions"; -jobs merges them tree-wise across a worker pool and
+// parallelizes the analysis stages (-jobs 1 runs the serial pipeline,
+// byte-identical to the historic output). Flags expose the
+// retrospective's later features: -k removes arcs, -C runs the bounded
+// cycle-breaking heuristic, -s merges the static call graph scanned
+// from the executable, -m and -focus filter the output.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
 
 	"repro/internal/core"
@@ -61,9 +66,14 @@ func main() {
 		focus     = flag.String("focus", "", "comma-separated routines: show only them and their neighbors")
 		exclude   = flag.String("E", "", "comma-separated routines to suppress from the listings")
 		brief     = flag.Bool("brief", false, "omit explanatory headers")
+		jobs      = flag.Int("jobs", runtime.GOMAXPROCS(0),
+			"worker-pool width for profile merging, attribution, and propagation (1 = serial)")
 	)
 	flag.Var(&removeArcs, "k", "remove arc caller/callee before analysis (repeatable)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	exe := "a.out"
 	profiles := []string{"gmon.out"}
@@ -77,7 +87,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	p, err := gmon.ReadFiles(profiles)
+	p, err := gmon.ReadFilesCtx(ctx, profiles, *jobs)
 	if err != nil {
 		fatal(err)
 	}
@@ -86,6 +96,7 @@ func main() {
 		RemoveArcs:   removeArcs,
 		AutoBreak:    *autoBreak,
 		MaxBreakArcs: *maxBreak,
+		Jobs:         *jobs,
 		Report: report.Options{
 			MinPercent: *minPct,
 			NoHeaders:  *brief,
@@ -97,7 +108,7 @@ func main() {
 	if *exclude != "" {
 		opt.Report.Exclude = strings.Split(*exclude, ",")
 	}
-	res, err := core.Analyze(im, p, opt)
+	res, err := core.Run(ctx, core.ImageSource{Image: im}, p, opt)
 	if err != nil {
 		fatal(err)
 	}

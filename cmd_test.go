@@ -220,3 +220,34 @@ func TestCommandDotAndDump(t *testing.T) {
 		}
 	}
 }
+
+// TestCommandJobsEquivalence: -jobs 1 (the historic serial pipeline)
+// and -jobs 4 render byte-identical reports, across workloads that
+// exercise merging, cycles, static arcs, and the breaking heuristic.
+func TestCommandJobsEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := buildTools(t)
+	cases := []struct {
+		workload string
+		args     []string
+	}{
+		{"service", nil},
+		{"parser", []string{"-s", "-C"}},
+	}
+	for _, tc := range cases {
+		run(t, dir, "vmrun", "-p", "-workload", tc.workload, "-o", "gmon.1")
+		run(t, dir, "vmrun", "-p", "-workload", tc.workload, "-seed", "9", "-o", "gmon.2")
+		base := append([]string{}, tc.args...)
+		base = append(base, "a.out", "gmon.1", "gmon.2")
+		serial, _ := run(t, dir, "gprof", append([]string{"-jobs", "1"}, base...)...)
+		parallel, _ := run(t, dir, "gprof", append([]string{"-jobs", "4"}, base...)...)
+		if serial == "" {
+			t.Fatalf("%s: empty serial output", tc.workload)
+		}
+		if serial != parallel {
+			t.Errorf("%s %v: -jobs 4 output differs from -jobs 1", tc.workload, tc.args)
+		}
+	}
+}

@@ -9,6 +9,9 @@ import (
 	"strings"
 	"testing"
 
+	"context"
+	"sync"
+
 	"repro/internal/core"
 	"repro/internal/gmon"
 	"repro/internal/object"
@@ -240,5 +243,63 @@ func main() { return leaf(); }`
 	}
 	if !strings.Contains(buf.String(), "leaf") {
 		t.Error("report unusable without samples")
+	}
+}
+
+// TestConcurrentAnalyses drives the parallel pipeline stages — profile
+// merging, histogram attribution, propagation — from several goroutines
+// sharing one cache, so `go test -race` sweeps the new concurrency for
+// unsynchronized access.
+func TestConcurrentAnalyses(t *testing.T) {
+	images := map[string]*object.Image{}
+	profiles := map[string][]*gmon.Profile{}
+	for _, name := range []string{"sort", "parser", "service"} {
+		im, err := workloads.Build(name, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		images[name] = im
+		for seed := uint64(1); seed <= 4; seed++ {
+			p, _, _, err := workloads.Run(im, workloads.RunConfig{Seed: seed, TickCycles: 500, MaxCycles: 1 << 30})
+			if err != nil {
+				t.Fatal(err)
+			}
+			profiles[name] = append(profiles[name], p)
+		}
+	}
+	cache := core.NewCache(2) // smaller than the working set: eviction under contention
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for round := 0; round < 3; round++ {
+		for name := range images {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				merged, err := gmon.MergeAll(context.Background(), profiles[name], 4)
+				if err != nil {
+					errs <- err
+					return
+				}
+				res, err := core.Run(context.Background(), core.ImageSource{Image: images[name]}, merged,
+					core.Options{Static: true, Jobs: 4, Cache: cache})
+				if err != nil {
+					errs <- err
+					return
+				}
+				var buf bytes.Buffer
+				if err := res.WriteAll(&buf); err != nil {
+					errs <- err
+				}
+			}(name)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	hits, misses := cache.Stats()
+	if hits+misses == 0 {
+		t.Error("cache never consulted")
 	}
 }

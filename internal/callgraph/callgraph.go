@@ -19,6 +19,7 @@
 package callgraph
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -319,17 +320,31 @@ func New() *Graph {
 // rejected (the profile does not match the symbol table). Call sites
 // outside every routine are treated as spontaneous.
 func Build(tab *symtab.Table, p *gmon.Profile) (*Graph, error) {
+	return BuildCtx(context.Background(), tab, p, 1)
+}
+
+// BuildCtx is Build with cancellation and a worker-pool width for the
+// histogram attribution (see symtab.AttributeHistN); jobs <= 1 is the
+// serial Build. Arc insertion stays sequential — it is map-bound and
+// order-sensitive — so the graph structure is identical at any width.
+func BuildCtx(ctx context.Context, tab *symtab.Table, p *gmon.Profile, jobs int) (*Graph, error) {
 	g := New()
 	g.Hz = p.ClockHz()
 	for _, s := range tab.Syms() {
 		g.AddNode(s.Name)
 	}
-	ticks, lost := tab.AttributeHist(&p.Hist)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ticks, lost := tab.AttributeHistN(&p.Hist, jobs)
 	for name, t := range ticks {
 		g.MustNode(name).SelfTicks = t
 	}
 	g.TotalTicks = float64(p.Hist.TotalTicks())
 	g.LostTicks = lost
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, rec := range p.Arcs {
 		callee, ok := tab.Find(rec.SelfPC)
 		if !ok {

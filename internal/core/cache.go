@@ -1,0 +1,116 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/object"
+	"repro/internal/symtab"
+)
+
+// Cache is an LRU of the pipeline's static layers — the symbol table
+// and the statically scanned call graph — keyed by image content hash
+// (object.Fingerprint). Repeated analyses of the same executable, the
+// long-running-service pattern where a profiler is extracted from a
+// live program again and again, skip re-indexing and re-scanning.
+//
+// Cached tables and static arc slices are shared between analyses and
+// must be treated as immutable; every consumer in this package already
+// copies what it mutates. A Cache is safe for concurrent use.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	byKey map[string]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key     string
+	tab     *symtab.Table
+	static  []object.StaticArc
+	scanned bool // static is only computed once an analysis asks for it
+}
+
+// DefaultCacheEntries is the capacity NewCache uses for a non-positive
+// request.
+const DefaultCacheEntries = 8
+
+// NewCache creates a cache holding up to capacity images (<= 0 means
+// DefaultCacheEntries).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheEntries
+	}
+	return &Cache{cap: capacity, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// Len returns the number of cached images.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byKey)
+}
+
+// Stats returns the lookup counters.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// load returns the symbol layers for im, building and inserting them on
+// a miss. The static arcs are scanned lazily: only an analysis that
+// merges the static graph pays for the scan, and the result is then
+// memoized on the entry.
+func (c *Cache) load(im *object.Image, needStatic bool) (*symtab.Table, []object.StaticArc, error) {
+	key, err := object.Fingerprint(im)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: fingerprinting image: %w", err)
+	}
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		if needStatic && !e.scanned {
+			e.static, e.scanned = object.Scan(im), true
+		}
+		c.hits++
+		tab, static := e.tab, e.static
+		c.mu.Unlock()
+		return tab, static, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Build outside the lock so distinct images index concurrently; a
+	// racing insert of the same key wins below and this work is dropped.
+	tab := symtab.New(im)
+	if err := tab.Validate(); err != nil {
+		return nil, nil, err // invalid images are never cached
+	}
+	e := &cacheEntry{key: key, tab: tab}
+	if needStatic {
+		e.static, e.scanned = object.Scan(im), true
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		prev := el.Value.(*cacheEntry)
+		if needStatic && !prev.scanned {
+			prev.static, prev.scanned = e.static, true
+		}
+		return prev.tab, prev.static, nil
+	}
+	c.byKey[key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+	return e.tab, e.static, nil
+}

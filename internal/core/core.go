@@ -5,7 +5,7 @@
 //
 //  1. map the profile's addresses to routines (symtab) and build the
 //     dynamic call graph with self times attributed from the histogram
-//     (callgraph.Build);
+//     (callgraph.BuildCtx);
 //  2. optionally merge the static call graph scanned from the executable
 //     — zero-count arcs that may complete cycles (object.Scan +
 //     Graph.AddStatic);
@@ -13,16 +13,23 @@
 //     cycle-breaking heuristic (cyclebreak);
 //  4. find strongly-connected components and topological numbers
 //     (scc.Analyze);
-//  5. propagate time from descendants to ancestors (propagate.Run);
+//  5. propagate time from descendants to ancestors (propagate.RunCtx);
 //  6. render the flat profile, the call graph profile, and the index
 //     (report).
 //
-// Use Analyze for profiles of simulated-machine executables, or
-// AnalyzeTable when the symbols come from elsewhere (e.g. the Go-native
+// Run is the entry point: it analyzes a profile against a Source — an
+// ImageSource for executables of the simulated machine, or a
+// TableSource when the symbols come from elsewhere (e.g. the Go-native
 // collector in package profgo, which is how gprof profiles itself).
+// Options.Jobs spreads the merge-heavy stages (histogram attribution,
+// propagation) across a worker pool, and Options.Cache reuses the
+// symbol table and static call graph across analyses of the same
+// executable. Analyze and AnalyzeTable survive as deprecated wrappers.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -36,10 +43,15 @@ import (
 	"repro/internal/symtab"
 )
 
+// ErrBadOptions tags every rejection of a contradictory Options value;
+// test with errors.Is.
+var ErrBadOptions = errors.New("core: contradictory options")
+
 // Options selects the post-processing features.
 type Options struct {
-	// Static merges the statically discovered call graph (requires an
-	// image; ignored by AnalyzeTable).
+	// Static merges the statically discovered call graph; it requires a
+	// Source backed by an executable image (Run rejects it with a
+	// TableSource).
 	Static bool
 	// RemoveArcs deletes these arcs before cycle analysis (the
 	// retrospective's -k caller/callee option).
@@ -48,9 +60,98 @@ type Options struct {
 	// removal breaks remaining cycles, and applies them.
 	AutoBreak bool
 	// MaxBreakArcs bounds AutoBreak; 0 means cyclebreak's default.
+	// Setting it without AutoBreak is rejected by Validate.
 	MaxBreakArcs int
+	// Jobs is the worker-pool width for the parallel pipeline stages
+	// (histogram attribution, time propagation). Zero or one runs the
+	// serial pipeline, whose output is byte-identical to the historic
+	// one; CLIs default their -jobs flag to GOMAXPROCS.
+	Jobs int
+	// Cache, when non-nil, memoizes the symbol table and static call
+	// graph per image content hash so repeated analyses of the same
+	// executable skip re-indexing. Ignored by a TableSource.
+	Cache *Cache
 	// Report controls rendering (thresholds, focus, headers).
 	Report report.Options
+}
+
+// Validate rejects contradictory settings instead of silently ignoring
+// them. Every error wraps ErrBadOptions.
+func (o Options) Validate() error {
+	if o.Jobs < 0 {
+		return fmt.Errorf("%w: Jobs %d is negative", ErrBadOptions, o.Jobs)
+	}
+	if o.MaxBreakArcs < 0 {
+		return fmt.Errorf("%w: MaxBreakArcs %d is negative", ErrBadOptions, o.MaxBreakArcs)
+	}
+	if o.MaxBreakArcs != 0 && !o.AutoBreak {
+		return fmt.Errorf("%w: MaxBreakArcs %d set without AutoBreak", ErrBadOptions, o.MaxBreakArcs)
+	}
+	return nil
+}
+
+// jobs returns the effective worker-pool width.
+func (o Options) jobs() int {
+	if o.Jobs <= 1 {
+		return 1
+	}
+	return o.Jobs
+}
+
+// A Source supplies the symbol layer an analysis maps profile addresses
+// through: the symbol table, and — when backed by an executable — the
+// statically scanned call graph. ImageSource and TableSource are the
+// two implementations.
+type Source interface {
+	// load returns the validated symbol table and, when wantStatic and
+	// the source supports it, the static arcs. cache may be nil.
+	load(cache *Cache, wantStatic bool) (*symtab.Table, []object.StaticArc, error)
+	// supportsStatic reports whether the source can produce a static
+	// call graph.
+	supportsStatic() bool
+}
+
+// ImageSource analyzes against a linked executable image.
+type ImageSource struct {
+	Image *object.Image
+}
+
+func (s ImageSource) supportsStatic() bool { return true }
+
+func (s ImageSource) load(cache *Cache, wantStatic bool) (*symtab.Table, []object.StaticArc, error) {
+	if s.Image == nil {
+		return nil, nil, errors.New("core: ImageSource has a nil Image")
+	}
+	if cache != nil {
+		return cache.load(s.Image, wantStatic)
+	}
+	tab := symtab.New(s.Image)
+	if err := tab.Validate(); err != nil {
+		return nil, nil, err
+	}
+	var static []object.StaticArc
+	if wantStatic {
+		static = object.Scan(s.Image)
+	}
+	return tab, static, nil
+}
+
+// TableSource analyzes against an explicit symbol table (no image, so
+// no static arcs).
+type TableSource struct {
+	Table *symtab.Table
+}
+
+func (s TableSource) supportsStatic() bool { return false }
+
+func (s TableSource) load(*Cache, bool) (*symtab.Table, []object.StaticArc, error) {
+	if s.Table == nil {
+		return nil, nil, errors.New("core: TableSource has a nil Table")
+	}
+	if err := s.Table.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return s.Table, nil, nil
 }
 
 // Result is an analyzed profile ready for rendering or inspection.
@@ -66,36 +167,69 @@ type Result struct {
 	opt Options
 }
 
-// Analyze post-processes a profile against a linked executable image.
-func Analyze(im *object.Image, p *gmon.Profile, opt Options) (*Result, error) {
-	tab := symtab.New(im)
-	if err := tab.Validate(); err != nil {
+// Run post-processes a profile against a source of symbols. It is the
+// single entry point behind every tool: ctx cancels the long stages
+// (attribution, propagation) between pipeline steps, opt.Jobs sets the
+// worker-pool width (0 or 1 reproduces the serial pipeline exactly),
+// and opt.Cache reuses static layers across calls.
+func Run(ctx context.Context, src Source, p *gmon.Profile, opt Options) (*Result, error) {
+	if src == nil {
+		return nil, errors.New("core: nil Source")
+	}
+	if p == nil {
+		return nil, errors.New("core: nil profile")
+	}
+	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	g, err := callgraph.Build(tab, p)
+	if opt.Static && !src.supportsStatic() {
+		return nil, fmt.Errorf("%w: Static requires an image-backed source", ErrBadOptions)
+	}
+	tab, static, err := src.load(opt.Cache, opt.Static)
+	if err != nil {
+		return nil, err
+	}
+	g, err := callgraph.BuildCtx(ctx, tab, p, opt.jobs())
 	if err != nil {
 		return nil, err
 	}
 	if opt.Static {
-		g.AddStatic(object.Scan(im))
+		g.AddStatic(static)
 	}
-	return finish(g, opt)
+	return finish(ctx, g, opt)
+}
+
+// Analyze post-processes a profile against a linked executable image.
+//
+// Deprecated: use Run with an ImageSource. Analyze keeps the historic
+// lenient flag handling (a MaxBreakArcs without AutoBreak is ignored,
+// not rejected) so existing callers migrate incrementally.
+func Analyze(im *object.Image, p *gmon.Profile, opt Options) (*Result, error) {
+	return Run(context.Background(), ImageSource{Image: im}, p, legacyOptions(opt, true))
 }
 
 // AnalyzeTable post-processes a profile against an explicit symbol
 // table (no image, so no static arcs).
+//
+// Deprecated: use Run with a TableSource. AnalyzeTable keeps the
+// historic lenient flag handling (Static is ignored, not rejected).
 func AnalyzeTable(tab *symtab.Table, p *gmon.Profile, opt Options) (*Result, error) {
-	if err := tab.Validate(); err != nil {
-		return nil, err
-	}
-	g, err := callgraph.Build(tab, p)
-	if err != nil {
-		return nil, err
-	}
-	return finish(g, opt)
+	return Run(context.Background(), TableSource{Table: tab}, p, legacyOptions(opt, false))
 }
 
-func finish(g *callgraph.Graph, opt Options) (*Result, error) {
+// legacyOptions reproduces the pre-Run behavior of silently ignoring
+// settings that Validate now rejects.
+func legacyOptions(opt Options, image bool) Options {
+	if !opt.AutoBreak {
+		opt.MaxBreakArcs = 0
+	}
+	if !image {
+		opt.Static = false
+	}
+	return opt
+}
+
+func finish(ctx context.Context, g *callgraph.Graph, opt Options) (*Result, error) {
 	res := &Result{Graph: g, opt: opt}
 	for _, id := range opt.RemoveArcs {
 		if g.RemoveArc(id.Caller, id.Callee) {
@@ -108,7 +242,9 @@ func finish(g *callgraph.Graph, opt Options) (*Result, error) {
 		res.Suggestion = &sug
 		res.RemovedArcs += cyclebreak.Apply(g, sug.Arcs)
 	}
-	propagate.Run(g)
+	if err := propagate.RunCtx(ctx, g, opt.jobs()); err != nil {
+		return nil, err
+	}
 	if err := sanity(g); err != nil {
 		return nil, err
 	}
@@ -118,8 +254,9 @@ func finish(g *callgraph.Graph, opt Options) (*Result, error) {
 // sanity verifies the propagation invariant on every analysis; a failure
 // indicates a bug, not bad input.
 func sanity(g *callgraph.Graph) error {
-	if err := propagate.CheckConservation(g); err > 1e-6*(1+g.TotalTicks) {
-		return fmt.Errorf("core: internal error: propagation lost %g ticks", err)
+	tolerance := 1e-6 * (1 + g.TotalTicks)
+	if lost := propagate.CheckConservation(g); lost > tolerance {
+		return fmt.Errorf("core: internal error: propagation lost %g ticks (tolerance %g)", lost, tolerance)
 	}
 	return nil
 }

@@ -15,6 +15,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -43,6 +44,31 @@ type Result struct {
 	Measure string // what we measured
 	Pass    bool
 	Detail  string // full output for the curious
+}
+
+// jobs is the worker-pool width analyses run at; cache shares symbol
+// tables and static scans across the experiments that re-analyze the
+// same workload image.
+var (
+	jobs  = 1
+	cache = core.NewCache(0)
+)
+
+// SetJobs sets the worker-pool width used by every analysis (cmd/figures
+// wires its -jobs flag here); n < 1 means serial.
+func SetJobs(n int) {
+	if n < 1 {
+		n = 1
+	}
+	jobs = n
+}
+
+// analyze runs the post-processor with the package's jobs width and
+// shared static-layer cache.
+func analyze(im *object.Image, p *gmon.Profile, opt core.Options) (*core.Result, error) {
+	opt.Jobs = jobs
+	opt.Cache = cache
+	return core.Run(context.Background(), core.ImageSource{Image: im}, p, opt)
 }
 
 // All runs every experiment in order.
@@ -310,7 +336,7 @@ func FlatConservation() Result {
 	if err != nil {
 		return failed("E2", err)
 	}
-	res, err := core.Analyze(im, p, core.Options{})
+	res, err := analyze(im, p, core.Options{})
 	if err != nil {
 		return failed("E2", err)
 	}
@@ -356,11 +382,11 @@ func main() {
 	if err != nil {
 		return failed("E3", err)
 	}
-	dyn, err := core.Analyze(im, p, core.Options{})
+	dyn, err := analyze(im, p, core.Options{})
 	if err != nil {
 		return failed("E3", err)
 	}
-	st, err := core.Analyze(im, p, core.Options{Static: true})
+	st, err := analyze(im, p, core.Options{Static: true})
 	if err != nil {
 		return failed("E3", err)
 	}
@@ -411,7 +437,7 @@ func SelfProfile() Result {
 	if err != nil {
 		return failed("E4", err)
 	}
-	step("analyze", func() { res, err = core.Analyze(im, prof, core.Options{}) })
+	step("analyze", func() { res, err = analyze(im, prof, core.Options{}) })
 	if err != nil {
 		return failed("E4", err)
 	}
@@ -419,7 +445,7 @@ func SelfProfile() Result {
 	if err != nil {
 		return failed("E4", err)
 	}
-	selfRes, err := core.AnalyzeTable(p.Table(), p.Snapshot(), core.Options{})
+	selfRes, err := core.Run(context.Background(), core.TableSource{Table: p.Table()}, p.Snapshot(), core.Options{Jobs: jobs})
 	if err != nil {
 		return failed("E4", err)
 	}
@@ -494,7 +520,7 @@ func MonolithicCycle() Result {
 	if err != nil {
 		return failed("E6", err)
 	}
-	res, err := core.Analyze(im, p, core.Options{})
+	res, err := analyze(im, p, core.Options{})
 	if err != nil {
 		return failed("E6", err)
 	}
@@ -529,11 +555,11 @@ func CycleBreak() Result {
 	if err != nil {
 		return failed("E7", err)
 	}
-	before, err := core.Analyze(im, p, core.Options{})
+	before, err := analyze(im, p, core.Options{})
 	if err != nil {
 		return failed("E7", err)
 	}
-	after, err := core.Analyze(im, p, core.Options{AutoBreak: true})
+	after, err := analyze(im, p, core.Options{AutoBreak: true})
 	if err != nil {
 		return failed("E7", err)
 	}
@@ -591,7 +617,7 @@ func StackSampling() Result {
 	if err != nil {
 		return failed("E8", err)
 	}
-	res, err := core.Analyze(imP, p, core.Options{})
+	res, err := analyze(imP, p, core.Options{})
 	if err != nil {
 		return failed("E8", err)
 	}
@@ -676,11 +702,11 @@ func main() {
 	if err != nil {
 		return failed("E11", err)
 	}
-	aPlain, err := core.Analyze(plainIm, pPlain, core.Options{})
+	aPlain, err := analyze(plainIm, pPlain, core.Options{})
 	if err != nil {
 		return failed("E11", err)
 	}
-	aIn, err := core.Analyze(inIm, pIn, core.Options{})
+	aIn, err := analyze(inIm, pIn, core.Options{})
 	if err != nil {
 		return failed("E11", err)
 	}

@@ -149,13 +149,8 @@ func (p *Profile) SortArcs() {
 // geometry and clock rate agree, the same restriction real gprof places
 // on summed gmon.out files.
 func (p *Profile) Merge(other *Profile) error {
-	if p.Hist.Low != other.Hist.Low || p.Hist.High != other.Hist.High || p.Hist.Step != other.Hist.Step {
-		return fmt.Errorf("gmon: merge: histogram geometry mismatch: [%#x,%#x)/%d vs [%#x,%#x)/%d",
-			p.Hist.Low, p.Hist.High, p.Hist.Step,
-			other.Hist.Low, other.Hist.High, other.Hist.Step)
-	}
-	if p.ClockHz() != other.ClockHz() {
-		return fmt.Errorf("gmon: merge: clock rate mismatch: %d vs %d Hz", p.ClockHz(), other.ClockHz())
+	if err := p.checkMergeable(other); err != nil {
+		return err
 	}
 	for i, c := range other.Hist.Counts {
 		p.Hist.Counts[i] += c

@@ -2,6 +2,7 @@ package gmon
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -141,23 +142,8 @@ func ReadFile(name string) (*Profile, error) {
 }
 
 // ReadFiles reads and merges several profile data files, the paper's
-// "profile of many executions".
+// "profile of many executions". See ReadFilesCtx for the concurrent
+// variant.
 func ReadFiles(names []string) (*Profile, error) {
-	if len(names) == 0 {
-		return nil, fmt.Errorf("gmon: no profile data files")
-	}
-	total, err := ReadFile(names[0])
-	if err != nil {
-		return nil, err
-	}
-	for _, name := range names[1:] {
-		p, err := ReadFile(name)
-		if err != nil {
-			return nil, err
-		}
-		if err := total.Merge(p); err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
-		}
-	}
-	return total, nil
+	return ReadFilesCtx(context.Background(), names, 1)
 }

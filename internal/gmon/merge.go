@@ -1,0 +1,180 @@
+// Parallel fan-in merge: the paper's "sum several runs" feature (§3)
+// scaled to many gmon.out files. Profiles merge tree-wise across a
+// worker pool; because bucket and arc counts combine by integer
+// addition (commutative and associative) and Merge canonicalizes arc
+// order, the result is bit-for-bit identical to a sequential
+// left-to-right merge no matter how the tree is shaped or scheduled.
+package gmon
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// checkMergeable reports why other cannot be summed into p, if so: the
+// histogram geometry and clock rate must agree, the same restriction
+// real gprof places on summed gmon.out files.
+func (p *Profile) checkMergeable(other *Profile) error {
+	if p.Hist.Low != other.Hist.Low || p.Hist.High != other.Hist.High || p.Hist.Step != other.Hist.Step {
+		return fmt.Errorf("gmon: merge: histogram geometry mismatch: [%#x,%#x)/%d vs [%#x,%#x)/%d",
+			p.Hist.Low, p.Hist.High, p.Hist.Step,
+			other.Hist.Low, other.Hist.High, other.Hist.Step)
+	}
+	if p.ClockHz() != other.ClockHz() {
+		return fmt.Errorf("gmon: merge: clock rate mismatch: %d vs %d Hz", p.ClockHz(), other.ClockHz())
+	}
+	return nil
+}
+
+// MergeAll sums k profiles into one, merging pairs tree-wise across a
+// worker pool of the given width (jobs <= 1 folds sequentially). The
+// inputs are not modified. The result is identical to merging the
+// profiles one at a time in slice order.
+func MergeAll(ctx context.Context, profiles []*Profile, jobs int) (*Profile, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("gmon: no profiles to merge")
+	}
+	if jobs <= 1 || len(profiles) == 2 {
+		total := profiles[0].Clone()
+		for _, p := range profiles[1:] {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := total.Merge(p); err != nil {
+				return nil, err
+			}
+		}
+		return total, nil
+	}
+	// Each round halves the list: pair (2i, 2i+1) merges into a clone of
+	// the left element (first round only — later rounds own their
+	// intermediates), an odd tail carries over.
+	cur := profiles
+	owned := false
+	for len(cur) > 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pairs := len(cur) / 2
+		next := make([]*Profile, (len(cur)+1)/2)
+		errs := make([]error, pairs)
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		workers := jobs
+		if workers > pairs {
+			workers = pairs
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					if ctx.Err() != nil {
+						continue
+					}
+					left := cur[2*i]
+					if !owned {
+						left = left.Clone()
+					}
+					errs[i] = left.Merge(cur[2*i+1])
+					next[i] = left
+				}
+			}()
+		}
+		for i := 0; i < pairs; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		if len(cur)%2 == 1 {
+			tail := cur[len(cur)-1]
+			if !owned {
+				tail = tail.Clone()
+			}
+			next[pairs] = tail
+		}
+		cur = next
+		owned = true
+	}
+	return cur[0], nil
+}
+
+// ReadFilesCtx reads several profile data files concurrently and
+// tree-merges them across a worker pool, honoring ctx cancellation.
+// Every profile must be mergeable with the first; an incompatible or
+// unreadable file is reported by name. ReadFilesCtx(ctx, names, 1) is
+// exactly ReadFiles.
+func ReadFilesCtx(ctx context.Context, names []string, jobs int) (*Profile, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("gmon: no profile data files")
+	}
+	if jobs <= 1 {
+		total, err := ReadFile(names[0])
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range names[1:] {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			p, err := ReadFile(name)
+			if err != nil {
+				return nil, err
+			}
+			if err := total.Merge(p); err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return total, nil
+	}
+	ps := make([]*Profile, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	workers := jobs
+	if workers > len(names) {
+		workers = len(names)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					continue
+				}
+				ps[i], errs[i] = ReadFile(names[i])
+			}
+		}()
+	}
+	for i := range names {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Attribute incompatibilities to a file name before the tree merge
+	// loses track of which input was at fault.
+	for i, p := range ps[1:] {
+		if err := ps[0].checkMergeable(p); err != nil {
+			return nil, fmt.Errorf("%s: %w", names[i+1], err)
+		}
+	}
+	return MergeAll(ctx, ps, jobs)
+}

@@ -1,0 +1,173 @@
+package gmon
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// randomProfile builds a profile with shared geometry and rng-chosen
+// counts and arcs.
+func randomProfile(rng *rand.Rand) *Profile {
+	p := &Profile{
+		Hist: Histogram{Low: 0x100, High: 0x100 + 64, Step: 1, Counts: make([]uint32, 64)},
+		Hz:   60,
+	}
+	for i := range p.Hist.Counts {
+		p.Hist.Counts[i] = uint32(rng.Intn(50))
+	}
+	seen := map[[2]int64]bool{}
+	for n := rng.Intn(20); n > 0; n-- {
+		from := int64(0x100 + rng.Intn(64))
+		self := int64(0x100 + rng.Intn(64))
+		if seen[[2]int64{from, self}] {
+			continue
+		}
+		seen[[2]int64{from, self}] = true
+		p.Arcs = append(p.Arcs, Arc{FromPC: from, SelfPC: self, Count: int64(rng.Intn(1000) + 1)})
+	}
+	return p
+}
+
+func encode(t *testing.T, p *Profile) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestMergeAllMatchesSequential is the merge-determinism property: a
+// tree-parallel merge of a shuffled profile list equals the sequential
+// fold bit-for-bit, for every list length and worker count tried.
+func TestMergeAllMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range []int{1, 2, 3, 5, 8, 16, 33} {
+		ps := make([]*Profile, k)
+		for i := range ps {
+			ps[i] = randomProfile(rng)
+		}
+		sequential, err := MergeAll(context.Background(), ps, 1)
+		if err != nil {
+			t.Fatalf("k=%d sequential: %v", k, err)
+		}
+		want := encode(t, sequential)
+		for _, jobs := range []int{2, 4, 7} {
+			shuffled := append([]*Profile(nil), ps...)
+			rng.Shuffle(len(shuffled), func(i, j int) {
+				shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+			})
+			got, err := MergeAll(context.Background(), shuffled, jobs)
+			if err != nil {
+				t.Fatalf("k=%d jobs=%d: %v", k, jobs, err)
+			}
+			// Shuffling changes nothing: counts sum and arcs sort.
+			if !bytes.Equal(encode(t, got), want) {
+				t.Errorf("k=%d jobs=%d: tree-parallel merge of shuffled list differs from sequential", k, jobs)
+			}
+		}
+	}
+}
+
+// TestMergeAllLeavesInputsAlone: the inputs must not accumulate into
+// each other (the sequential ReadFiles path mutates only the profile it
+// read itself).
+func TestMergeAllLeavesInputsAlone(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ps := []*Profile{randomProfile(rng), randomProfile(rng), randomProfile(rng)}
+	before := make([][]byte, len(ps))
+	for i, p := range ps {
+		before[i] = encode(t, p)
+	}
+	for _, jobs := range []int{1, 4} {
+		if _, err := MergeAll(context.Background(), ps, jobs); err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range ps {
+			if !bytes.Equal(encode(t, p), before[i]) {
+				t.Errorf("jobs=%d: MergeAll mutated input %d", jobs, i)
+			}
+		}
+	}
+}
+
+func TestMergeAllErrors(t *testing.T) {
+	if _, err := MergeAll(context.Background(), nil, 4); err == nil {
+		t.Error("empty profile list accepted")
+	}
+	rng := rand.New(rand.NewSource(9))
+	ps := []*Profile{randomProfile(rng), randomProfile(rng), randomProfile(rng)}
+	ps[2] = ps[2].Clone()
+	ps[2].Hist.Step = 2
+	ps[2].Hist.Counts = ps[2].Hist.Counts[:ps[2].Hist.NumBuckets()]
+	for _, jobs := range []int{1, 4} {
+		if _, err := MergeAll(context.Background(), ps, jobs); err == nil {
+			t.Errorf("jobs=%d: geometry mismatch accepted", jobs)
+		}
+	}
+}
+
+func TestMergeAllCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rng := rand.New(rand.NewSource(10))
+	ps := make([]*Profile, 16)
+	for i := range ps {
+		ps[i] = randomProfile(rng)
+	}
+	for _, jobs := range []int{1, 4} {
+		if _, err := MergeAll(ctx, ps, jobs); err == nil {
+			t.Errorf("jobs=%d: canceled context not honored", jobs)
+		}
+	}
+}
+
+// TestReadFilesCtxMatchesReadFiles: the concurrent reader returns the
+// same bytes as the sequential one and attributes incompatible files by
+// name.
+func TestReadFilesCtxMatchesReadFiles(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(11))
+	var names []string
+	for i := 0; i < 9; i++ {
+		name := filepath.Join(dir, "gmon."+string(rune('a'+i)))
+		if err := WriteFile(name, randomProfile(rng)); err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, name)
+	}
+	want, err := ReadFiles(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFilesCtx(context.Background(), names, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encode(t, want), encode(t, got)) {
+		t.Error("parallel ReadFilesCtx differs from sequential ReadFiles")
+	}
+
+	// A geometry mismatch names the offending file.
+	odd := randomProfile(rng)
+	odd.Hz = 100
+	oddName := filepath.Join(dir, "gmon.odd")
+	if err := WriteFile(oddName, odd); err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReadFilesCtx(context.Background(), append(names, oddName), 4)
+	if err == nil || !strings.Contains(err.Error(), "gmon.odd") {
+		t.Errorf("mismatch error does not name the file: %v", err)
+	}
+
+	if _, err := ReadFilesCtx(context.Background(), nil, 4); err == nil {
+		t.Error("empty name list accepted")
+	}
+	if _, err := ReadFilesCtx(context.Background(), []string{filepath.Join(dir, "missing")}, 4); err == nil {
+		t.Error("missing file accepted")
+	}
+}

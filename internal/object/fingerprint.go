@@ -1,0 +1,20 @@
+package object
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Fingerprint returns a content hash of the image: the SHA-256 of its
+// canonical executable encoding, which covers the text, data, symbols,
+// debug marks, and layout fields. Two images with equal fingerprints
+// index identically, so the hash can key caches of derived artifacts
+// (symbol tables, static call graphs) across repeated analyses of the
+// same executable.
+func Fingerprint(im *Image) (string, error) {
+	h := sha256.New()
+	if err := WriteImage(h, im); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

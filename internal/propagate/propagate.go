@@ -22,7 +22,9 @@
 package propagate
 
 import (
+	"context"
 	"math"
+	"sync"
 
 	"repro/internal/callgraph"
 	"repro/internal/scc"
@@ -32,6 +34,18 @@ import (
 // been called). It fills in Node.ChildTicks, Cycle.ChildTicks, and the
 // per-arc PropSelf/PropChild fields. Run is idempotent.
 func Run(g *callgraph.Graph) {
+	_ = RunCtx(context.Background(), g, 1)
+}
+
+// RunCtx is Run with cancellation and a worker-pool width. jobs <= 1 is
+// the exact serial Run. At higher widths the condensation DAG is cut
+// into depth levels — a unit (node, or collapsed cycle) sits one level
+// above its deepest callee, so the topological numbers from scc already
+// certify the schedule — and units within a level compute their arc
+// shares concurrently. The caller-side accumulation is applied serially
+// in topological order after each level, keeping the result
+// deterministic for any jobs regardless of goroutine scheduling.
+func RunCtx(ctx context.Context, g *callgraph.Graph, jobs int) error {
 	for _, n := range g.Nodes() {
 		n.ChildTicks = 0
 		for _, a := range n.In {
@@ -41,35 +55,173 @@ func Run(g *callgraph.Graph) {
 	for _, c := range g.Cycles {
 		c.ChildTicks = 0
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
-	done := make(map[*callgraph.Cycle]bool)
-	for _, n := range scc.TopoOrder(g) {
-		if c := n.Cycle; c != nil {
-			if done[c] {
+	if jobs <= 1 {
+		done := make(map[*callgraph.Cycle]bool)
+		for _, n := range scc.TopoOrder(g) {
+			if c := n.Cycle; c != nil {
+				if done[c] {
+					continue
+				}
+				done[c] = true
+				distribute(c.SelfTicks(), c.ChildTicks, c.ExternalCalls(), cycleInArcs(c))
 				continue
 			}
-			done[c] = true
-			self := c.SelfTicks()
-			child := c.ChildTicks
-			var in []*callgraph.Arc
-			for _, m := range c.Members {
-				for _, a := range m.In {
-					if !a.IntraCycle() && !a.Self() {
-						in = append(in, a)
-					}
-				}
-			}
-			distribute(self, child, c.ExternalCalls(), in)
-			continue
+			distribute(n.SelfTicks, n.ChildTicks, n.Calls(), nodeInArcs(n))
 		}
-		var in []*callgraph.Arc
-		for _, a := range n.In {
-			if !a.Self() {
+		return nil
+	}
+	return runLevels(ctx, g, jobs)
+}
+
+// unit is one propagation entity: a collapsed cycle or a plain node.
+type unit struct {
+	node  *callgraph.Node  // nil when cycle != nil
+	cycle *callgraph.Cycle
+	depth int
+	in    []*callgraph.Arc // filled during the level's parallel phase
+}
+
+func nodeInArcs(n *callgraph.Node) []*callgraph.Arc {
+	var in []*callgraph.Arc
+	for _, a := range n.In {
+		if !a.Self() {
+			in = append(in, a)
+		}
+	}
+	return in
+}
+
+func cycleInArcs(c *callgraph.Cycle) []*callgraph.Arc {
+	var in []*callgraph.Arc
+	for _, m := range c.Members {
+		for _, a := range m.In {
+			if !a.IntraCycle() && !a.Self() {
 				in = append(in, a)
 			}
 		}
-		distribute(n.SelfTicks, n.ChildTicks, n.Calls(), in)
 	}
+	return in
+}
+
+// runLevels is the parallel schedule behind RunCtx.
+func runLevels(ctx context.Context, g *callgraph.Graph, jobs int) error {
+	// Units in topological order (callees first), with the unit of every
+	// member node recorded so arcs can be chased to their unit.
+	unitOf := make(map[*callgraph.Node]*unit, g.Len())
+	var units []*unit
+	for _, n := range scc.TopoOrder(g) {
+		if c := n.Cycle; c != nil {
+			if u := unitOf[c.Members[0]]; u != nil {
+				unitOf[n] = u
+				continue
+			}
+			u := &unit{cycle: c}
+			for _, m := range c.Members {
+				unitOf[m] = u
+			}
+			units = append(units, u)
+			continue
+		}
+		u := &unit{node: n}
+		unitOf[n] = u
+		units = append(units, u)
+	}
+	// A unit's depth is one past its deepest callee unit: everything a
+	// unit calls is finished before the unit's own total is read. The
+	// topological order makes this a single pass.
+	maxDepth := 0
+	for _, u := range units {
+		members := []*callgraph.Node{u.node}
+		if u.cycle != nil {
+			members = u.cycle.Members
+		}
+		for _, m := range members {
+			for _, a := range m.Out {
+				if a.Self() || a.IntraCycle() {
+					continue
+				}
+				if d := unitOf[a.Callee].depth + 1; d > u.depth {
+					u.depth = d
+				}
+			}
+		}
+		if u.depth > maxDepth {
+			maxDepth = u.depth
+		}
+	}
+	levels := make([][]*unit, maxDepth+1)
+	for _, u := range units {
+		levels[u.depth] = append(levels[u.depth], u)
+	}
+
+	for _, level := range levels {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Parallel phase: each unit gathers its incoming arcs and writes
+		// its shares onto them. Every arc targets exactly one unit, so
+		// the writes are disjoint; the unit's own ChildTicks is final
+		// because all of its callees live in earlier levels.
+		workers := jobs
+		if workers > len(level) {
+			workers = len(level)
+		}
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					u := level[i]
+					var self, child float64
+					var calls int64
+					if c := u.cycle; c != nil {
+						u.in = cycleInArcs(c)
+						self, child, calls = c.SelfTicks(), c.ChildTicks, c.ExternalCalls()
+					} else {
+						u.in = nodeInArcs(u.node)
+						self, child, calls = u.node.SelfTicks, u.node.ChildTicks, u.node.Calls()
+					}
+					if calls <= 0 {
+						continue
+					}
+					for _, a := range u.in {
+						if a.Count <= 0 {
+							continue // static arcs never propagate
+						}
+						frac := float64(a.Count) / float64(calls)
+						a.PropSelf = self * frac
+						a.PropChild = child * frac
+					}
+				}
+			}()
+		}
+		for i := range level {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+		// Serial phase: accumulate into callers in topological unit
+		// order, so the floating-point sums are reproducible.
+		for _, u := range level {
+			for _, a := range u.in {
+				if a.Count <= 0 || a.Caller == nil {
+					continue
+				}
+				if pc := a.Caller.Cycle; pc != nil {
+					pc.ChildTicks += a.PropSelf + a.PropChild
+				} else {
+					a.Caller.ChildTicks += a.PropSelf + a.PropChild
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // distribute shares self+child time among the incoming arcs in

@@ -11,6 +11,7 @@ package symtab
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/gmon"
 	"repro/internal/object"
@@ -92,9 +93,56 @@ type SelfTicks map[string]float64
 // fell outside every known routine (charged to no one, reported so the
 // flat profile can still sum to the total run time via the caller).
 func (t *Table) AttributeHist(h *gmon.Histogram) (SelfTicks, float64) {
+	return t.attributeBuckets(h, 0, len(h.Counts))
+}
+
+// AttributeHistN is AttributeHist across a worker pool: the bucket range
+// is sharded into jobs contiguous slices attributed concurrently, and
+// the partial per-routine totals reduce in shard order. jobs <= 1 is the
+// serial AttributeHist. The result is deterministic for a fixed jobs;
+// shard-boundary reassociation may differ from the serial sum by
+// floating-point rounding only (exact whenever bucket splits are exact,
+// e.g. at one-to-one granularity).
+func (t *Table) AttributeHistN(h *gmon.Histogram, jobs int) (SelfTicks, float64) {
+	nb := len(h.Counts)
+	if jobs > nb {
+		jobs = nb
+	}
+	if jobs <= 1 {
+		return t.AttributeHist(h)
+	}
+	parts := make([]SelfTicks, jobs)
+	losts := make([]float64, jobs)
+	per := (nb + jobs - 1) / jobs
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > nb {
+			hi = nb
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts[w], losts[w] = t.attributeBuckets(h, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out, lost := parts[0], losts[0]
+	for w := 1; w < jobs; w++ {
+		for name, v := range parts[w] {
+			out[name] += v
+		}
+		lost += losts[w]
+	}
+	return out, lost
+}
+
+// attributeBuckets attributes the buckets in [from, to).
+func (t *Table) attributeBuckets(h *gmon.Histogram, from, to int) (SelfTicks, float64) {
 	out := make(SelfTicks, len(t.funcs))
 	var lost float64
-	for i, n := range h.Counts {
+	for i := from; i < to; i++ {
+		n := h.Counts[i]
 		if n == 0 {
 			continue
 		}
