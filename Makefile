@@ -19,6 +19,23 @@ bench:
 bench-parallel:
 	go test -run xxx -bench 'Parallel|AnalyzeCached' .
 
+# Quick bench sanity pass for CI: every benchmark runs exactly once.
+.PHONY: bench-smoke
+bench-smoke:
+	go test -run xxx -bench . -benchtime=1x ./...
+
+# Regenerate the committed performance snapshot (BENCH_$(LABEL).json):
+# the workload suite via the parallel driver, plus the engine-facing
+# go-bench micro-benchmarks parsed into the same file. Schema in
+# docs/FORMATS.md.
+LABEL ?= PR2
+.PHONY: bench-json
+bench-json:
+	go test -run xxx -bench 'Dispatch|McountFastPath|McountSteady|Snapshot|VMExecution|Overhead' \
+		-benchmem . ./internal/mon > bench-raw.out && \
+	go run ./cmd/benchjson -label $(LABEL) -parse bench-raw.out -o BENCH_$(LABEL).json && \
+	rm -f bench-raw.out
+
 .PHONY: figures
 figures:
 	go run ./cmd/figures -all

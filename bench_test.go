@@ -16,6 +16,7 @@ import (
 	"repro/internal/callgraph"
 	"repro/internal/core"
 	"repro/internal/cyclebreak"
+	"repro/internal/experiments"
 	"repro/internal/gmon"
 	"repro/internal/lang"
 	"repro/internal/mon"
@@ -597,4 +598,80 @@ func BenchmarkAnalyzeCached(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- fast-path execution engine ----------------------------------------
+
+// BenchmarkDispatch compares the two interpreter loops over the whole
+// workload suite (plain builds, machines reused via Reset, so decoding
+// is outside the timed region). The fast loop's deadline batching and
+// inlined memory paths must keep it well ahead of the per-instruction
+// reference loop; the differential tests pin the two to identical
+// behaviour, so this is a pure dispatch-cost comparison.
+func BenchmarkDispatch(b *testing.B) {
+	names := workloads.Names()
+	machines := make([]*vm.Machine, len(names))
+	for i, name := range names {
+		im, err := workloads.Build(name, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		machines[i] = vm.New(im, vm.Config{MaxCycles: 1 << 32})
+	}
+	for _, loop := range []string{"fast", "reference"} {
+		b.Run(loop, func(b *testing.B) {
+			var instr int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				instr = 0
+				for _, m := range machines {
+					m.Reset()
+					var (
+						res vm.Result
+						err error
+					)
+					if loop == "reference" {
+						res, err = m.RunReference()
+					} else {
+						res, err = m.Run()
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					instr += res.Retired
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(instr), "instructions")
+			if instr > 0 && b.N > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(instr), "ns/instr")
+			}
+		})
+	}
+}
+
+// BenchmarkWorkloadSuite times the parallel bench driver end to end —
+// the exact code path cmd/benchjson uses to produce BENCH_*.json — and
+// republishes its headline domain metrics.
+func BenchmarkWorkloadSuite(b *testing.B) {
+	var rows []experiments.WorkloadBench
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.BenchSuite(experiments.BenchConfig{Iters: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var over, hit, probes float64
+	for _, r := range rows {
+		over += r.OverheadPct
+		hit += r.CacheHitRate
+		probes += r.ProbesPerCall
+	}
+	n := float64(len(rows))
+	b.ReportMetric(over/n, "avg-overhead-%")
+	b.ReportMetric(hit/n, "avg-cache-hit-rate")
+	b.ReportMetric(probes/n, "avg-probes/call")
 }

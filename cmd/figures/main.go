@@ -8,6 +8,11 @@
 //	figures -list         list experiment identifiers
 //	figures -md           emit the summary as a Markdown table (for
 //	                      EXPERIMENTS.md)
+//
+// The experiments run on the production (fast) interpreter loop; the
+// differential tests guarantee the reference loop would reproduce the
+// same profiles bit for bit. Host-level performance is snapshotted
+// separately by cmd/benchjson into the BENCH_*.json trajectory.
 package main
 
 import (

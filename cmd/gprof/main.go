@@ -14,6 +14,11 @@
 // retrospective's later features: -k removes arcs, -C runs the bounded
 // cycle-breaking heuristic, -s merges the static call graph scanned
 // from the executable, -m and -focus filter the output.
+//
+// The profile data this tool consumes is gathered by the fast-path
+// execution engine (internal/vm's deadline-batched loop feeding
+// internal/mon's arena arc table); the gathering cost itself is tracked
+// in the committed BENCH_*.json snapshots (docs/FORMATS.md).
 package main
 
 import (

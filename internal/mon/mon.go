@@ -26,6 +26,14 @@
 // beyond the MCOUNT instruction's base cost, so profiling overhead is
 // charged to the program and the paper's 5-30% overhead claim (§7) is a
 // measurable quantity.
+//
+// Because Mcount sits on the hottest path of every profiled run, the
+// collector is engineered the way the paper's §3 demands ("as fast as
+// possible"): arc cells live in one arena slice chained by index (zero
+// steady-state allocations), a one-entry last-arc cache short-circuits
+// the hash probe for back-to-back traversals of the same arc
+// (Stats.CacheHits), and Reset retires all data in O(1) by bumping a
+// generation counter instead of sweeping the table.
 package mon
 
 import (
@@ -82,6 +90,7 @@ type Config struct {
 // hash-strategy ablation.
 type Stats struct {
 	McountCalls int64 // MCOUNT executions observed (recording on)
+	CacheHits   int64 // calls satisfied by the one-entry last-arc cache
 	Probes      int64 // secondary-key chain probes beyond the first cell
 	Inserts     int64 // new arc cells created
 	Spontaneous int64 // arcs recorded with an unidentifiable caller
@@ -89,24 +98,46 @@ type Stats struct {
 	LostTicks   int64 // samples outside the text range (none expected)
 }
 
+// arcCell is one arc-table entry. Cells live in a single arena slice and
+// chain by arena index rather than pointer, so steady-state Mcount does
+// no per-call allocation and chain walks touch contiguous memory.
 type arcCell struct {
-	key   int64 // secondary key: callee pc (SiteKeyed) or call-site pc (CalleeKeyed)
+	prim  int64 // primary key: call-site pc (SiteKeyed) or callee pc (CalleeKeyed)
+	key   int64 // secondary key: the other address of the pair
 	count int64
-	next  *arcCell
+	next  int32 // arena index of the next cell in this slot's chain; -1 ends it
 }
 
 // Collector gathers profile data for one text range. It is not safe for
 // concurrent use; the simulated machine is single-threaded.
+//
+// The arc table is the paper's one-slot-per-text-word primary hash, but
+// the chains are arena-backed: table[slot] holds an index into arena,
+// and a slot's entry is live only while slotGen[slot] equals gen — so
+// Reset is O(1) over the table (bump gen, truncate the arena) instead of
+// O(text length). The histogram uses the same generation trick. In
+// front of the hash sits the classic one-entry last-arc cache (real
+// mcount's "check if this is the same arc as last time"), counted in
+// Stats.CacheHits for the E9 ablation.
 type Collector struct {
 	cfg      Config
 	textBase int64
 	textLen  int64
 
 	enabled bool
-	table   []*arcCell      // primary hash: one slot per text word
+	table   []int32   // primary hash: slot -> arena head index (see slotGen)
+	slotGen []uint32  // table[slot] is live iff slotGen[slot] == gen
+	arena   []arcCell // all live arc cells, in insertion order
+	gen     uint32
 	spont   map[int64]int64 // callee pc -> count for spontaneous arcs
-	hist    []uint32
+	hist    []uint32        // hist[b] is live iff histGen[b] == gen
+	histGen []uint32
 	stats   Stats
+
+	// One-entry cache: the last (selfpc, frompc) pair and its cell.
+	lastSelf int64
+	lastFrom int64
+	lastIdx  int32 // arena index; -1 when invalid
 }
 
 // New creates a collector sized for the image's text segment.
@@ -124,9 +155,13 @@ func New(im *object.Image, cfg Config) *Collector {
 		textBase: im.TextBase,
 		textLen:  textLen,
 		enabled:  !cfg.StartDisabled,
-		table:    make([]*arcCell, textLen),
+		table:    make([]int32, textLen),
+		slotGen:  make([]uint32, textLen),
+		gen:      1,
 		spont:    make(map[int64]int64),
 		hist:     make([]uint32, nbkt),
+		histGen:  make([]uint32, nbkt),
+		lastIdx:  -1,
 	}
 }
 
@@ -141,15 +176,20 @@ func (c *Collector) Enable() { c.enabled = true }
 func (c *Collector) Disable() { c.enabled = false }
 
 // Reset clears all accumulated data without changing the enabled state.
+// It is O(1) in the size of the arc table and histogram: bumping the
+// generation invalidates every slot and bucket at once, and the arena is
+// truncated in place so its capacity survives for the next run.
 func (c *Collector) Reset() {
-	for i := range c.table {
-		c.table[i] = nil
+	c.gen++
+	if c.gen == 0 { // generation counter wrapped: tags are ambiguous, really clear them
+		clear(c.slotGen)
+		clear(c.histGen)
+		c.gen = 1
 	}
-	c.spont = make(map[int64]int64)
-	for i := range c.hist {
-		c.hist[i] = 0
-	}
+	c.arena = c.arena[:0]
+	clear(c.spont)
 	c.stats = Stats{}
+	c.lastIdx = -1
 }
 
 // Control implements the VM's monitor-control syscalls.
@@ -170,6 +210,12 @@ func (c *Collector) Stats() Stats { return c.stats }
 // Mcount records the arc (frompc → selfpc) and returns the extra cycles
 // the monitoring routine consumed. frompc is the call-site address or a
 // negative value when the caller is unidentifiable (spontaneous).
+//
+// The steady state allocates nothing: a repeat of the previous arc hits
+// the one-entry cache, any other known arc increments its arena cell in
+// place, and only a never-seen arc appends to the arena (amortized by
+// the slice's growth policy, and sized from the previous run after a
+// Reset).
 func (c *Collector) Mcount(selfpc, frompc int64) int64 {
 	if !c.enabled {
 		return 0
@@ -180,6 +226,15 @@ func (c *Collector) Mcount(selfpc, frompc int64) int64 {
 		c.stats.Spontaneous++
 		c.spont[selfpc]++
 		return isa.McountProbeCost
+	}
+	// The last-arc cache: loops re-traverse the same arc back to back,
+	// so checking the previous (selfpc, frompc) pair first skips the
+	// hash probe entirely on the hottest path. Cached hits cost no
+	// extra cycles, like a first-cell hash hit.
+	if frompc == c.lastFrom && selfpc == c.lastSelf && c.lastIdx >= 0 {
+		c.stats.CacheHits++
+		c.arena[c.lastIdx].count++
+		return 0
 	}
 	var primary, secondary int64
 	switch c.cfg.Strategy {
@@ -196,17 +251,26 @@ func (c *Collector) Mcount(selfpc, frompc int64) int64 {
 		c.spont[selfpc]++
 		return isa.McountProbeCost
 	}
+	head := int32(-1)
+	if c.slotGen[slot] == c.gen {
+		head = c.table[slot]
+	}
 	var extra int64
-	for cell := c.table[slot]; cell != nil; cell = cell.next {
-		if cell.key == secondary {
-			cell.count++
+	for i := head; i >= 0; i = c.arena[i].next {
+		if c.arena[i].key == secondary {
+			c.arena[i].count++
+			c.lastSelf, c.lastFrom, c.lastIdx = selfpc, frompc, i
 			return extra
 		}
 		c.stats.Probes++
 		extra += isa.McountProbeCost
 	}
 	c.stats.Inserts++
-	c.table[slot] = &arcCell{key: secondary, count: 1, next: c.table[slot]}
+	idx := int32(len(c.arena))
+	c.arena = append(c.arena, arcCell{prim: primary, key: secondary, count: 1, next: head})
+	c.table[slot] = idx
+	c.slotGen[slot] = c.gen
+	c.lastSelf, c.lastFrom, c.lastIdx = selfpc, frompc, idx
 	return extra + isa.McountInsertCost
 }
 
@@ -221,35 +285,49 @@ func (c *Collector) Tick(pc int64) {
 		return
 	}
 	c.stats.Ticks++
-	c.hist[idx/c.cfg.Granularity]++
+	b := idx / c.cfg.Granularity
+	if c.histGen[b] != c.gen { // first sample in this bucket since Reset
+		c.histGen[b] = c.gen
+		c.hist[b] = 1
+		return
+	}
+	c.hist[b]++
 }
 
 // Snapshot condenses the current data into a profile, the operation the
 // program performs as it exits — or that the programmer's interface
 // performs on a live program. The collector keeps accumulating.
+//
+// The arc slice is presized from Stats.Inserts plus the spontaneous
+// set, and the histogram is copied in one pass, so a snapshot performs
+// a small constant number of allocations regardless of arc count.
 func (c *Collector) Snapshot() *gmon.Profile {
+	counts := make([]uint32, len(c.hist))
+	for b, g := range c.histGen {
+		if g == c.gen {
+			counts[b] = c.hist[b]
+		}
+	}
 	p := &gmon.Profile{
 		Hist: gmon.Histogram{
 			Low:    c.textBase,
 			High:   c.textBase + c.textLen,
 			Step:   c.cfg.Granularity,
-			Counts: append([]uint32(nil), c.hist...),
+			Counts: counts,
 		},
-		Hz: c.cfg.Hz,
+		Hz:   c.cfg.Hz,
+		Arcs: make([]gmon.Arc, 0, len(c.arena)+len(c.spont)),
 	}
-	for slot, cell := range c.table {
-		for ; cell != nil; cell = cell.next {
-			a := gmon.Arc{Count: cell.count}
-			switch c.cfg.Strategy {
-			case CalleeKeyed:
-				a.SelfPC = c.textBase + int64(slot)
-				a.FromPC = cell.key
-			default:
-				a.FromPC = c.textBase + int64(slot)
-				a.SelfPC = cell.key
-			}
-			p.Arcs = append(p.Arcs, a)
+	for i := range c.arena {
+		cell := &c.arena[i]
+		a := gmon.Arc{Count: cell.count}
+		switch c.cfg.Strategy {
+		case CalleeKeyed:
+			a.SelfPC, a.FromPC = cell.prim, cell.key
+		default:
+			a.FromPC, a.SelfPC = cell.prim, cell.key
 		}
+		p.Arcs = append(p.Arcs, a)
 	}
 	for selfpc, count := range c.spont {
 		p.Arcs = append(p.Arcs, gmon.Arc{FromPC: gmon.SpontaneousPC, SelfPC: selfpc, Count: count})

@@ -11,8 +11,8 @@ import (
 )
 
 // testImage links a trivial image whose text is n words, for direct
-// collector tests that do not run the VM.
-func testImage(t *testing.T, n int) *object.Image {
+// collector tests and benchmarks that do not run the VM.
+func testImage(t testing.TB, n int) *object.Image {
 	t.Helper()
 	text := make([]isa.Word, n)
 	for i := range text {

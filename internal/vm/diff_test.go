@@ -1,0 +1,174 @@
+package vm
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/object"
+)
+
+// The differential tests pin runFast to RunReference: the reference
+// loop is the specification, and any program — including garbage text —
+// must produce the same Result, the same error, the same output bytes,
+// and the same Monitor event stream on both loops. The workload-level
+// counterpart (whole programs, byte-identical gmon encodings) lives in
+// the repo root's difftest_test.go; this file covers the random corner
+// cases those curated programs never reach.
+
+// randImage builds the same kind of image as the fuzz corpus: a mix of
+// well-formed instructions, raw garbage words, and small plausible
+// values. Returns nil when the linker rejects the text.
+func randImage(seed int64, nRaw uint8) *object.Image {
+	rng := rand.New(rand.NewSource(seed))
+	n := int(nRaw%64) + 1
+	text := make([]isa.Word, n)
+	for i := range text {
+		switch rng.Intn(3) {
+		case 0: // valid-ish instruction
+			text[i] = isa.Instr{
+				Op:  isa.Op(rng.Intn(isa.NumOps)),
+				Rd:  isa.Reg(rng.Intn(isa.NumRegs)),
+				Rs1: isa.Reg(rng.Intn(isa.NumRegs)),
+				Rs2: isa.Reg(rng.Intn(isa.NumRegs)),
+				Imm: int32(rng.Int63()),
+			}.Encode()
+		case 1: // raw garbage
+			text[i] = isa.Word(rng.Uint64())
+		default: // plausible small value
+			text[i] = isa.Word(rng.Intn(1 << 16))
+		}
+	}
+	o := &object.Object{
+		Name:  "diff.o",
+		Text:  text,
+		Funcs: []object.FuncDef{{Name: "main", Offset: 0, Size: int64(n)}},
+	}
+	im, err := object.Link([]*object.Object{o}, object.LinkConfig{StackWords: 64})
+	if err != nil {
+		return nil
+	}
+	return im
+}
+
+// outcome captures everything observable about one execution.
+type outcome struct {
+	res     Result
+	err     string
+	out     string
+	arcs    [][2]int64
+	ticks   []int64
+	control []int
+}
+
+func observe(im *object.Image, seed int64, reference bool) outcome {
+	var buf bytes.Buffer
+	fm := &fakeMonitor{cost: 9}
+	m := New(im, Config{
+		MaxCycles:  20000,
+		TickCycles: 64,
+		Monitor:    fm,
+		Stdout:     &buf,
+		RandSeed:   uint64(seed),
+	})
+	var (
+		res Result
+		err error
+	)
+	if reference {
+		res, err = m.RunReference()
+	} else {
+		res, err = m.Run()
+	}
+	o := outcome{res: res, out: buf.String(),
+		arcs: fm.arcs, ticks: fm.ticks, control: fm.control}
+	if err != nil {
+		o.err = err.Error()
+	}
+	return o
+}
+
+// TestFastMatchesReferenceRandom drives both loops over the fuzz-corpus
+// program distribution and requires identical observable behaviour —
+// trap messages carry the PC and cycle count, so string equality pins
+// trap sites exactly.
+func TestFastMatchesReferenceRandom(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		im := randImage(seed, nRaw)
+		if im == nil {
+			return true
+		}
+		fast := observe(im, seed, false)
+		ref := observe(im, seed, true)
+		if !reflect.DeepEqual(fast, ref) {
+			t.Logf("seed %d len %d:\nfast: %+v\nref:  %+v", seed, nRaw, fast, ref)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestResetEquivalence: a machine Reset between runs must behave exactly
+// like a brand-new machine, on both loops, including the PRNG state.
+func TestResetEquivalence(t *testing.T) {
+	src := `
+.func main
+	MOVI R2, 100
+loop:
+	BEQZ R2, done
+	PUSH R2
+	CALL child
+	POP R2
+	LEA R2, R2, -1
+	JMP loop
+done:
+	SYS 7
+	MOV R5, R0
+	MOVI R0, 0
+	RET
+.end
+.func child
+	MCOUNT
+	LD R1, [SP+1]
+	ADD R0, R1, R1
+	RET
+.end
+`
+	im := link(t, src)
+	for _, ref := range []bool{false, true} {
+		runOnce := func(m *Machine) Result {
+			t.Helper()
+			var (
+				res Result
+				err error
+			)
+			if ref {
+				res, err = m.RunReference()
+			} else {
+				res, err = m.Run()
+			}
+			if err != nil {
+				t.Fatalf("run (ref=%v): %v", ref, err)
+			}
+			return res
+		}
+		cfg := Config{Monitor: &fakeMonitor{cost: 3}, TickCycles: 50, RandSeed: 11}
+		reused := New(im, cfg)
+		first := runOnce(reused)
+		reused.Reset()
+		second := runOnce(reused)
+		fresh := runOnce(New(im, cfg))
+		if first != second {
+			t.Errorf("ref=%v: reset run %+v != first run %+v", ref, second, first)
+		}
+		if first != fresh {
+			t.Errorf("ref=%v: fresh machine %+v != first run %+v", ref, fresh, first)
+		}
+	}
+}

@@ -70,7 +70,8 @@ type Config struct {
 	RandSeed uint64
 	// Trace, when non-nil, receives one line per executed instruction
 	// (address and disassembly) — a debugging aid, not a profiling
-	// mechanism; it slows execution enormously.
+	// mechanism; it slows execution enormously and forces the
+	// reference interpreter loop (see Run).
 	Trace io.Writer
 }
 
@@ -96,12 +97,15 @@ func (e *TrapError) Error() string {
 // ErrCycleLimit is wrapped by the error returned when MaxCycles is hit.
 var ErrCycleLimit = errors.New("cycle limit exceeded")
 
-// Machine is a loaded program ready to run. Create one with New; a
-// Machine is single-use per Run but may be inspected afterwards.
+// Machine is a loaded program ready to run. Create one with New. A
+// Machine is single-use per Run, but Reset returns it to its freshly
+// loaded state without re-decoding text or reallocating memory, so
+// benchmarks and batch drivers can reuse one machine across runs.
 type Machine struct {
 	im   *object.Image
 	cfg  Config
 	text []isa.Instr // pre-decoded text segment
+	cost []int64     // pre-computed cycle cost per text word
 	bad  []bool      // text words that failed to decode (data in text)
 
 	regs   [isa.NumRegs]int64
@@ -113,35 +117,54 @@ type Machine struct {
 }
 
 // New loads an image. Text is pre-decoded once; words that do not decode
-// trap only if executed.
+// trap only if executed. Instruction cycle costs are also pre-computed
+// per text word so the dispatch loops charge them with one indexed load.
 func New(im *object.Image, cfg Config) *Machine {
 	m := &Machine{
 		im:   im,
 		cfg:  cfg,
 		text: make([]isa.Instr, len(im.Text)),
+		cost: make([]int64, len(im.Text)),
 		bad:  make([]bool, len(im.Text)),
 		mem:  make([]int64, im.StackTop-im.DataBase),
-		rand: cfg.RandSeed,
 	}
 	if m.cfg.TickCycles <= 0 {
 		m.cfg.TickCycles = DefaultTickCycles
-	}
-	if m.rand == 0 {
-		m.rand = 1
 	}
 	for i, w := range im.Text {
 		instr, err := isa.Decode(w)
 		if err != nil {
 			m.bad[i] = true
+			m.cost[i] = -1 // fast-loop fetch sentinel: trap before dispatch
 			continue
 		}
 		m.text[i] = instr
+		m.cost[i] = instr.Op.Cost()
 	}
-	copy(m.mem, im.Data)
-	m.regs[isa.RegSP] = im.StackTop
-	m.regs[isa.RegGP] = im.DataBase
-	m.pc = im.Entry
+	m.Reset()
 	return m
+}
+
+// Reset returns the machine to its freshly loaded state: registers,
+// memory, cycle and tick counters, and the PRNG are restored exactly as
+// New left them, without re-decoding the text segment or reallocating
+// the data/stack array. A Run after Reset behaves identically to a Run
+// on a brand-new machine over the same image and Config.
+func (m *Machine) Reset() {
+	for i := range m.regs {
+		m.regs[i] = 0
+	}
+	clear(m.mem)
+	copy(m.mem, m.im.Data)
+	m.regs[isa.RegSP] = m.im.StackTop
+	m.regs[isa.RegGP] = m.im.DataBase
+	m.pc = m.im.Entry
+	m.cycles = 0
+	m.ticks = 0
+	m.rand = m.cfg.RandSeed
+	if m.rand == 0 {
+		m.rand = 1
+	}
 }
 
 // Cycles returns the cycles consumed so far (valid during and after Run).
@@ -192,7 +215,29 @@ func (m *Machine) pop() (int64, error) {
 }
 
 // Run executes until the program exits, traps, or hits the cycle limit.
+//
+// Two interpreter loops implement the same machine. The fast loop
+// (runFast) executes straight-line until the next event deadline —
+// min(next clock tick, cycle limit) — so the per-instruction path
+// carries no tick-delivery loop, no limit check, and no Trace branch.
+// The reference loop (RunReference) checks everything every
+// instruction and is the specification: the differential tests pin the
+// two loops to identical Results, identical trap PCs, and
+// byte-identical profiles. Run picks the fast loop unless a Trace
+// writer forces the reference loop.
 func (m *Machine) Run() (Result, error) {
+	if m.cfg.Trace != nil {
+		return m.RunReference()
+	}
+	return m.runFast()
+}
+
+// RunReference executes on the reference interpreter loop: one
+// instruction at a time, with tick delivery, the cycle-limit check, and
+// the optional Trace writer all on the per-instruction path. It is the
+// behavioural specification for runFast and the only loop that honors
+// Config.Trace; use Run unless comparing the two loops.
+func (m *Machine) RunReference() (Result, error) {
 	nextTick := m.cfg.TickCycles
 	var retired int64
 	for {
@@ -232,6 +277,254 @@ func (m *Machine) Run() (Result, error) {
 		if m.cfg.MaxCycles > 0 && m.cycles > m.cfg.MaxCycles {
 			return m.result(retired), fmt.Errorf("vm: at pc %#x after %d cycles: %w",
 				curPC, m.cycles, ErrCycleLimit)
+		}
+	}
+}
+
+// runFast is the production interpreter loop. It executes instructions
+// with an inline dispatch switch until the next event deadline, then
+// performs the per-event work (tick delivery, limit check) outside the
+// per-instruction path. Observable behaviour — Result, trap PCs and
+// messages, Monitor event streams, PRNG state, output — is bit-identical
+// to RunReference; the differential tests enforce this.
+//
+// Two techniques carry the speedup beyond hoisting the per-event
+// checks. First, the program counter and cycle counter live in locals
+// and are written back to the Machine only at observation points (trap
+// construction, syscalls, Monitor calls, loop exit), so the straight-
+// line path does no field traffic. Second, the memory operations inline
+// their data-region fast path — a single unsigned bounds check against
+// the mem slice — and fall back to the shared checked helpers (m.load,
+// m.store, m.push, m.pop) for text reads, traps, and every other cold
+// case, so the two loops share one definition of memory semantics.
+func (m *Machine) runFast() (Result, error) {
+	var (
+		text     = m.text
+		cost     = m.cost
+		mem      = m.mem
+		base     = m.im.TextBase
+		dataBase = m.im.DataBase
+		stackLow = m.im.DataBase + int64(len(m.im.Data))
+		monitor  = m.cfg.Monitor
+		tick     = m.cfg.TickCycles
+		maxC     = m.cfg.MaxCycles
+		r        = &m.regs
+		pc       = m.pc
+		cyc      = m.cycles
+		nextTick = tick
+		retired  int64
+	)
+	for {
+		// The event deadline: the fast loop may retire instructions
+		// freely while cycles stay below it. Entering the outer loop,
+		// cycles < nextTick (ticks are drained below) and, when a limit
+		// is set, cycles <= MaxCycles (else we returned) — so the inner
+		// loop always makes progress.
+		deadline := nextTick
+		if maxC > 0 && maxC+1 < deadline {
+			deadline = maxC + 1
+		}
+		var (
+			halt  bool
+			err   error
+			curPC int64
+		)
+		for cyc < deadline {
+			idx := uint64(pc - base)
+			if idx >= uint64(len(text)) {
+				m.pc, m.cycles = pc, cyc
+				err = m.trap("pc outside text segment")
+				break
+			}
+			cst := cost[idx]
+			if cst < 0 { // word did not decode; trap like the reference fetch
+				m.pc, m.cycles = pc, cyc
+				err = m.trap("illegal instruction word %#x", uint64(m.im.Text[idx]))
+				break
+			}
+			i := text[idx]
+			curPC = pc
+			pc++ // default fall-through; control transfers overwrite
+
+			switch i.Op {
+			case isa.OpHalt:
+				halt = true
+			case isa.OpNop:
+			case isa.OpMovI:
+				r[i.Rd] = int64(i.Imm)
+			case isa.OpMov:
+				r[i.Rd] = r[i.Rs1]
+			case isa.OpLd:
+				addr := r[i.Rs1] + int64(i.Imm)
+				if u := uint64(addr - dataBase); u < uint64(len(mem)) {
+					r[i.Rd] = mem[u]
+				} else {
+					m.pc, m.cycles = pc, cyc
+					var v int64
+					if v, err = m.load(addr); err == nil {
+						r[i.Rd] = v
+					}
+				}
+			case isa.OpSt:
+				addr := r[i.Rs1] + int64(i.Imm)
+				if u := uint64(addr - dataBase); u < uint64(len(mem)) {
+					mem[u] = r[i.Rs2]
+				} else {
+					m.pc, m.cycles = pc, cyc
+					err = m.store(addr, r[i.Rs2])
+				}
+			case isa.OpLea:
+				r[i.Rd] = r[i.Rs1] + int64(i.Imm)
+			case isa.OpAdd:
+				r[i.Rd] = r[i.Rs1] + r[i.Rs2]
+			case isa.OpSub:
+				r[i.Rd] = r[i.Rs1] - r[i.Rs2]
+			case isa.OpMul:
+				r[i.Rd] = r[i.Rs1] * r[i.Rs2]
+			case isa.OpDiv:
+				if r[i.Rs2] == 0 {
+					m.pc, m.cycles = pc, cyc
+					err = m.trap("division by zero")
+				} else {
+					r[i.Rd] = r[i.Rs1] / r[i.Rs2]
+				}
+			case isa.OpMod:
+				if r[i.Rs2] == 0 {
+					m.pc, m.cycles = pc, cyc
+					err = m.trap("modulo by zero")
+				} else {
+					r[i.Rd] = r[i.Rs1] % r[i.Rs2]
+				}
+			case isa.OpAnd:
+				r[i.Rd] = r[i.Rs1] & r[i.Rs2]
+			case isa.OpOr:
+				r[i.Rd] = r[i.Rs1] | r[i.Rs2]
+			case isa.OpXor:
+				r[i.Rd] = r[i.Rs1] ^ r[i.Rs2]
+			case isa.OpShl:
+				r[i.Rd] = r[i.Rs1] << uint64(r[i.Rs2]&63)
+			case isa.OpShr:
+				r[i.Rd] = int64(uint64(r[i.Rs1]) >> uint64(r[i.Rs2]&63))
+			case isa.OpNeg:
+				r[i.Rd] = -r[i.Rs1]
+			case isa.OpNot:
+				r[i.Rd] = ^r[i.Rs1]
+			case isa.OpSlt:
+				r[i.Rd] = b2i(r[i.Rs1] < r[i.Rs2])
+			case isa.OpSle:
+				r[i.Rd] = b2i(r[i.Rs1] <= r[i.Rs2])
+			case isa.OpSeq:
+				r[i.Rd] = b2i(r[i.Rs1] == r[i.Rs2])
+			case isa.OpSne:
+				r[i.Rd] = b2i(r[i.Rs1] != r[i.Rs2])
+			case isa.OpJmp:
+				pc = int64(i.Imm)
+			case isa.OpBeqz:
+				if r[i.Rs1] == 0 {
+					pc = int64(i.Imm)
+				}
+			case isa.OpBnez:
+				if r[i.Rs1] != 0 {
+					pc = int64(i.Imm)
+				}
+			case isa.OpCall:
+				sp := r[isa.RegSP] - 1
+				if u := uint64(sp - dataBase); sp >= stackLow && u < uint64(len(mem)) {
+					r[isa.RegSP] = sp
+					mem[u] = pc // pc == curPC+1, the return address
+					pc = int64(i.Imm)
+				} else {
+					m.pc, m.cycles = pc, cyc
+					if err = m.push(pc); err == nil {
+						pc = int64(i.Imm)
+					}
+				}
+			case isa.OpCallR:
+				sp := r[isa.RegSP] - 1
+				if u := uint64(sp - dataBase); sp >= stackLow && u < uint64(len(mem)) {
+					r[isa.RegSP] = sp
+					mem[u] = pc
+					pc = r[i.Rs1]
+				} else {
+					m.pc, m.cycles = pc, cyc
+					if err = m.push(pc); err == nil {
+						pc = r[i.Rs1]
+					}
+				}
+			case isa.OpRet:
+				sp := r[isa.RegSP]
+				if u := uint64(sp - dataBase); u < uint64(len(mem)) {
+					r[isa.RegSP] = sp + 1
+					pc = mem[u]
+				} else {
+					m.pc, m.cycles = pc, cyc
+					var ra int64
+					if ra, err = m.pop(); err == nil {
+						pc = ra
+					}
+				}
+			case isa.OpPush:
+				sp := r[isa.RegSP] - 1
+				if u := uint64(sp - dataBase); sp >= stackLow && u < uint64(len(mem)) {
+					r[isa.RegSP] = sp
+					mem[u] = r[i.Rs1]
+				} else {
+					m.pc, m.cycles = pc, cyc
+					err = m.push(r[i.Rs1])
+				}
+			case isa.OpPop:
+				sp := r[isa.RegSP]
+				if u := uint64(sp - dataBase); u < uint64(len(mem)) {
+					r[isa.RegSP] = sp + 1
+					r[i.Rd] = mem[u]
+				} else {
+					m.pc, m.cycles = pc, cyc
+					var v int64
+					if v, err = m.pop(); err == nil {
+						r[i.Rd] = v
+					}
+				}
+			case isa.OpMcount:
+				if monitor != nil {
+					m.pc, m.cycles = pc, cyc
+					cyc += monitor.Mcount(curPC, m.callSite())
+				}
+			case isa.OpSys:
+				m.pc, m.cycles = pc, cyc
+				halt, err = m.syscall(int(i.Imm))
+			default:
+				m.pc, m.cycles = pc, cyc
+				err = m.trap("unimplemented opcode %v", i.Op)
+			}
+
+			cyc += cst
+			retired++
+			if halt || err != nil {
+				break
+			}
+		}
+		m.pc, m.cycles = pc, cyc
+		// Deliver the clock ticks that elapsed during the last
+		// instruction, attributing the samples to it — including when
+		// that instruction trapped or halted, exactly as the reference
+		// loop does. Bounds and illegal-instruction traps break out
+		// before charging cycles, so no tick can be pending there.
+		for cyc >= nextTick {
+			m.ticks++
+			if monitor != nil {
+				monitor.Tick(curPC)
+			}
+			nextTick += tick
+		}
+		if err != nil {
+			return m.result(retired), err
+		}
+		if halt {
+			return m.result(retired), nil
+		}
+		if maxC > 0 && cyc > maxC {
+			return m.result(retired), fmt.Errorf("vm: at pc %#x after %d cycles: %w",
+				curPC, cyc, ErrCycleLimit)
 		}
 	}
 }
