@@ -28,13 +28,20 @@ bench-smoke:
 # the workload suite via the parallel driver, plus the engine-facing
 # go-bench micro-benchmarks parsed into the same file. Schema in
 # docs/FORMATS.md.
-LABEL ?= PR2
+LABEL ?= PR3
 .PHONY: bench-json
 bench-json:
-	go test -run xxx -bench 'Dispatch|McountFastPath|McountSteady|Snapshot|VMExecution|Overhead' \
+	go test -run xxx -bench 'Dispatch|McountFastPath|McountSteady|Snapshot|VMExecution|Overhead|GmonRead|GmonWrite|MergeAll|ImageIO' \
 		-benchmem . ./internal/mon > bench-raw.out && \
 	go run ./cmd/benchjson -label $(LABEL) -parse bench-raw.out -o BENCH_$(LABEL).json && \
 	rm -f bench-raw.out
+
+# Short fuzzing pass over the two binary decoders (profile data and
+# executables): corrupt input must error, never panic.
+.PHONY: fuzz-smoke
+fuzz-smoke:
+	go test -run xxx -fuzz 'FuzzRead$$' -fuzztime 20s ./internal/gmon
+	go test -run xxx -fuzz 'FuzzReadImage$$' -fuzztime 20s ./internal/object
 
 .PHONY: figures
 figures:

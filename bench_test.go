@@ -10,7 +10,10 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"math/rand"
+	"path/filepath"
+	"sync"
 	"testing"
 
 	"repro/internal/callgraph"
@@ -227,6 +230,124 @@ func BenchmarkGmonRoundTrip(b *testing.B) {
 		if _, err := gmon.Read(&buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// workloadProfiles runs every workload once under the profiler and
+// caches the collected profiles with their v1 and v2 encodings, so the
+// codec benchmarks below measure real profile shapes, not synthetic
+// ones.
+var (
+	suiteOnce sync.Once
+	suiteErr  error
+	suiteP    []*gmon.Profile
+	suiteEnc  map[int][][]byte // format version -> per-workload encoding
+)
+
+func workloadProfiles(b *testing.B) ([]*gmon.Profile, map[int][][]byte) {
+	suiteOnce.Do(func() {
+		suiteEnc = map[int][][]byte{}
+		for _, name := range workloads.Names() {
+			im, err := workloads.Build(name, true)
+			if err != nil {
+				suiteErr = err
+				return
+			}
+			p, _, _, err := workloads.Run(im, workloads.RunConfig{TickCycles: 300, MaxCycles: 1 << 32})
+			if err != nil {
+				suiteErr = err
+				return
+			}
+			suiteP = append(suiteP, p)
+			var buf bytes.Buffer
+			if err := gmon.Write(&buf, p); err != nil {
+				suiteErr = err
+				return
+			}
+			suiteEnc[gmon.Version1] = append(suiteEnc[gmon.Version1], append([]byte(nil), buf.Bytes()...))
+			buf.Reset()
+			if err := gmon.WriteV2(&buf, p); err != nil {
+				suiteErr = err
+				return
+			}
+			suiteEnc[gmon.Version2] = append(suiteEnc[gmon.Version2], append([]byte(nil), buf.Bytes()...))
+		}
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suiteP, suiteEnc
+}
+
+// BenchmarkGmonRead decodes every workload profile in both format
+// versions — the hot loop of gprof startup when summing many runs.
+func BenchmarkGmonRead(b *testing.B) {
+	_, enc := workloadProfiles(b)
+	for _, version := range []int{gmon.Version1, gmon.Version2} {
+		encs := enc[version]
+		var total int64
+		for _, e := range encs {
+			total += int64(len(e))
+		}
+		b.Run(fmt.Sprintf("v%d", version), func(b *testing.B) {
+			b.SetBytes(total)
+			var p gmon.Profile
+			for i := 0; i < b.N; i++ {
+				for _, e := range encs {
+					if err := gmon.ReadInto(bytes.NewReader(e), &p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGmonWrite encodes every workload profile in both format
+// versions.
+func BenchmarkGmonWrite(b *testing.B) {
+	ps, enc := workloadProfiles(b)
+	for _, version := range []int{gmon.Version1, gmon.Version2} {
+		var total int64
+		for _, e := range enc[version] {
+			total += int64(len(e))
+		}
+		b.Run(fmt.Sprintf("v%d", version), func(b *testing.B) {
+			b.SetBytes(total)
+			for i := 0; i < b.N; i++ {
+				for _, p := range ps {
+					if err := gmon.WriteVersion(io.Discard, p, version); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMergeAll sums 16 on-disk copies of a workload profile
+// through the streaming merge (4 workers), in both format versions —
+// the full decode+merge path behind `gprof a.out gmon.out.*`.
+func BenchmarkMergeAll(b *testing.B) {
+	ps, _ := workloadProfiles(b)
+	p := ps[0]
+	for _, version := range []int{gmon.Version1, gmon.Version2} {
+		b.Run(fmt.Sprintf("v%d", version), func(b *testing.B) {
+			dir := b.TempDir()
+			names := make([]string, 16)
+			for i := range names {
+				names[i] = filepath.Join(dir, fmt.Sprintf("gmon.%d", i))
+				if err := gmon.WriteFileVersion(names[i], p, version); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := gmon.MergeAllStreaming(context.Background(), names, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,13 +1,16 @@
 // Command gmondump prints the raw contents of profile data files for
-// inspection and debugging: the header, the histogram (non-zero buckets),
-// and the arc records, with addresses resolved to routine names when an
-// executable is supplied.
+// inspection and debugging: per-file format and on-disk section sizes,
+// then the summed header, histogram (non-zero buckets), and arc
+// records, with addresses resolved to routine names when an executable
+// is supplied.
 //
 // Usage:
 //
-//	gmondump [-exe a.out] gmon.out [gmon.out2 ...]
+//	gmondump [-exe a.out] [-o out.gmon [-format 1|2]] gmon.out [gmon.out2 ...]
 //
-// Several files are summed first, as gprof would.
+// Several files are summed first, as gprof would. -o writes the merged
+// profile back out (in either format version) instead of relying on
+// gprof -sum.
 package main
 
 import (
@@ -23,14 +26,32 @@ import (
 
 func main() {
 	exe := flag.String("exe", "", "executable for symbol resolution (optional)")
+	out := flag.String("o", "", "write the merged profile data to this file")
+	format := flag.Int("format", gmon.Version1, "profile data format version for -o (1 or 2)")
 	flag.Parse()
 	files := flag.Args()
 	if len(files) == 0 {
 		files = []string{"gmon.out"}
 	}
-	p, err := gmon.ReadFiles(files)
-	if err != nil {
-		fatal(err)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	// Decode each file once, printing its on-disk layout, and sum as we
+	// go so errors name the offending file.
+	var p *gmon.Profile
+	for _, name := range files {
+		q, st, err := gmon.ReadFileStats(name)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "file %s: format v%d, %d bytes (header %d, histogram %d, arcs %d)\n",
+			name, st.Version, st.TotalBytes, st.HeaderBytes, st.HistBytes, st.ArcBytes)
+		if p == nil {
+			p = q
+		} else if err := p.Merge(q); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
 	}
 	var tab *symtab.Table
 	if *exe != "" {
@@ -40,9 +61,12 @@ func main() {
 		}
 		tab = symtab.New(im)
 	}
+	if *out != "" {
+		if err := gmon.WriteFileVersion(*out, p, *format); err != nil {
+			fatal(err)
+		}
+	}
 
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
 	fmt.Fprintf(w, "profile: %d file(s), clock %d Hz, %.2f seconds sampled\n",
 		len(files), p.ClockHz(), p.TotalSeconds())
 	fmt.Fprintf(w, "histogram: [%#x,%#x) step %d, %d buckets, %d ticks\n",

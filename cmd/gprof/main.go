@@ -73,6 +73,8 @@ func main() {
 		brief     = flag.Bool("brief", false, "omit explanatory headers")
 		jobs      = flag.Int("jobs", runtime.GOMAXPROCS(0),
 			"worker-pool width for profile merging, attribution, and propagation (1 = serial)")
+		sumFile = flag.String("sum", "", "write the merged profile data to this file and exit")
+		format  = flag.Int("format", gmon.Version1, "profile data format version for -sum (1 or 2)")
 	)
 	flag.Var(&removeArcs, "k", "remove arc caller/callee before analysis (repeatable)")
 	flag.Parse()
@@ -83,16 +85,28 @@ func main() {
 	exe := "a.out"
 	profiles := []string{"gmon.out"}
 	if args := flag.Args(); len(args) > 0 {
-		exe = args[0]
-		if len(args) > 1 {
-			profiles = args[1:]
+		if *sumFile != "" {
+			// -sum needs no executable; every operand is profile data.
+			profiles = args
+		} else {
+			exe = args[0]
+			if len(args) > 1 {
+				profiles = args[1:]
+			}
 		}
 	}
-	im, err := object.ReadImageFile(exe)
+	// Profiles load before the image: -sum needs no executable at all.
+	p, err := core.LoadProfiles(ctx, profiles, *jobs)
 	if err != nil {
 		fatal(err)
 	}
-	p, err := gmon.ReadFilesCtx(ctx, profiles, *jobs)
+	if *sumFile != "" {
+		if err := gmon.WriteFileVersion(*sumFile, p, *format); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	im, err := object.ReadImageFile(exe)
 	if err != nil {
 		fatal(err)
 	}

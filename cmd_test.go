@@ -102,6 +102,17 @@ func TestCommandMultiRunMerge(t *testing.T) {
 	if !strings.Contains(out, "dot") {
 		t.Errorf("merged gprof output missing dot:\n%s", out)
 	}
+
+	// -sum takes only profile operands (no executable) and must capture
+	// the merge of all of them, in either format version.
+	run(t, dir, "gprof", "-sum", "sum.v1", "gmon.1", "gmon.2")
+	run(t, dir, "gprof", "-sum", "sum.v2", "-format", "2", "gmon.1", "gmon.2")
+	for _, sum := range []string{"sum.v1", "sum.v2"} {
+		got, _ := run(t, dir, "gprof", "-flat", "a.out", sum)
+		if got != out {
+			t.Errorf("report from %s differs from direct two-file merge", sum)
+		}
+	}
 }
 
 func TestCommandKprof(t *testing.T) {

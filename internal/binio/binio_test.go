@@ -1,0 +1,160 @@
+package binio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U32(0xdeadbeef)
+	w.I32(-7)
+	w.U64(1 << 60)
+	w.I64(-1)
+	w.Uvarint(0)
+	w.Uvarint(300)
+	w.Uvarint(1<<64 - 1)
+	w.Bytes([]byte("abc"))
+	w.String("xyz")
+	w.U32s([]uint32{1, 2, 3})
+	w.I64s([]int64{-4, 5})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantLen := int64(4 + 4 + 8 + 8 + 1 + 2 + 10 + 3 + 3 + 12 + 16)
+	if int64(buf.Len()) != wantLen {
+		t.Fatalf("encoded %d bytes, want %d", buf.Len(), wantLen)
+	}
+
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	defer r.Close()
+	if v := r.U32(); v != 0xdeadbeef {
+		t.Errorf("U32 = %#x", v)
+	}
+	if v := r.I32(); v != -7 {
+		t.Errorf("I32 = %d", v)
+	}
+	if v := r.U64(); v != 1<<60 {
+		t.Errorf("U64 = %#x", v)
+	}
+	if v := r.I64(); v != -1 {
+		t.Errorf("I64 = %d", v)
+	}
+	for _, want := range []uint64{0, 300, 1<<64 - 1} {
+		if v := r.Uvarint(); v != want {
+			t.Errorf("Uvarint = %d, want %d", v, want)
+		}
+	}
+	b := make([]byte, 6)
+	r.Full(b)
+	if string(b) != "abcxyz" {
+		t.Errorf("Full = %q", b)
+	}
+	u := make([]uint32, 3)
+	r.U32s(u)
+	if u[0] != 1 || u[1] != 2 || u[2] != 3 {
+		t.Errorf("U32s = %v", u)
+	}
+	i := make([]int64, 2)
+	r.I64s(i)
+	if i[0] != -4 || i[1] != 5 {
+		t.Errorf("I64s = %v", i)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if off := r.Offset(); off != wantLen {
+		t.Errorf("Offset = %d, want %d", off, wantLen)
+	}
+	// Clean end of stream at a value boundary is io.EOF.
+	if r.Byte(); r.Err() != io.EOF {
+		t.Errorf("read past end: %v", r.Err())
+	}
+}
+
+func TestTruncationMidValue(t *testing.T) {
+	r := NewReader(strings.NewReader("\x01\x02\x03"))
+	defer r.Close()
+	if r.U64(); r.Err() != io.ErrUnexpectedEOF {
+		t.Errorf("mid-value end = %v, want unexpected EOF", r.Err())
+	}
+}
+
+func TestVarintOverflow(t *testing.T) {
+	// 10 continuation-heavy bytes encoding more than 64 bits.
+	data := bytes.Repeat([]byte{0x80}, 9)
+	data = append(data, 0x02)
+	r := NewReader(bytes.NewReader(data))
+	defer r.Close()
+	if r.Uvarint(); !errors.Is(r.Err(), ErrOverflow) {
+		t.Errorf("overflowing varint = %v, want ErrOverflow", r.Err())
+	}
+}
+
+func TestView(t *testing.T) {
+	r := NewReader(strings.NewReader("hello world"))
+	defer r.Close()
+	if s := r.View(5); string(s) != "hello" {
+		t.Errorf("View = %q", s)
+	}
+	if s := r.View(6); string(s) != " world" {
+		t.Errorf("View = %q", s)
+	}
+	if s := r.View(1); s != nil || r.Err() != io.EOF {
+		t.Errorf("View past end = %q, %v", s, r.Err())
+	}
+}
+
+func TestLargeBlocksCrossBuffer(t *testing.T) {
+	// Values larger than one block bypass the buffer; values written
+	// around the boundary must still round-trip.
+	big := bytes.Repeat([]byte{0xab}, BufSize+17)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U32(42)
+	w.Bytes(big)
+	w.String(string(big[:BufSize]))
+	w.U32(99)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	defer r.Close()
+	if v := r.U32(); v != 42 {
+		t.Fatalf("U32 = %d", v)
+	}
+	got := make([]byte, len(big))
+	r.Full(got)
+	if !bytes.Equal(got, big) {
+		t.Fatal("big Bytes did not round-trip")
+	}
+	got = got[:BufSize]
+	r.Full(got)
+	if !bytes.Equal(got, big[:BufSize]) {
+		t.Fatal("big String did not round-trip")
+	}
+	if v := r.U32(); v != 99 || r.Err() != nil {
+		t.Fatalf("trailing U32 = %d, err %v", v, r.Err())
+	}
+}
+
+func TestWriterErrorSticky(t *testing.T) {
+	w := NewWriter(failWriter{})
+	for i := 0; i < BufSize; i++ {
+		w.U64(uint64(i))
+	}
+	if w.Err() == nil {
+		t.Fatal("writer swallowed the sink's error")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close lost the error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("sink failed") }

@@ -199,6 +199,15 @@ func Run(ctx context.Context, src Source, p *gmon.Profile, opt Options) (*Result
 	return finish(ctx, g, opt)
 }
 
+// LoadProfiles reads one or more profile data files and sums them into
+// a single profile, streaming each file through a pooled decode buffer
+// across a worker pool of the given width (jobs <= 1 reads
+// sequentially). It is the loading half of every tool's pipeline; the
+// result feeds Run.
+func LoadProfiles(ctx context.Context, names []string, jobs int) (*gmon.Profile, error) {
+	return gmon.MergeAllStreaming(ctx, names, jobs)
+}
+
 // Analyze post-processes a profile against a linked executable image.
 //
 // Deprecated: use Run with an ImageSource. Analyze keeps the historic

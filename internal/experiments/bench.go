@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/gmon"
 	"repro/internal/mon"
 	"repro/internal/vm"
 	"repro/internal/workloads"
@@ -33,6 +35,8 @@ type WorkloadBench struct {
 	McountCalls   int64   `json:"mcount_calls"`    // arcs recorded
 	ProbesPerCall float64 `json:"probes_per_call"` // extra hash probes per MCOUNT
 	CacheHitRate  float64 `json:"cache_hit_rate"`  // last-arc cache hits per MCOUNT
+	GmonV1Bytes   int64   `json:"gmon_v1_bytes"`   // profile data size, format version 1
+	GmonV2Bytes   int64   `json:"gmon_v2_bytes"`   // profile data size, format version 2 (delta/varint)
 }
 
 // BenchConfig controls a suite run.
@@ -140,5 +144,16 @@ func benchOne(name string, iters int) (WorkloadBench, error) {
 		row.ProbesPerCall = float64(st.Probes) / float64(st.McountCalls)
 		row.CacheHitRate = float64(st.CacheHits) / float64(st.McountCalls)
 	}
+	snap := collector.Snapshot()
+	var buf bytes.Buffer
+	if err := gmon.Write(&buf, snap); err != nil {
+		return WorkloadBench{}, err
+	}
+	row.GmonV1Bytes = int64(buf.Len())
+	buf.Reset()
+	if err := gmon.WriteV2(&buf, snap); err != nil {
+		return WorkloadBench{}, err
+	}
+	row.GmonV2Bytes = int64(buf.Len())
 	return row, nil
 }

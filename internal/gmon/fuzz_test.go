@@ -1,0 +1,106 @@
+package gmon
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// FuzzRead hammers the profile decoder with arbitrary bytes: corrupt
+// headers, truncated sections, and overflowing varints must all surface
+// as errors — never a panic, and never an allocation sized by a lying
+// header (the chunked growth in ReadInto is what this exercises). Any
+// input that does decode must be a valid profile that survives a
+// re-encode round trip in both format versions.
+func FuzzRead(f *testing.F) {
+	seed := func(p *Profile, version int) {
+		var buf bytes.Buffer
+		if err := WriteVersion(&buf, p, version); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		b := buf.Bytes()
+		f.Add(b[:len(b)/2]) // truncated mid-section
+		f.Add(b[:47])       // truncated header
+	}
+	seed(sample(), Version1)
+	seed(sample(), Version2)
+	empty := &Profile{Hist: Histogram{Low: 0, High: 0, Step: 1, Counts: []uint32{}}, Arcs: []Arc{}}
+	seed(empty, Version1)
+	f.Add([]byte("GMOO____________"))
+	// Header declaring 2^27 records over no body.
+	huge := append([]byte(nil), []byte("GMON")...)
+	huge = append(huge, 1, 0, 0, 0)
+	huge = append(huge, make([]byte, 32)...)
+	huge = append(huge, 0xff, 0xff, 0xff, 0x07, 0xff, 0xff, 0xff, 0x07)
+	f.Add(huge)
+	// Version 2 with a varint that runs past 64 bits.
+	v2overflow := append([]byte(nil), []byte("GMON")...)
+	v2overflow = append(v2overflow, 2, 0, 0, 0)
+	v2overflow = append(v2overflow, 60, 0, 0, 0, 0, 0, 0, 0) // hz
+	v2overflow = append(v2overflow, 0, 0, 0, 0, 0, 0, 0, 0)  // low
+	v2overflow = append(v2overflow, 1, 0, 0, 0, 0, 0, 0, 0)  // high
+	v2overflow = append(v2overflow, 1, 0, 0, 0, 0, 0, 0, 0)  // step
+	v2overflow = append(v2overflow, 1, 0, 0, 0, 1, 0, 0, 0)  // nbkt=1 narc=1
+	v2overflow = append(v2overflow, 0)                       // count[0]=0
+	v2overflow = append(v2overflow, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01)
+	f.Add(v2overflow)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid profile: %v", err)
+		}
+		// Round trip through both encoders.
+		var v1 bytes.Buffer
+		if err := Write(&v1, p); err != nil {
+			t.Fatalf("re-encode v1: %v", err)
+		}
+		q, err := Read(bytes.NewReader(v1.Bytes()))
+		if err != nil {
+			t.Fatalf("decode re-encoded v1: %v", err)
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("v1 round trip diverged:\n got %+v\nwant %+v", q, p)
+		}
+		var v2 bytes.Buffer
+		if err := WriteV2(&v2, p); err != nil {
+			t.Fatalf("re-encode v2: %v", err)
+		}
+		r, err := Read(bytes.NewReader(v2.Bytes()))
+		if err != nil {
+			t.Fatalf("decode re-encoded v2: %v", err)
+		}
+		// Arbitrary inputs may hold duplicate (FromPC, SelfPC) keys,
+		// which SortArcs (unstable) may order either way — compare
+		// under a total order on the whole triple.
+		canon := p.Clone()
+		canon.SortArcs()
+		if canon.Arcs == nil {
+			canon.Arcs = []Arc{}
+		}
+		if canon.Hist.Counts == nil {
+			canon.Hist.Counts = []uint32{}
+		}
+		sortByTriple := func(arcs []Arc) {
+			sort.Slice(arcs, func(i, j int) bool {
+				if arcs[i].FromPC != arcs[j].FromPC {
+					return arcs[i].FromPC < arcs[j].FromPC
+				}
+				if arcs[i].SelfPC != arcs[j].SelfPC {
+					return arcs[i].SelfPC < arcs[j].SelfPC
+				}
+				return arcs[i].Count < arcs[j].Count
+			})
+		}
+		sortByTriple(canon.Arcs)
+		sortByTriple(r.Arcs)
+		if !reflect.DeepEqual(r, canon) {
+			t.Fatalf("v2 round trip diverged:\n got %+v\nwant %+v", r, canon)
+		}
+	})
+}

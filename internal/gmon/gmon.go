@@ -135,12 +135,14 @@ func (p *Profile) Validate() error {
 }
 
 // SortArcs orders arcs by (FromPC, SelfPC) for deterministic output.
-func (p *Profile) SortArcs() {
-	sort.Slice(p.Arcs, func(i, j int) bool {
-		if p.Arcs[i].FromPC != p.Arcs[j].FromPC {
-			return p.Arcs[i].FromPC < p.Arcs[j].FromPC
+func (p *Profile) SortArcs() { sortArcs(p.Arcs) }
+
+func sortArcs(arcs []Arc) {
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].FromPC != arcs[j].FromPC {
+			return arcs[i].FromPC < arcs[j].FromPC
 		}
-		return p.Arcs[i].SelfPC < p.Arcs[j].SelfPC
+		return arcs[i].SelfPC < arcs[j].SelfPC
 	})
 }
 

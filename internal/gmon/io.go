@@ -1,18 +1,21 @@
 package gmon
 
 import (
-	"bufio"
 	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sort"
+
+	"repro/internal/binio"
 )
 
-// Binary layout (all fields little-endian):
+// Binary layout, version 1 (all fields little-endian, fixed width):
 //
 //	magic   [4]byte  "GMON"
-//	version uint32   currently 1
+//	version uint32   1
 //	hz      int64
 //	low     int64
 //	high    int64
@@ -21,106 +24,632 @@ import (
 //	narc    uint32   number of arcs
 //	counts  [nbkt]uint32
 //	arcs    [narc]{frompc int64, selfpc int64, count int64}
+//
+// Version 2 keeps the magic and the fixed 44-byte header but compresses
+// the two record sections (the header's version field negotiates which
+// decoder runs):
+//
+//	counts  [nbkt]uvarint
+//	arcs    [narc] sorted by (frompc, selfpc):
+//	        dfrom uvarint  = (frompc+1) - previous (frompc+1)   [starts at 0]
+//	        self  uvarint  = selfpc - previous selfpc if dfrom == 0,
+//	                         selfpc otherwise
+//	        count uvarint
+//
+// The frompc+1 bias makes the spontaneous-caller sentinel (-1) encode
+// as zero, so every varint is non-negative. Arcs decode to the same
+// (FromPC, SelfPC, Count) triples as version 1; only the bytes differ.
+// docs/FORMATS.md is the narrative version.
 var magic = [4]byte{'G', 'M', 'O', 'N'}
 
-// Version is the current file format version.
-const Version = 1
+// Format versions. Write emits Version1, the original fixed-width
+// layout; WriteV2 emits the compressed Version2 layout. Read accepts
+// both, negotiated by the header's version field.
+const (
+	Version1 = 1
+	Version2 = 2
+
+	// Version is the default format Write emits.
+	Version = Version1
+)
 
 // maxRecords bounds bucket/arc counts on read so a corrupt header cannot
 // drive a huge allocation.
 const maxRecords = 1 << 28
 
-// Write encodes p to w.
+// chunkRecords is the record-batch granularity for decoding: result
+// slices grow at most this many records past the data actually seen, so
+// a header lying about its counts cannot over-allocate.
+const chunkRecords = 8192
+
+// Header is everything in a profile data file except the record
+// sections: the format version, clock rate, histogram geometry, and the
+// record counts. Reader exposes it after parsing; Writer is configured
+// by it.
+type Header struct {
+	Version    int   // Version1 or Version2; zero means Version1
+	Hz         int64 // clock-tick rate; zero means DefaultHz
+	Low        int64 // histogram bounds and step, as in Histogram
+	High       int64
+	Step       int64
+	NumBuckets int
+	NumArcs    int
+}
+
+// FileStats is the on-disk layout of one decoded profile data file:
+// format version and per-section byte sizes (cmd/gmondump prints it, so
+// version-1-vs-2 size wins are inspectable).
+type FileStats struct {
+	Version     int
+	HeaderBytes int64 // magic + fixed header
+	HistBytes   int64 // histogram counts section
+	ArcBytes    int64 // arc records section
+	TotalBytes  int64
+}
+
+// Writer streams a profile data file: header at construction, then the
+// histogram counts, then the arc records, without materializing a
+// Profile. The declared record counts are a contract — Close fails if
+// fewer were written, WriteArc fails past the count.
+type Writer struct {
+	bw         *binio.Writer
+	version    int
+	nbkt       int // counts still owed
+	narc       int // arcs still owed
+	countsDone bool
+	prevFrom1  int64 // version 2 delta state: previous FromPC+1
+	prevSelf   int64
+}
+
+// NewWriter validates h, writes the file header to w, and returns a
+// Writer expecting h.NumBuckets counts and h.NumArcs arcs.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	version := h.Version
+	if version == 0 {
+		version = Version1
+	}
+	if version != Version1 && version != Version2 {
+		return nil, fmt.Errorf("gmon: unsupported write version %d", version)
+	}
+	hz := h.Hz
+	if hz == 0 {
+		hz = DefaultHz
+	}
+	if hz < 0 {
+		return nil, fmt.Errorf("gmon: negative clock rate %d", hz)
+	}
+	geom := Histogram{Low: h.Low, High: h.High, Step: h.Step}
+	if h.Step <= 0 {
+		return nil, fmt.Errorf("gmon: histogram step %d (want > 0)", h.Step)
+	}
+	if h.High < h.Low {
+		return nil, fmt.Errorf("gmon: histogram bounds [%#x,%#x) inverted", h.Low, h.High)
+	}
+	if want := geom.NumBuckets(); h.NumBuckets != want {
+		return nil, fmt.Errorf("gmon: header has %d buckets, bounds imply %d", h.NumBuckets, want)
+	}
+	if h.NumArcs < 0 || h.NumArcs > maxRecords || h.NumBuckets > maxRecords {
+		return nil, fmt.Errorf("gmon: implausible record counts (%d buckets, %d arcs)", h.NumBuckets, h.NumArcs)
+	}
+	bw := binio.NewWriter(w)
+	bw.Bytes(magic[:])
+	bw.U32(uint32(version))
+	bw.I64(hz)
+	bw.I64(h.Low)
+	bw.I64(h.High)
+	bw.I64(h.Step)
+	bw.U32(uint32(h.NumBuckets))
+	bw.U32(uint32(h.NumArcs))
+	if err := bw.Err(); err != nil {
+		bw.Close()
+		return nil, err
+	}
+	return &Writer{bw: bw, version: version, nbkt: h.NumBuckets, narc: h.NumArcs}, nil
+}
+
+// WriteCounts writes the histogram counts section; len(counts) must
+// equal the header's bucket count.
+func (e *Writer) WriteCounts(counts []uint32) error {
+	if e.countsDone {
+		return fmt.Errorf("gmon: histogram counts already written")
+	}
+	if len(counts) != e.nbkt {
+		return fmt.Errorf("gmon: %d counts for a %d-bucket header", len(counts), e.nbkt)
+	}
+	if e.version == Version1 {
+		e.bw.U32s(counts)
+	} else {
+		for _, c := range counts {
+			e.bw.Uvarint(uint64(c))
+		}
+	}
+	e.countsDone = true
+	return e.bw.Err()
+}
+
+// WriteArc appends one arc record. Version 2 requires arcs in
+// (FromPC, SelfPC) order (WriteV2 sorts for callers that hold whole
+// profiles).
+func (e *Writer) WriteArc(a Arc) error {
+	if !e.countsDone {
+		return fmt.Errorf("gmon: arc written before histogram counts")
+	}
+	if e.narc == 0 {
+		return fmt.Errorf("gmon: more arcs than the header declared")
+	}
+	if a.Count < 0 || a.SelfPC < 0 || (a.FromPC < 0 && a.FromPC != SpontaneousPC) {
+		return fmt.Errorf("gmon: invalid arc %+v", a)
+	}
+	if e.version == Version1 {
+		e.bw.I64(a.FromPC)
+		e.bw.I64(a.SelfPC)
+		e.bw.I64(a.Count)
+	} else {
+		from1 := a.FromPC + 1
+		if from1 < e.prevFrom1 || (from1 == e.prevFrom1 && a.SelfPC < e.prevSelf) {
+			return fmt.Errorf("gmon: version-2 arcs must be written in (FromPC, SelfPC) order")
+		}
+		d := uint64(from1 - e.prevFrom1)
+		e.bw.Uvarint(d)
+		if d == 0 {
+			e.bw.Uvarint(uint64(a.SelfPC - e.prevSelf))
+		} else {
+			e.bw.Uvarint(uint64(a.SelfPC))
+		}
+		e.bw.Uvarint(uint64(a.Count))
+		e.prevFrom1, e.prevSelf = from1, a.SelfPC
+	}
+	e.narc--
+	return e.bw.Err()
+}
+
+// WriteArcs appends a batch of arc records.
+func (e *Writer) WriteArcs(arcs []Arc) error {
+	for _, a := range arcs {
+		if err := e.WriteArc(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes the file and releases the Writer's buffer. It fails if
+// fewer records were written than the header declared.
+func (e *Writer) Close() error {
+	if e.bw == nil {
+		return nil
+	}
+	var short error
+	if !e.countsDone {
+		short = fmt.Errorf("gmon: histogram counts never written")
+	} else if e.narc != 0 {
+		short = fmt.Errorf("gmon: %d declared arcs never written", e.narc)
+	}
+	err := e.bw.Close()
+	e.bw = nil
+	if short != nil {
+		return short
+	}
+	return err
+}
+
+// Write encodes p to w in the default (version 1) format.
 func Write(w io.Writer, p *Profile) error {
+	return WriteVersion(w, p, Version1)
+}
+
+// WriteV2 encodes p to w in the compressed version-2 format: varint
+// histogram counts, and arcs stored sorted by (FromPC, SelfPC) with
+// delta-encoded PCs. If p's arcs are not already sorted a sorted copy
+// is encoded; p is never modified.
+func WriteV2(w io.Writer, p *Profile) error {
+	return WriteVersion(w, p, Version2)
+}
+
+// WriteVersion encodes p to w in the given format version.
+func WriteVersion(w io.Writer, p *Profile, version int) error {
 	if err := p.Validate(); err != nil {
 		return fmt.Errorf("gmon: refusing to write invalid profile: %w", err)
 	}
-	bw := bufio.NewWriter(w)
-	put := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
-	if _, err := bw.Write(magic[:]); err != nil {
+	arcs := p.Arcs
+	if version == Version2 && !sort.SliceIsSorted(arcs, func(i, j int) bool {
+		if arcs[i].FromPC != arcs[j].FromPC {
+			return arcs[i].FromPC < arcs[j].FromPC
+		}
+		return arcs[i].SelfPC < arcs[j].SelfPC
+	}) {
+		arcs = append([]Arc(nil), arcs...)
+		sortArcs(arcs)
+	}
+	e, err := NewWriter(w, Header{
+		Version: version, Hz: p.ClockHz(),
+		Low: p.Hist.Low, High: p.Hist.High, Step: p.Hist.Step,
+		NumBuckets: len(p.Hist.Counts), NumArcs: len(arcs),
+	})
+	if err != nil {
 		return err
 	}
-	hdr := []any{
-		uint32(Version), p.ClockHz(),
-		p.Hist.Low, p.Hist.High, p.Hist.Step,
-		uint32(len(p.Hist.Counts)), uint32(len(p.Arcs)),
-	}
-	for _, v := range hdr {
-		if err := put(v); err != nil {
-			return err
-		}
-	}
-	if err := put(p.Hist.Counts); err != nil {
+	if err := e.WriteCounts(p.Hist.Counts); err != nil {
+		e.Close()
 		return err
 	}
-	for _, a := range p.Arcs {
-		if err := put(a.FromPC); err != nil {
-			return err
-		}
-		if err := put(a.SelfPC); err != nil {
-			return err
-		}
-		if err := put(a.Count); err != nil {
-			return err
-		}
+	if err := e.WriteArcs(arcs); err != nil {
+		e.Close()
+		return err
 	}
-	return bw.Flush()
+	return e.Close()
 }
 
-// Read decodes a profile from r.
-func Read(r io.Reader) (*Profile, error) {
-	br := bufio.NewReader(r)
-	get := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+// Reader streams a profile data file: NewReader parses the header, then
+// ReadCounts must drain the histogram section, then ReadArcs/Next
+// iterate the arc records — whole profiles are never materialized
+// unless the caller collects them (Read does).
+type Reader struct {
+	br          *binio.Reader
+	h           Header
+	countsDone  bool
+	narc        int // arcs still unread
+	prevFrom1   int64
+	prevSelf    int64
+	headerBytes int64
+	histBytes   int64
+	arcBytes    int64
+	err         error
+}
 
+// NewReader parses the file header from r. The Reader buffers its
+// input; r may be positioned past the profile's last byte afterwards.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := binio.NewReader(r)
+	fail := func(err error) (*Reader, error) {
+		br.Close()
+		return nil, err
+	}
 	var m [4]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("gmon: reading magic: %w", err)
+	br.Full(m[:])
+	if err := br.Err(); err != nil {
+		return fail(fmt.Errorf("gmon: reading magic: %w", err))
 	}
 	if m != magic {
-		return nil, fmt.Errorf("gmon: bad magic %q (not a profile data file)", m[:])
+		return fail(fmt.Errorf("gmon: bad magic %q (not a profile data file)", m[:]))
 	}
-	var version uint32
-	if err := get(&version); err != nil {
-		return nil, fmt.Errorf("gmon: reading version: %w", err)
+	version := br.U32()
+	if err := br.Err(); err != nil {
+		return fail(fmt.Errorf("gmon: reading version: %w", err))
 	}
-	if version != Version {
-		return nil, fmt.Errorf("gmon: unsupported version %d (want %d)", version, Version)
+	if version != Version1 && version != Version2 {
+		return fail(fmt.Errorf("gmon: unsupported version %d (want %d or %d)", version, Version1, Version2))
 	}
-	p := &Profile{}
-	var nbkt, narc uint32
-	for _, v := range []any{&p.Hz, &p.Hist.Low, &p.Hist.High, &p.Hist.Step, &nbkt, &narc} {
-		if err := get(v); err != nil {
-			return nil, fmt.Errorf("gmon: reading header: %w", err)
-		}
+	h := Header{Version: int(version)}
+	h.Hz = br.I64()
+	h.Low = br.I64()
+	h.High = br.I64()
+	h.Step = br.I64()
+	nbkt := br.U32()
+	narc := br.U32()
+	if err := br.Err(); err != nil {
+		return fail(fmt.Errorf("gmon: reading header: %w", eofIsTruncation(err)))
 	}
 	if nbkt > maxRecords || narc > maxRecords {
-		return nil, fmt.Errorf("gmon: implausible record counts (%d buckets, %d arcs)", nbkt, narc)
+		return fail(fmt.Errorf("gmon: implausible record counts (%d buckets, %d arcs)", nbkt, narc))
 	}
-	p.Hist.Counts = make([]uint32, nbkt)
-	if err := get(p.Hist.Counts); err != nil {
-		return nil, fmt.Errorf("gmon: reading histogram: %w", err)
+	if h.Step <= 0 {
+		return fail(fmt.Errorf("gmon: histogram step %d (want > 0)", h.Step))
 	}
-	p.Arcs = make([]Arc, narc)
-	for i := range p.Arcs {
-		for _, v := range []any{&p.Arcs[i].FromPC, &p.Arcs[i].SelfPC, &p.Arcs[i].Count} {
-			if err := get(v); err != nil {
-				return nil, fmt.Errorf("gmon: reading arc %d: %w", i, err)
+	if h.High < h.Low {
+		return fail(fmt.Errorf("gmon: histogram bounds [%#x,%#x) inverted", h.Low, h.High))
+	}
+	geom := Histogram{Low: h.Low, High: h.High, Step: h.Step}
+	if want := geom.NumBuckets(); int(nbkt) != want {
+		return fail(fmt.Errorf("gmon: histogram has %d buckets, bounds imply %d", nbkt, want))
+	}
+	h.NumBuckets, h.NumArcs = int(nbkt), int(narc)
+	return &Reader{br: br, h: h, narc: int(narc), headerBytes: br.Offset()}, nil
+}
+
+// Header returns the parsed file header.
+func (d *Reader) Header() Header { return d.h }
+
+// ReadCounts decodes the histogram counts section, appending to
+// dst[:0]'s storage when its capacity suffices (pass nil to allocate).
+// It must be called once, before the first ReadArcs.
+func (d *Reader) ReadCounts(dst []uint32) ([]uint32, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.countsDone {
+		return nil, d.fail(fmt.Errorf("gmon: histogram counts already read"))
+	}
+	n := d.h.NumBuckets
+	dst = dst[:0]
+	for len(dst) < n {
+		c := n - len(dst)
+		if c > chunkRecords {
+			c = chunkRecords
+		}
+		start := len(dst)
+		dst = growU32(dst, c)
+		if d.h.Version == Version1 {
+			d.br.U32s(dst[start:])
+		} else {
+			for i := start; i < len(dst); i++ {
+				v := d.br.Uvarint()
+				if v > math.MaxUint32 {
+					return nil, d.fail(fmt.Errorf("gmon: histogram count %d overflows uint32", v))
+				}
+				dst[i] = uint32(v)
+			}
+		}
+		if err := d.br.Err(); err != nil {
+			return nil, d.fail(fmt.Errorf("gmon: reading histogram: %w", eofIsTruncation(err)))
+		}
+	}
+	if dst == nil {
+		dst = []uint32{}
+	}
+	d.countsDone = true
+	d.histBytes = d.br.Offset() - d.headerBytes
+	return dst, nil
+}
+
+// ReadArcs decodes up to len(dst) arc records into dst and reports how
+// many were decoded; once every declared record has been returned it
+// reports 0, io.EOF. A short or corrupt arc section is an error, never
+// a partial batch.
+func (d *Reader) ReadArcs(dst []Arc) (int, error) {
+	if d.err != nil {
+		return 0, d.err
+	}
+	if !d.countsDone {
+		return 0, d.fail(fmt.Errorf("gmon: arcs read before histogram counts"))
+	}
+	if d.narc == 0 {
+		return 0, io.EOF
+	}
+	n := len(dst)
+	if n > d.narc {
+		n = d.narc
+	}
+	if d.h.Version == Version1 {
+		// Arcs are fixed 24-byte records: decode straight out of the
+		// block buffer, a batch per fill, instead of field by field.
+		const arcSize = 24
+		for i := 0; i < n; {
+			batch := n - i
+			if batch > binio.BufSize/arcSize {
+				batch = binio.BufSize / arcSize
+			}
+			s := d.br.View(batch * arcSize)
+			if s == nil {
+				break
+			}
+			for j := range dst[i : i+batch] {
+				rec := s[j*arcSize:]
+				dst[i+j].FromPC = int64(binary.LittleEndian.Uint64(rec))
+				dst[i+j].SelfPC = int64(binary.LittleEndian.Uint64(rec[8:]))
+				dst[i+j].Count = int64(binary.LittleEndian.Uint64(rec[16:]))
+			}
+			i += batch
+		}
+	} else {
+		for i := range dst[:n] {
+			if !d.decodeArcV2(&dst[i]) {
+				break
 			}
 		}
 	}
-	if err := p.Validate(); err != nil {
+	if err := d.br.Err(); err != nil {
+		read := d.h.NumArcs - d.narc
+		return 0, d.fail(fmt.Errorf("gmon: reading arc %d: %w", read, eofIsTruncation(err)))
+	}
+	if d.err != nil {
+		return 0, d.err
+	}
+	d.narc -= n
+	if d.narc == 0 {
+		d.arcBytes = d.br.Offset() - d.headerBytes - d.histBytes
+	}
+	return n, nil
+}
+
+// decodeArcV2 decodes one delta-encoded record; false means d.err or
+// the underlying reader's error is set.
+func (d *Reader) decodeArcV2(a *Arc) bool {
+	dFrom := d.br.Uvarint()
+	if dFrom > math.MaxInt64 || int64(dFrom) > math.MaxInt64-d.prevFrom1 {
+		d.fail(fmt.Errorf("gmon: arc call-site pc overflows"))
+		return false
+	}
+	from1 := d.prevFrom1 + int64(dFrom)
+	var self int64
+	if dFrom == 0 {
+		dSelf := d.br.Uvarint()
+		if dSelf > math.MaxInt64 || int64(dSelf) > math.MaxInt64-d.prevSelf {
+			d.fail(fmt.Errorf("gmon: arc callee pc overflows"))
+			return false
+		}
+		self = d.prevSelf + int64(dSelf)
+	} else {
+		v := d.br.Uvarint()
+		if v > math.MaxInt64 {
+			d.fail(fmt.Errorf("gmon: arc callee pc overflows"))
+			return false
+		}
+		self = int64(v)
+	}
+	cnt := d.br.Uvarint()
+	if cnt > math.MaxInt64 {
+		d.fail(fmt.Errorf("gmon: arc count overflows"))
+		return false
+	}
+	if d.br.Err() != nil {
+		return false
+	}
+	a.FromPC = from1 - 1
+	a.SelfPC = self
+	a.Count = int64(cnt)
+	d.prevFrom1, d.prevSelf = from1, self
+	return true
+}
+
+// Next returns the next arc record, reporting io.EOF after the last.
+func (d *Reader) Next() (Arc, error) {
+	var a [1]Arc
+	n, err := d.ReadArcs(a[:])
+	if n == 1 {
+		return a[0], nil
+	}
+	return Arc{}, err
+}
+
+// Stats reports the file's layout; section sizes are complete once the
+// corresponding section has been fully read.
+func (d *Reader) Stats() FileStats {
+	return FileStats{
+		Version:     d.h.Version,
+		HeaderBytes: d.headerBytes,
+		HistBytes:   d.histBytes,
+		ArcBytes:    d.arcBytes,
+		TotalBytes:  d.br.Offset(),
+	}
+}
+
+// Close releases the Reader's buffer. The Reader must not be used
+// afterwards.
+func (d *Reader) Close() error {
+	if d.br == nil {
+		return d.err
+	}
+	err := d.br.Close()
+	d.br = nil
+	if d.err != nil {
+		return d.err
+	}
+	return err
+}
+
+// fail records err as the Reader's sticky error.
+func (d *Reader) fail(err error) error {
+	if d.err == nil {
+		d.err = err
+	}
+	return d.err
+}
+
+// eofIsTruncation maps a clean EOF to io.ErrUnexpectedEOF: inside a
+// declared section, running out of bytes is truncation even when it
+// happens at a value boundary.
+func eofIsTruncation(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Read decodes a profile from r (either format version).
+func Read(r io.Reader) (*Profile, error) {
+	p := &Profile{}
+	if err := ReadInto(r, p); err != nil {
 		return nil, err
 	}
 	return p, nil
 }
 
-// WriteFile writes p to the named file.
+// ReadInto decodes a profile from r into p, reusing p's histogram and
+// arc storage when its capacity suffices — the streaming merge's
+// per-worker scratch path decodes whole files without allocating.
+func ReadInto(r io.Reader, p *Profile) error {
+	d, err := NewReader(r)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	_, err = decodeInto(d, p)
+	return err
+}
+
+// ReadStats decodes a profile and reports its on-disk layout.
+func ReadStats(r io.Reader) (*Profile, FileStats, error) {
+	d, err := NewReader(r)
+	if err != nil {
+		return nil, FileStats{}, err
+	}
+	defer d.Close()
+	p := &Profile{}
+	st, err := decodeInto(d, p)
+	if err != nil {
+		return nil, st, err
+	}
+	return p, st, nil
+}
+
+func decodeInto(d *Reader, p *Profile) (FileStats, error) {
+	h := d.Header()
+	p.Hz = h.Hz
+	p.Hist.Low, p.Hist.High, p.Hist.Step = h.Low, h.High, h.Step
+	counts, err := d.ReadCounts(p.Hist.Counts)
+	if err != nil {
+		return d.Stats(), err
+	}
+	p.Hist.Counts = counts
+	arcs := p.Arcs[:0]
+	for len(arcs) < h.NumArcs {
+		c := h.NumArcs - len(arcs)
+		if c > chunkRecords {
+			c = chunkRecords
+		}
+		start := len(arcs)
+		arcs = growArcs(arcs, c)
+		n, err := d.ReadArcs(arcs[start:])
+		if err != nil {
+			return d.Stats(), err
+		}
+		arcs = arcs[:start+n]
+	}
+	if arcs == nil {
+		arcs = []Arc{}
+	}
+	p.Arcs = arcs
+	return d.Stats(), p.Validate()
+}
+
+// growU32 extends s by c entries, reusing capacity when it can.
+func growU32(s []uint32, c int) []uint32 {
+	need := len(s) + c
+	if cap(s) >= need {
+		return s[:need]
+	}
+	ns := make([]uint32, need)
+	copy(ns, s)
+	return ns
+}
+
+// growArcs extends s by c entries, reusing capacity when it can.
+func growArcs(s []Arc, c int) []Arc {
+	need := len(s) + c
+	if cap(s) >= need {
+		return s[:need]
+	}
+	ns := make([]Arc, need)
+	copy(ns, s)
+	return ns
+}
+
+// WriteFile writes p to the named file in the default format. The block
+// codec writes the *os.File directly, so there is exactly one buffer
+// layer between records and the disk.
 func WriteFile(name string, p *Profile) error {
+	return WriteFileVersion(name, p, Version1)
+}
+
+// WriteFileVersion writes p to the named file in the given format
+// version (Version1 or Version2).
+func WriteFileVersion(name string, p *Profile, version int) error {
 	f, err := os.Create(name)
 	if err != nil {
 		return err
 	}
-	if err := Write(f, p); err != nil {
+	if err := WriteVersion(f, p, version); err != nil {
 		f.Close()
 		return err
 	}
@@ -139,6 +668,21 @@ func ReadFile(name string) (*Profile, error) {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 	return p, nil
+}
+
+// ReadFileStats reads a profile from the named file and reports its
+// on-disk layout.
+func ReadFileStats(name string) (*Profile, FileStats, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, FileStats{}, err
+	}
+	defer f.Close()
+	p, st, err := ReadStats(f)
+	if err != nil {
+		return nil, st, fmt.Errorf("%s: %w", name, err)
+	}
+	return p, st, nil
 }
 
 // ReadFiles reads and merges several profile data files, the paper's

@@ -9,6 +9,7 @@ package gmon
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
 )
 
@@ -108,55 +109,112 @@ func MergeAll(ctx context.Context, profiles []*Profile, jobs int) (*Profile, err
 	return cur[0], nil
 }
 
-// ReadFilesCtx reads several profile data files concurrently and
-// tree-merges them across a worker pool, honoring ctx cancellation.
-// Every profile must be mergeable with the first; an incompatible or
-// unreadable file is reported by name. ReadFilesCtx(ctx, names, 1) is
-// exactly ReadFiles.
+// ReadFilesCtx reads several profile data files concurrently and sums
+// them across a worker pool, honoring ctx cancellation. Every profile
+// must be mergeable with the first; an incompatible or unreadable file
+// is reported by name. ReadFilesCtx(ctx, names, 1) is exactly
+// ReadFiles. It delegates to MergeAllStreaming, so summing k runs keeps
+// one decoded profile per worker, not k.
 func ReadFilesCtx(ctx context.Context, names []string, jobs int) (*Profile, error) {
+	return MergeAllStreaming(ctx, names, jobs)
+}
+
+// scratchPool holds the decode scratch profiles the streaming merge
+// reuses: each worker decodes every file it handles into one pooled
+// Profile whose histogram and arc storage persists across files.
+var scratchPool = sync.Pool{New: func() any { return new(Profile) }}
+
+// readFileInto decodes the named file into the scratch profile, reusing
+// its storage. Errors are attributed to the file.
+func readFileInto(name string, p *Profile) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ReadInto(f, p); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	return nil
+}
+
+// MergeAllStreaming reads the named profile data files and sums them
+// without materializing every profile at once: the first file becomes
+// the accumulator, and each worker streams its share of the rest
+// through a pooled decode scratch (histogram and arc buffers reused
+// file to file) into a per-worker partial sum. The result is identical
+// to the sequential left-to-right ReadFiles fold for any worker count —
+// counts sum and Merge canonicalizes arc order.
+func MergeAllStreaming(ctx context.Context, names []string, jobs int) (*Profile, error) {
 	if len(names) == 0 {
 		return nil, fmt.Errorf("gmon: no profile data files")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	total, err := ReadFile(names[0])
+	if err != nil {
+		return nil, err
+	}
+	rest := names[1:]
+	if len(rest) == 0 {
+		return total, nil
+	}
 	if jobs <= 1 {
-		total, err := ReadFile(names[0])
-		if err != nil {
-			return nil, err
-		}
-		for _, name := range names[1:] {
+		scratch := scratchPool.Get().(*Profile)
+		defer scratchPool.Put(scratch)
+		for _, name := range rest {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			p, err := ReadFile(name)
-			if err != nil {
+			if err := readFileInto(name, scratch); err != nil {
 				return nil, err
 			}
-			if err := total.Merge(p); err != nil {
+			if err := total.Merge(scratch); err != nil {
 				return nil, fmt.Errorf("%s: %w", name, err)
 			}
 		}
 		return total, nil
 	}
-	ps := make([]*Profile, len(names))
-	errs := make([]error, len(names))
+	workers := jobs
+	if workers > len(rest) {
+		workers = len(rest)
+	}
+	accs := make([]*Profile, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	idx := make(chan int)
-	workers := jobs
-	if workers > len(names) {
-		workers = len(names)
-	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			scratch := scratchPool.Get().(*Profile)
+			defer scratchPool.Put(scratch)
 			for i := range idx {
-				if ctx.Err() != nil {
+				if ctx.Err() != nil || errs[w] != nil {
 					continue
 				}
-				ps[i], errs[i] = ReadFile(names[i])
+				name := rest[i]
+				if err := readFileInto(name, scratch); err != nil {
+					errs[w] = err
+					continue
+				}
+				// Check against the first file's geometry here so the
+				// error names the incompatible input, not an
+				// intermediate sum.
+				if err := total.checkMergeable(scratch); err != nil {
+					errs[w] = fmt.Errorf("%s: %w", name, err)
+					continue
+				}
+				if accs[w] == nil {
+					accs[w] = scratch.Clone()
+				} else if err := accs[w].Merge(scratch); err != nil {
+					errs[w] = fmt.Errorf("%s: %w", name, err)
+				}
 			}
-		}()
+		}(w)
 	}
-	for i := range names {
+	for i := range rest {
 		idx <- i
 	}
 	close(idx)
@@ -169,12 +227,13 @@ func ReadFilesCtx(ctx context.Context, names []string, jobs int) (*Profile, erro
 			return nil, err
 		}
 	}
-	// Attribute incompatibilities to a file name before the tree merge
-	// loses track of which input was at fault.
-	for i, p := range ps[1:] {
-		if err := ps[0].checkMergeable(p); err != nil {
-			return nil, fmt.Errorf("%s: %w", names[i+1], err)
+	for _, acc := range accs {
+		if acc == nil {
+			continue
+		}
+		if err := total.Merge(acc); err != nil {
+			return nil, err
 		}
 	}
-	return MergeAll(ctx, ps, jobs)
+	return total, nil
 }

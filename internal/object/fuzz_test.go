@@ -1,0 +1,57 @@
+package object
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadImage hammers the executable decoder with arbitrary bytes:
+// truncated streams, corrupt headers, and record counts or string
+// lengths far past the actual body must all error without panicking or
+// allocating anywhere near the declared sizes. Any input that does
+// decode must survive a re-encode/decode round trip.
+func FuzzReadImage(f *testing.F) {
+	im, err := Link([]*Object{buildObj()}, LinkConfig{Entry: "f"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteImage(&buf, im); err != nil {
+		f.Fatal(err)
+	}
+	b := buf.Bytes()
+	f.Add(b)
+	f.Add(b[:len(b)/2])
+	f.Add(b[:7])
+	f.Add([]byte("SIMY____"))
+	// Counts section claiming 2^27 records each over an empty body.
+	huge := append([]byte(nil), []byte("SIMX")...)
+	huge = append(huge, 2, 0, 0, 0)
+	huge = append(huge, make([]byte, 32)...) // bases
+	huge = append(huge, 0, 0, 0, 8, 0, 0, 0, 8, 0, 0, 0, 8, 0, 0, 0, 8)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, err := ReadImage(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var enc bytes.Buffer
+		if err := WriteImage(&enc, im); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		got, err := ReadImage(bytes.NewReader(enc.Bytes()))
+		if err != nil {
+			t.Fatalf("decode re-encoded image: %v", err)
+		}
+		if !reflect.DeepEqual(got.Text, im.Text) || !reflect.DeepEqual(got.Data, im.Data) ||
+			!reflect.DeepEqual(got.Funcs, im.Funcs) || !reflect.DeepEqual(got.globals, im.globals) {
+			t.Fatalf("round trip diverged:\n got %+v %v\nwant %+v %v", got, got.globals, im, im.globals)
+		}
+		if got.TextBase != im.TextBase || got.Entry != im.Entry ||
+			got.DataBase != im.DataBase || got.StackTop != im.StackTop {
+			t.Fatal("header fields diverged after round trip")
+		}
+	})
+}

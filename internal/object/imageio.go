@@ -1,15 +1,18 @@
 package object
 
 import (
-	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
+	"strings"
+
+	"repro/internal/binio"
 )
 
 // Executable file format ("a.out" for the simulated machine), all fields
-// little-endian:
+// little-endian, encoded by the shared block codec (internal/binio) —
+// fixed-offset integer access on reused buffers, no per-field
+// reflection:
 //
 //	magic    [4]byte "SIMX"
 //	version  uint32
@@ -35,61 +38,42 @@ const ImageVersion = 2
 
 const maxImageRecords = 1 << 28
 
+// chunkImageWords bounds how far past the data actually seen the text,
+// data, and record slices may grow, so a corrupt header cannot drive a
+// huge allocation.
+const chunkImageWords = 8192
+
 // WriteImage encodes a linked image to w.
 func WriteImage(w io.Writer, im *Image) error {
-	bw := bufio.NewWriter(w)
-	put := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
-	putString := func(s string) error {
-		if err := put(uint32(len(s))); err != nil {
-			return err
-		}
-		_, err := bw.WriteString(s)
-		return err
+	bw := binio.NewWriter(w)
+	putString := func(s string) {
+		bw.U32(uint32(len(s)))
+		bw.String(s)
 	}
-	if _, err := bw.Write(imageMagic[:]); err != nil {
-		return err
-	}
-	for _, v := range []any{
-		uint32(ImageVersion), im.TextBase, im.Entry, im.DataBase, im.StackTop,
-		uint32(len(im.Text)), uint32(len(im.Data)),
-		uint32(len(im.Funcs)), uint32(len(im.globals)),
-	} {
-		if err := put(v); err != nil {
-			return err
-		}
-	}
-	if err := put(im.Text); err != nil {
-		return err
-	}
-	if err := put(im.Data); err != nil {
-		return err
-	}
+	bw.Bytes(imageMagic[:])
+	bw.U32(uint32(ImageVersion))
+	bw.I64(im.TextBase)
+	bw.I64(im.Entry)
+	bw.I64(im.DataBase)
+	bw.I64(im.StackTop)
+	bw.U32(uint32(len(im.Text)))
+	bw.U32(uint32(len(im.Data)))
+	bw.U32(uint32(len(im.Funcs)))
+	bw.U32(uint32(len(im.globals)))
+	bw.I64s(im.Text)
+	bw.I64s(im.Data)
 	for _, f := range im.Funcs {
-		if err := putString(f.Name); err != nil {
-			return err
-		}
-		if err := put(f.Addr); err != nil {
-			return err
-		}
-		if err := put(f.Size); err != nil {
-			return err
-		}
-		if err := putString(f.File); err != nil {
-			return err
-		}
-		if err := put(uint32(len(f.Lines))); err != nil {
-			return err
-		}
+		putString(f.Name)
+		bw.I64(f.Addr)
+		bw.I64(f.Size)
+		putString(f.File)
+		bw.U32(uint32(len(f.Lines)))
 		for _, m := range f.Lines {
-			if err := put(m.Offset); err != nil {
-				return err
-			}
-			if err := put(m.Line); err != nil {
-				return err
-			}
+			bw.I64(m.Offset)
+			bw.I32(m.Line)
 		}
 	}
-	// Deterministic global order: by offset.
+	// Deterministic global order: by offset, ties by name.
 	type g struct {
 		name string
 		off  int64
@@ -99,115 +83,172 @@ func WriteImage(w io.Writer, im *Image) error {
 		gs = append(gs, g{name, off})
 	}
 	for i := 1; i < len(gs); i++ {
-		for j := i; j > 0 && gs[j-1].off > gs[j].off; j-- {
+		for j := i; j > 0 && (gs[j-1].off > gs[j].off ||
+			(gs[j-1].off == gs[j].off && gs[j-1].name > gs[j].name)); j-- {
 			gs[j-1], gs[j] = gs[j], gs[j-1]
 		}
 	}
 	for _, x := range gs {
-		if err := putString(x.name); err != nil {
-			return err
-		}
-		if err := put(x.off); err != nil {
-			return err
-		}
+		putString(x.name)
+		bw.I64(x.off)
 	}
-	return bw.Flush()
+	return bw.Close()
 }
 
-// ReadImage decodes an executable from r.
-func ReadImage(r io.Reader) (*Image, error) {
-	br := bufio.NewReader(r)
-	get := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
-	getString := func() (string, error) {
-		var n uint32
-		if err := get(&n); err != nil {
-			return "", err
-		}
-		if n > maxImageRecords {
-			return "", fmt.Errorf("object: implausible string length %d", n)
-		}
+// readImageString decodes a length-prefixed string, growing its buffer
+// with the data actually seen so a lying prefix cannot over-allocate.
+func readImageString(br *binio.Reader) (string, error) {
+	n := br.U32()
+	if br.Err() != nil {
+		return "", br.Err()
+	}
+	if n > maxImageRecords {
+		return "", fmt.Errorf("object: implausible string length %d", n)
+	}
+	if n <= chunkImageWords {
 		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
+		br.Full(buf)
+		if err := br.Err(); err != nil {
 			return "", err
 		}
 		return string(buf), nil
 	}
+	var sb strings.Builder
+	var chunk [chunkImageWords]byte
+	for remaining := int(n); remaining > 0; {
+		c := remaining
+		if c > len(chunk) {
+			c = len(chunk)
+		}
+		br.Full(chunk[:c])
+		if err := br.Err(); err != nil {
+			return "", err
+		}
+		sb.Write(chunk[:c])
+		remaining -= c
+	}
+	return sb.String(), nil
+}
+
+// readWords decodes n little-endian int64 words, growing the result
+// with the data actually seen.
+func readWords(br *binio.Reader, n int) ([]int64, error) {
+	cap0 := n
+	if cap0 > chunkImageWords {
+		cap0 = chunkImageWords
+	}
+	out := make([]int64, 0, cap0)
+	for len(out) < n {
+		c := n - len(out)
+		if c > chunkImageWords {
+			c = chunkImageWords
+		}
+		start := len(out)
+		if cap(out) < start+c {
+			grown := make([]int64, start, start+c)
+			copy(grown, out)
+			out = grown
+		}
+		out = out[:start+c]
+		br.I64s(out[start:])
+		if err := br.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ReadImage decodes an executable from r.
+func ReadImage(r io.Reader) (*Image, error) {
+	br := binio.NewReader(r)
+	defer br.Close()
 	var m [4]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
+	br.Full(m[:])
+	if err := br.Err(); err != nil {
 		return nil, fmt.Errorf("object: reading magic: %w", err)
 	}
 	if m != imageMagic {
 		return nil, fmt.Errorf("object: bad magic %q (not an executable)", m[:])
 	}
-	var version uint32
-	if err := get(&version); err != nil {
+	version := br.U32()
+	if err := br.Err(); err != nil {
 		return nil, err
 	}
 	if version != ImageVersion {
 		return nil, fmt.Errorf("object: unsupported executable version %d", version)
 	}
 	im := &Image{globals: make(map[string]int64)}
-	var ntext, ndata, nfuncs, nglobals uint32
-	for _, v := range []any{&im.TextBase, &im.Entry, &im.DataBase, &im.StackTop,
-		&ntext, &ndata, &nfuncs, &nglobals} {
-		if err := get(v); err != nil {
-			return nil, fmt.Errorf("object: reading header: %w", err)
-		}
+	im.TextBase = br.I64()
+	im.Entry = br.I64()
+	im.DataBase = br.I64()
+	im.StackTop = br.I64()
+	ntext := br.U32()
+	ndata := br.U32()
+	nfuncs := br.U32()
+	nglobals := br.U32()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("object: reading header: %w", err)
 	}
 	if ntext > maxImageRecords || ndata > maxImageRecords ||
 		nfuncs > maxImageRecords || nglobals > maxImageRecords {
 		return nil, fmt.Errorf("object: implausible record counts")
 	}
-	im.Text = make([]int64, ntext)
-	if err := get(im.Text); err != nil {
+	var err error
+	if im.Text, err = readWords(br, int(ntext)); err != nil {
 		return nil, err
 	}
-	im.Data = make([]int64, ndata)
-	if err := get(im.Data); err != nil {
+	if im.Data, err = readWords(br, int(ndata)); err != nil {
 		return nil, err
 	}
-	im.Funcs = make([]Sym, nfuncs)
-	for i := range im.Funcs {
-		name, err := getString()
-		if err != nil {
+	capF := int(nfuncs)
+	if capF > chunkImageWords {
+		capF = chunkImageWords
+	}
+	im.Funcs = make([]Sym, 0, capF)
+	for i := uint32(0); i < nfuncs; i++ {
+		var s Sym
+		if s.Name, err = readImageString(br); err != nil {
 			return nil, err
 		}
-		im.Funcs[i].Name = name
-		if err := get(&im.Funcs[i].Addr); err != nil {
+		s.Addr = br.I64()
+		s.Size = br.I64()
+		if err := br.Err(); err != nil {
 			return nil, err
 		}
-		if err := get(&im.Funcs[i].Size); err != nil {
+		if s.File, err = readImageString(br); err != nil {
 			return nil, err
 		}
-		if im.Funcs[i].File, err = getString(); err != nil {
-			return nil, err
-		}
-		var nmarks uint32
-		if err := get(&nmarks); err != nil {
+		nmarks := br.U32()
+		if err := br.Err(); err != nil {
 			return nil, err
 		}
 		if nmarks > maxImageRecords {
 			return nil, fmt.Errorf("object: implausible line mark count %d", nmarks)
 		}
 		if nmarks > 0 {
-			im.Funcs[i].Lines = make([]LineMark, nmarks)
-			for j := range im.Funcs[i].Lines {
-				if err := get(&im.Funcs[i].Lines[j].Offset); err != nil {
+			capM := int(nmarks)
+			if capM > chunkImageWords {
+				capM = chunkImageWords
+			}
+			s.Lines = make([]LineMark, 0, capM)
+			for j := uint32(0); j < nmarks; j++ {
+				off := br.I64()
+				line := br.I32()
+				if err := br.Err(); err != nil {
 					return nil, err
 				}
-				if err := get(&im.Funcs[i].Lines[j].Line); err != nil {
-					return nil, err
-				}
+				s.Lines = append(s.Lines, LineMark{Offset: off, Line: line})
 			}
 		}
+		im.Funcs = append(im.Funcs, s)
 	}
 	for i := uint32(0); i < nglobals; i++ {
-		name, err := getString()
+		name, err := readImageString(br)
 		if err != nil {
 			return nil, err
 		}
-		var off int64
-		if err := get(&off); err != nil {
+		off := br.I64()
+		if err := br.Err(); err != nil {
 			return nil, err
 		}
 		im.globals[name] = off
@@ -215,7 +256,9 @@ func ReadImage(r io.Reader) (*Image, error) {
 	return im, nil
 }
 
-// WriteImageFile writes an executable to the named file.
+// WriteImageFile writes an executable to the named file. The block
+// codec writes the *os.File directly, so there is exactly one buffer
+// layer between records and the disk.
 func WriteImageFile(name string, im *Image) error {
 	f, err := os.Create(name)
 	if err != nil {
