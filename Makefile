@@ -28,13 +28,20 @@ bench-smoke:
 # the workload suite via the parallel driver, plus the engine-facing
 # go-bench micro-benchmarks parsed into the same file. Schema in
 # docs/FORMATS.md.
-LABEL ?= PR3
+LABEL ?= PR4
 .PHONY: bench-json
 bench-json:
-	go test -run xxx -bench 'Dispatch|McountFastPath|McountSteady|Snapshot|VMExecution|Overhead|GmonRead|GmonWrite|MergeAll|ImageIO' \
+	go test -run xxx -bench 'Dispatch|McountFastPath|McountSteady|Snapshot|VMExecution|Overhead|GmonRead|GmonWrite|MergeAll|ImageIO|ModelBuild|ModelJSON' \
 		-benchmem . ./internal/mon > bench-raw.out && \
 	go run ./cmd/benchjson -label $(LABEL) -parse bench-raw.out -o BENCH_$(LABEL).json && \
 	rm -f bench-raw.out
+
+# Regenerate the pinned presentation goldens (text reports and JSON
+# profiles) under testdata/golden. The -update flag lives in the root
+# package's golden tests only, so restrict to '.'.
+.PHONY: golden
+golden:
+	go test -run 'TestGolden' -update .
 
 # Short fuzzing pass over the two binary decoders (profile data and
 # executables): corrupt input must error, never panic.

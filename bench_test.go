@@ -22,6 +22,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gmon"
 	"repro/internal/lang"
+	"repro/internal/model"
 	"repro/internal/mon"
 	"repro/internal/object"
 	"repro/internal/propagate"
@@ -199,6 +200,41 @@ func BenchmarkReportCallGraph(b *testing.B) {
 		if err := res.WriteCallGraph(&buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- profile model: build and JSON encode ----------------------------
+
+// BenchmarkModelBuild times condensing an analyzed graph into the
+// serializable profile model — the step core.Run added between
+// propagation and rendering.
+func BenchmarkModelBuild(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		g := randomGraph(n, 3, 43)
+		scc.Analyze(g)
+		propagate.Run(g)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				model.Build(g)
+			}
+		})
+	}
+}
+
+// BenchmarkModelJSONEncode times serializing the model (gprof -json).
+func BenchmarkModelJSONEncode(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		g := randomGraph(n, 3, 43)
+		scc.Analyze(g)
+		propagate.Run(g)
+		m := model.Build(g)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := model.Encode(io.Discard, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

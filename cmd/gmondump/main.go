@@ -34,8 +34,9 @@ func main() {
 		files = []string{"gmon.out"}
 	}
 
+	// Flushed explicitly at the end with the error checked: a deferred
+	// Flush would drop a short write (full disk, closed pipe) silently.
 	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
 
 	// Decode each file once, printing its on-disk layout, and sum as we
 	// go so errors name the offending file.
@@ -87,6 +88,9 @@ func main() {
 			from += symFor(tab, a.FromPC)
 		}
 		fmt.Fprintf(w, "  %s -> %#06x%s  x%d\n", from, a.SelfPC, symFor(tab, a.SelfPC), a.Count)
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
 	}
 }
 

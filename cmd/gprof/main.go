@@ -64,6 +64,7 @@ func main() {
 		graphOnly = flag.Bool("graph", false, "print only the call graph profile")
 		lines     = flag.Bool("lines", false, "print the per-source-line profile")
 		dot       = flag.Bool("dot", false, "emit the call graph in Graphviz DOT form")
+		jsonOut   = flag.Bool("json", false, "emit the analyzed profile as versioned JSON (docs/FORMATS.md)")
 		static    = flag.Bool("s", false, "merge the static call graph from the executable")
 		autoBreak = flag.Bool("C", false, "run the cycle-breaking heuristic")
 		maxBreak  = flag.Int("b", 0, "bound on arcs the heuristic may remove (0 = default)")
@@ -131,21 +132,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// One buffered writer, flushed with the error checked: a full disk
+	// must fail loudly, not truncate the listing silently.
 	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
-	if *lines {
-		if err := report.LineProfile(w, im, p, nil); err != nil {
-			fatal(err)
-		}
-		return
-	}
-	if *dot {
-		if err := report.WriteDOT(w, res.Graph, opt.Report); err != nil {
-			fatal(err)
-		}
-		return
-	}
 	switch {
+	case *lines:
+		err = report.LineProfile(w, im, p, nil)
+	case *dot:
+		err = report.WriteDOT(w, res.Model, opt.Report)
+	case *jsonOut:
+		err = res.WriteJSON(w)
 	case *flatOnly:
 		err = res.WriteFlat(w)
 	case *graphOnly:
@@ -154,6 +150,9 @@ func main() {
 		err = res.WriteAll(w)
 	}
 	if err != nil {
+		fatal(err)
+	}
+	if err := w.Flush(); err != nil {
 		fatal(err)
 	}
 }

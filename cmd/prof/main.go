@@ -35,9 +35,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Flush explicitly and check the error: a deferred Flush would drop
+	// a short write (full disk, closed pipe) on the floor.
 	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
-	if err := prof.Write(w, symtab.New(im), p); err != nil {
+	if err := prof.Render(w, prof.Model(symtab.New(im), p)); err != nil {
+		fatal(err)
+	}
+	if err := w.Flush(); err != nil {
 		fatal(err)
 	}
 }

@@ -56,14 +56,18 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "exit %d, %d cycles, %d samples\n", res.ExitCode, res.Cycles, sampler.Samples())
 
+	// Flush explicitly and check the error: a deferred Flush would drop
+	// a short write (full disk, closed pipe) on the floor.
 	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
 	if *folded {
 		err = sampler.WriteFolded(w)
 	} else {
 		err = sampler.Write(w)
 	}
 	if err != nil {
+		fatal(err)
+	}
+	if err := w.Flush(); err != nil {
 		fatal(err)
 	}
 }

@@ -262,3 +262,64 @@ func TestCommandJobsEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestCommandProfdiff: gprof -json round-trips through profdiff, and
+// profdiff reports per-routine deltas between two workload runs — from
+// saved JSON profiles, from raw profile data, or a mix of both.
+func TestCommandProfdiff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := buildTools(t)
+
+	// Two runs of the same program with different seeds: the sort
+	// workload's input is rand-driven, so the call counts shift.
+	run(t, dir, "vmrun", "-p", "-q", "-workload", "sort", "-o", "gmon.1")
+	run(t, dir, "vmrun", "-p", "-q", "-workload", "sort", "-seed", "99", "-o", "gmon.2")
+
+	// Save both as JSON profiles.
+	for _, pair := range [][2]string{{"gmon.1", "old.json"}, {"gmon.2", "new.json"}} {
+		out, errOut := run(t, dir, "gprof", "-json", "a.out", pair[0])
+		if !strings.Contains(out, `"schema": "gprof.profile.v1"`) {
+			t.Fatalf("gprof -json missing schema tag (stderr %q):\n%.400s", errOut, out)
+		}
+		if err := os.WriteFile(filepath.Join(dir, pair[1]), []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A profile diffed against itself reports no changes.
+	out, errOut := run(t, dir, "profdiff", "old.json", "old.json")
+	if !strings.Contains(out, "no per-routine changes") {
+		t.Errorf("self-diff not empty (stderr %q):\n%s", errOut, out)
+	}
+
+	// Different runs: deltas appear, naming workload routines.
+	fromJSON, errOut := run(t, dir, "profdiff", "old.json", "new.json")
+	if !strings.Contains(fromJSON, "Dtotal") || !strings.Contains(fromJSON, "qsort") {
+		t.Errorf("profdiff on JSON profiles (stderr %q):\n%s", errOut, fromJSON)
+	}
+
+	// Raw profile data analyzed on the fly gives the same table.
+	fromGmon, errOut := run(t, dir, "profdiff", "-exe", "a.out", "-jobs", "1", "gmon.1", "gmon.2")
+	if errOut != "" {
+		t.Fatalf("profdiff on gmon files: %s", errOut)
+	}
+	// Strip the header line (it names the operands) before comparing.
+	tail := func(s string) string { return s[strings.Index(s, "\n"):] }
+	if tail(fromGmon) != tail(fromJSON) {
+		t.Errorf("JSON and gmon operands disagree:\n--- json\n%s\n--- gmon\n%s", fromJSON, fromGmon)
+	}
+
+	// Mixed operands work too.
+	mixed, _ := run(t, dir, "profdiff", "-exe2", "a.out", "old.json", "gmon.2")
+	if tail(mixed) != tail(fromJSON) {
+		t.Errorf("mixed operands disagree:\n--- json\n%s\n--- mixed\n%s", fromJSON, mixed)
+	}
+
+	// -top truncates and says so.
+	topped, _ := run(t, dir, "profdiff", "-top", "1", "old.json", "new.json")
+	if !strings.Contains(topped, "more changed routine(s)") {
+		t.Errorf("-top 1 did not truncate:\n%s", topped)
+	}
+}

@@ -1,0 +1,90 @@
+package callgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ListEntry is one unit of the call-graph profile listing: either a
+// plain node (including cycle members, which get entries of their own)
+// or a cycle-as-a-whole. Exactly one field is non-nil.
+type ListEntry struct {
+	Node  *Node
+	Cycle *Cycle
+}
+
+// AssignIndexes orders profile entries by decreasing total time and
+// numbers them (paper §5.2: entries "sorted by total time"). Cycle
+// members receive indices immediately after their cycle's entry,
+// ordered by decreasing self time. It returns the entry list in listing
+// order and records each entry's number in Node.Index / Cycle.Index.
+// Presentation layers build on the result via model.Build.
+func AssignIndexes(g *Graph) []ListEntry {
+	entries := sortedUnits(g)
+	idx := 1
+	var out []ListEntry
+	for _, e := range entries {
+		if e.cycle != nil {
+			e.cycle.Index = idx
+			idx++
+			out = append(out, ListEntry{Cycle: e.cycle})
+			members := append([]*Node(nil), e.cycle.Members...)
+			sort.SliceStable(members, func(i, j int) bool {
+				return members[i].SelfTicks > members[j].SelfTicks
+			})
+			for _, m := range members {
+				m.Index = idx
+				idx++
+				out = append(out, ListEntry{Node: m})
+			}
+			continue
+		}
+		e.node.Index = idx
+		idx++
+		out = append(out, ListEntry{Node: e.node})
+	}
+	return out
+}
+
+// unit is a sortable listing unit: a free node or a whole cycle.
+type unit struct {
+	node  *Node
+	cycle *Cycle
+}
+
+func (e unit) total() float64 {
+	if e.cycle != nil {
+		return e.cycle.TotalTicks()
+	}
+	return e.node.TotalTicks()
+}
+
+func (e unit) name() string {
+	if e.cycle != nil {
+		return fmt.Sprintf("<cycle %d as a whole>", e.cycle.Number)
+	}
+	return e.node.Name
+}
+
+// sortedUnits collects units (plain nodes and cycles) sorted by
+// decreasing total time, ties broken by name for determinism.
+func sortedUnits(g *Graph) []unit {
+	var entries []unit
+	for _, n := range g.order {
+		if n.InCycle() {
+			continue
+		}
+		entries = append(entries, unit{node: n})
+	}
+	for _, c := range g.Cycles {
+		entries = append(entries, unit{cycle: c})
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		ti, tj := entries[i].total(), entries[j].total()
+		if ti != tj {
+			return ti > tj
+		}
+		return entries[i].name() < entries[j].name()
+	})
+	return entries
+}

@@ -36,6 +36,7 @@ import (
 	"repro/internal/callgraph"
 	"repro/internal/cyclebreak"
 	"repro/internal/gmon"
+	"repro/internal/model"
 	"repro/internal/object"
 	"repro/internal/propagate"
 	"repro/internal/report"
@@ -157,6 +158,10 @@ func (s TableSource) load(*Cache, bool) (*symtab.Table, []object.StaticArc, erro
 // Result is an analyzed profile ready for rendering or inspection.
 type Result struct {
 	Graph *callgraph.Graph
+	// Model is the serializable profile built from Graph after
+	// propagation (model.Build); every Write* renderer consumes it, and
+	// WriteJSON encodes it under the versioned schema.
+	Model *model.Profile
 	// Suggestion holds the cycle-breaking heuristic's output when
 	// AutoBreak ran.
 	Suggestion *cyclebreak.Suggestion
@@ -257,6 +262,7 @@ func finish(ctx context.Context, g *callgraph.Graph, opt Options) (*Result, erro
 	if err := sanity(g); err != nil {
 		return nil, err
 	}
+	res.Model = model.Build(g)
 	return res, nil
 }
 
@@ -272,17 +278,23 @@ func sanity(g *callgraph.Graph) error {
 
 // WriteFlat renders the flat profile (§5.1).
 func (r *Result) WriteFlat(w io.Writer) error {
-	return report.Flat(w, r.Graph, r.opt.Report)
+	return report.Flat(w, r.Model, r.opt.Report)
 }
 
 // WriteCallGraph renders the call graph profile (§5.2).
 func (r *Result) WriteCallGraph(w io.Writer) error {
-	return report.CallGraph(w, r.Graph, r.opt.Report)
+	return report.CallGraph(w, r.Model, r.opt.Report)
 }
 
 // WriteIndex renders the alphabetical routine index.
 func (r *Result) WriteIndex(w io.Writer) error {
-	return report.IndexListing(w, r.Graph)
+	return report.IndexListing(w, r.Model)
+}
+
+// WriteJSON encodes the profile model as versioned JSON
+// (docs/FORMATS.md); the encoding round-trips through model.Decode.
+func (r *Result) WriteJSON(w io.Writer) error {
+	return model.Encode(w, r.Model)
 }
 
 // WriteAll renders the full gprof output: call graph profile, flat

@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gmon"
 	"repro/internal/lang"
+	"repro/internal/model"
 	"repro/internal/mon"
 	"repro/internal/object"
 	"repro/internal/profgo"
@@ -242,8 +243,9 @@ func Fig4() Result {
 	g := Figure4Graph()
 	scc.Analyze(g)
 	propagate.Run(g)
+	m := model.Build(g)
 	var b strings.Builder
-	if err := report.CallGraph(&b, g, report.Options{Focus: []string{"EXAMPLE"}, NoHeaders: true}); err != nil {
+	if err := report.CallGraph(&b, m, report.Options{Focus: []string{"EXAMPLE"}, NoHeaders: true}); err != nil {
 		return Result{ID: "F4", Pass: false, Measure: err.Error()}
 	}
 	out := b.String()

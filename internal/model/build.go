@@ -1,0 +1,175 @@
+package model
+
+import (
+	"sort"
+
+	"repro/internal/callgraph"
+)
+
+// Build condenses an analyzed call graph into the serializable profile
+// model. The graph must already have cycles discovered (scc.Analyze)
+// and time propagated (propagate.Run*); Build assigns the listing
+// indices (callgraph.AssignIndexes) as its first step, so it also
+// fixes Node.Index / Cycle.Index on the graph.
+//
+// Every ordering a renderer depends on is baked in here:
+//
+//   - Routines in graph node order (address order for image graphs);
+//   - Cycles in discovery order, members in discovery order;
+//   - Arcs grouped by callee in routine order, each callee's incoming
+//     arcs in insertion order (the order the pointer-based renderers
+//     walked n.In, which the listing's stable sorts tie-break on);
+//   - Flat rows pre-sorted in presentation order.
+//
+// Build runs in O(nodes + arcs): call counts and per-cycle totals are
+// computed in one pass each rather than through the graph's
+// per-query accessors, which rescan incoming arcs on every call.
+func Build(g *callgraph.Graph) *Profile {
+	callgraph.AssignIndexes(g)
+
+	p := &Profile{
+		Schema:       Schema,
+		Hz:           g.Hertz(),
+		TotalTicks:   g.TotalTicks,
+		LostTicks:    g.LostTicks,
+		TotalSeconds: g.TotalTicks / float64(g.Hertz()),
+	}
+
+	nodes := g.Nodes()
+	// One pass over each node's incoming arcs for its call counts; the
+	// accessor pair (Calls, SelfCalls) would make two.
+	type counts struct{ calls, selfCalls int64 }
+	callsOf := make(map[*callgraph.Node]counts, len(nodes))
+	for _, n := range nodes {
+		var c counts
+		for _, a := range n.In {
+			if a.Self() {
+				c.selfCalls += a.Count
+			} else {
+				c.calls += a.Count
+			}
+		}
+		callsOf[n] = c
+	}
+
+	p.Routines = make([]Routine, 0, len(nodes))
+	for _, n := range nodes {
+		c := callsOf[n]
+		r := Routine{
+			Name:         n.Name,
+			Index:        n.Index,
+			SelfTicks:    n.SelfTicks,
+			ChildTicks:   n.ChildTicks,
+			SelfSeconds:  p.Seconds(n.SelfTicks),
+			ChildSeconds: p.Seconds(n.ChildTicks),
+			Calls:        c.calls,
+			SelfCalls:    c.selfCalls,
+		}
+		if n.InCycle() {
+			r.Cycle = n.Cycle.Number
+		}
+		p.Routines = append(p.Routines, r)
+	}
+
+	// Per-cycle totals once per cycle, not once per arc.
+	extCalls := make(map[*callgraph.Cycle]int64, len(g.Cycles))
+	for _, c := range g.Cycles {
+		ext := c.ExternalCalls()
+		extCalls[c] = ext
+		mc := Cycle{
+			Number:        c.Number,
+			Index:         c.Index,
+			Members:       make([]string, 0, len(c.Members)),
+			SelfTicks:     c.SelfTicks(),
+			ChildTicks:    c.ChildTicks,
+			ExternalCalls: ext,
+			InternalCalls: c.InternalCalls(),
+		}
+		for _, m := range c.Members {
+			mc.Members = append(mc.Members, m.Name)
+		}
+		p.Cycles = append(p.Cycles, mc)
+	}
+
+	for _, n := range nodes {
+		for _, a := range n.In {
+			row := Arc{
+				To:             a.Callee.Name,
+				Count:          a.Count,
+				Sites:          a.Sites,
+				Static:         a.Static,
+				PropSelfTicks:  a.PropSelf,
+				PropChildTicks: a.PropChild,
+			}
+			if a.Caller != nil {
+				row.From = a.Caller.Name
+			}
+			// The calls/total denominator: calls into the callee, or
+			// into its whole cycle when it is a member.
+			if a.Callee.InCycle() {
+				row.TotalCalls = extCalls[a.Callee.Cycle]
+			} else {
+				row.TotalCalls = callsOf[a.Callee].calls
+			}
+			p.Arcs = append(p.Arcs, row)
+		}
+	}
+
+	p.buildFlat(nodes, func(n *callgraph.Node) int64 {
+		c := callsOf[n]
+		return c.calls + c.selfCalls
+	})
+	p.Reindex()
+	return p
+}
+
+// buildFlat computes the flat profile rows (§5.1) and the never-called
+// list from the graph nodes, using exactly the historic sort.
+func (p *Profile) buildFlat(nodes []*callgraph.Node, callsOf func(*callgraph.Node) int64) {
+	type row struct {
+		n     *callgraph.Node
+		calls int64
+	}
+	var rows []row
+	for _, n := range nodes {
+		calls := callsOf(n)
+		if calls == 0 && n.SelfTicks == 0 {
+			p.NeverCalled = append(p.NeverCalled, n.Name)
+			continue
+		}
+		rows = append(rows, row{n, calls})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].n.SelfTicks != rows[j].n.SelfTicks {
+			return rows[i].n.SelfTicks > rows[j].n.SelfTicks
+		}
+		if rows[i].calls != rows[j].calls {
+			return rows[i].calls > rows[j].calls
+		}
+		return rows[i].n.Name < rows[j].n.Name
+	})
+	sort.Strings(p.NeverCalled)
+
+	var cum float64
+	for _, r := range rows {
+		selfSecs := p.Seconds(r.n.SelfTicks)
+		cum += selfSecs
+		fr := FlatRow{
+			Name:              r.n.Name,
+			Percent:           p.Percent(r.n.SelfTicks),
+			CumulativeSeconds: cum,
+			SelfSeconds:       selfSecs,
+			Calls:             r.calls,
+		}
+		if r.n.InCycle() {
+			fr.Cycle = r.n.Cycle.Number
+		}
+		if r.calls > 0 {
+			fr.SelfMsPerCall = selfSecs * 1000 / float64(r.calls)
+			if !r.n.InCycle() {
+				fr.TotalMsPerCall = p.Seconds(r.n.TotalTicks()) * 1000 / float64(r.calls)
+			}
+		}
+		p.Flat = append(p.Flat, fr)
+	}
+}

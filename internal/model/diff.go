@@ -1,0 +1,97 @@
+package model
+
+import "sort"
+
+// Delta is one routine's change between two profiles. Old* fields are
+// zero when the routine is new, New* fields when it disappeared.
+type Delta struct {
+	Name string `json:"name"`
+	// InOld/InNew record presence, distinguishing "zero seconds" from
+	// "not in that profile at all".
+	InOld bool `json:"in_old"`
+	InNew bool `json:"in_new"`
+
+	OldSelf  float64 `json:"old_self_seconds"`
+	NewSelf  float64 `json:"new_self_seconds"`
+	OldTotal float64 `json:"old_total_seconds"`
+	NewTotal float64 `json:"new_total_seconds"`
+	OldCalls int64   `json:"old_calls"`
+	NewCalls int64   `json:"new_calls"`
+}
+
+// DSelf returns the self-seconds change (new - old).
+func (d *Delta) DSelf() float64 { return d.NewSelf - d.OldSelf }
+
+// DTotal returns the total-seconds change (new - old).
+func (d *Delta) DTotal() float64 { return d.NewTotal - d.OldTotal }
+
+// DCalls returns the call-count change (new - old).
+func (d *Delta) DCalls() int64 { return d.NewCalls - d.OldCalls }
+
+// Changed reports whether anything moved between the runs.
+func (d *Delta) Changed() bool {
+	return d.DSelf() != 0 || d.DTotal() != 0 || d.DCalls() != 0 || d.InOld != d.InNew
+}
+
+// Diff compares two profiles routine by routine — the "did my change
+// make it faster" question the flat and call-graph listings cannot
+// answer across runs. The result covers the union of routine names,
+// sorted by decreasing total-seconds regression (the biggest slowdowns
+// first), ties by self-seconds regression, then name. Routines dead in
+// both profiles (never called, no samples) are omitted.
+//
+// Calls are compared as total call counts (incoming plus
+// self-recursive), matching the flat profile's calls column.
+func Diff(old, new *Profile) []Delta {
+	byName := make(map[string]*Delta)
+	order := make([]string, 0, len(old.Routines)+len(new.Routines))
+	get := func(name string) *Delta {
+		d, ok := byName[name]
+		if !ok {
+			d = &Delta{Name: name}
+			byName[name] = d
+			order = append(order, name)
+		}
+		return d
+	}
+	for i := range old.Routines {
+		r := &old.Routines[i]
+		d := get(r.Name)
+		d.InOld = true
+		d.OldSelf = r.SelfSeconds
+		d.OldTotal = r.TotalSeconds()
+		d.OldCalls = r.Calls + r.SelfCalls
+	}
+	for i := range new.Routines {
+		r := &new.Routines[i]
+		d := get(r.Name)
+		d.InNew = true
+		d.NewSelf = r.SelfSeconds
+		d.NewTotal = r.TotalSeconds()
+		d.NewCalls = r.Calls + r.SelfCalls
+	}
+
+	out := make([]Delta, 0, len(order))
+	for _, name := range order {
+		d := byName[name]
+		dead := d.OldSelf == 0 && d.NewSelf == 0 &&
+			d.OldTotal == 0 && d.NewTotal == 0 &&
+			d.OldCalls == 0 && d.NewCalls == 0
+		if dead {
+			continue
+		}
+		out = append(out, *d)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		ti, tj := out[i].DTotal(), out[j].DTotal()
+		if ti != tj {
+			return ti > tj
+		}
+		si, sj := out[i].DSelf(), out[j].DSelf()
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

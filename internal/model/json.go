@@ -1,0 +1,97 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Encode writes the profile as indented JSON under the versioned
+// schema (docs/FORMATS.md). The encoding is deterministic: field order
+// is struct order and every slice has a fixed order, so two encodings
+// of the same analysis are byte-identical — golden tests and diffs can
+// compare files directly.
+func Encode(w io.Writer, p *Profile) error {
+	if p.Schema == "" {
+		return fmt.Errorf("model: refusing to encode a profile without a schema tag")
+	}
+	buf, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// Decode reads a JSON profile and validates its schema tag and
+// internal consistency. It accepts exactly the Schema this package
+// writes; unknown versions are rejected loudly rather than misread.
+func Decode(r io.Reader) (*Profile, error) {
+	var p Profile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("model: decode: %w", err)
+	}
+	if p.Schema != Schema {
+		return nil, fmt.Errorf("model: unsupported profile schema %q (want %q)", p.Schema, Schema)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	p.Reindex()
+	return &p, nil
+}
+
+// Validate checks the referential integrity a renderer or differ
+// relies on: arcs point at known routines, cycle members exist, and
+// the clock rate is usable.
+func (p *Profile) Validate() error {
+	if p.Hz <= 0 {
+		return fmt.Errorf("model: non-positive clock rate %d", p.Hz)
+	}
+	names := make(map[string]bool, len(p.Routines))
+	for i := range p.Routines {
+		n := p.Routines[i].Name
+		if n == "" {
+			return fmt.Errorf("model: routine %d has an empty name", i)
+		}
+		if names[n] {
+			return fmt.Errorf("model: duplicate routine %q", n)
+		}
+		names[n] = true
+	}
+	numbers := make(map[int]bool, len(p.Cycles))
+	for i := range p.Cycles {
+		c := &p.Cycles[i]
+		if numbers[c.Number] {
+			return fmt.Errorf("model: duplicate cycle number %d", c.Number)
+		}
+		numbers[c.Number] = true
+		for _, m := range c.Members {
+			if !names[m] {
+				return fmt.Errorf("model: cycle %d member %q is not a routine", c.Number, m)
+			}
+		}
+	}
+	for i := range p.Arcs {
+		a := &p.Arcs[i]
+		if a.To == "" || !names[a.To] {
+			return fmt.Errorf("model: arc %d callee %q is not a routine", i, a.To)
+		}
+		if a.From != "" && !names[a.From] {
+			return fmt.Errorf("model: arc %d caller %q is not a routine", i, a.From)
+		}
+	}
+	for _, f := range p.Flat {
+		if !names[f.Name] {
+			return fmt.Errorf("model: flat row %q is not a routine", f.Name)
+		}
+	}
+	for _, n := range p.NeverCalled {
+		if !names[n] {
+			return fmt.Errorf("model: never-called %q is not a routine", n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/callgraph"
+	"repro/internal/propagate"
+	"repro/internal/scc"
+)
+
+// testGraph builds a small analyzed graph with a cycle, a spontaneous
+// arc, a static arc, and a never-called routine — every feature the
+// model must carry.
+func testGraph() *callgraph.Graph {
+	g := callgraph.New()
+	g.Hz = 1
+	g.AddArc("", "main", 1)
+	g.AddArc("main", "a", 4)
+	g.AddArc("a", "b", 6)
+	g.AddArc("b", "a", 2)
+	g.AddArc("a", "a", 3)
+	st := g.AddArc("main", "ghost", 0)
+	st.Static = true
+	g.AddNode("unused")
+	g.MustNode("main").SelfTicks = 1
+	g.MustNode("a").SelfTicks = 5
+	g.MustNode("b").SelfTicks = 4
+	g.TotalTicks = 10
+	scc.Analyze(g)
+	propagate.Run(g)
+	return g
+}
+
+func build(t *testing.T) *Profile {
+	t.Helper()
+	return Build(testGraph())
+}
+
+func TestBuildInvariants(t *testing.T) {
+	p := build(t)
+	if p.Schema != Schema {
+		t.Errorf("Schema = %q, want %q", p.Schema, Schema)
+	}
+	if p.Hz <= 0 {
+		t.Errorf("Hz = %d, want > 0", p.Hz)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("built profile invalid: %v", err)
+	}
+	// Every routine (even never-called) is present and indexed.
+	for _, name := range []string{"main", "a", "b", "ghost", "unused"} {
+		r, ok := p.Routine(name)
+		if !ok {
+			t.Fatalf("routine %q missing", name)
+		}
+		if r.Index <= 0 {
+			t.Errorf("routine %q unindexed", name)
+		}
+	}
+	// a and b form the cycle.
+	a, _ := p.Routine("a")
+	b, _ := p.Routine("b")
+	if a.Cycle == 0 || a.Cycle != b.Cycle {
+		t.Errorf("a.Cycle=%d b.Cycle=%d, want same non-zero", a.Cycle, b.Cycle)
+	}
+	c, ok := p.CycleByNumber(a.Cycle)
+	if !ok || len(c.Members) != 2 {
+		t.Fatalf("cycle %d missing or wrong members: %+v", a.Cycle, c)
+	}
+	// Self-recursion split: a's 3 self-calls are not in Calls.
+	if a.SelfCalls != 3 {
+		t.Errorf("a.SelfCalls = %d, want 3", a.SelfCalls)
+	}
+	// Never-called routines are listed alphabetically: ghost is only the
+	// target of a never-traversed static arc, so it too never ran.
+	if len(p.NeverCalled) != 2 || p.NeverCalled[0] != "ghost" || p.NeverCalled[1] != "unused" {
+		t.Errorf("NeverCalled = %v, want [ghost unused]", p.NeverCalled)
+	}
+	// Flat rows are sorted by decreasing self time.
+	for i := 1; i < len(p.Flat); i++ {
+		if p.Flat[i].SelfSeconds > p.Flat[i-1].SelfSeconds {
+			t.Errorf("flat rows unsorted at %d", i)
+		}
+	}
+	// Arcs: the spontaneous one has no From, the static one is marked.
+	var sawSpont, sawStatic bool
+	for i := range p.Arcs {
+		a := &p.Arcs[i]
+		if a.Spontaneous() {
+			sawSpont = true
+		}
+		if a.Static {
+			sawStatic = true
+			if a.Count != 0 {
+				t.Errorf("static arc has count %d", a.Count)
+			}
+		}
+	}
+	if !sawSpont || !sawStatic {
+		t.Errorf("arc features lost: spontaneous=%v static=%v", sawSpont, sawStatic)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := build(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, p); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	first := buf.String()
+	q, err := Decode(strings.NewReader(first))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	// Re-encoding the decoded profile reproduces the bytes exactly:
+	// the encoding is deterministic and nothing is lost in transit.
+	var buf2 bytes.Buffer
+	if err := Encode(&buf2, q); err != nil {
+		t.Fatalf("re-Encode: %v", err)
+	}
+	if buf2.String() != first {
+		t.Error("encode -> decode -> encode is not byte-identical")
+	}
+}
+
+func TestEncodeRejectsMissingSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, &Profile{Hz: 1}); err == nil {
+		t.Error("Encode accepted a profile without a schema tag")
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"not json", "nope"},
+		{"wrong schema", `{"schema":"gprof.profile.v999","hz":1,"total_ticks":0,"total_seconds":0,"routines":[]}`},
+		{"no hz", `{"schema":"` + Schema + `","total_ticks":0,"total_seconds":0,"routines":[]}`},
+		{"dup routine", `{"schema":"` + Schema + `","hz":1,"total_ticks":0,"total_seconds":0,"routines":[{"name":"x","self_ticks":0,"descendant_ticks":0,"self_seconds":0,"descendant_seconds":0,"calls":0},{"name":"x","self_ticks":0,"descendant_ticks":0,"self_seconds":0,"descendant_seconds":0,"calls":0}]}`},
+		{"arc to nowhere", `{"schema":"` + Schema + `","hz":1,"total_ticks":0,"total_seconds":0,"routines":[],"arcs":[{"to":"gone","count":1,"prop_self_ticks":0,"prop_child_ticks":0}]}`},
+		{"cycle member missing", `{"schema":"` + Schema + `","hz":1,"total_ticks":0,"total_seconds":0,"routines":[],"cycles":[{"number":1,"members":["gone"],"self_ticks":0,"descendant_ticks":0,"external_calls":0,"internal_calls":0}]}`},
+	}
+	for _, tc := range cases {
+		if _, err := Decode(strings.NewReader(tc.json)); err == nil {
+			t.Errorf("%s: Decode accepted invalid input", tc.name)
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	old := build(t)
+
+	// Same workload, "slower": scale a's self time up and drop main's
+	// calls to a, add a brand-new routine, remove ghost.
+	g := callgraph.New()
+	g.Hz = 1
+	g.AddArc("", "main", 1)
+	g.AddArc("main", "a", 2)
+	g.AddArc("a", "b", 6)
+	g.AddArc("b", "a", 2)
+	g.AddArc("main", "fresh", 5)
+	g.MustNode("main").SelfTicks = 1
+	g.MustNode("a").SelfTicks = 9
+	g.MustNode("b").SelfTicks = 4
+	g.MustNode("fresh").SelfTicks = 2
+	g.TotalTicks = 16
+	scc.Analyze(g)
+	propagate.Run(g)
+	new := Build(g)
+
+	deltas := Diff(old, new)
+	byName := make(map[string]*Delta)
+	for i := range deltas {
+		byName[deltas[i].Name] = &deltas[i]
+	}
+
+	// a: self 5 -> 9.
+	a := byName["a"]
+	if a == nil || !a.InOld || !a.InNew {
+		t.Fatalf("a delta wrong: %+v", a)
+	}
+	if a.DSelf() != 4 {
+		t.Errorf("a DSelf = %v, want 4", a.DSelf())
+	}
+	// a's calls: old 4(main)+2(b)+3(self)=9; new 2+2=4.
+	if a.DCalls() != 4-9 {
+		t.Errorf("a DCalls = %v, want -5", a.DCalls())
+	}
+	// fresh is added, ghost (static-only, dead in both) is omitted,
+	// unused (dead in both) is omitted.
+	f := byName["fresh"]
+	if f == nil || f.InOld || !f.InNew {
+		t.Fatalf("fresh delta wrong: %+v", f)
+	}
+	if byName["ghost"] != nil || byName["unused"] != nil {
+		t.Error("dead-in-both routines appear in the diff")
+	}
+	// Sorted by decreasing total-time regression.
+	for i := 1; i < len(deltas); i++ {
+		if deltas[i].DTotal() > deltas[i-1].DTotal() {
+			t.Errorf("deltas unsorted at %d: %v after %v", i, deltas[i].DTotal(), deltas[i-1].DTotal())
+		}
+	}
+	// Identical profiles produce no changed rows.
+	for _, d := range Diff(old, old) {
+		if d.Changed() {
+			t.Errorf("self-diff reports change: %+v", d)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"repro/internal/gmon"
+	"repro/internal/model"
 	"repro/internal/symtab"
 )
 
@@ -76,18 +77,58 @@ func Table(tab *symtab.Table, p *gmon.Profile) []Row {
 	return rows
 }
 
-// Write renders the classic prof table.
-func Write(w io.Writer, tab *symtab.Table, p *gmon.Profile) error {
+// Model condenses the prof table into the shared profile model
+// (internal/model): a flat-only profile with no arcs, no cycles, and no
+// descendant time — exactly what prof(1) could see. The result encodes
+// and diffs like any gprof-produced model.
+func Model(tab *symtab.Table, p *gmon.Profile) *model.Profile {
 	rows := Table(tab, p)
-	fmt.Fprintf(w, " %%time   seconds     calls  ms/call  name\n")
+	hz := p.ClockHz()
+	m := &model.Profile{
+		Schema:       model.Schema,
+		Hz:           hz,
+		TotalTicks:   float64(p.Hist.TotalTicks()),
+		TotalSeconds: p.TotalSeconds(),
+	}
+	var cum float64
 	for _, r := range rows {
+		m.Routines = append(m.Routines, model.Routine{
+			Name:        r.Name,
+			SelfTicks:   r.Seconds * float64(hz),
+			SelfSeconds: r.Seconds,
+			Calls:       r.Calls,
+		})
+		cum += r.Seconds
+		m.Flat = append(m.Flat, model.FlatRow{
+			Name:              r.Name,
+			Percent:           r.Percent,
+			CumulativeSeconds: cum,
+			SelfSeconds:       r.Seconds,
+			Calls:             r.Calls,
+			SelfMsPerCall:     r.MsPerCall,
+		})
+	}
+	m.Reindex()
+	return m
+}
+
+// Render prints the classic prof table from a flat profile model.
+func Render(w io.Writer, m *model.Profile) error {
+	fmt.Fprintf(w, " %%time   seconds     calls  ms/call  name\n")
+	for i := range m.Flat {
+		r := &m.Flat[i]
 		per := ""
 		if r.Calls > 0 {
-			per = fmt.Sprintf("%8.2f", r.MsPerCall)
+			per = fmt.Sprintf("%8.2f", r.SelfMsPerCall)
 		}
 		fmt.Fprintf(w, "%6.1f %9.2f %9d %8s  %s\n",
-			r.Percent, r.Seconds, r.Calls, per, r.Name)
+			r.Percent, r.SelfSeconds, r.Calls, per, r.Name)
 	}
-	fmt.Fprintf(w, "total: %.2f seconds\n", p.TotalSeconds())
+	fmt.Fprintf(w, "total: %.2f seconds\n", m.TotalSeconds)
 	return nil
+}
+
+// Write renders the classic prof table.
+func Write(w io.Writer, tab *symtab.Table, p *gmon.Profile) error {
+	return Render(w, Model(tab, p))
 }

@@ -6,7 +6,7 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/callgraph"
+	"repro/internal/model"
 )
 
 // WriteDOT renders the call graph in Graphviz DOT form. The paper's
@@ -20,33 +20,33 @@ import (
 // labeled with traversal counts and weighted by propagated time; static
 // (never-traversed) arcs are dashed; intra-cycle arcs are drawn inside a
 // cluster per cycle. Options' Focus/MinPercent/Exclude filters apply.
-func WriteDOT(w io.Writer, g *callgraph.Graph, opt Options) error {
-	focus := focusSet(g, opt.Focus)
-	keep := func(n *callgraph.Node) bool {
-		return wantNode(g, n, opt, focus)
-	}
+func WriteDOT(w io.Writer, m *model.Profile, opt Options) error {
+	v := newView(m)
+	f := opt.compile(v)
 
 	fmt.Fprintln(w, "digraph callgraph {")
 	fmt.Fprintln(w, `  rankdir=TB;`)
 	fmt.Fprintln(w, `  node [shape=box, style=filled, fontname="monospace"];`)
 
 	// Stable node order.
-	nodes := append([]*callgraph.Node(nil), g.Nodes()...)
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
-
-	kept := make(map[*callgraph.Node]bool)
-	for _, n := range nodes {
-		if keep(n) {
-			kept[n] = true
+	names := make([]string, 0, len(m.Routines))
+	kept := make(map[string]bool)
+	for i := range m.Routines {
+		r := &m.Routines[i]
+		names = append(names, r.Name)
+		if wantNode(v, r, opt, f) {
+			kept[r.Name] = true
 		}
 	}
+	sort.Strings(names)
 
 	// Cycle clusters first, then free nodes.
-	emitted := make(map[*callgraph.Node]bool)
-	for _, c := range g.Cycles {
+	emitted := make(map[string]bool)
+	for i := range m.Cycles {
+		c := &m.Cycles[i]
 		any := false
-		for _, m := range c.Members {
-			if kept[m] {
+		for _, name := range c.Members {
+			if kept[name] {
 				any = true
 			}
 		}
@@ -55,23 +55,33 @@ func WriteDOT(w io.Writer, g *callgraph.Graph, opt Options) error {
 		}
 		fmt.Fprintf(w, "  subgraph cluster_%d {\n", c.Number)
 		fmt.Fprintf(w, "    label=\"cycle %d\";\n    style=dashed;\n", c.Number)
-		for _, m := range c.Members {
-			if kept[m] {
-				emitNode(w, g, m, "    ")
-				emitted[m] = true
+		for _, name := range c.Members {
+			if kept[name] {
+				emitNode(w, v, v.routine(name), "    ")
+				emitted[name] = true
 			}
 		}
 		fmt.Fprintln(w, "  }")
 	}
-	for _, n := range nodes {
-		if kept[n] && !emitted[n] {
-			emitNode(w, g, n, "  ")
+	for _, name := range names {
+		if kept[name] && !emitted[name] {
+			emitNode(w, v, v.routine(name), "  ")
 		}
 	}
 
-	// Edges between kept nodes.
-	for _, a := range g.Arcs() {
-		if a.Spontaneous() || !kept[a.Callee] || !kept[a.Caller] {
+	// Edges between kept nodes, in (caller, callee) order.
+	arcs := make([]*model.Arc, 0, len(m.Arcs))
+	for i := range m.Arcs {
+		arcs = append(arcs, &m.Arcs[i])
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].From != arcs[j].From {
+			return arcs[i].From < arcs[j].From
+		}
+		return arcs[i].To < arcs[j].To
+	})
+	for _, a := range arcs {
+		if a.Spontaneous() || !kept[a.To] || !kept[a.From] {
 			continue
 		}
 		attrs := []string{fmt.Sprintf("label=\"%d\"", a.Count)}
@@ -81,26 +91,26 @@ func WriteDOT(w io.Writer, g *callgraph.Graph, opt Options) error {
 		case a.Self():
 			attrs = append(attrs, "dir=back")
 		}
-		if t := seconds(g, a.PropSelf+a.PropChild); t > 0 {
-			width := 1 + 4*percent(g, a.PropSelf+a.PropChild)/100
+		if t := m.Seconds(a.PropSelfTicks + a.PropChildTicks); t > 0 {
+			width := 1 + 4*m.Percent(a.PropSelfTicks+a.PropChildTicks)/100
 			attrs = append(attrs, fmt.Sprintf("penwidth=%.2f", width))
 		}
-		fmt.Fprintf(w, "  %q -> %q [%s];\n", a.Caller.Name, a.Callee.Name, strings.Join(attrs, ", "))
+		fmt.Fprintf(w, "  %q -> %q [%s];\n", a.From, a.To, strings.Join(attrs, ", "))
 	}
 	fmt.Fprintln(w, "}")
 	return nil
 }
 
-func emitNode(w io.Writer, g *callgraph.Graph, n *callgraph.Node, indent string) {
-	pct := percent(g, n.TotalTicks())
+func emitNode(w io.Writer, v *view, r *model.Routine, indent string) {
+	pct := v.m.Percent(r.TotalTicks())
 	// White through a warm tone as the node gets hotter.
 	shade := int(255 - 1.6*pct)
 	if shade < 96 {
 		shade = 96
 	}
 	label := fmt.Sprintf("%s\\n%.2fs self / %.2fs total\\n%d calls",
-		n.Name, seconds(g, n.SelfTicks), seconds(g, n.TotalTicks()),
-		n.Calls()+n.SelfCalls())
+		r.Name, v.m.Seconds(r.SelfTicks), v.m.Seconds(r.TotalTicks()),
+		r.Calls+r.SelfCalls)
 	fmt.Fprintf(w, "%s%q [label=\"%s\", fillcolor=\"#ff%02x%02x\"];\n",
-		indent, n.Name, label, shade, shade)
+		indent, r.Name, label, shade, shade)
 }

@@ -5,7 +5,7 @@ import (
 	"io"
 	"sort"
 
-	"repro/internal/callgraph"
+	"repro/internal/model"
 )
 
 // Flat renders the flat profile (§5.1): routines sorted by decreasing
@@ -14,91 +14,83 @@ import (
 // The self-seconds column sums to the total sampled run time (any ticks
 // that fell outside known routines are reported explicitly so the sum
 // still reconciles).
-func Flat(w io.Writer, g *callgraph.Graph, opt Options) error {
-	type row struct {
-		n     *callgraph.Node
-		calls int64
-	}
-	var rows []row
-	var never []*callgraph.Node
-	for _, n := range g.Nodes() {
-		calls := n.Calls() + n.SelfCalls()
-		if calls == 0 && n.SelfTicks == 0 {
-			never = append(never, n)
-			continue
-		}
-		rows = append(rows, row{n, calls})
-	}
-	sort.SliceStable(rows, func(i, j int) bool {
-		if rows[i].n.SelfTicks != rows[j].n.SelfTicks {
-			return rows[i].n.SelfTicks > rows[j].n.SelfTicks
-		}
-		if rows[i].calls != rows[j].calls {
-			return rows[i].calls > rows[j].calls
-		}
-		return rows[i].n.Name < rows[j].n.Name
-	})
+//
+// The model's Flat rows arrive pre-sorted; the cumulative column is
+// recomputed here over the rows that survive filtering, so a -E or
+// minimum-percent view still reconciles internally.
+func Flat(w io.Writer, m *model.Profile, opt Options) error {
+	v := newView(m)
+	f := opt.compile(v)
 
-	totalSecs := seconds(g, g.TotalTicks)
+	totalSecs := m.Seconds(m.TotalTicks)
 	if !opt.NoHeaders {
 		fmt.Fprintf(w, "flat profile:\n\n")
 		fmt.Fprintf(w, "  %%         cumulative    self                self    total\n")
 		fmt.Fprintf(w, " time        seconds    seconds     calls  ms/call  ms/call name\n")
 	}
 	var cum float64
-	for _, r := range rows {
-		if opt.MinPercent > 0 && percent(g, r.n.SelfTicks) < opt.MinPercent {
+	for i := range m.Flat {
+		r := &m.Flat[i]
+		if opt.MinPercent > 0 && r.Percent < opt.MinPercent {
 			continue
 		}
-		if opt.excluded(r.n.Name) {
+		if f.excluded(r.Name) {
 			continue
 		}
-		selfSecs := seconds(g, r.n.SelfTicks)
-		cum += selfSecs
+		cum += r.SelfSeconds
 		selfPer, totalPer := "", ""
-		if r.calls > 0 {
-			selfPer = fmt.Sprintf("%8.2f", selfSecs*1000/float64(r.calls))
-			if !r.n.InCycle() {
-				totalPer = fmt.Sprintf("%8.2f", seconds(g, r.n.TotalTicks())*1000/float64(r.calls))
+		if r.Calls > 0 {
+			selfPer = fmt.Sprintf("%8.2f", r.SelfSeconds*1000/float64(r.Calls))
+			if r.Cycle == 0 {
+				totalPer = fmt.Sprintf("%8.2f", r.TotalMsPerCall)
 			}
 		}
 		fmt.Fprintf(w, "%5.1f %14.2f %10.2f %9d %8s %8s %s\n",
-			percent(g, r.n.SelfTicks), cum, selfSecs, r.calls, selfPer, totalPer, label(r.n))
+			r.Percent, cum, r.SelfSeconds, r.Calls, selfPer, totalPer, flatLabel(r))
 	}
-	if g.LostTicks > 0 {
+	if m.LostTicks > 0 {
 		fmt.Fprintf(w, "%5.1f %14.2f %10.2f %9s %8s %8s %s\n",
-			percent(g, g.LostTicks), cum+seconds(g, g.LostTicks), seconds(g, g.LostTicks),
+			m.Percent(m.LostTicks), cum+m.Seconds(m.LostTicks), m.Seconds(m.LostTicks),
 			"", "", "", "<outside any routine>")
 	}
 	if !opt.NoHeaders {
 		fmt.Fprintf(w, "\ntotal: %.2f seconds\n", totalSecs)
 	}
 
-	if len(never) > 0 {
-		sort.Slice(never, func(i, j int) bool { return never[i].Name < never[j].Name })
+	if len(m.NeverCalled) > 0 {
 		fmt.Fprintf(w, "\nroutines never called during this execution:\n")
-		for _, n := range never {
-			fmt.Fprintf(w, "    %s\n", n.Name)
+		for _, name := range m.NeverCalled {
+			fmt.Fprintf(w, "    %s\n", name)
 		}
 	}
 	return nil
 }
 
+// flatLabel renders a flat row's name with its cycle tag.
+func flatLabel(r *model.FlatRow) string {
+	if r.Cycle != 0 {
+		return fmt.Sprintf("%s <cycle%d>", r.Name, r.Cycle)
+	}
+	return r.Name
+}
+
 // IndexListing renders the alphabetical index gprof appends: each
 // routine name with its entry number, so entries can be found in the
-// call graph profile. AssignIndexes (or CallGraph) must have run.
-func IndexListing(w io.Writer, g *callgraph.Graph) error {
+// call graph profile.
+func IndexListing(w io.Writer, m *model.Profile) error {
 	type item struct {
 		name string
 		idx  int
 	}
 	var items []item
-	for _, n := range g.Nodes() {
-		if n.Index > 0 {
-			items = append(items, item{label(n), n.Index})
+	for i := range m.Routines {
+		r := &m.Routines[i]
+		if r.Index > 0 {
+			items = append(items, item{label(r), r.Index})
 		}
 	}
-	for _, c := range g.Cycles {
+	for i := range m.Cycles {
+		c := &m.Cycles[i]
 		if c.Index > 0 {
 			items = append(items, item{fmt.Sprintf("<cycle %d>", c.Number), c.Index})
 		}

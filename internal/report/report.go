@@ -1,6 +1,13 @@
 // Package report renders profile data for people: the flat profile
 // (paper §5.1) and the call graph profile (§5.2, Figure 4).
 //
+// Every renderer consumes the serializable profile model
+// (internal/model) rather than the pointer-based call graph: analysis
+// produces one model.Profile (model.Build, invoked by core.Run) and
+// presentation reads only that. The split mirrors the paper's own
+// separation of post-processing (§4) from presentation (§5) and is
+// what makes the same data renderable as text, DOT, or JSON.
+//
 // The flat profile lists every routine exercised by the execution with
 // its call count and the seconds it is itself accountable for, sorted by
 // decreasing self time; routines never called are listed separately "to
@@ -28,7 +35,7 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/callgraph"
+	"repro/internal/model"
 )
 
 // Options controls both reports.
@@ -49,132 +56,150 @@ type Options struct {
 	NoHeaders bool
 }
 
-// excluded reports whether a routine is display-suppressed.
-func (o *Options) excluded(name string) bool {
-	for _, e := range o.Exclude {
-		if e == name {
-			return true
+// filter is Options compiled against one profile: membership tests are
+// set lookups, so large -E or focus lists stay O(1) per routine
+// instead of rescanning the option slices at every node of the walk.
+type filter struct {
+	exclude map[string]bool
+	// focus is nil when no focus is requested; otherwise the focused
+	// routines plus their direct parents and children.
+	focus map[string]bool
+}
+
+// compile precomputes the option sets against a profile view.
+func (o *Options) compile(v *view) filter {
+	var f filter
+	if len(o.Exclude) > 0 {
+		f.exclude = make(map[string]bool, len(o.Exclude))
+		for _, name := range o.Exclude {
+			f.exclude[name] = true
 		}
 	}
-	return false
-}
-
-// entry is one unit of the call-graph listing: a plain node or a whole
-// cycle.
-type entry struct {
-	node  *callgraph.Node  // nil for cycle entries
-	cycle *callgraph.Cycle // nil for node entries
-}
-
-func (e entry) total() float64 {
-	if e.cycle != nil {
-		return e.cycle.TotalTicks()
-	}
-	return e.node.TotalTicks()
-}
-
-func (e entry) name() string {
-	if e.cycle != nil {
-		return fmt.Sprintf("<cycle %d as a whole>", e.cycle.Number)
-	}
-	return e.node.Name
-}
-
-// AssignIndexes orders profile entries by decreasing total time and
-// numbers them. Cycle members receive indices immediately after their
-// cycle's entry, ordered by decreasing self time. It returns the entry
-// list in listing order. CallGraph calls it; it is exported for tools
-// that need stable indices without rendering.
-func AssignIndexes(g *callgraph.Graph) []entryExport {
-	entries := buildEntries(g)
-	idx := 1
-	var out []entryExport
-	for _, e := range entries {
-		if e.cycle != nil {
-			e.cycle.Index = idx
-			idx++
-			out = append(out, entryExport{Cycle: e.cycle})
-			members := append([]*callgraph.Node(nil), e.cycle.Members...)
-			sort.SliceStable(members, func(i, j int) bool {
-				return members[i].SelfTicks > members[j].SelfTicks
-			})
-			for _, m := range members {
-				m.Index = idx
-				idx++
-				out = append(out, entryExport{Node: m})
+	if len(o.Focus) > 0 {
+		f.focus = make(map[string]bool)
+		for _, name := range o.Focus {
+			if _, ok := v.m.Routine(name); !ok {
+				continue
 			}
-			continue
+			f.focus[name] = true
+			for _, a := range v.in[name] {
+				if !a.Spontaneous() {
+					f.focus[a.From] = true
+				}
+			}
+			for _, a := range v.out[name] {
+				f.focus[a.To] = true
+			}
 		}
-		e.node.Index = idx
-		idx++
-		out = append(out, entryExport{Node: e.node})
 	}
-	return out
+	return f
 }
 
-// entryExport is the public shape of a listing entry.
-type entryExport struct {
-	Node  *callgraph.Node
-	Cycle *callgraph.Cycle
+// excluded reports whether a routine is display-suppressed.
+func (f *filter) excluded(name string) bool { return f.exclude[name] }
+
+// view is the per-render index over a profile: adjacency lists in the
+// model's arc order and the listing in index order.
+type view struct {
+	m *model.Profile
+	// in and out are each routine's incoming and outgoing arcs,
+	// pointing into m.Arcs. in preserves the model's per-callee arc
+	// order, which the cycle entries' tie-breaking depends on.
+	in, out map[string][]*model.Arc
+	// listing holds the call-graph entries in index order: for each
+	// slot exactly one of routine/cycle is non-nil.
+	listing []listEntry
 }
 
-// buildEntries collects units (plain nodes and cycles) sorted by
-// decreasing total time, ties broken by name for determinism. Units with
-// neither time nor calls (never touched) are excluded from the call
-// graph listing — they appear in the flat profile's never-called list.
-func buildEntries(g *callgraph.Graph) []entry {
-	var entries []entry
-	for _, n := range g.Nodes() {
-		if n.InCycle() {
-			continue
+type listEntry struct {
+	routine *model.Routine
+	cycle   *model.Cycle
+}
+
+func newView(m *model.Profile) *view {
+	v := &view{
+		m:   m,
+		in:  make(map[string][]*model.Arc),
+		out: make(map[string][]*model.Arc),
+	}
+	for i := range m.Arcs {
+		a := &m.Arcs[i]
+		v.in[a.To] = append(v.in[a.To], a)
+		if a.From != "" {
+			v.out[a.From] = append(v.out[a.From], a)
 		}
-		entries = append(entries, entry{node: n})
 	}
-	for _, c := range g.Cycles {
-		entries = append(entries, entry{cycle: c})
-	}
-	sort.SliceStable(entries, func(i, j int) bool {
-		ti, tj := entries[i].total(), entries[j].total()
-		if ti != tj {
-			return ti > tj
+	max := 0
+	for i := range m.Routines {
+		if m.Routines[i].Index > max {
+			max = m.Routines[i].Index
 		}
-		return entries[i].name() < entries[j].name()
-	})
-	return entries
-}
-
-// seconds converts ticks to seconds at the graph's clock rate.
-func seconds(g *callgraph.Graph, ticks float64) float64 {
-	return ticks / float64(g.Hertz())
-}
-
-// percent returns ticks as a percentage of the total run.
-func percent(g *callgraph.Graph, ticks float64) float64 {
-	if g.TotalTicks <= 0 {
-		return 0
 	}
-	return 100 * ticks / g.TotalTicks
+	for i := range m.Cycles {
+		if m.Cycles[i].Index > max {
+			max = m.Cycles[i].Index
+		}
+	}
+	v.listing = make([]listEntry, max)
+	for i := range m.Routines {
+		if idx := m.Routines[i].Index; idx > 0 {
+			v.listing[idx-1].routine = &m.Routines[i]
+		}
+	}
+	for i := range m.Cycles {
+		if idx := m.Cycles[i].Index; idx > 0 {
+			v.listing[idx-1].cycle = &m.Cycles[i]
+		}
+	}
+	return v
+}
+
+// routine resolves a name; the model guarantees arc endpoints resolve.
+func (v *view) routine(name string) *model.Routine {
+	r, _ := v.m.Routine(name)
+	return r
+}
+
+// intraCycle reports whether both arc endpoints are members of the
+// same multi-routine cycle. Such arcs are listed in the profile but
+// "do not propagate any time" (§4).
+func (v *view) intraCycle(a *model.Arc) bool {
+	if a.From == "" {
+		return false
+	}
+	from, to := v.routine(a.From), v.routine(a.To)
+	return from != nil && to != nil && from.Cycle != 0 && from.Cycle == to.Cycle
+}
+
+// totalCalls is the calls/total denominator for a routine: calls into
+// it, or into its whole cycle when it is a member.
+func (v *view) totalCalls(r *model.Routine) int64 {
+	if r.Cycle != 0 {
+		if c, ok := v.m.CycleByNumber(r.Cycle); ok {
+			return c.ExternalCalls
+		}
+	}
+	return r.Calls
 }
 
 // label renders a routine name with its cycle tag, e.g. "SUB1 <cycle1>".
-func label(n *callgraph.Node) string {
-	if n.InCycle() {
-		return fmt.Sprintf("%s <cycle%d>", n.Name, n.Cycle.Number)
+func label(r *model.Routine) string {
+	if r.Cycle != 0 {
+		return fmt.Sprintf("%s <cycle%d>", r.Name, r.Cycle)
 	}
-	return n.Name
+	return r.Name
 }
 
-// CallGraph renders the call graph profile. The graph must already be
-// analyzed (scc) and propagated (propagate). Indices are (re)assigned.
-func CallGraph(w io.Writer, g *callgraph.Graph, opt Options) error {
-	listing := AssignIndexes(g)
-	focus := focusSet(g, opt.Focus)
+// CallGraph renders the call graph profile from the model.
+func CallGraph(w io.Writer, m *model.Profile, opt Options) error {
+	v := newView(m)
+	f := opt.compile(v)
 
-	totalSecs := seconds(g, g.TotalTicks)
+	totalSecs := m.Seconds(m.TotalTicks)
 	if !opt.NoHeaders {
 		fmt.Fprintf(w, "call graph profile:\n")
 		fmt.Fprintf(w, "granularity: each sample hit covers 1 word for %.2f%% of %.2f seconds\n\n",
-			percentPerTick(g), totalSecs)
+			percentPerTick(m), totalSecs)
 		fmt.Fprintf(w, "                                  called/total       parents\n")
 		fmt.Fprintf(w, "index  %%time    self descendants  called+self    name           index\n")
 		fmt.Fprintf(w, "                                  called/total       children\n\n")
@@ -182,25 +207,25 @@ func CallGraph(w io.Writer, g *callgraph.Graph, opt Options) error {
 
 	rule := strings.Repeat("-", 72)
 	printed := 0
-	for _, ex := range listing {
-		if ex.Cycle != nil {
-			if !wantCycle(g, ex.Cycle, opt, focus) {
+	for _, e := range v.listing {
+		if e.cycle != nil {
+			if !wantCycle(v, e.cycle, opt, f) {
 				continue
 			}
 			if printed > 0 {
 				fmt.Fprintln(w, rule)
 			}
-			printCycleEntry(w, g, ex.Cycle)
+			printCycleEntry(w, v, e.cycle)
 			printed++
 			continue
 		}
-		if !wantNode(g, ex.Node, opt, focus) {
+		if e.routine == nil || !wantNode(v, e.routine, opt, f) {
 			continue
 		}
 		if printed > 0 {
 			fmt.Fprintln(w, rule)
 		}
-		printNodeEntry(w, g, ex.Node)
+		printNodeEntry(w, v, e.routine)
 		printed++
 	}
 	if printed == 0 {
@@ -209,57 +234,34 @@ func CallGraph(w io.Writer, g *callgraph.Graph, opt Options) error {
 	return nil
 }
 
-func percentPerTick(g *callgraph.Graph) float64 {
-	if g.TotalTicks <= 0 {
+func percentPerTick(m *model.Profile) float64 {
+	if m.TotalTicks <= 0 {
 		return 0
 	}
-	return 100 / g.TotalTicks
+	return 100 / m.TotalTicks
 }
 
-func focusSet(g *callgraph.Graph, names []string) map[*callgraph.Node]bool {
-	if len(names) == 0 {
-		return nil
-	}
-	set := make(map[*callgraph.Node]bool)
-	for _, name := range names {
-		n, ok := g.Node(name)
-		if !ok {
-			continue
-		}
-		set[n] = true
-		for _, a := range n.In {
-			if a.Caller != nil {
-				set[a.Caller] = true
-			}
-		}
-		for _, a := range n.Out {
-			set[a.Callee] = true
-		}
-	}
-	return set
-}
-
-func wantNode(g *callgraph.Graph, n *callgraph.Node, opt Options, focus map[*callgraph.Node]bool) bool {
-	if n.TotalTicks() == 0 && n.Calls() == 0 && n.SelfCalls() == 0 {
+func wantNode(v *view, r *model.Routine, opt Options, f filter) bool {
+	if r.TotalTicks() == 0 && r.Calls == 0 && r.SelfCalls == 0 {
 		return false // never touched; lives in the flat profile's never-called list
 	}
-	if opt.excluded(n.Name) {
+	if f.excluded(r.Name) {
 		return false
 	}
-	if focus != nil && !focus[n] {
+	if f.focus != nil && !f.focus[r.Name] {
 		return false
 	}
-	if opt.MinPercent > 0 && percent(g, n.TotalTicks()) < opt.MinPercent {
+	if opt.MinPercent > 0 && v.m.Percent(r.TotalTicks()) < opt.MinPercent {
 		return false
 	}
 	return true
 }
 
-func wantCycle(g *callgraph.Graph, c *callgraph.Cycle, opt Options, focus map[*callgraph.Node]bool) bool {
-	if focus != nil {
+func wantCycle(v *view, c *model.Cycle, opt Options, f filter) bool {
+	if f.focus != nil {
 		any := false
 		for _, m := range c.Members {
-			if focus[m] {
+			if f.focus[m] {
 				any = true
 				break
 			}
@@ -268,166 +270,159 @@ func wantCycle(g *callgraph.Graph, c *callgraph.Cycle, opt Options, focus map[*c
 			return false
 		}
 	}
-	if opt.MinPercent > 0 && percent(g, c.TotalTicks()) < opt.MinPercent {
+	if opt.MinPercent > 0 && v.m.Percent(c.TotalTicks()) < opt.MinPercent {
 		return false
 	}
 	return true
 }
 
+// sortParents orders arcs ascending by contribution (the paper's
+// Figure 4 order), ties by caller name; spontaneous arcs sort first
+// among ties. The sort is stable, so arcs that tie completely keep the
+// model's order — which is the historic n.In walk order.
+func sortParents(parents []*model.Arc) {
+	sort.SliceStable(parents, func(i, j int) bool {
+		ti := parents[i].PropSelfTicks + parents[i].PropChildTicks
+		tj := parents[j].PropSelfTicks + parents[j].PropChildTicks
+		if ti != tj {
+			return ti < tj
+		}
+		return parents[i].From < parents[j].From
+	})
+}
+
 // printNodeEntry renders one routine's entry: parents, the self line,
 // then children.
-func printNodeEntry(w io.Writer, g *callgraph.Graph, n *callgraph.Node) {
-	// Parents, ascending by contribution (the paper's Figure 4 order).
-	var parents []*callgraph.Arc
-	for _, a := range n.In {
+func printNodeEntry(w io.Writer, v *view, r *model.Routine) {
+	m := v.m
+	var parents []*model.Arc
+	for _, a := range v.in[r.Name] {
 		if !a.Self() {
 			parents = append(parents, a)
 		}
 	}
-	sort.SliceStable(parents, func(i, j int) bool {
-		ti := parents[i].PropSelf + parents[i].PropChild
-		tj := parents[j].PropSelf + parents[j].PropChild
-		if ti != tj {
-			return ti < tj
-		}
-		return parentName(parents[i]) < parentName(parents[j])
-	})
-	// Total calls for the x/y column: calls into this node, or into the
-	// whole cycle when the node is a member.
-	totalCalls := n.Calls()
-	if n.InCycle() {
-		totalCalls = n.Cycle.ExternalCalls()
-	}
+	sortParents(parents)
+	// Total calls for the x/y column: calls into this routine, or into
+	// the whole cycle when the routine is a member.
+	totalCalls := v.totalCalls(r)
 	for _, a := range parents {
 		if a.Spontaneous() {
 			fmt.Fprintf(w, "%45s<spontaneous>\n", "")
 			continue
 		}
-		if a.IntraCycle() {
+		caller := v.routine(a.From)
+		if v.intraCycle(a) {
 			// Calls from within the cycle: listed, never propagated.
 			fmt.Fprintf(w, "%14s%8s %11s %9d %s%s [%d]\n",
-				"", "", "", a.Count, "    ", label(a.Caller), a.Caller.Index)
+				"", "", "", a.Count, "    ", label(caller), caller.Index)
 			continue
 		}
 		fmt.Fprintf(w, "%14s%8.2f %11.2f %7d/%-7d %s [%d]\n",
 			"",
-			seconds(g, a.PropSelf), seconds(g, a.PropChild),
+			m.Seconds(a.PropSelfTicks), m.Seconds(a.PropChildTicks),
 			a.Count, totalCalls,
-			label(a.Caller), a.Caller.Index)
+			label(caller), caller.Index)
 	}
 
 	// The self line: index, %time, self, descendants, called+self.
-	called := fmt.Sprintf("%d", n.Calls())
-	if sc := n.SelfCalls(); sc > 0 {
-		called = fmt.Sprintf("%d+%d", n.Calls(), sc)
+	called := fmt.Sprintf("%d", r.Calls)
+	if r.SelfCalls > 0 {
+		called = fmt.Sprintf("%d+%d", r.Calls, r.SelfCalls)
 	}
 	fmt.Fprintf(w, "%-6s %5.1f %8.2f %11.2f %15s %s [%d]\n",
-		fmt.Sprintf("[%d]", n.Index),
-		percent(g, n.TotalTicks()),
-		seconds(g, n.SelfTicks), seconds(g, n.ChildTicks),
-		called, label(n), n.Index)
+		fmt.Sprintf("[%d]", r.Index),
+		m.Percent(r.TotalTicks()),
+		m.Seconds(r.SelfTicks), m.Seconds(r.ChildTicks),
+		called, label(r), r.Index)
 
 	// Children, descending by time passed up.
-	var children []*callgraph.Arc
-	for _, a := range n.Out {
+	var children []*model.Arc
+	for _, a := range v.out[r.Name] {
 		if !a.Self() {
 			children = append(children, a)
 		}
 	}
 	sort.SliceStable(children, func(i, j int) bool {
-		ti := children[i].PropSelf + children[i].PropChild
-		tj := children[j].PropSelf + children[j].PropChild
+		ti := children[i].PropSelfTicks + children[i].PropChildTicks
+		tj := children[j].PropSelfTicks + children[j].PropChildTicks
 		if ti != tj {
 			return ti > tj
 		}
-		return children[i].Callee.Name < children[j].Callee.Name
+		return children[i].To < children[j].To
 	})
 	for _, a := range children {
-		child := a.Callee
-		if a.IntraCycle() {
+		child := v.routine(a.To)
+		if v.intraCycle(a) {
 			fmt.Fprintf(w, "%14s%8s %11s %9d %s%s [%d]\n",
 				"", "", "", a.Count, "    ", label(child), child.Index)
 			continue
 		}
 		// Denominator: calls into the child (or its whole cycle).
-		den := child.Calls()
-		if child.InCycle() {
-			den = child.Cycle.ExternalCalls()
-		}
 		fmt.Fprintf(w, "%14s%8.2f %11.2f %7d/%-7d %s [%d]\n",
 			"",
-			seconds(g, a.PropSelf), seconds(g, a.PropChild),
-			a.Count, den,
+			m.Seconds(a.PropSelfTicks), m.Seconds(a.PropChildTicks),
+			a.Count, v.totalCalls(child),
 			label(child), child.Index)
 	}
-}
-
-func parentName(a *callgraph.Arc) string {
-	if a.Caller == nil {
-		return ""
-	}
-	return a.Caller.Name
 }
 
 // printCycleEntry renders a cycle-as-a-whole entry: external parents,
 // the cycle line, then the members "listed in place of the children"
 // with their calls from within the cycle.
-func printCycleEntry(w io.Writer, g *callgraph.Graph, c *callgraph.Cycle) {
-	var parents []*callgraph.Arc
-	for _, m := range c.Members {
-		for _, a := range m.In {
-			if !a.IntraCycle() && !a.Self() {
+func printCycleEntry(w io.Writer, v *view, c *model.Cycle) {
+	m := v.m
+	var parents []*model.Arc
+	for _, name := range c.Members {
+		for _, a := range v.in[name] {
+			if !v.intraCycle(a) && !a.Self() {
 				parents = append(parents, a)
 			}
 		}
 	}
-	sort.SliceStable(parents, func(i, j int) bool {
-		ti := parents[i].PropSelf + parents[i].PropChild
-		tj := parents[j].PropSelf + parents[j].PropChild
-		if ti != tj {
-			return ti < tj
-		}
-		return parentName(parents[i]) < parentName(parents[j])
-	})
-	ext := c.ExternalCalls()
+	sortParents(parents)
+	ext := c.ExternalCalls
 	for _, a := range parents {
 		if a.Spontaneous() {
 			fmt.Fprintf(w, "%45s<spontaneous>\n", "")
 			continue
 		}
+		caller := v.routine(a.From)
 		fmt.Fprintf(w, "%14s%8.2f %11.2f %7d/%-7d %s [%d]\n",
 			"",
-			seconds(g, a.PropSelf), seconds(g, a.PropChild),
+			m.Seconds(a.PropSelfTicks), m.Seconds(a.PropChildTicks),
 			a.Count, ext,
-			label(a.Caller), a.Caller.Index)
+			label(caller), caller.Index)
 	}
 	called := fmt.Sprintf("%d", ext)
-	if in := c.InternalCalls(); in > 0 {
-		called = fmt.Sprintf("%d+%d", ext, in)
+	if c.InternalCalls > 0 {
+		called = fmt.Sprintf("%d+%d", ext, c.InternalCalls)
 	}
 	fmt.Fprintf(w, "%-6s %5.1f %8.2f %11.2f %15s <cycle %d as a whole> [%d]\n",
 		fmt.Sprintf("[%d]", c.Index),
-		percent(g, c.TotalTicks()),
-		seconds(g, c.SelfTicks()), seconds(g, c.ChildTicks),
+		m.Percent(c.TotalTicks()),
+		m.Seconds(c.SelfTicks), m.Seconds(c.ChildTicks),
 		called, c.Number, c.Index)
 	// Members with their calls from within the cycle (incoming intra
-	// arcs plus self calls), sorted by self time.
-	members := append([]*callgraph.Node(nil), c.Members...)
-	sort.SliceStable(members, func(i, j int) bool {
-		return members[i].SelfTicks > members[j].SelfTicks
-	})
-	for _, m := range members {
+	// arcs plus self calls), in index order — the indices were assigned
+	// by decreasing self time, so this reproduces the historic member
+	// order.
+	members := make([]*model.Routine, 0, len(c.Members))
+	for _, name := range c.Members {
+		members = append(members, v.routine(name))
+	}
+	sort.SliceStable(members, func(i, j int) bool { return members[i].Index < members[j].Index })
+	for _, r := range members {
 		var intra int64
-		for _, a := range m.In {
-			if a.IntraCycle() && !a.Self() {
+		for _, a := range v.in[r.Name] {
+			if v.intraCycle(a) && !a.Self() {
 				intra += a.Count
 			}
 		}
 		called := fmt.Sprintf("%d", intra)
-		if sc := m.SelfCalls(); sc > 0 {
-			called = fmt.Sprintf("%d+%d", intra, sc)
+		if r.SelfCalls > 0 {
+			called = fmt.Sprintf("%d+%d", intra, r.SelfCalls)
 		}
 		fmt.Fprintf(w, "%14s%8.2f %11.2f %15s %s [%d]\n",
-			"", seconds(g, m.SelfTicks), 0.0, called, label(m), m.Index)
+			"", m.Seconds(r.SelfTicks), 0.0, called, label(r), r.Index)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/callgraph"
+	"repro/internal/model"
 	"repro/internal/propagate"
 	"repro/internal/scc"
 )
@@ -44,12 +45,19 @@ func figure4Graph() *callgraph.Graph {
 	return g
 }
 
-func render(t *testing.T, g *callgraph.Graph, opt Options) string {
-	t.Helper()
+// analyze runs the post-processing stages and condenses the graph into
+// the profile model the renderers consume.
+func analyze(g *callgraph.Graph) *model.Profile {
 	scc.Analyze(g)
 	propagate.Run(g)
+	return model.Build(g)
+}
+
+func render(t *testing.T, g *callgraph.Graph, opt Options) string {
+	t.Helper()
+	m := analyze(g)
 	var buf bytes.Buffer
-	if err := CallGraph(&buf, g, opt); err != nil {
+	if err := CallGraph(&buf, m, opt); err != nil {
 		t.Fatalf("CallGraph: %v", err)
 	}
 	return buf.String()
@@ -195,6 +203,42 @@ func TestFocusUnknownNameSelectsNothing(t *testing.T) {
 	}
 }
 
+// A routine that is both focused and excluded stays suppressed:
+// exclusion is checked independently of the focus neighborhood, so -E
+// wins over focus for the routine's own entry.
+func TestFocusExcludeSameRoutine(t *testing.T) {
+	g := figure4Graph()
+	out := render(t, g, Options{Focus: []string{"SUB2"}, Exclude: []string{"SUB2"}})
+	if entryBlock(out, "SUB2 [") != "" {
+		t.Errorf("focused-and-excluded SUB2 still has an entry:\n%s", out)
+	}
+	// The focus neighborhood survives: SUB2's parents and child keep
+	// their entries even though the focal routine itself is suppressed.
+	for _, want := range []string{"EXAMPLE", "OTHER", "SUB2LEAF"} {
+		if entryBlock(out, want) == "" {
+			t.Errorf("exclusion of the focal routine lost neighbor %s:\n%s", want, out)
+		}
+	}
+}
+
+// Excluding a parent of the focused routine suppresses the parent's own
+// entry but not the parent line inside the focused entry: exclusion
+// hides entries, not arcs.
+func TestFocusWithExcludedParent(t *testing.T) {
+	g := figure4Graph()
+	out := render(t, g, Options{Focus: []string{"SUB2"}, Exclude: []string{"OTHER"}})
+	if entryBlock(out, "OTHER") != "" {
+		t.Errorf("excluded parent OTHER still has its own entry:\n%s", out)
+	}
+	block := entryBlock(out, "SUB2 [")
+	if block == "" {
+		t.Fatalf("focused SUB2 lost its entry:\n%s", out)
+	}
+	if !strings.Contains(block, "OTHER") {
+		t.Errorf("SUB2's entry no longer lists its parent OTHER:\n%s", block)
+	}
+}
+
 func TestFlatProfile(t *testing.T) {
 	g := callgraph.New()
 	g.Hz = 1
@@ -207,11 +251,10 @@ func TestFlatProfile(t *testing.T) {
 	g.MustNode("warm").SelfTicks = 3
 	g.MustNode("main").SelfTicks = 1
 	g.TotalTicks = 10
-	scc.Analyze(g)
-	propagate.Run(g)
+	m := analyze(g)
 
 	var buf bytes.Buffer
-	if err := Flat(&buf, g, Options{}); err != nil {
+	if err := Flat(&buf, m, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -255,10 +298,9 @@ func TestFlatSumsToTotal(t *testing.T) {
 	g.MustNode("f").SelfTicks = 5
 	g.TotalTicks = 8
 	g.LostTicks = 1
-	scc.Analyze(g)
-	propagate.Run(g)
+	m := analyze(g)
 	var buf bytes.Buffer
-	if err := Flat(&buf, g, Options{}); err != nil {
+	if err := Flat(&buf, m, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -279,10 +321,9 @@ func TestFlatPerCallColumns(t *testing.T) {
 	g.MustNode("f").SelfTicks = 2 // 0.5 s/call self
 	g.MustNode("leaf").SelfTicks = 4
 	g.TotalTicks = 6
-	scc.Analyze(g)
-	propagate.Run(g)
+	m := analyze(g)
 	var buf bytes.Buffer
-	if err := Flat(&buf, g, Options{}); err != nil {
+	if err := Flat(&buf, m, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -293,12 +334,9 @@ func TestFlatPerCallColumns(t *testing.T) {
 }
 
 func TestIndexListing(t *testing.T) {
-	g := figure4Graph()
-	scc.Analyze(g)
-	propagate.Run(g)
-	AssignIndexes(g)
+	m := analyze(figure4Graph())
 	var buf bytes.Buffer
-	if err := IndexListing(&buf, g); err != nil {
+	if err := IndexListing(&buf, m); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -352,12 +390,16 @@ func TestHeadersSuppressed(t *testing.T) {
 func TestZeroTotalTicksNoPanic(t *testing.T) {
 	g := callgraph.New()
 	g.AddArc("main", "f", 1)
-	out := render(t, g, Options{})
-	if out == "" {
+	m := analyze(g)
+	var buf bytes.Buffer
+	if err := CallGraph(&buf, m, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() == "" {
 		t.Error("empty output")
 	}
-	var buf bytes.Buffer
-	if err := Flat(&buf, g, Options{}); err != nil {
+	buf.Reset()
+	if err := Flat(&buf, m, Options{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -384,15 +426,21 @@ func ExampleCallGraph() {
 	g.TotalTicks = 4
 	scc.Analyze(g)
 	propagate.Run(g)
+	m := model.Build(g)
 	var buf bytes.Buffer
-	_ = CallGraph(&buf, g, Options{NoHeaders: true})
+	_ = CallGraph(&buf, m, Options{NoHeaders: true})
 	fmt.Println(strings.Contains(buf.String(), "main"))
 	// Output: true
 }
 
 func TestExcludeFilter(t *testing.T) {
 	g := figure4Graph()
-	out := render(t, g, Options{Exclude: []string{"SUB2", "DEEP"}})
+	m := analyze(g)
+	var buf bytes.Buffer
+	if err := CallGraph(&buf, m, Options{Exclude: []string{"SUB2", "DEEP"}}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
 	if entryBlock(out, "SUB2 [") != "" {
 		t.Error("excluded SUB2 still has an entry")
 	}
@@ -406,10 +454,8 @@ func TestExcludeFilter(t *testing.T) {
 		t.Errorf("exclusion changed propagation:\n%s", block)
 	}
 	// Flat profile also suppresses the rows.
-	scc.Analyze(g)
-	propagate.Run(g)
-	var buf bytes.Buffer
-	if err := Flat(&buf, g, Options{Exclude: []string{"SUB2LEAF"}}); err != nil {
+	buf.Reset()
+	if err := Flat(&buf, m, Options{Exclude: []string{"SUB2LEAF"}}); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(buf.String(), "SUB2LEAF") {
@@ -418,11 +464,9 @@ func TestExcludeFilter(t *testing.T) {
 }
 
 func TestWriteDOT(t *testing.T) {
-	g := figure4Graph()
-	scc.Analyze(g)
-	propagate.Run(g)
+	m := analyze(figure4Graph())
 	var buf bytes.Buffer
-	if err := WriteDOT(&buf, g, Options{}); err != nil {
+	if err := WriteDOT(&buf, m, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -432,11 +476,7 @@ func TestWriteDOT(t *testing.T) {
 		`"EXAMPLE" -> "SUB1"`, // a dynamic edge
 		"style=dashed",        // the static EXAMPLE->SUB3 arc
 		`label="20"`,          // edge count label
-		"10+4",                // hmm: DOT shows total calls, not this
 	} {
-		if want == "10+4" {
-			continue // node labels show summed calls instead
-		}
 		if !strings.Contains(out, want) {
 			t.Errorf("DOT missing %q:\n%s", want, out)
 		}
@@ -452,7 +492,7 @@ func TestWriteDOT(t *testing.T) {
 	}
 	// Filters apply.
 	buf.Reset()
-	if err := WriteDOT(&buf, g, Options{Exclude: []string{"SUB3"}}); err != nil {
+	if err := WriteDOT(&buf, m, Options{Exclude: []string{"SUB3"}}); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(buf.String(), `"SUB3" [`) {

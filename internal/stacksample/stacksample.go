@@ -24,6 +24,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/model"
 	"repro/internal/symtab"
 	"repro/internal/vm"
 )
@@ -194,17 +195,43 @@ func splitStack(key string) []string {
 	return frames
 }
 
+// Model condenses the sampler's results into the shared profile model
+// (internal/model). Sampling units are the clock: Hz is 1, a tick is a
+// sample, and a routine's "descendant" time is its inclusive minus self
+// samples — measured, not estimated. Routines appear in report order
+// (decreasing inclusive samples).
+func (s *Sampler) Model() *model.Profile {
+	m := &model.Profile{
+		Schema:       model.Schema,
+		Hz:           1,
+		TotalTicks:   float64(s.samples),
+		TotalSeconds: float64(s.samples),
+	}
+	for _, r := range s.Rows() {
+		self := float64(r.Self)
+		child := float64(r.Inclusive - r.Self)
+		m.Routines = append(m.Routines, model.Routine{
+			Name:         r.Name,
+			SelfTicks:    self,
+			ChildTicks:   child,
+			SelfSeconds:  self,
+			ChildSeconds: child,
+		})
+	}
+	m.Reindex()
+	return m
+}
+
 // Write renders the per-routine table with tick counts and percentages.
 func (s *Sampler) Write(w io.Writer) error {
+	m := s.Model()
 	fmt.Fprintf(w, "stack-sample profile: %d samples (%d truncated walks)\n", s.samples, s.truncated)
 	fmt.Fprintf(w, "  %%incl   %%self  inclusive    self  name\n")
-	for _, r := range s.Rows() {
-		pi, ps := 0.0, 0.0
-		if s.samples > 0 {
-			pi = 100 * float64(r.Inclusive) / float64(s.samples)
-			ps = 100 * float64(r.Self) / float64(s.samples)
-		}
-		fmt.Fprintf(w, "%7.1f %7.1f %10d %7d  %s\n", pi, ps, r.Inclusive, r.Self, r.Name)
+	for i := range m.Routines {
+		r := &m.Routines[i]
+		pi, ps := m.Percent(r.TotalTicks()), m.Percent(r.SelfTicks)
+		fmt.Fprintf(w, "%7.1f %7.1f %10d %7d  %s\n",
+			pi, ps, int64(r.TotalTicks()), int64(r.SelfTicks), r.Name)
 	}
 	return nil
 }
