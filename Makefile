@@ -28,13 +28,29 @@ bench-smoke:
 # the workload suite via the parallel driver, plus the engine-facing
 # go-bench micro-benchmarks parsed into the same file. Schema in
 # docs/FORMATS.md.
-LABEL ?= PR4
+LABEL ?= PR5
 .PHONY: bench-json
 bench-json:
-	go test -run xxx -bench 'Dispatch|McountFastPath|McountSteady|Snapshot|VMExecution|Overhead|GmonRead|GmonWrite|MergeAll|ImageIO|ModelBuild|ModelJSON' \
-		-benchmem . ./internal/mon > bench-raw.out && \
+	go test -run xxx -bench 'Dispatch|McountFastPath|McountSteady|Snapshot|VMExecution|Overhead|GmonRead|GmonWrite|MergeAll|ImageIO|ModelBuild|ModelJSON|ObsSpan|ObsCounter' \
+		-benchmem . ./internal/mon ./internal/obs > bench-raw.out && \
 	go run ./cmd/benchjson -label $(LABEL) -parse bench-raw.out -o BENCH_$(LABEL).json && \
 	rm -f bench-raw.out
+
+# Self-observability smoke: a profiled run and an analysis under
+# -stats/-tracefile/-runreport, with both artifacts validated by
+# tracecheck and stdout checked against an unobserved run. The vmrun
+# step ignores the exit status because vmrun propagates the workload
+# program's own exit code.
+.PHONY: stats-smoke
+stats-smoke:
+	rm -rf .stats-smoke && mkdir -p .stats-smoke
+	go build -o .stats-smoke/ ./cmd/vmrun ./cmd/gprof ./cmd/tracecheck
+	cd .stats-smoke && (./vmrun -p -q -stats -workload sort || true)
+	cd .stats-smoke && ./gprof -jobs 1 a.out gmon.out > plain.txt
+	cd .stats-smoke && ./gprof -jobs 1 -stats -tracefile t.json -runreport r.json a.out gmon.out > observed.txt
+	cmp .stats-smoke/plain.txt .stats-smoke/observed.txt
+	cd .stats-smoke && ./tracecheck t.json r.json
+	rm -rf .stats-smoke
 
 # Regenerate the pinned presentation goldens (text reports and JSON
 # profiles) under testdata/golden. The -update flag lives in the root

@@ -31,7 +31,7 @@ import (
 
 // File is the BENCH_*.json document. Field order is the wire order.
 type File struct {
-	Schema    string                      `json:"schema"` // "bench.v2"
+	Schema    string                      `json:"schema"` // "bench.v3"
 	Label     string                      `json:"label"`  // e.g. "PR2"
 	Go        string                      `json:"go"`
 	GOOS      string                      `json:"goos"`
@@ -101,7 +101,7 @@ func main() {
 	flag.Parse()
 
 	f := File{
-		Schema:  "bench.v2",
+		Schema:  "bench.v3",
 		Label:   *label,
 		Go:      runtime.Version(),
 		GOOS:    runtime.GOOS,

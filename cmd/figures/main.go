@@ -13,9 +13,14 @@
 // differential tests guarantee the reference loop would reproduce the
 // same profiles bit for bit. Host-level performance is snapshotted
 // separately by cmd/benchjson into the BENCH_*.json trajectory.
+//
+// -stats, -tracefile, and -runreport observe the analyses behind the
+// experiments themselves (stage spans across every core.Run the run
+// performs); all three write to stderr or named files, never stdout.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +28,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -34,8 +40,17 @@ func main() {
 		jobs = flag.Int("jobs", runtime.GOMAXPROCS(0),
 			"worker-pool width for the analyses behind each experiment (1 = serial)")
 	)
+	var o obs.CLI
+	o.Register(flag.CommandLine)
 	flag.Parse()
 	experiments.SetJobs(*jobs)
+	experiments.SetTrace(o.Trace())
+	// exit routes every termination through the observability outputs so
+	// a failing experiment still leaves a diagnosable trace behind.
+	exit := func(code int, runErr error) {
+		o.Finish(runErr)
+		os.Exit(code)
+	}
 
 	switch {
 	case *list:
@@ -46,11 +61,11 @@ func main() {
 		r, ok := experiments.ByID(*id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *id)
-			os.Exit(1)
+			exit(1, fmt.Errorf("unknown experiment %q", *id))
 		}
 		printOne(r)
 		if !r.Pass {
-			os.Exit(1)
+			exit(1, fmt.Errorf("experiment %s failed", r.ID))
 		}
 	case *all || *md:
 		results := experiments.All()
@@ -61,12 +76,16 @@ func main() {
 		}
 		for _, r := range results {
 			if !r.Pass {
-				os.Exit(1)
+				exit(1, errors.New("one or more experiments failed"))
 			}
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err := o.Finish(nil); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 

@@ -19,6 +19,12 @@
 // execution engine (internal/vm's deadline-batched loop feeding
 // internal/mon's arena arc table); the gathering cost itself is tracked
 // in the committed BENCH_*.json snapshots (docs/FORMATS.md).
+//
+// The profiler profiles itself: -stats prints a per-stage timing and
+// counter summary to stderr, -tracefile writes a Chrome trace-event
+// JSON of the run (one track per worker goroutine; open in Perfetto),
+// and -runreport writes the machine-readable gprof.runreport.v1
+// document. None of the three touch stdout.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"repro/internal/cyclebreak"
 	"repro/internal/gmon"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -78,10 +85,22 @@ func main() {
 		format  = flag.Int("format", gmon.Version1, "profile data format version for -sum (1 or 2)")
 	)
 	flag.Var(&removeArcs, "k", "remove arc caller/callee before analysis (repeatable)")
+	var o obs.CLI
+	o.Register(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	// The trace rides the context into every pipeline stage; with no
+	// observability flag it is nil and costs a pointer check per stage.
+	tr := o.Trace()
+	ctx = obs.NewContext(ctx, tr)
+	// fail emits the partial observability outputs (summary, trace,
+	// report) before exiting, so an aborted run stays diagnosable.
+	fail := func(err error) {
+		o.Finish(err)
+		fatal(err)
+	}
 
 	exe := "a.out"
 	profiles := []string{"gmon.out"}
@@ -99,18 +118,24 @@ func main() {
 	// Profiles load before the image: -sum needs no executable at all.
 	p, err := core.LoadProfiles(ctx, profiles, *jobs)
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 	if *sumFile != "" {
 		if err := gmon.WriteFileVersion(*sumFile, p, *format); err != nil {
+			fail(err)
+		}
+		if err := o.Finish(nil); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	im, err := object.ReadImageFile(exe)
+	endImage := tr.Span("load.image")
+	im, imBytes, err := object.ReadImageFileStats(exe)
+	endImage()
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
+	tr.Counter("object.bytes_read").Add(imBytes)
 	opt := core.Options{
 		Static:       *static,
 		RemoveArcs:   removeArcs,
@@ -130,11 +155,12 @@ func main() {
 	}
 	res, err := core.Run(ctx, core.ImageSource{Image: im}, p, opt)
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 	// One buffered writer, flushed with the error checked: a full disk
 	// must fail loudly, not truncate the listing silently.
 	w := bufio.NewWriter(os.Stdout)
+	endRender := tr.Span("render")
 	switch {
 	case *lines:
 		err = report.LineProfile(w, im, p, nil)
@@ -149,10 +175,16 @@ func main() {
 	default:
 		err = res.WriteAll(w)
 	}
-	if err != nil {
-		fatal(err)
+	if err == nil {
+		err = w.Flush()
 	}
-	if err := w.Flush(); err != nil {
+	endRender()
+	if err != nil {
+		fail(err)
+	}
+	// Observability outputs go last, after stdout is complete, and only
+	// to stderr or the named files — stdout stays byte-identical.
+	if err := o.Finish(nil); err != nil {
 		fatal(err)
 	}
 }

@@ -13,6 +13,13 @@
 // the workflow of the paper's §3. With -save, the linked executable is
 // also written (default a.out) so the gprof and prof commands can map
 // addresses back to routine names.
+//
+// -stats surfaces the tool's own internals on stderr: build/run/write
+// stage timings plus the engine and collector counters — vm.cycles and
+// the fast loop's deadline batches, and the mon arc table's shape
+// (arena cells, last-arc cache hits, hash chain lengths) that decide
+// whether MCOUNT really runs "as fast as possible" (§3). -tracefile
+// writes the same run as Chrome trace-event JSON.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"repro/internal/lang"
 	"repro/internal/mon"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -46,15 +54,27 @@ func main() {
 		quiet    = flag.Bool("q", false, "suppress the run summary")
 		trace    = flag.Bool("trace", false, "print every executed instruction to stderr (slow)")
 	)
+	var o obs.CLI
+	o.Register(flag.CommandLine)
 	flag.Parse()
-
-	im, err := buildImage(*workload, flag.Args(), *profile, *entry)
-	if err != nil {
+	tr := o.Trace()
+	fail := func(err error) {
+		o.Finish(err)
 		fatal(err)
 	}
+
+	endBuild := tr.Span("build")
+	im, err := buildImage(*workload, flag.Args(), *profile, *entry)
+	endBuild()
+	if err != nil {
+		fail(err)
+	}
 	if *saveExe != "" {
-		if err := object.WriteImageFile(*saveExe, im); err != nil {
-			fatal(err)
+		endSave := tr.Span("save.image")
+		err := object.WriteImageFile(*saveExe, im)
+		endSave()
+		if err != nil {
+			fail(err)
 		}
 	}
 
@@ -72,13 +92,21 @@ func main() {
 		collector = mon.New(im, mon.Config{Granularity: *gran, Hz: *hz})
 		cfg.Monitor = collector
 	}
-	res, err := vm.New(im, cfg).Run()
+	m := vm.New(im, cfg)
+	endRun := tr.Span("run")
+	res, err := m.Run()
+	endRun()
+	recordVMStats(tr, m, res, collector)
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 	if collector != nil {
-		if err := gmon.WriteFile(*gmonOut, collector.Snapshot()); err != nil {
-			fatal(err)
+		endWrite := tr.Span("write.profile")
+		snap := collector.Snapshot()
+		err := gmon.WriteFile(*gmonOut, snap)
+		endWrite()
+		if err != nil {
+			fail(err)
 		}
 	}
 	if !*quiet {
@@ -90,7 +118,41 @@ func main() {
 				st.McountCalls, st.Inserts, st.Ticks, *gmonOut)
 		}
 	}
+	if err := o.Finish(nil); err != nil {
+		fatal(err)
+	}
 	os.Exit(int(res.ExitCode & 0xff))
+}
+
+// recordVMStats publishes the engine's and the collector's internal
+// counters — previously test-only — as obs counters, so -stats and
+// -tracefile expose whether the fast loop batches well and whether the
+// mon arena's last-arc cache is actually hitting.
+func recordVMStats(tr *obs.Trace, m *vm.Machine, res vm.Result, collector *mon.Collector) {
+	if tr == nil {
+		return
+	}
+	tr.Counter("vm.cycles").Add(res.Cycles)
+	tr.Counter("vm.instructions").Add(res.Retired)
+	tr.Counter("vm.ticks").Add(res.Ticks)
+	tr.Counter("vm.batches").Add(m.FastBatches())
+	if collector == nil {
+		return
+	}
+	st := collector.Stats()
+	tr.Counter("mon.mcount_calls").Add(st.McountCalls)
+	tr.Counter("mon.arc_cache_hits").Add(st.CacheHits)
+	tr.Counter("mon.probes").Add(st.Probes)
+	tr.Counter("mon.inserts").Add(st.Inserts)
+	tr.Counter("mon.spontaneous").Add(st.Spontaneous)
+	tr.Counter("mon.ticks").Add(st.Ticks)
+	tr.Counter("mon.lost_ticks").Add(st.LostTicks)
+	ts := collector.TableStats()
+	tr.Gauge("mon.arena_cells").Set(int64(ts.ArenaCells))
+	tr.Gauge("mon.arena_cap").Set(int64(ts.ArenaCap))
+	tr.Gauge("mon.hash_chains").Set(int64(ts.Chains))
+	tr.Gauge("mon.hash_max_chain").Set(int64(ts.MaxChain))
+	tr.Gauge("mon.spont_entries").Set(int64(ts.SpontEntries))
 }
 
 func buildImage(workload string, files []string, profile bool, entry string) (*object.Image, error) {

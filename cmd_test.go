@@ -323,3 +323,66 @@ func TestCommandProfdiff(t *testing.T) {
 		t.Errorf("-top 1 did not truncate:\n%s", topped)
 	}
 }
+
+// TestCommandStatsNoDrift is the observability non-interference
+// guarantee: -stats, -tracefile, and -runreport leave gprof's stdout
+// byte-identical, write diagnostics only to stderr and the named
+// files, and the files validate under tracecheck and carry a span for
+// every pipeline stage.
+func TestCommandStatsNoDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := buildTools(t)
+	run(t, dir, "vmrun", "-p", "-q", "-workload", "service", "-o", "gmon.1")
+	run(t, dir, "vmrun", "-p", "-q", "-workload", "service", "-seed", "9", "-o", "gmon.2")
+
+	base, baseErr := run(t, dir, "gprof", "-jobs", "1", "a.out", "gmon.1", "gmon.2")
+	if base == "" {
+		t.Fatal("empty baseline gprof output")
+	}
+	if baseErr != "" {
+		t.Fatalf("baseline gprof wrote to stderr: %q", baseErr)
+	}
+
+	observed, errOut := run(t, dir, "gprof",
+		"-jobs", "1", "-stats", "-tracefile", "t.json", "-runreport", "r.json",
+		"a.out", "gmon.1", "gmon.2")
+	if observed != base {
+		t.Errorf("-stats/-tracefile/-runreport changed stdout")
+	}
+	if !strings.Contains(errOut, "self-observability") {
+		t.Errorf("-stats summary missing from stderr: %q", errOut)
+	}
+
+	// The run report carries a span for every pipeline stage.
+	data, err := os.ReadFile(filepath.Join(dir, "r.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []string{
+		`"merge"`, `"gmon.read_file"`, `"load.image"`, `"load"`, `"graph"`,
+		`"attribute"`, `"scc"`, `"propagate"`, `"model-build"`, `"render"`,
+	} {
+		if !strings.Contains(string(data), stage) {
+			t.Errorf("run report missing stage %s", stage)
+		}
+	}
+	if !strings.Contains(string(data), `"complete": true`) {
+		t.Errorf("successful run not marked complete:\n%s", data)
+	}
+
+	// Both artifacts validate.
+	_, errOut = run(t, dir, "tracecheck", "t.json", "r.json")
+	if strings.Count(errOut, ": ok (") != 2 {
+		t.Errorf("tracecheck rejected the artifacts:\n%s", errOut)
+	}
+
+	// vmrun surfaces the engine and arc-table internals under -stats.
+	_, errOut = run(t, dir, "vmrun", "-p", "-q", "-workload", "service", "-stats", "-o", "gmon.3")
+	for _, want := range []string{"vm.batches", "mon.arc_cache_hits", "mon.arena_cells", "mon.hash_max_chain"} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("vmrun -stats missing %s:\n%s", want, errOut)
+		}
+	}
+}

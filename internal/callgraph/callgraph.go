@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/gmon"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/symtab"
 )
 
@@ -328,6 +329,7 @@ func Build(tab *symtab.Table, p *gmon.Profile) (*Graph, error) {
 // serial Build. Arc insertion stays sequential — it is map-bound and
 // order-sensitive — so the graph structure is identical at any width.
 func BuildCtx(ctx context.Context, tab *symtab.Table, p *gmon.Profile, jobs int) (*Graph, error) {
+	tr := obs.FromContext(ctx)
 	g := New()
 	g.Hz = p.ClockHz()
 	for _, s := range tab.Syms() {
@@ -336,7 +338,9 @@ func BuildCtx(ctx context.Context, tab *symtab.Table, p *gmon.Profile, jobs int)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	endAttr := tr.Span("attribute")
 	ticks, lost := tab.AttributeHistN(&p.Hist, jobs)
+	endAttr()
 	for name, t := range ticks {
 		g.MustNode(name).SelfTicks = t
 	}
@@ -345,6 +349,7 @@ func BuildCtx(ctx context.Context, tab *symtab.Table, p *gmon.Profile, jobs int)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	tr.Counter("graph.arc_records").Add(int64(len(p.Arcs)))
 	for _, rec := range p.Arcs {
 		callee, ok := tab.Find(rec.SelfPC)
 		if !ok {

@@ -38,6 +38,7 @@ import (
 	"repro/internal/gmon"
 	"repro/internal/model"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/propagate"
 	"repro/internal/report"
 	"repro/internal/scc"
@@ -177,7 +178,21 @@ type Result struct {
 // (attribution, propagation) between pipeline steps, opt.Jobs sets the
 // worker-pool width (0 or 1 reproduces the serial pipeline exactly),
 // and opt.Cache reuses static layers across calls.
-func Run(ctx context.Context, src Source, p *gmon.Profile, opt Options) (*Result, error) {
+//
+// When ctx carries an obs.Trace (obs.NewContext), every pipeline stage
+// records a span — load, graph (with its attribute sub-span), scc,
+// cyclebreak, propagate, model-build — and the static-layer cache
+// publishes its hit/miss gauges, so a run's internal schedule is
+// inspectable with -stats or -tracefile. On cancellation the spans
+// recorded so far survive in the trace: Run marks it failed and the
+// partial run report stays diagnosable.
+func Run(ctx context.Context, src Source, p *gmon.Profile, opt Options) (res *Result, err error) {
+	tr := obs.FromContext(ctx)
+	defer func() {
+		if err != nil {
+			tr.Fail(err)
+		}
+	}()
 	if src == nil {
 		return nil, errors.New("core: nil Source")
 	}
@@ -190,17 +205,27 @@ func Run(ctx context.Context, src Source, p *gmon.Profile, opt Options) (*Result
 	if opt.Static && !src.supportsStatic() {
 		return nil, fmt.Errorf("%w: Static requires an image-backed source", ErrBadOptions)
 	}
+	endLoad := tr.Span("load")
 	tab, static, err := src.load(opt.Cache, opt.Static)
+	endLoad()
 	if err != nil {
 		return nil, err
 	}
+	if opt.Cache != nil {
+		hits, misses := opt.Cache.Stats()
+		tr.Gauge("cache.static_hits").Set(int64(hits))
+		tr.Gauge("cache.static_misses").Set(int64(misses))
+	}
+	endGraph := tr.Span("graph")
 	g, err := callgraph.BuildCtx(ctx, tab, p, opt.jobs())
+	endGraph()
 	if err != nil {
 		return nil, err
 	}
 	if opt.Static {
 		g.AddStatic(static)
 	}
+	tr.Gauge("graph.nodes").Set(int64(g.Len()))
 	return finish(ctx, g, opt)
 }
 
@@ -244,25 +269,36 @@ func legacyOptions(opt Options, image bool) Options {
 }
 
 func finish(ctx context.Context, g *callgraph.Graph, opt Options) (*Result, error) {
+	tr := obs.FromContext(ctx)
 	res := &Result{Graph: g, opt: opt}
 	for _, id := range opt.RemoveArcs {
 		if g.RemoveArc(id.Caller, id.Callee) {
 			res.RemovedArcs++
 		}
 	}
+	endSCC := tr.Span("scc")
 	scc.Analyze(g)
+	endSCC()
+	tr.Gauge("graph.cycles").Set(int64(len(g.Cycles)))
 	if opt.AutoBreak {
+		endBreak := tr.Span("cyclebreak")
 		sug := cyclebreak.Suggest(g, cyclebreak.Options{MaxArcs: opt.MaxBreakArcs})
 		res.Suggestion = &sug
 		res.RemovedArcs += cyclebreak.Apply(g, sug.Arcs)
+		endBreak()
 	}
-	if err := propagate.RunCtx(ctx, g, opt.jobs()); err != nil {
+	endProp := tr.Span("propagate")
+	err := propagate.RunCtx(ctx, g, opt.jobs())
+	endProp()
+	if err != nil {
 		return nil, err
 	}
 	if err := sanity(g); err != nil {
 		return nil, err
 	}
+	endModel := tr.Span("model-build")
 	res.Model = model.Build(g)
+	endModel()
 	return res, nil
 }
 

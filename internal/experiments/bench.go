@@ -2,14 +2,17 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/gmon"
 	"repro/internal/mon"
+	"repro/internal/obs"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -37,6 +40,13 @@ type WorkloadBench struct {
 	CacheHitRate  float64 `json:"cache_hit_rate"`  // last-arc cache hits per MCOUNT
 	GmonV1Bytes   int64   `json:"gmon_v1_bytes"`   // profile data size, format version 1
 	GmonV2Bytes   int64   `json:"gmon_v2_bytes"`   // profile data size, format version 2 (delta/varint)
+
+	// The analysis side of the trajectory (bench.v3): one serial
+	// core.Run over the workload's own profile, instrumented with an
+	// obs trace, so the post-processor's stage costs travel in the same
+	// row as the gathering costs they pay for.
+	AnalysisNs     int64             `json:"analysis_ns"`     // host wall time of the analysis run
+	AnalysisStages []obs.StageTiming `json:"analysis_stages"` // per-stage spans of that run
 }
 
 // BenchConfig controls a suite run.
@@ -155,5 +165,17 @@ func benchOne(name string, iters int) (WorkloadBench, error) {
 		return WorkloadBench{}, err
 	}
 	row.GmonV2Bytes = int64(buf.Len())
+
+	// Analyze the profile we just gathered, under a private trace: the
+	// report's stage rows become the row's analysis_stages. Serial
+	// (Jobs: 1) so the numbers are comparable across host core counts.
+	atr := obs.New()
+	actx := obs.NewContext(context.Background(), atr)
+	if _, err := core.Run(actx, core.ImageSource{Image: profIm}, snap, core.Options{Jobs: 1}); err != nil {
+		return WorkloadBench{}, err
+	}
+	rep := atr.Report()
+	row.AnalysisNs = rep.WallNs
+	row.AnalysisStages = rep.Stages
 	return row, nil
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/mon"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/profgo"
 	"repro/internal/propagate"
 	"repro/internal/report"
@@ -53,6 +54,7 @@ type Result struct {
 var (
 	jobs  = 1
 	cache = core.NewCache(0)
+	trace *obs.Trace
 )
 
 // SetJobs sets the worker-pool width used by every analysis (cmd/figures
@@ -64,12 +66,23 @@ func SetJobs(n int) {
 	jobs = n
 }
 
+// SetTrace attaches an observability trace to every analysis the
+// experiments run (cmd/figures wires its -stats/-tracefile flags here);
+// nil — the default — is the free disabled layer.
+func SetTrace(t *obs.Trace) { trace = t }
+
+// runCtx is the context every experiment analysis runs under, carrying
+// the package trace when one is set.
+func runCtx() context.Context {
+	return obs.NewContext(context.Background(), trace)
+}
+
 // analyze runs the post-processor with the package's jobs width and
 // shared static-layer cache.
 func analyze(im *object.Image, p *gmon.Profile, opt core.Options) (*core.Result, error) {
 	opt.Jobs = jobs
 	opt.Cache = cache
-	return core.Run(context.Background(), core.ImageSource{Image: im}, p, opt)
+	return core.Run(runCtx(), core.ImageSource{Image: im}, p, opt)
 }
 
 // All runs every experiment in order.
@@ -447,7 +460,7 @@ func SelfProfile() Result {
 	if err != nil {
 		return failed("E4", err)
 	}
-	selfRes, err := core.Run(context.Background(), core.TableSource{Table: p.Table()}, p.Snapshot(), core.Options{Jobs: jobs})
+	selfRes, err := core.Run(runCtx(), core.TableSource{Table: p.Table()}, p.Snapshot(), core.Options{Jobs: jobs})
 	if err != nil {
 		return failed("E4", err)
 	}

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // checkMergeable reports why other cannot be summed into p, if so: the
@@ -125,17 +127,24 @@ func ReadFilesCtx(ctx context.Context, names []string, jobs int) (*Profile, erro
 var scratchPool = sync.Pool{New: func() any { return new(Profile) }}
 
 // readFileInto decodes the named file into the scratch profile, reusing
-// its storage. Errors are attributed to the file.
-func readFileInto(name string, p *Profile) error {
+// its storage, and reports the bytes consumed. Errors are attributed to
+// the file.
+func readFileInto(name string, p *Profile) (int64, error) {
 	f, err := os.Open(name)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer f.Close()
-	if err := ReadInto(f, p); err != nil {
-		return fmt.Errorf("%s: %w", name, err)
+	d, err := NewReader(f)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", name, err)
 	}
-	return nil
+	defer d.Close()
+	st, err := decodeInto(d, p)
+	if err != nil {
+		return st.TotalBytes, fmt.Errorf("%s: %w", name, err)
+	}
+	return st.TotalBytes, nil
 }
 
 // MergeAllStreaming reads the named profile data files and sums them
@@ -145,31 +154,58 @@ func readFileInto(name string, p *Profile) error {
 // file to file) into a per-worker partial sum. The result is identical
 // to the sequential left-to-right ReadFiles fold for any worker count —
 // counts sum and Merge canonicalizes arc order.
-func MergeAllStreaming(ctx context.Context, names []string, jobs int) (*Profile, error) {
+//
+// An obs.Trace carried by ctx records the whole merge as one "merge"
+// span plus a "gmon.read_file" span per input, and feeds the
+// gmon.files_read / gmon.bytes_read counters and the merge.workers
+// gauge; a canceled or failed merge marks the trace so partial stage
+// timings survive.
+func MergeAllStreaming(ctx context.Context, names []string, jobs int) (p *Profile, err error) {
+	tr := obs.FromContext(ctx)
+	defer tr.Span("merge")()
+	defer func() {
+		if err != nil {
+			tr.Fail(err)
+		}
+	}()
+	filesC := tr.Counter("gmon.files_read")
+	bytesC := tr.Counter("gmon.bytes_read")
 	if len(names) == 0 {
 		return nil, fmt.Errorf("gmon: no profile data files")
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	total, err := ReadFile(names[0])
+	endFirst := tr.Span("gmon.read_file")
+	total := &Profile{}
+	n, err := readFileInto(names[0], total)
+	endFirst()
+	bytesC.Add(n)
 	if err != nil {
 		return nil, err
 	}
+	filesC.Add(1)
 	rest := names[1:]
 	if len(rest) == 0 {
+		tr.Gauge("merge.workers").Set(1)
 		return total, nil
 	}
 	if jobs <= 1 {
+		tr.Gauge("merge.workers").Set(1)
 		scratch := scratchPool.Get().(*Profile)
 		defer scratchPool.Put(scratch)
 		for _, name := range rest {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			if err := readFileInto(name, scratch); err != nil {
+			endRead := tr.Span("gmon.read_file")
+			n, err := readFileInto(name, scratch)
+			endRead()
+			bytesC.Add(n)
+			if err != nil {
 				return nil, err
 			}
+			filesC.Add(1)
 			if err := total.Merge(scratch); err != nil {
 				return nil, fmt.Errorf("%s: %w", name, err)
 			}
@@ -180,6 +216,7 @@ func MergeAllStreaming(ctx context.Context, names []string, jobs int) (*Profile,
 	if workers > len(rest) {
 		workers = len(rest)
 	}
+	tr.Gauge("merge.workers").Set(int64(workers))
 	accs := make([]*Profile, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -195,10 +232,15 @@ func MergeAllStreaming(ctx context.Context, names []string, jobs int) (*Profile,
 					continue
 				}
 				name := rest[i]
-				if err := readFileInto(name, scratch); err != nil {
+				endRead := tr.Span("gmon.read_file")
+				n, err := readFileInto(name, scratch)
+				endRead()
+				bytesC.Add(n)
+				if err != nil {
 					errs[w] = err
 					continue
 				}
+				filesC.Add(1)
 				// Check against the first file's geometry here so the
 				// error names the incompatible input, not an
 				// intermediate sum.

@@ -207,6 +207,47 @@ func (c *Collector) Control(op int) {
 // Stats returns a copy of the collector's counters.
 func (c *Collector) Stats() Stats { return c.stats }
 
+// TableStats describes the arc table's current shape: the arena the
+// cells live in and the collision-chain profile of the primary hash.
+// The paper's claim that "collisions occur only for call sites which
+// call multiple destinations" predicts MaxChain stays tiny for
+// site-keyed tables; vmrun -stats and the obs counters surface the
+// measurement.
+type TableStats struct {
+	ArenaCells   int // live arc cells
+	ArenaCap     int // arena capacity (allocation high-water mark)
+	Chains       int // occupied primary-hash slots
+	MaxChain     int // longest collision chain
+	SpontEntries int // distinct spontaneous callees
+}
+
+// TableStats walks the live arc table and reports its shape. Cost is
+// O(text length + cells); call it at run end, not per event.
+func (c *Collector) TableStats() TableStats {
+	ts := TableStats{
+		ArenaCells:   len(c.arena),
+		ArenaCap:     cap(c.arena),
+		SpontEntries: len(c.spont),
+	}
+	for slot := range c.table {
+		if c.slotGen[slot] != c.gen {
+			continue
+		}
+		n := 0
+		for i := c.table[slot]; i >= 0; i = c.arena[i].next {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		ts.Chains++
+		if n > ts.MaxChain {
+			ts.MaxChain = n
+		}
+	}
+	return ts
+}
+
 // Mcount records the arc (frompc → selfpc) and returns the extra cycles
 // the monitoring routine consumed. frompc is the call-site address or a
 // negative value when the caller is unidentifiable (spontaneous).

@@ -425,3 +425,60 @@ func TestTraceCollectorControl(t *testing.T) {
 		t.Error("hz metadata lost")
 	}
 }
+
+// TestTableStats: the arc-table shape diagnostics (exposed by vmrun
+// -stats) track live entries only — a Reset generation-clears the
+// table and the chains vanish without touching the arena capacity.
+func TestTableStats(t *testing.T) {
+	im := testImage(t, 16)
+	c := New(im, Config{})
+	if ts := c.TableStats(); ts.ArenaCells != 0 || ts.Chains != 0 || ts.MaxChain != 0 {
+		t.Errorf("fresh collector stats = %+v, want zero", ts)
+	}
+
+	callee := im.TextBase + 10
+	for i := 0; i < 4; i++ {
+		c.Mcount(callee, im.TextBase+int64(i)) // 4 distinct arcs
+	}
+	c.Mcount(callee, -1) // one spontaneous entry
+	ts := c.TableStats()
+	if ts.ArenaCells != 4 {
+		t.Errorf("arena cells = %d, want 4", ts.ArenaCells)
+	}
+	if ts.ArenaCap < ts.ArenaCells {
+		t.Errorf("arena cap %d < cells %d", ts.ArenaCap, ts.ArenaCells)
+	}
+	if ts.Chains < 1 || ts.Chains > 4 {
+		t.Errorf("chains = %d, want 1..4", ts.Chains)
+	}
+	if ts.MaxChain < 1 || ts.MaxChain > 4 {
+		t.Errorf("max chain = %d, want 1..4", ts.MaxChain)
+	}
+	if ts.SpontEntries != 1 {
+		t.Errorf("spontaneous entries = %d, want 1", ts.SpontEntries)
+	}
+
+	// Every chain link must account for every arena cell.
+	total := 0
+	for slot := range c.table {
+		if c.slotGen[slot] != c.gen {
+			continue
+		}
+		for i := c.table[slot]; i >= 0; i = c.arena[i].next {
+			total++
+		}
+	}
+	if total != ts.ArenaCells {
+		t.Errorf("chains cover %d cells, arena has %d", total, ts.ArenaCells)
+	}
+
+	c.Reset()
+	c.Enable()
+	if ts := c.TableStats(); ts.ArenaCells != 0 || ts.Chains != 0 {
+		t.Errorf("stats after reset = %+v, want empty table", ts)
+	}
+	c.Mcount(callee, im.TextBase)
+	if ts := c.TableStats(); ts.ArenaCells != 1 || ts.Chains != 1 || ts.MaxChain != 1 {
+		t.Errorf("stats after reset+insert = %+v", ts)
+	}
+}

@@ -273,14 +273,26 @@ func WriteImageFile(name string, im *Image) error {
 
 // ReadImageFile reads an executable from the named file.
 func ReadImageFile(name string) (*Image, error) {
+	im, _, err := ReadImageFileStats(name)
+	return im, err
+}
+
+// ReadImageFileStats reads an executable from the named file and also
+// reports the file's size in bytes, for the observability layer's
+// object.bytes_read accounting.
+func ReadImageFileStats(name string) (*Image, int64, error) {
 	f, err := os.Open(name)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
 	im, err := ReadImage(f)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", name, err)
+		return nil, 0, fmt.Errorf("%s: %w", name, err)
 	}
-	return im, nil
+	var size int64
+	if fi, err := f.Stat(); err == nil {
+		size = fi.Size()
+	}
+	return im, size, nil
 }

@@ -1,0 +1,47 @@
+package obs
+
+import "testing"
+
+// BenchmarkObsSpanOverhead is the acceptance benchmark: the disabled
+// (nil trace) span path — what every pipeline stage pays when no
+// observability flag is set — must cost under 5ns and 0 allocs.
+func BenchmarkObsSpanOverhead(b *testing.B) {
+	var tr *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		end := tr.Span("stage")
+		end()
+	}
+}
+
+// BenchmarkObsSpanEnabled is the price actually paid when tracing is
+// on: goroutine-id resolution plus a sharded append.
+func BenchmarkObsSpanEnabled(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		end := tr.Span("stage")
+		end()
+	}
+}
+
+// BenchmarkObsCounterAdd measures the hot-path instrument: a hoisted
+// counter is one atomic add.
+func BenchmarkObsCounterAdd(b *testing.B) {
+	tr := New()
+	c := tr.Counter("hot.path")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkObsCounterDisabled is the nil-counter no-op.
+func BenchmarkObsCounterDisabled(b *testing.B) {
+	var tr *Trace
+	c := tr.Counter("hot.path")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}

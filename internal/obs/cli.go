@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// CLI bundles the observability flags every tool exposes (-stats,
+// -tracefile, -runreport) and the output discipline behind them: all
+// diagnostics go to stderr or to the named files, never to stdout, so
+// enabling observability can never perturb a tool's report output.
+//
+// Usage:
+//
+//	var o obs.CLI
+//	o.Register(flag.CommandLine)
+//	flag.Parse()
+//	ctx = obs.NewContext(ctx, o.Trace())
+//	...
+//	defer o.Finish(runErr)
+type CLI struct {
+	Stats      bool
+	TraceFile  string
+	ReportFile string
+
+	trace   *Trace
+	created bool
+}
+
+// Register installs the three flags on fs.
+func (c *CLI) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&c.Stats, "stats", false,
+		"print a self-observability summary (stage timings, counters) to stderr")
+	fs.StringVar(&c.TraceFile, "tracefile", "",
+		"write a Chrome trace-event JSON file of this run (open in Perfetto or chrome://tracing)")
+	fs.StringVar(&c.ReportFile, "runreport", "",
+		"write the machine-readable run report (schema gprof.runreport.v1) to this file")
+}
+
+// Enabled reports whether any observability output was requested.
+func (c *CLI) Enabled() bool {
+	return c.Stats || c.TraceFile != "" || c.ReportFile != ""
+}
+
+// Trace returns the run's trace, creating it on first call when any
+// flag was set — and nil (the free, disabled layer) otherwise.
+func (c *CLI) Trace() *Trace {
+	if !c.created {
+		c.created = true
+		if c.Enabled() {
+			c.trace = New()
+		}
+	}
+	return c.trace
+}
+
+// Finish marks the trace with runErr (if the run failed) and emits
+// every requested output: the -stats summary to stderr, the -tracefile
+// Chrome trace, and the -runreport JSON. A failed run still emits — a
+// partial report is the point — so call Finish on every exit path. It
+// returns the first emit error.
+func (c *CLI) Finish(runErr error) error {
+	tr := c.Trace()
+	if tr == nil {
+		return nil
+	}
+	tr.Fail(runErr)
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if c.Stats {
+		keep(tr.WriteSummary(os.Stderr))
+	}
+	writeFile := func(name string, write func(*os.File) error) {
+		f, err := os.Create(name)
+		if err != nil {
+			keep(err)
+			return
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			keep(fmt.Errorf("%s: %w", name, err))
+			return
+		}
+		keep(f.Close())
+	}
+	if c.TraceFile != "" {
+		writeFile(c.TraceFile, func(f *os.File) error { return tr.WriteChromeTrace(f) })
+	}
+	if c.ReportFile != "" {
+		writeFile(c.ReportFile, func(f *os.File) error { return tr.WriteReport(f) })
+	}
+	return firstErr
+}

@@ -23,10 +23,12 @@ package propagate
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sync"
 
 	"repro/internal/callgraph"
+	"repro/internal/obs"
 	"repro/internal/scc"
 )
 
@@ -157,10 +159,21 @@ func runLevels(ctx context.Context, g *callgraph.Graph, jobs int) error {
 	for _, u := range units {
 		levels[u.depth] = append(levels[u.depth], u)
 	}
+	// The level schedule is the interesting scheduling fact about the
+	// parallel pipeline: publish it, and record one span per level so a
+	// Chrome trace shows how the DAG's depth serializes the run.
+	tr := obs.FromContext(ctx)
+	tr.Gauge("propagate.levels").Set(int64(len(levels)))
+	tr.Gauge("propagate.units").Set(int64(len(units)))
+	tr.Gauge("propagate.jobs").Set(int64(jobs))
 
-	for _, level := range levels {
+	for depth, level := range levels {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		var endLevel func()
+		if tr != nil {
+			endLevel = tr.Span(fmt.Sprintf("propagate.L%d", depth))
 		}
 		// Parallel phase: each unit gathers its incoming arcs and writes
 		// its shares onto them. Every arc targets exactly one unit, so
@@ -219,6 +232,9 @@ func runLevels(ctx context.Context, g *callgraph.Graph, jobs int) error {
 					a.Caller.ChildTicks += a.PropSelf + a.PropChild
 				}
 			}
+		}
+		if endLevel != nil {
+			endLevel()
 		}
 	}
 	return nil

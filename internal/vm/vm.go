@@ -114,6 +114,13 @@ type Machine struct {
 	cycles int64
 	ticks  int64
 	rand   uint64
+
+	// batches counts the fast loop's event-deadline batches (the outer
+	// loop of runFast): the scheduling unit the deadline-batched design
+	// trades per-instruction checks for. The reference loop has no
+	// batches and leaves it zero; Result is deliberately not extended,
+	// so the two loops stay bit-identical under the differential tests.
+	batches int64
 }
 
 // New loads an image. Text is pre-decoded once; words that do not decode
@@ -161,11 +168,17 @@ func (m *Machine) Reset() {
 	m.pc = m.im.Entry
 	m.cycles = 0
 	m.ticks = 0
+	m.batches = 0
 	m.rand = m.cfg.RandSeed
 	if m.rand == 0 {
 		m.rand = 1
 	}
 }
+
+// FastBatches returns how many event-deadline batches the fast loop ran
+// (0 after a reference-loop run) — a fast-loop scheduling stat for the
+// observability layer, reported by vmrun -stats as vm.batches.
+func (m *Machine) FastBatches() int64 { return m.batches }
 
 // Cycles returns the cycles consumed so far (valid during and after Run).
 func (m *Machine) Cycles() int64 { return m.cycles }
@@ -196,8 +209,12 @@ func (m *Machine) store(addr, v int64) error {
 }
 
 func (m *Machine) push(v int64) error {
+	// A program can load any value into SP, so both bounds need
+	// checking: below the data segment's end is overflow, at or above
+	// the stack top is a corrupted pointer — either way a trap, never
+	// a host panic.
 	sp := m.regs[isa.RegSP] - 1
-	if sp < m.im.DataBase+int64(len(m.im.Data)) {
+	if sp < m.im.DataBase+int64(len(m.im.Data)) || sp >= m.im.StackTop {
 		return m.trap("stack overflow (sp %#x)", sp)
 	}
 	m.regs[isa.RegSP] = sp
@@ -207,7 +224,7 @@ func (m *Machine) push(v int64) error {
 
 func (m *Machine) pop() (int64, error) {
 	sp := m.regs[isa.RegSP]
-	if sp >= m.im.StackTop {
+	if sp < m.im.DataBase || sp >= m.im.StackTop {
 		return 0, m.trap("stack underflow (sp %#x)", sp)
 	}
 	m.regs[isa.RegSP] = sp + 1
@@ -320,6 +337,7 @@ func (m *Machine) runFast() (Result, error) {
 		// cycles < nextTick (ticks are drained below) and, when a limit
 		// is set, cycles <= MaxCycles (else we returned) — so the inner
 		// loop always makes progress.
+		m.batches++
 		deadline := nextTick
 		if maxC > 0 && maxC+1 < deadline {
 			deadline = maxC + 1

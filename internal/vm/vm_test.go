@@ -286,6 +286,11 @@ func TestTraps(t *testing.T) {
 		{"null load", ".func main\nMOVI R1, 0\nLD R0, [R1]\n.end\n", "unmapped"},
 		{"text store", ".func main\nMOVI R1, 4096\nST [R1], R1\n.end\n", "text segment"},
 		{"stack underflow", ".func main\nPOP R1\nPOP R1\nPOP R1\nRET\n.end\n", "underflow"},
+		// A program can load anything into SP; a pop or push through a
+		// corrupted pointer must trap on both sides of the stack
+		// bounds, never index host memory (the fuzz tests' guarantee).
+		{"pop below memory", ".func main\nMOVI R1, 1\nMOV SP, R1\nPOP R2\n.end\n", "underflow"},
+		{"push above stack top", ".func main\nMOVI R1, 1073741824\nMOV SP, R1\nPUSH R2\n.end\n", "overflow"},
 		{"bad syscall", ".func main\nSYS 99\n.end\n", "unknown syscall"},
 		{"run off end", ".func main\nNOP\n.end\n", ""},
 	}
