@@ -66,6 +66,19 @@ fuzz-smoke:
 	go test -run xxx -fuzz 'FuzzRead$$' -fuzztime 20s ./internal/gmon
 	go test -run xxx -fuzz 'FuzzReadImage$$' -fuzztime 20s ./internal/object
 
+# End-to-end smoke of the continuous-profiling service: start gprofd,
+# replay the workload corpus from concurrent agents via gprofload, and
+# -verify byte-compares every fingerprint's merged profile against an
+# offline gmon.MergeAll of the same uploads. gprofload exits nonzero on
+# any upload error, a zero rate, or a verify mismatch.
+.PHONY: gprofd-smoke
+gprofd-smoke:
+	rm -rf .gprofd-smoke && mkdir -p .gprofd-smoke
+	go build -o .gprofd-smoke/ ./cmd/gprofd ./cmd/gprofload
+	./.gprofd-smoke/gprofd -addr 127.0.0.1:7421 & echo $$! > .gprofd-smoke/pid
+	./.gprofd-smoke/gprofload -addr http://127.0.0.1:7421 -agents 8 -uploads 50 -verify; \
+		rc=$$?; kill `cat .gprofd-smoke/pid` 2>/dev/null; rm -rf .gprofd-smoke; exit $$rc
+
 .PHONY: figures
 figures:
 	go run ./cmd/figures -all

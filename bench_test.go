@@ -173,7 +173,7 @@ func BenchmarkAnalyzePipeline(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Analyze(im, p, core.Options{Static: true}); err != nil {
+		if _, err := core.Run(context.Background(), core.ImageSource{Image: im}, p, core.Options{Static: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -190,7 +190,7 @@ func BenchmarkReportCallGraph(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := core.Analyze(im, p, core.Options{})
+	res, err := core.Run(context.Background(), core.ImageSource{Image: im}, p, core.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -537,7 +537,7 @@ func BenchmarkReportFiltered(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := core.Analyze(im, p, core.Options{
+	res, err := core.Run(context.Background(), core.ImageSource{Image: im}, p, core.Options{
 		Report: report.Options{Focus: []string{"partition"}},
 	})
 	if err != nil {

@@ -1,0 +1,111 @@
+// Command gprofd is the fleet-scale continuous-profiling service: an
+// HTTP server that accepts gmon.out profile-data uploads from many
+// agents, streaming-merges them into time-windowed aggregates per
+// executable fingerprint, and serves flat, call-graph, diff, model,
+// and raw-profile queries over the merged data (internal/serve has the
+// design; docs/FORMATS.md documents the gprofd.api.v1 surface).
+//
+// Usage:
+//
+//	gprofd [flags]
+//
+// A typical session:
+//
+//	gprofd -addr :7421 &
+//	curl -s --data-binary @prog.img http://localhost:7421/v1/exe
+//	curl -s -H 'X-Gprof-Fingerprint: <fp>' --data-binary @gmon.out \
+//	    http://localhost:7421/v1/ingest
+//	curl -s 'http://localhost:7421/v1/flat?fp=<fp>&sync=1'
+//
+// cmd/gprofload replays the built-in workload corpus against a running
+// gprofd for load and correctness testing (`make gprofd-smoke`).
+//
+// -stats prints the ingest/merge/query observability summary to stderr
+// on shutdown; -tracefile and -runreport write the machine-readable
+// forms. Tracing records per-event spans and so grows with traffic —
+// leave it off for long-running deployments and read /v1/stats, whose
+// counters are always on and never grow.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7421", "listen address")
+		window  = flag.Duration("window", serve.DefaultWindow, "aggregation window width")
+		retain  = flag.Int("retain", serve.DefaultRetain, "windows retained per fingerprint")
+		queue   = flag.Int("queue", serve.DefaultQueueDepth, "per-fingerprint ingest queue depth")
+		maxBody = flag.Int64("maxbody", serve.DefaultMaxBodyBytes, "upload body size cap in bytes")
+		shards  = flag.Int("maxshards", serve.DefaultMaxShards, "maximum registered fingerprints")
+		jobs    = flag.Int("jobs", 0, "analysis worker width for queries (0 = GOMAXPROCS)")
+	)
+	var o obs.CLI
+	o.Register(flag.CommandLine)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "gprofd: unexpected arguments (the server takes only flags)")
+		os.Exit(2)
+	}
+	err := run(*addr, serve.Config{
+		Window:       *window,
+		Retain:       *retain,
+		QueueDepth:   *queue,
+		MaxBodyBytes: *maxBody,
+		MaxShards:    *shards,
+		Jobs:         *jobs,
+		Trace:        o.Trace(),
+	})
+	if ferr := o.Finish(err); ferr != nil && err == nil {
+		err = ferr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gprofd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg serve.Config) error {
+	srv := serve.New(cfg)
+	defer srv.Close()
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		err := httpSrv.ListenAndServe()
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		errc <- err
+	}()
+	fmt.Fprintf(os.Stderr, "gprofd: listening on %s (window %s, retain %d, queue %d)\n",
+		addr, cfg.Window, cfg.Retain, cfg.QueueDepth)
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling for a second interrupt
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	return <-errc
+}

@@ -1,0 +1,121 @@
+// Command gprofload replays the built-in workload corpus against a
+// running gprofd: the simulated fleet. It compiles and profiles each
+// workload a few times with distinct seeds, registers the executables,
+// then uploads the profiles from -agents concurrent agents, cycling
+// through format versions (v1/v2) and transports (identity/gzip) and
+// honoring the server's 429 backpressure with a short backoff.
+//
+// Usage:
+//
+//	gprofload [flags]
+//
+//	gprofload -addr http://127.0.0.1:7421 -agents 8 -uploads 100 -verify
+//
+// With -verify it fetches each fingerprint's merged profile back
+// (quiesced with ?sync=1) and byte-compares it against an offline
+// gmon.MergeAll over the exact multiset of accepted uploads; any
+// difference is a server merge bug and exits nonzero. The summary line
+// reports accepted uploads, the achieved profiles/sec, 429 retries,
+// and the server's heap as seen by /v1/stats.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:7421", "gprofd base URL")
+		agents   = flag.Int("agents", 4, "concurrent simulated agents")
+		uploads  = flag.Int("uploads", 50, "uploads per agent (ignored with -duration)")
+		duration = flag.Duration("duration", 0, "replay for this long instead of a fixed count")
+		names    = flag.String("workloads", "", "comma-separated workload names (default all)")
+		verify   = flag.Bool("verify", false, "byte-compare server merges against offline MergeAll")
+		wait     = flag.Duration("wait", 5*time.Second, "how long to wait for the server to come up")
+		jsonOut  = flag.Bool("json", false, "print the result as JSON instead of a summary line")
+	)
+	flag.Parse()
+	if err := run(*addr, *agents, *uploads, *duration, *names, *verify, *wait, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "gprofload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, agents, uploads int, duration time.Duration, names string, verify bool, wait time.Duration, jsonOut bool) error {
+	var list []string
+	if names != "" {
+		for _, n := range strings.Split(names, ",") {
+			list = append(list, strings.TrimSpace(n))
+		}
+	} else {
+		list = workloads.Names()
+	}
+	ctx := context.Background()
+	corpus, err := loadgen.BuildCorpus(list)
+	if err != nil {
+		return err
+	}
+	client := &loadgen.Client{Base: strings.TrimRight(addr, "/")}
+	if err := client.WaitReady(ctx, wait); err != nil {
+		return err
+	}
+	if err := client.RegisterAll(ctx, corpus); err != nil {
+		return err
+	}
+	res, err := client.Run(ctx, corpus, loadgen.Options{
+		Agents:          agents,
+		UploadsPerAgent: uploads,
+		Duration:        duration,
+	})
+	if err != nil {
+		return err
+	}
+	stats, statsErr := client.Stats(ctx)
+	if jsonOut {
+		out := struct {
+			Uploads      int64   `json:"uploads"`
+			PerSecond    float64 `json:"profiles_per_second"`
+			Retries429   int64   `json:"retries_429"`
+			Errors       int64   `json:"errors"`
+			ElapsedMs    int64   `json:"elapsed_ms"`
+			ServerHeapMB float64 `json:"server_heap_mb,omitempty"`
+		}{res.Uploads, res.PerSecond, res.Retries429, res.Errors, res.Elapsed.Milliseconds(), 0}
+		if statsErr == nil {
+			out.ServerHeapMB = float64(stats.HeapAllocBytes) / (1 << 20)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("uploaded %d profiles from %d agents in %v (%.0f profiles/sec, %d retries after 429, %d errors)\n",
+			res.Uploads, agents, res.Elapsed.Round(time.Millisecond), res.PerSecond, res.Retries429, res.Errors)
+		if statsErr == nil {
+			fmt.Printf("server: %d accepted, %.1f MB heap, %d shards\n",
+				stats.ProfilesAccepted, float64(stats.HeapAllocBytes)/(1<<20), len(stats.Shards))
+		}
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("%d uploads failed", res.Errors)
+	}
+	if res.Uploads == 0 {
+		return fmt.Errorf("no uploads were accepted")
+	}
+	if verify {
+		if err := client.Verify(ctx, corpus, res); err != nil {
+			return err
+		}
+		fmt.Println("verify: server merges are byte-identical to offline MergeAll")
+	}
+	return nil
+}

@@ -9,7 +9,8 @@
 //	profdiff [flags] old new
 //
 // Each operand is either a saved JSON profile (gprof -json,
-// docs/FORMATS.md) or raw profile data (gmon.out). JSON profiles are
+// docs/FORMATS.md) or profile data (gmon.out, raw or gzip-compressed,
+// either format version). JSON profiles are
 // self-contained; profile data needs the executable it was gathered
 // against, supplied with -exe (same image for both runs) or -exe1/-exe2
 // (the binary changed between runs). The two forms mix freely: a saved
@@ -21,11 +22,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/gmon"
 	"repro/internal/model"
 	"repro/internal/object"
 )
@@ -109,17 +112,18 @@ func pick(specific, general string) string {
 }
 
 // load reads one operand as a profile model: a JSON profile is decoded
-// directly; profile data (sniffed by the GMON magic) is analyzed
-// against its executable through the regular pipeline.
+// directly; profile data (sniffed by gmon.Sniff, so raw or
+// gzip-compressed files in either format version) is analyzed against
+// its executable through the regular pipeline.
 func load(ctx context.Context, name, exe string, jobs int) (*model.Profile, error) {
 	f, err := os.Open(name)
 	if err != nil {
 		return nil, err
 	}
 	head := make([]byte, 4)
-	n, _ := f.Read(head)
+	n, _ := io.ReadFull(f, head)
 	f.Close()
-	if string(head[:n]) != "GMON" {
+	if !gmon.Sniff(head[:n]) {
 		f, err := os.Open(name)
 		if err != nil {
 			return nil, err

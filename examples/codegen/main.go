@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -105,7 +106,7 @@ func profileVersion(name, src string) (float64, float64) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	result, err := core.Analyze(im, p, core.Options{})
+	result, err := core.Run(context.Background(), core.ImageSource{Image: im}, p, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func profileVersion(name, src string) (float64, float64) {
 		log.Fatal(err)
 	}
 	fmt.Println("\ngprof's view of the lookup abstraction:")
-	result2, err := core.Analyze(im, p, core.Options{
+	result2, err := core.Run(context.Background(), core.ImageSource{Image: im}, p, core.Options{
 		Report: report.Options{Focus: []string{"lookup"}, NoHeaders: true},
 	})
 	if err != nil {

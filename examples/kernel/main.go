@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -41,7 +42,7 @@ func main() {
 
 	// First analysis: dispatch and retry form a cycle, so their times
 	// cannot be separated — the kernel problem.
-	before, err := core.Analyze(im, total, core.Options{
+	before, err := core.Run(context.Background(), core.ImageSource{Image: im}, total, core.Options{
 		Report: report.Options{Focus: []string{"dispatch"}, NoHeaders: true},
 	})
 	if err != nil {
@@ -54,7 +55,7 @@ func main() {
 
 	// "We added a heuristic to help choose arcs to remove. The
 	// underlying problem is NP-complete, so we added a bound."
-	after, err := core.Analyze(im, total, core.Options{
+	after, err := core.Run(context.Background(), core.ImageSource{Image: im}, total, core.Options{
 		AutoBreak:    true,
 		MaxBreakArcs: 4,
 		Report:       report.Options{Focus: []string{"dispatch"}, NoHeaders: true},

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -100,7 +101,7 @@ func main() {
 
 	// One call graph across both compilation units: digest (app.tl)
 	// inherits the time of hmix/hfinish (hashlib.tl).
-	result, err := core.Analyze(im, collector.Snapshot(), core.Options{Static: true})
+	result, err := core.Run(context.Background(), core.ImageSource{Image: im}, collector.Snapshot(), core.Options{Static: true})
 	if err != nil {
 		log.Fatal(err)
 	}

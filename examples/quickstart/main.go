@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -81,7 +82,7 @@ func main() {
 
 	// 3. Post-process: build the call graph, collapse cycles, propagate
 	// time, and render the profile.
-	result, err := core.Analyze(im, collector.Snapshot(), core.Options{})
+	result, err := core.Run(context.Background(), core.ImageSource{Image: im}, collector.Snapshot(), core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -43,7 +44,7 @@ func runWorkload(im *object.Image) *gmon.Profile {
 
 func analyze(im *object.Image, prof *gmon.Profile) *core.Result {
 	defer p.Enter("analyze")()
-	res, err := core.Analyze(im, prof, core.Options{Static: true})
+	res, err := core.Run(context.Background(), core.ImageSource{Image: im}, prof, core.Options{Static: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func main() {
 	defer func() {
 		// The profiler's profile of itself, post-processed and printed
 		// by the same code it measured.
-		selfRes, err := core.AnalyzeTable(p.Table(), p.Snapshot(), core.Options{})
+		selfRes, err := core.Run(context.Background(), core.TableSource{Table: p.Table()}, p.Snapshot(), core.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -76,7 +77,7 @@ func main() {
 	// Step 1 (paper): "Initially you look through the gprof output for
 	// the system call WRITE" — focus on write and its parents.
 	fmt.Println("step 1: the entry for write — its parents are the formatters")
-	res, err := core.Analyze(im, p, core.Options{
+	res, err := core.Run(context.Background(), core.ImageSource{Image: im}, p, core.Options{
 		Report: report.Options{Focus: []string{"write"}, NoHeaders: true},
 	})
 	if err != nil {
@@ -89,7 +90,7 @@ func main() {
 	// Step 2: "look at the profile entry for each of the parents of
 	// WRITE" — format2's parents are calc2 and calc3.
 	fmt.Println("\nstep 2: the entry for format2 — calc2 and calc3 both call it")
-	res2, err := core.Analyze(im, p, core.Options{
+	res2, err := core.Run(context.Background(), core.ImageSource{Image: im}, p, core.Options{
 		Report: report.Options{Focus: []string{"format2"}, NoHeaders: true},
 	})
 	if err != nil {

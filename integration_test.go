@@ -56,7 +56,7 @@ func TestToolWorkflow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	result, err := core.Analyze(im2, p2, core.Options{Static: true})
+	result, err := core.Run(context.Background(), core.ImageSource{Image: im2}, p2, core.Options{Static: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestMultiRunWorkflow(t *testing.T) {
 	if got := total.Hist.TotalTicks(); got != 3*singleTicks {
 		t.Errorf("merged ticks = %d, want %d", got, 3*singleTicks)
 	}
-	if _, err := core.Analyze(im, total, core.Options{}); err != nil {
+	if _, err := core.Run(context.Background(), core.ImageSource{Image: im}, total, core.Options{}); err != nil {
 		t.Errorf("merged profile analysis: %v", err)
 	}
 }
@@ -140,7 +140,7 @@ func TestProfiledRunPreservesBehaviour(t *testing.T) {
 				{Static: true, AutoBreak: true},
 				{Report: report.Options{MinPercent: 10}},
 			} {
-				res, err := core.Analyze(im, p, opt)
+				res, err := core.Run(context.Background(), core.ImageSource{Image: im}, p, opt)
 				if err != nil {
 					t.Fatalf("options %+v: %v", opt, err)
 				}
@@ -169,7 +169,7 @@ func TestGranularitySweep(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := core.Analyze(im, p, core.Options{})
+		res, err := core.Run(context.Background(), core.ImageSource{Image: im}, p, core.Options{})
 		if err != nil {
 			t.Fatalf("granularity %d: %v", gran, err)
 		}
@@ -196,7 +196,7 @@ func TestReportDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	render := func() string {
-		res, err := core.Analyze(im, p.Clone(), core.Options{Static: true, AutoBreak: true})
+		res, err := core.Run(context.Background(), core.ImageSource{Image: im}, p.Clone(), core.Options{Static: true, AutoBreak: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -230,7 +230,7 @@ func main() { return leaf(); }`
 	if p.Hist.TotalTicks() != 0 {
 		t.Fatalf("expected no ticks, got %d", p.Hist.TotalTicks())
 	}
-	res, err := core.Analyze(im, p, core.Options{})
+	res, err := core.Run(context.Background(), core.ImageSource{Image: im}, p, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

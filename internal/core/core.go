@@ -24,7 +24,8 @@
 // Options.Jobs spreads the merge-heavy stages (histogram attribution,
 // propagation) across a worker pool, and Options.Cache reuses the
 // symbol table and static call graph across analyses of the same
-// executable. Analyze and AnalyzeTable survive as deprecated wrappers.
+// executable. Run is the only analysis entry point; the deprecated
+// Analyze/AnalyzeTable wrappers are gone.
 package core
 
 import (
@@ -236,36 +237,6 @@ func Run(ctx context.Context, src Source, p *gmon.Profile, opt Options) (res *Re
 // result feeds Run.
 func LoadProfiles(ctx context.Context, names []string, jobs int) (*gmon.Profile, error) {
 	return gmon.MergeAllStreaming(ctx, names, jobs)
-}
-
-// Analyze post-processes a profile against a linked executable image.
-//
-// Deprecated: use Run with an ImageSource. Analyze keeps the historic
-// lenient flag handling (a MaxBreakArcs without AutoBreak is ignored,
-// not rejected) so existing callers migrate incrementally.
-func Analyze(im *object.Image, p *gmon.Profile, opt Options) (*Result, error) {
-	return Run(context.Background(), ImageSource{Image: im}, p, legacyOptions(opt, true))
-}
-
-// AnalyzeTable post-processes a profile against an explicit symbol
-// table (no image, so no static arcs).
-//
-// Deprecated: use Run with a TableSource. AnalyzeTable keeps the
-// historic lenient flag handling (Static is ignored, not rejected).
-func AnalyzeTable(tab *symtab.Table, p *gmon.Profile, opt Options) (*Result, error) {
-	return Run(context.Background(), TableSource{Table: tab}, p, legacyOptions(opt, false))
-}
-
-// legacyOptions reproduces the pre-Run behavior of silently ignoring
-// settings that Validate now rejects.
-func legacyOptions(opt Options, image bool) Options {
-	if !opt.AutoBreak {
-		opt.MaxBreakArcs = 0
-	}
-	if !image {
-		opt.Static = false
-	}
-	return opt
 }
 
 func finish(ctx context.Context, g *callgraph.Graph, opt Options) (*Result, error) {

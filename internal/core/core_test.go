@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -24,7 +25,7 @@ func analyzeWorkload(t *testing.T, name string, opt Options) (*Result, string) {
 	if err != nil {
 		t.Fatalf("run %s: %v", name, err)
 	}
-	res, err := Analyze(im, p, opt)
+	res, err := Run(context.Background(), ImageSource{Image: im}, p, opt)
 	if err != nil {
 		t.Fatalf("analyze %s: %v", name, err)
 	}
@@ -104,7 +105,7 @@ func main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dyn, err := Analyze(im, p, Options{})
+	dyn, err := Run(context.Background(), ImageSource{Image: im}, p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func main() {
 	if len(dyn.Graph.MustNode("rarely").Out) != 0 {
 		t.Error("dynamic graph has arcs out of never-run rarely")
 	}
-	st, err := Analyze(im, p, Options{Static: true})
+	st, err := Run(context.Background(), ImageSource{Image: im}, p, Options{Static: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,14 +140,14 @@ func TestRemoveArcsOption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := Analyze(im, p, Options{})
+	base, err := Run(context.Background(), ImageSource{Image: im}, p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(base.Graph.Cycles) == 0 {
 		t.Fatal("service has no dispatch<->retry cycle")
 	}
-	res, err := Analyze(im, p, Options{
+	res, err := Run(context.Background(), ImageSource{Image: im}, p, Options{
 		RemoveArcs: []cyclebreak.ArcID{{Caller: "retry", Callee: "dispatch"}},
 	})
 	if err != nil {
@@ -169,7 +170,7 @@ func TestAutoBreak(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Analyze(im, p, Options{AutoBreak: true})
+	res, err := Run(context.Background(), ImageSource{Image: im}, p, Options{AutoBreak: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestFlatProfileSumsToTotal(t *testing.T) {
 	}
 }
 
-func TestAnalyzeTable(t *testing.T) {
+func TestRunTableSource(t *testing.T) {
 	tab := symtab.FromSyms([]object.Sym{
 		{Name: "top", Addr: 0, Size: 8},
 		{Name: "leaf", Addr: 8, Size: 8},
@@ -243,7 +244,7 @@ func TestAnalyzeTable(t *testing.T) {
 		Hz:   60,
 	}
 	p.Hist.Counts[10] = 30
-	res, err := AnalyzeTable(tab, p, Options{})
+	res, err := Run(context.Background(), TableSource{Table: tab}, p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,12 +260,12 @@ func TestAnalyzeTable(t *testing.T) {
 		{Name: "a", Addr: 0, Size: 10},
 		{Name: "b", Addr: 5, Size: 10},
 	})
-	if _, err := AnalyzeTable(bad, p, Options{}); err == nil {
+	if _, err := Run(context.Background(), TableSource{Table: bad}, p, Options{}); err == nil {
 		t.Error("overlapping table accepted")
 	}
 }
 
-func TestAnalyzeRejectsMismatchedProfile(t *testing.T) {
+func TestRunRejectsMismatchedProfile(t *testing.T) {
 	im, err := workloads.Build("sort", true)
 	if err != nil {
 		t.Fatal(err)
@@ -273,7 +274,7 @@ func TestAnalyzeRejectsMismatchedProfile(t *testing.T) {
 		Hist: gmon.Histogram{Low: 0, High: 4, Step: 1, Counts: make([]uint32, 4)},
 		Arcs: []gmon.Arc{{FromPC: 1, SelfPC: 2, Count: 1}}, // callee pc outside any routine
 	}
-	if _, err := Analyze(im, p, Options{}); err == nil {
+	if _, err := Run(context.Background(), ImageSource{Image: im}, p, Options{}); err == nil {
 		t.Error("profile for a different binary accepted")
 	}
 }

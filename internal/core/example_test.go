@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -39,7 +40,7 @@ func main() {
 	if _, err := vm.New(im, vm.Config{Monitor: collector, TickCycles: 500}).Run(); err != nil {
 		log.Fatal(err)
 	}
-	res, err := core.Analyze(im, collector.Snapshot(), core.Options{Static: true})
+	res, err := core.Run(context.Background(), core.ImageSource{Image: im}, collector.Snapshot(), core.Options{Static: true})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -80,16 +80,16 @@ func TestRunNilArguments(t *testing.T) {
 	}
 }
 
-// TestRunParallelMatchesAnalyze: the parallel cached pipeline renders
-// the same bytes as the deprecated serial wrapper.
-func TestRunParallelMatchesAnalyze(t *testing.T) {
+// TestRunParallelMatchesSerial: the parallel cached pipeline renders
+// the same bytes as the serial uncached run.
+func TestRunParallelMatchesSerial(t *testing.T) {
 	cache := NewCache(4)
 	for _, name := range []string{"parser", "service"} {
 		w := buildAndRun(t, name)
 		opt := Options{Static: true}
-		base, err := Analyze(w.im, w.p, opt)
+		base, err := Run(context.Background(), ImageSource{Image: w.im}, w.p, opt)
 		if err != nil {
-			t.Fatalf("%s: Analyze: %v", name, err)
+			t.Fatalf("%s: Run: %v", name, err)
 		}
 		var want bytes.Buffer
 		if err := base.WriteAll(&want); err != nil {
@@ -106,7 +106,7 @@ func TestRunParallelMatchesAnalyze(t *testing.T) {
 				t.Fatal(err)
 			}
 			if got.String() != want.String() {
-				t.Errorf("%s jobs=%d: Run output differs from Analyze", name, jobs)
+				t.Errorf("%s jobs=%d: parallel output differs from serial", name, jobs)
 			}
 		}
 	}
@@ -121,22 +121,18 @@ func TestRunCancellation(t *testing.T) {
 	}
 }
 
-// TestLegacyWrappersStayLenient: the deprecated entry points keep the
-// historic silent-ignore semantics that Run now rejects.
-func TestLegacyWrappersStayLenient(t *testing.T) {
+// TestRunRejectsContradictoryOptions: with the legacy wrappers gone,
+// the silent-ignore semantics are gone with them — the one entry point
+// rejects contradictions loudly.
+func TestRunRejectsContradictoryOptions(t *testing.T) {
 	w := buildAndRun(t, "sort")
-	// MaxBreakArcs without AutoBreak: ignored by Analyze, rejected by Run.
-	if _, err := Analyze(w.im, w.p, Options{MaxBreakArcs: 5}); err != nil {
-		t.Errorf("Analyze rejected legacy MaxBreakArcs: %v", err)
-	}
 	if _, err := Run(context.Background(), ImageSource{Image: w.im}, w.p, Options{MaxBreakArcs: 5}); !errors.Is(err, ErrBadOptions) {
 		t.Errorf("Run accepted MaxBreakArcs without AutoBreak: %v", err)
 	}
-	// Static on a table source: ignored by AnalyzeTable, rejected by Run.
 	tab := symtab.FromSyms([]object.Sym{{Name: "f", Addr: 0, Size: 16}})
 	p := &gmon.Profile{Hist: gmon.Histogram{Low: 0, High: 16, Step: 1, Counts: make([]uint32, 16)}, Hz: 60}
-	if _, err := AnalyzeTable(tab, p, Options{Static: true}); err != nil {
-		t.Errorf("AnalyzeTable rejected legacy Static: %v", err)
+	if _, err := Run(context.Background(), TableSource{Table: tab}, p, Options{Static: true}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("Run accepted Static on a table source: %v", err)
 	}
 }
 

@@ -286,6 +286,7 @@ func WriteVersion(w io.Writer, p *Profile, version int) error {
 // unless the caller collects them (Read does).
 type Reader struct {
 	br          *binio.Reader
+	src         io.Closer // decompressor interposed by OpenReader, if any
 	h           Header
 	countsDone  bool
 	narc        int // arcs still unread
@@ -514,14 +515,20 @@ func (d *Reader) Stats() FileStats {
 	}
 }
 
-// Close releases the Reader's buffer. The Reader must not be used
-// afterwards.
+// Close releases the Reader's buffer and the decompressor OpenReader
+// may have interposed. The Reader must not be used afterwards.
 func (d *Reader) Close() error {
 	if d.br == nil {
 		return d.err
 	}
 	err := d.br.Close()
 	d.br = nil
+	if d.src != nil {
+		if cerr := d.src.Close(); err == nil {
+			err = cerr
+		}
+		d.src = nil
+	}
 	if d.err != nil {
 		return d.err
 	}
@@ -546,31 +553,24 @@ func eofIsTruncation(err error) error {
 	return err
 }
 
-// Read decodes a profile from r (either format version).
+// Read decodes a profile from r (either format version, gzip or
+// identity transport — it delegates to the OpenReader sniff).
 func Read(r io.Reader) (*Profile, error) {
-	p := &Profile{}
-	if err := ReadInto(r, p); err != nil {
-		return nil, err
-	}
-	return p, nil
+	return Open(r)
 }
 
 // ReadInto decodes a profile from r into p, reusing p's histogram and
 // arc storage when its capacity suffices — the streaming merge's
-// per-worker scratch path decodes whole files without allocating.
+// per-worker scratch path decodes whole files without allocating. Like
+// Read it accepts gzip or identity transport.
 func ReadInto(r io.Reader, p *Profile) error {
-	d, err := NewReader(r)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	_, err = decodeInto(d, p)
-	return err
+	return OpenInto(r, p)
 }
 
-// ReadStats decodes a profile and reports its on-disk layout.
+// ReadStats decodes a profile and reports its layout. For a gzip
+// stream the section sizes describe the decompressed payload.
 func ReadStats(r io.Reader) (*Profile, FileStats, error) {
-	d, err := NewReader(r)
+	d, err := OpenReader(r)
 	if err != nil {
 		return nil, FileStats{}, err
 	}

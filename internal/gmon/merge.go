@@ -128,14 +128,15 @@ var scratchPool = sync.Pool{New: func() any { return new(Profile) }}
 
 // readFileInto decodes the named file into the scratch profile, reusing
 // its storage, and reports the bytes consumed. Errors are attributed to
-// the file.
+// the file. The OpenReader sniff makes gzip-compressed profile data
+// work everywhere files are summed (gprof -sum, profdiff, gprofd).
 func readFileInto(name string, p *Profile) (int64, error) {
 	f, err := os.Open(name)
 	if err != nil {
 		return 0, err
 	}
 	defer f.Close()
-	d, err := NewReader(f)
+	d, err := OpenReader(f)
 	if err != nil {
 		return 0, fmt.Errorf("%s: %w", name, err)
 	}

@@ -1,0 +1,85 @@
+package gmon
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// gzipMagic is the two-byte RFC 1952 member header every gzip stream
+// starts with.
+var gzipMagic = [2]byte{0x1f, 0x8b}
+
+// Sniff reports whether head looks like the start of profile data this
+// package can decode: a raw GMON file (either version) or a gzip
+// stream wrapping one. head needs at least two bytes to identify gzip
+// and four to identify a raw file; shorter prefixes report false.
+func Sniff(head []byte) bool {
+	if len(head) >= 2 && head[0] == gzipMagic[0] && head[1] == gzipMagic[1] {
+		return true
+	}
+	return len(head) >= 4 && bytes.Equal(head[:4], magic[:])
+}
+
+// OpenReader is the one ingestion entry point for profile data: it
+// sniffs the stream's transport encoding (gzip or identity) from the
+// first two bytes, unwraps it if needed, and hands the payload to
+// NewReader, whose header parse negotiates the format version (v1 or
+// v2). Every consumer of profile data — gprof -sum, profdiff,
+// core.LoadProfiles, and the gprofd ingest handler — decodes through
+// this sniff, so compressed uploads and both format versions work
+// everywhere without parallel decode paths.
+//
+// Closing the returned Reader closes the gzip decompressor when one
+// was interposed; the caller still owns r itself.
+func OpenReader(r io.Reader) (*Reader, error) {
+	var head [2]byte
+	n, err := io.ReadFull(r, head[:])
+	if err != nil {
+		// A stream too short for the sniff is too short for the magic.
+		return nil, fmt.Errorf("gmon: reading magic: %w", eofIsTruncation(err))
+	}
+	payload := io.Reader(io.MultiReader(bytes.NewReader(head[:n]), r))
+	var unzip *gzip.Reader
+	if head == gzipMagic {
+		unzip, err = gzip.NewReader(payload)
+		if err != nil {
+			return nil, fmt.Errorf("gmon: opening gzip stream: %w", err)
+		}
+		payload = unzip
+	}
+	d, err := NewReader(payload)
+	if err != nil {
+		if unzip != nil {
+			unzip.Close()
+		}
+		return nil, err
+	}
+	if unzip != nil {
+		d.src = unzip
+	}
+	return d, nil
+}
+
+// Open decodes a whole profile through OpenReader: gzip or identity
+// transport, either format version.
+func Open(r io.Reader) (*Profile, error) {
+	p := &Profile{}
+	if err := OpenInto(r, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// OpenInto decodes a profile through OpenReader into p, reusing p's
+// histogram and arc storage when its capacity suffices.
+func OpenInto(r io.Reader, p *Profile) error {
+	d, err := OpenReader(r)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	_, err = decodeInto(d, p)
+	return err
+}

@@ -1,0 +1,419 @@
+// Package loadgen replays the workload corpus against a gprofd server
+// from many concurrent simulated agents: the fleet side of the
+// fleet-scale profiling service. cmd/gprofload is the CLI; the serve
+// package's soak test drives the same code in-process.
+//
+// A corpus is built once: every workload program is compiled and run
+// under the profiler a few times with different seeds, and each
+// resulting profile is pre-encoded in all four transport forms (format
+// v1/v2 × identity/gzip). Agents then upload the pre-encoded bodies —
+// the load generator spends its cycles on HTTP, not on re-encoding —
+// cycling deterministically through variants and transports so a run
+// is reproducible. Backpressure (429) is honored with a short backoff
+// and the upload retried.
+//
+// Verify fetches each fingerprint's merged profile back
+// (/v1/gmon?sync=1) and byte-compares it against an offline
+// gmon.MergeAll over the exact multiset of profiles uploaded — the
+// end-to-end correctness check behind `make gprofd-smoke`.
+package loadgen
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gmon"
+	"repro/internal/object"
+	"repro/internal/serve"
+	"repro/internal/workloads"
+)
+
+// VariantsPerWorkload is how many differently-seeded profiles each
+// workload contributes to the corpus.
+const VariantsPerWorkload = 3
+
+// encoding selects one pre-encoded transport form of a variant.
+type encoding int
+
+const (
+	encV1 encoding = iota
+	encV2
+	encV1Gzip
+	encV2Gzip
+	numEncodings
+)
+
+// variant is one profiled run of a workload, pre-encoded.
+type variant struct {
+	profile *gmon.Profile
+	bodies  [numEncodings][]byte
+}
+
+// Item is one workload's corpus entry: the linked image and its
+// profiled runs.
+type Item struct {
+	Workload    string
+	Fingerprint string // set by RegisterAll
+	imageBytes  []byte
+	variants    []variant
+}
+
+// Corpus is the full replay set.
+type Corpus struct {
+	Items []Item
+}
+
+// BuildCorpus compiles and profiles the named workloads (nil means
+// every workload). Each workload runs VariantsPerWorkload times with
+// distinct seeds so uploads are not all identical.
+func BuildCorpus(names []string) (*Corpus, error) {
+	if len(names) == 0 {
+		names = workloads.Names()
+	}
+	c := &Corpus{}
+	for _, name := range names {
+		im, err := workloads.Build(name, true)
+		if err != nil {
+			return nil, fmt.Errorf("building %s: %w", name, err)
+		}
+		var imBuf bytes.Buffer
+		if err := object.WriteImage(&imBuf, im); err != nil {
+			return nil, fmt.Errorf("encoding %s image: %w", name, err)
+		}
+		item := Item{Workload: name, imageBytes: imBuf.Bytes()}
+		for seed := uint64(1); seed <= VariantsPerWorkload; seed++ {
+			p, _, _, err := workloads.Run(im, workloads.RunConfig{Seed: seed})
+			if err != nil {
+				return nil, fmt.Errorf("profiling %s (seed %d): %w", name, seed, err)
+			}
+			v := variant{profile: p}
+			if v.bodies[encV1], err = encode(p, gmon.Version1, false); err != nil {
+				return nil, err
+			}
+			if v.bodies[encV2], err = encode(p, gmon.Version2, false); err != nil {
+				return nil, err
+			}
+			if v.bodies[encV1Gzip], err = encode(p, gmon.Version1, true); err != nil {
+				return nil, err
+			}
+			if v.bodies[encV2Gzip], err = encode(p, gmon.Version2, true); err != nil {
+				return nil, err
+			}
+			item.variants = append(item.variants, v)
+		}
+		c.Items = append(c.Items, item)
+	}
+	return c, nil
+}
+
+func encode(p *gmon.Profile, version int, zip bool) ([]byte, error) {
+	var buf bytes.Buffer
+	var w io.Writer = &buf
+	var zw *gzip.Writer
+	if zip {
+		zw = gzip.NewWriter(&buf)
+		w = zw
+	}
+	if err := gmon.WriteVersion(w, p, version); err != nil {
+		return nil, err
+	}
+	if zw != nil {
+		if err := zw.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeJSON decodes a JSON body, tolerating trailing garbage.
+func decodeJSON(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v)
+}
+
+// Client talks to one gprofd server.
+type Client struct {
+	Base string // e.g. "http://127.0.0.1:7421"
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// WaitReady polls /v1/stats until the server answers or the deadline
+// passes — how gprofload waits out a just-started gprofd.
+func (c *Client) WaitReady(ctx context.Context, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if _, err := c.Stats(ctx); err == nil {
+			return nil
+		} else if time.Now().After(deadline) {
+			return fmt.Errorf("loadgen: server %s not ready after %v: %w", c.Base, timeout, err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// Stats fetches and decodes /v1/stats.
+func (c *Client) Stats(ctx context.Context) (*serve.Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: /v1/stats: %s", resp.Status)
+	}
+	var st serve.Stats
+	if err := decodeJSON(resp.Body, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// RegisterAll uploads every corpus executable to /v1/exe and records
+// the fingerprints the server assigned.
+func (c *Client) RegisterAll(ctx context.Context, corpus *Corpus) error {
+	for i := range corpus.Items {
+		item := &corpus.Items[i]
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/exe", bytes.NewReader(item.imageBytes))
+		if err != nil {
+			return err
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return fmt.Errorf("loadgen: registering %s: %w", item.Workload, err)
+		}
+		var body struct {
+			Fingerprint string `json:"fingerprint"`
+			Error       string `json:"error"`
+		}
+		err = decodeJSON(resp.Body, &body)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("loadgen: registering %s: %w", item.Workload, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("loadgen: registering %s: %s (%s)", item.Workload, resp.Status, body.Error)
+		}
+		item.Fingerprint = body.Fingerprint
+	}
+	return nil
+}
+
+// Options shapes a replay.
+type Options struct {
+	// Agents is the number of concurrent uploaders.
+	Agents int
+	// UploadsPerAgent bounds each agent's uploads; with Duration set
+	// it is ignored.
+	UploadsPerAgent int
+	// Duration, when positive, replaces the per-agent count: agents
+	// upload until it elapses.
+	Duration time.Duration
+	// Backoff is the sleep before retrying a 429 (default 10ms).
+	Backoff time.Duration
+}
+
+// Result is one replay's outcome.
+type Result struct {
+	Uploads    int64         // accepted uploads (202)
+	Retries429 int64         // backpressure rejections retried
+	Errors     int64         // other non-2xx responses or transport errors
+	Elapsed    time.Duration // wall time of the upload phase
+	// PerSecond is Uploads / Elapsed — the achieved ingest rate.
+	PerSecond float64
+	// counts[fingerprint][variant] = accepted uploads, for Verify.
+	counts map[string][]int64
+}
+
+// Run replays the corpus from Options.Agents concurrent agents. Each
+// agent cycles deterministically through (workload, variant,
+// transport) so runs are reproducible; 429s back off briefly and
+// retry the same upload.
+func (c *Client) Run(ctx context.Context, corpus *Corpus, opts Options) (*Result, error) {
+	if opts.Agents <= 0 {
+		opts.Agents = 1
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 10 * time.Millisecond
+	}
+	if opts.Duration <= 0 && opts.UploadsPerAgent <= 0 {
+		opts.UploadsPerAgent = 1
+	}
+	for i := range corpus.Items {
+		if corpus.Items[i].Fingerprint == "" {
+			return nil, fmt.Errorf("loadgen: corpus item %s not registered", corpus.Items[i].Workload)
+		}
+	}
+	res := &Result{counts: make(map[string][]int64)}
+	counts := make([][]atomic.Int64, len(corpus.Items))
+	for i := range counts {
+		counts[i] = make([]atomic.Int64, len(corpus.Items[i].variants))
+	}
+	var uploads, retries, errs atomic.Int64
+	deadline := time.Time{}
+	if opts.Duration > 0 {
+		deadline = time.Now().Add(opts.Duration)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for a := 0; a < opts.Agents; a++ {
+		wg.Add(1)
+		go func(agent int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				if deadline.IsZero() {
+					if i >= opts.UploadsPerAgent {
+						return
+					}
+				} else if time.Now().After(deadline) {
+					return
+				}
+				// Deterministic walk: spread agents across items and
+				// cycle variant and transport per upload.
+				seq := agent + i*opts.Agents
+				itemIdx := seq % len(corpus.Items)
+				item := &corpus.Items[itemIdx]
+				variantIdx := (seq / len(corpus.Items)) % len(item.variants)
+				enc := encoding(seq % int(numEncodings))
+				body := item.variants[variantIdx].bodies[enc]
+				for {
+					status, err := c.upload(ctx, item.Fingerprint, body)
+					if err != nil {
+						if ctx.Err() != nil {
+							return
+						}
+						errs.Add(1)
+						break
+					}
+					if status == http.StatusAccepted {
+						uploads.Add(1)
+						counts[itemIdx][variantIdx].Add(1)
+						break
+					}
+					if status == http.StatusTooManyRequests {
+						retries.Add(1)
+						select {
+						case <-ctx.Done():
+							return
+						case <-time.After(opts.Backoff):
+						}
+						continue
+					}
+					errs.Add(1)
+					break
+				}
+			}
+		}(a)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Uploads = uploads.Load()
+	res.Retries429 = retries.Load()
+	res.Errors = errs.Load()
+	if res.Elapsed > 0 {
+		res.PerSecond = float64(res.Uploads) / res.Elapsed.Seconds()
+	}
+	for i := range corpus.Items {
+		row := make([]int64, len(counts[i]))
+		for j := range counts[i] {
+			row[j] = counts[i][j].Load()
+		}
+		res.counts[corpus.Items[i].Fingerprint] = row
+	}
+	return res, nil
+}
+
+// upload POSTs one pre-encoded profile body.
+func (c *Client) upload(ctx context.Context, fp string, body []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/ingest", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set(serve.FingerprintHeader, fp)
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// Verify fetches each fingerprint's merged profile (quiesced with
+// ?sync=1) and byte-compares it against an offline gmon.MergeAll over
+// the same multiset of uploads res accounted. A mismatch is a server
+// merge bug.
+func (c *Client) Verify(ctx context.Context, corpus *Corpus, res *Result) error {
+	for i := range corpus.Items {
+		item := &corpus.Items[i]
+		counts := res.counts[item.Fingerprint]
+		var inputs []*gmon.Profile
+		for v, n := range counts {
+			for k := int64(0); k < n; k++ {
+				inputs = append(inputs, item.variants[v].profile)
+			}
+		}
+		if len(inputs) == 0 {
+			continue
+		}
+		want, err := gmon.MergeAll(ctx, inputs, 1)
+		if err != nil {
+			return fmt.Errorf("loadgen: offline merge for %s: %w", item.Workload, err)
+		}
+		var wantBuf bytes.Buffer
+		if err := gmon.Write(&wantBuf, want); err != nil {
+			return err
+		}
+		got, err := c.fetchGmon(ctx, item.Fingerprint)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, wantBuf.Bytes()) {
+			return fmt.Errorf("loadgen: %s: merged profile from server (%d bytes) differs from offline MergeAll of %d uploads (%d bytes)",
+				item.Workload, len(got), len(inputs), wantBuf.Len())
+		}
+	}
+	return nil
+}
+
+// fetchGmon downloads the merged raw profile for one fingerprint.
+func (c *Client) fetchGmon(ctx context.Context, fp string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.Base+"/v1/gmon?sync=1&fp="+fp, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: /v1/gmon %s: %s", fp, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}

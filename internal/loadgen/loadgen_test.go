@@ -1,0 +1,186 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// corpus is built once per test binary: compiling and profiling the
+// workloads dominates test time, the replay itself is cheap.
+var sharedCorpus = sync.OnceValues(func() (*Corpus, error) {
+	return BuildCorpus([]string{"sort", "matrix", "hash"})
+})
+
+func testCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	c, err := sharedCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func startServer(t *testing.T, cfg serve.Config) *Client {
+	t.Helper()
+	s := serve.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return &Client{Base: ts.URL}
+}
+
+// TestReplayAndVerify runs a small fixed-count replay and checks the
+// accounting and the byte-identical server-vs-offline merge.
+func TestReplayAndVerify(t *testing.T) {
+	corpus := testCorpus(t)
+	client := startServer(t, serve.Config{})
+	ctx := context.Background()
+
+	if err := client.WaitReady(ctx, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.RegisterAll(ctx, corpus); err != nil {
+		t.Fatal(err)
+	}
+	for _, item := range corpus.Items {
+		if item.Fingerprint == "" {
+			t.Fatalf("workload %s: no fingerprint after RegisterAll", item.Workload)
+		}
+	}
+
+	res, err := client.Run(ctx, corpus, Options{Agents: 4, UploadsPerAgent: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("replay errors: %d", res.Errors)
+	}
+	if want := int64(4 * 25); res.Uploads != want {
+		t.Fatalf("uploads = %d, want %d", res.Uploads, want)
+	}
+	var counted int64
+	for _, row := range res.counts {
+		for _, n := range row {
+			counted += n
+		}
+	}
+	if counted != res.Uploads {
+		t.Errorf("per-variant counts sum to %d, uploads %d", counted, res.Uploads)
+	}
+
+	if err := client.Verify(ctx, corpus, res); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ProfilesAccepted != res.Uploads {
+		t.Errorf("server accepted %d, client counted %d", st.ProfilesAccepted, res.Uploads)
+	}
+	if st.Schema != serve.StatsSchema {
+		t.Errorf("stats schema = %q", st.Schema)
+	}
+}
+
+// TestBackpressureRetry replays against a server with a one-deep queue
+// and many agents: agents must see 429s, back off, retry, and still
+// land every upload exactly once.
+func TestBackpressureRetry(t *testing.T) {
+	corpus := testCorpus(t)
+	client := startServer(t, serve.Config{QueueDepth: 1})
+	ctx := context.Background()
+	if err := client.RegisterAll(ctx, corpus); err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.Run(ctx, corpus, Options{Agents: 8, UploadsPerAgent: 10, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("replay errors: %d", res.Errors)
+	}
+	if want := int64(8 * 10); res.Uploads != want {
+		t.Fatalf("uploads = %d, want %d (retries must not drop or duplicate)", res.Uploads, want)
+	}
+	if err := client.Verify(ctx, corpus, res); err != nil {
+		t.Errorf("verify after backpressure: %v", err)
+	}
+}
+
+// TestSoak is the sustained-load check from the issue: a multi-second
+// replay must hold at least soakMinRate profiles/sec, the server heap
+// must stay flat (windowed merge folds in place — memory tracks the
+// aggregate size, not the upload count), and the merged output must
+// stay byte-identical to an offline MergeAll over every upload.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	corpus := testCorpus(t)
+	client := startServer(t, serve.Config{})
+	ctx := context.Background()
+	if err := client.RegisterAll(ctx, corpus); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sample the server heap while the replay runs.
+	var (
+		heapMu  sync.Mutex
+		maxHeap uint64
+	)
+	sampleCtx, stopSampling := context.WithCancel(ctx)
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-sampleCtx.Done():
+				return
+			case <-time.After(100 * time.Millisecond):
+			}
+			st, err := client.Stats(sampleCtx)
+			if err != nil {
+				continue
+			}
+			heapMu.Lock()
+			if st.HeapAllocBytes > maxHeap {
+				maxHeap = st.HeapAllocBytes
+			}
+			heapMu.Unlock()
+		}
+	}()
+
+	res, err := client.Run(ctx, corpus, Options{Agents: 8, Duration: 2 * time.Second})
+	stopSampling()
+	sampler.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("soak errors: %d", res.Errors)
+	}
+	t.Logf("soak: %d uploads in %v (%.0f profiles/sec, %d retries), max heap %.1f MB",
+		res.Uploads, res.Elapsed.Round(time.Millisecond), res.PerSecond, res.Retries429,
+		float64(maxHeap)/(1<<20))
+	if res.PerSecond < soakMinRate {
+		t.Errorf("sustained %.0f profiles/sec, want >= %.0f", res.PerSecond, soakMinRate)
+	}
+	// Thousands of ~KB uploads fold into a handful of window
+	// aggregates; a growing heap would mean uploads are accumulating.
+	if maxHeap > 256<<20 {
+		t.Errorf("server heap peaked at %d bytes during the soak", maxHeap)
+	}
+	if err := client.Verify(ctx, corpus, res); err != nil {
+		t.Errorf("verify after soak: %v", err)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package loadgen
+
+// soakMinRate is the profiles/sec floor the soak test demands; the
+// race detector build lowers it (several-fold instrumentation
+// slowdown is expected and not a regression).
+const soakMinRate = 1000.0

@@ -1,0 +1,7 @@
+//go:build race
+
+package loadgen
+
+// soakMinRate under the race detector: throughput is not the point of
+// the race build, only the absence of data races.
+const soakMinRate = 50.0

@@ -2,6 +2,7 @@ package profgo
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -129,7 +130,7 @@ func TestSelfProfilingPipeline(t *testing.T) {
 			}
 		})
 	})
-	res, err := core.AnalyzeTable(p.Table(), p.Snapshot(), core.Options{})
+	res, err := core.Run(context.Background(), core.TableSource{Table: p.Table()}, p.Snapshot(), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

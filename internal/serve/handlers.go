@@ -1,0 +1,383 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/gmon"
+	"repro/internal/model"
+	"repro/internal/object"
+)
+
+// FingerprintHeader carries the executable fingerprint on ingest
+// requests (the ?fp query parameter is an alternative).
+const FingerprintHeader = "X-Gprof-Fingerprint"
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("/v1/exe", s.handleExe)
+	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("/v1/flat", s.queryText((*core.Result).WriteFlat))
+	s.mux.HandleFunc("/v1/callgraph", s.queryText((*core.Result).WriteCallGraph))
+	s.mux.HandleFunc("/v1/profile", s.handleProfile)
+	s.mux.HandleFunc("/v1/diff", s.handleDiff)
+	s.mux.HandleFunc("/v1/gmon", s.handleGmon)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/fingerprints", s.handleFingerprints)
+}
+
+// apiError is the JSON error envelope every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	if code >= 400 && code < 500 && code != http.StatusTooManyRequests {
+		s.stats.badRequest.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// countReader counts the bytes a decoder actually consumed, for the
+// ingest byte counters.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// handleExe registers an executable: the body is the linked image in
+// the repo's a.out encoding, and the response carries the content
+// fingerprint subsequent uploads and queries are keyed by.
+// Re-registering the same image is idempotent.
+func (s *Server) handleExe(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST an executable image to /v1/exe")
+		return
+	}
+	body := &countReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)}
+	im, err := object.ReadImage(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "executable exceeds the %d-byte upload cap", s.cfg.MaxBodyBytes)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "bad executable image: %v", err)
+		return
+	}
+	fp, err := object.Fingerprint(im)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "fingerprinting image: %v", err)
+		return
+	}
+	sh, err := s.register(fp, newShard(fp, im, s.cfg, s.tr))
+	if err != nil {
+		s.fail(w, http.StatusInsufficientStorage, "registering %s: %v", fp, err)
+		return
+	}
+	s.stats.exeRegistered.Add(1)
+	writeJSON(w, http.StatusOK, struct {
+		Fingerprint string `json:"fingerprint"`
+		Routines    int    `json:"routines"`
+	}{Fingerprint: sh.fp, Routines: len(im.Funcs)})
+}
+
+// handleIngest accepts one gmon.out upload: either format version,
+// gzip or identity transport (sniffed by gmon.OpenReader — no
+// Content-Encoding negotiation needed), keyed by fingerprint. Malformed
+// bodies are 4xx; a full shard queue is 429 with Retry-After.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	end := s.tr.Span("serve.ingest")
+	defer end()
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST profile data to /v1/ingest")
+		return
+	}
+	fp := r.Header.Get(FingerprintHeader)
+	if fp == "" {
+		fp = r.URL.Query().Get("fp")
+	}
+	if fp == "" {
+		s.fail(w, http.StatusBadRequest, "missing executable fingerprint (%s header or ?fp=)", FingerprintHeader)
+		return
+	}
+	sh, ok := s.shardFor(fp)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown fingerprint %s; register the executable via POST /v1/exe first", fp)
+		return
+	}
+	body := &countReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)}
+	p, err := gmon.Open(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "profile exceeds the %d-byte upload cap", s.cfg.MaxBodyBytes)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "bad profile data: %v", err)
+		return
+	}
+	if err := sh.checkGeometry(p); err != nil {
+		s.fail(w, http.StatusConflict, "unmergeable upload: %v", err)
+		return
+	}
+	now := s.cfg.Now()
+	if err := sh.enqueue(p, now); err != nil {
+		switch {
+		case errors.Is(err, errQueueFull):
+			s.stats.backpressure.Add(1)
+			s.tr.Counter("serve.http_429").Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.fail(w, http.StatusTooManyRequests, "shard %s queue full; retry", fp)
+		default:
+			s.fail(w, http.StatusServiceUnavailable, "shard %s: %v", fp, err)
+		}
+		return
+	}
+	s.stats.accepted.Add(1)
+	s.stats.bytes.Add(body.n)
+	s.stats.rate.add(now.Unix())
+	s.tr.Counter("serve.profiles_ingested").Add(1)
+	s.tr.Counter("serve.bytes_ingested").Add(body.n)
+	writeJSON(w, http.StatusAccepted, struct {
+		Fingerprint string `json:"fingerprint"`
+		WindowStart int64  `json:"window_start"`
+	}{Fingerprint: fp, WindowStart: sh.truncate(now)})
+}
+
+// queryShard parses the fp and window parameters shared by every query
+// endpoint, honoring ?sync=1 (wait for the shard's queue to drain so
+// the snapshot covers every accepted upload).
+func (s *Server) queryShard(w http.ResponseWriter, r *http.Request) (*shard, windowSel, bool) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "query endpoints are GET")
+		return nil, windowSel{}, false
+	}
+	fp := r.URL.Query().Get("fp")
+	if fp == "" {
+		s.fail(w, http.StatusBadRequest, "missing ?fp= fingerprint")
+		return nil, windowSel{}, false
+	}
+	sh, ok := s.shardFor(fp)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown fingerprint %s", fp)
+		return nil, windowSel{}, false
+	}
+	sel, err := parseWindow(r.URL.Query().Get("window"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return nil, windowSel{}, false
+	}
+	if r.URL.Query().Get("sync") == "1" {
+		if err := sh.sync(r.Context()); err != nil {
+			s.fail(w, http.StatusServiceUnavailable, "waiting for shard %s to quiesce: %v", fp, err)
+			return nil, windowSel{}, false
+		}
+	}
+	return sh, sel, true
+}
+
+// analyze merges the selected windows and runs the analysis pipeline
+// over the result against the shard's registered image.
+func (s *Server) analyze(ctx context.Context, sh *shard, sel windowSel) (*core.Result, error) {
+	p, n := sh.snapshot(sel, s.cfg.Now())
+	if n == 0 {
+		return nil, errNoData
+	}
+	return core.Run(ctx, core.ImageSource{Image: sh.im}, p, core.Options{
+		Jobs:  s.cfg.Jobs,
+		Cache: s.cache,
+	})
+}
+
+var errNoData = fmt.Errorf("no profile data in the selected window(s)")
+
+// queryText builds a handler rendering one of the Result text reports
+// (the flat profile or the call graph profile).
+func (s *Server) queryText(render func(*core.Result, io.Writer) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		end := s.tr.Span("serve.query")
+		defer end()
+		sh, sel, ok := s.queryShard(w, r)
+		if !ok {
+			return
+		}
+		s.stats.queries.Add(1)
+		res, err := s.analyze(r.Context(), sh, sel)
+		if err != nil {
+			s.queryFail(w, sh, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		render(res, w)
+	}
+}
+
+// handleProfile serves the merged windows as an analyzed
+// gprof.profile.v1 JSON document — the same bytes gprof -json writes.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	end := s.tr.Span("serve.query")
+	defer end()
+	sh, sel, ok := s.queryShard(w, r)
+	if !ok {
+		return
+	}
+	s.stats.queries.Add(1)
+	res, err := s.analyze(r.Context(), sh, sel)
+	if err != nil {
+		s.queryFail(w, sh, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	res.WriteJSON(w)
+}
+
+// DiffResponse is the /v1/diff payload: per-routine deltas between two
+// window selections of one fingerprint, most-regressed first.
+type DiffResponse struct {
+	Schema      string        `json:"schema"`
+	Fingerprint string        `json:"fingerprint"`
+	Old         string        `json:"old"`
+	New         string        `json:"new"`
+	Deltas      []model.Delta `json:"deltas"`
+}
+
+// DiffSchema tags every /v1/diff response.
+const DiffSchema = "gprofd.diff.v1"
+
+// handleDiff compares two window selections (?old=, ?new=; default
+// prev vs current) and returns model.Diff's per-routine deltas.
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	end := s.tr.Span("serve.query")
+	defer end()
+	sh, _, ok := s.queryShard(w, r)
+	if !ok {
+		return
+	}
+	s.stats.queries.Add(1)
+	oldParam := r.URL.Query().Get("old")
+	if oldParam == "" {
+		oldParam = "prev"
+	}
+	newParam := r.URL.Query().Get("new")
+	if newParam == "" {
+		newParam = "current"
+	}
+	oldSel, err := parseWindow(oldParam)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "old: %v", err)
+		return
+	}
+	newSel, err := parseWindow(newParam)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "new: %v", err)
+		return
+	}
+	oldRes, err := s.analyze(r.Context(), sh, oldSel)
+	if err != nil {
+		s.queryFail(w, sh, err)
+		return
+	}
+	newRes, err := s.analyze(r.Context(), sh, newSel)
+	if err != nil {
+		s.queryFail(w, sh, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DiffResponse{
+		Schema:      DiffSchema,
+		Fingerprint: sh.fp,
+		Old:         oldParam,
+		New:         newParam,
+		Deltas:      model.Diff(oldRes.Model, newRes.Model),
+	})
+}
+
+// handleGmon serves the merged windows as raw profile data (?v=2 for
+// the compressed format) — the bytes an offline gmon.MergeAll over the
+// same uploads would produce, which is what `make gprofd-smoke`
+// asserts.
+func (s *Server) handleGmon(w http.ResponseWriter, r *http.Request) {
+	end := s.tr.Span("serve.query")
+	defer end()
+	sh, sel, ok := s.queryShard(w, r)
+	if !ok {
+		return
+	}
+	s.stats.queries.Add(1)
+	p, n := sh.snapshot(sel, s.cfg.Now())
+	if n == 0 {
+		s.queryFail(w, sh, errNoData)
+		return
+	}
+	version := gmon.Version1
+	if r.URL.Query().Get("v") == "2" {
+		version = gmon.Version2
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	gmon.WriteVersion(w, p, version)
+}
+
+// queryFail maps analysis errors to status codes.
+func (s *Server) queryFail(w http.ResponseWriter, sh *shard, err error) {
+	if errors.Is(err, errNoData) {
+		s.fail(w, http.StatusNotFound, "%s: %v", sh.fp, err)
+		return
+	}
+	s.fail(w, http.StatusInternalServerError, "analyzing %s: %v", sh.fp, err)
+}
+
+// handleFingerprints lists the registered executables and their ingest
+// accounting.
+func (s *Server) handleFingerprints(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET /v1/fingerprints")
+		return
+	}
+	type row struct {
+		Fingerprint string  `json:"fingerprint"`
+		Routines    int     `json:"routines"`
+		Uploads     int64   `json:"uploads"`
+		Merged      int64   `json:"merged"`
+		Dropped     int64   `json:"dropped,omitempty"`
+		Windows     []int64 `json:"windows,omitempty"`
+		LastError   string  `json:"last_error,omitempty"`
+	}
+	shards := s.allShards()
+	rows := make([]row, 0, len(shards))
+	for _, sh := range shards {
+		accepted, merged, dropped, lastErr := sh.counts()
+		rows = append(rows, row{
+			Fingerprint: sh.fp,
+			Routines:    len(sh.im.Funcs),
+			Uploads:     accepted,
+			Merged:      merged,
+			Dropped:     dropped,
+			Windows:     sh.windowStarts(),
+			LastError:   lastErr,
+		})
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Schema       string `json:"schema"`
+		Fingerprints []row  `json:"fingerprints"`
+	}{Schema: "gprofd.fingerprints.v1", Fingerprints: rows})
+}

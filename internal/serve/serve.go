@@ -1,0 +1,208 @@
+// Package serve is the fleet-scale continuous-profiling service behind
+// cmd/gprofd: the paper's "profile of many executions" (§3) turned
+// into an always-on server. Agents on many machines upload gmon.out
+// profile data (either format version, gzip or identity transport)
+// keyed by the executable's content fingerprint; the server
+// streaming-merges each fingerprint's uploads into time-windowed
+// aggregates and answers flat/call-graph/diff/model queries by running
+// the ordinary analysis pipeline (core.Run) over the merged windows.
+//
+// The ingestion hot path is built to survive thousands of agents:
+//
+//   - every upload decodes through gmon.OpenReader, whose
+//     declared-count contract and chunked growth mean a lying header
+//     cannot drive a large allocation, under an http.MaxBytesReader
+//     body cap;
+//   - each fingerprint owns a shard: one merge-worker goroutine and a
+//     bounded queue of decoded profiles, so merging never blocks the
+//     HTTP handler and memory is bounded by queue depth × body cap;
+//   - when a shard's queue is full the handler answers 429 with a
+//     Retry-After hint instead of buffering without bound — explicit
+//     backpressure the load generator (cmd/gprofload) honors.
+//
+// Aggregates are windowed by upload arrival time (Config.Window wide,
+// Config.Retain windows kept per fingerprint), so "what changed in the
+// last minute" is a two-window diff away. Because profile merging is
+// commutative and canonicalizing (gmon.Profile.Merge), the merged
+// output of any set of windows is byte-identical to an offline
+// gmon.MergeAll over the same uploads — the property the gprofd-smoke
+// target asserts.
+//
+// The server keeps its own always-on atomic counters for /v1/stats and
+// additionally records obs spans (serve.ingest, serve.merge,
+// serve.query) and queue-depth gauges when Config.Trace is set; spans
+// accumulate per-event memory, so long-running deployments leave the
+// trace nil and rely on the stats counters.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Defaults for the zero Config.
+const (
+	DefaultWindow       = time.Minute
+	DefaultRetain       = 8
+	DefaultQueueDepth   = 64
+	DefaultMaxBodyBytes = 32 << 20
+	DefaultMaxShards    = 1024
+)
+
+// Config sizes the service. The zero value is usable: every field
+// falls back to the package default.
+type Config struct {
+	// Window is the width of one aggregation window; uploads are
+	// binned by arrival time truncated to it. Minimum one second.
+	Window time.Duration
+	// Retain is how many windows each fingerprint keeps; older windows
+	// are evicted as new ones open, bounding per-shard memory.
+	Retain int
+	// QueueDepth bounds each shard's pending-profile queue; a full
+	// queue turns uploads into 429 + Retry-After.
+	QueueDepth int
+	// MaxBodyBytes caps every upload body (profile data and
+	// executables alike) via http.MaxBytesReader.
+	MaxBodyBytes int64
+	// MaxShards bounds the number of registered fingerprints.
+	MaxShards int
+	// Jobs is the analysis worker width queries pass to core.Run.
+	// Zero means GOMAXPROCS.
+	Jobs int
+	// Now is the clock, injectable for tests. Nil means time.Now.
+	Now func() time.Time
+	// Trace, when set, records ingest/merge/query spans and
+	// queue-depth gauges; counters for /v1/stats are kept
+	// independently and are always on.
+	Trace *obs.Trace
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.Window < time.Second {
+		c.Window = time.Second
+	}
+	if c.Retain <= 0 {
+		c.Retain = DefaultRetain
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.MaxShards <= 0 {
+		c.MaxShards = DefaultMaxShards
+	}
+	if c.Jobs <= 0 {
+		c.Jobs = runtime.GOMAXPROCS(0)
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Server is one gprofd instance: an executable registry, a merge shard
+// per registered fingerprint, and the HTTP API over both. Create with
+// New, expose Handler, and Close when done.
+type Server struct {
+	cfg   Config
+	tr    *obs.Trace
+	mux   *http.ServeMux
+	cache *core.Cache
+	start time.Time
+
+	mu     sync.Mutex
+	shards map[string]*shard
+	closed bool
+
+	stats serverStats
+}
+
+// New creates a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		tr:     cfg.Trace,
+		cache:  core.NewCache(0),
+		start:  cfg.Now(),
+		shards: make(map[string]*shard),
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// Handler returns the HTTP API (the gprofd.api.v1 surface documented
+// in docs/FORMATS.md).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops every shard worker after draining its queue. Uploads
+// arriving during or after Close are rejected with 503; queries keep
+// working against the merged windows.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	shards := make([]*shard, 0, len(s.shards))
+	for _, sh := range s.shards {
+		shards = append(shards, sh)
+	}
+	s.mu.Unlock()
+	for _, sh := range shards {
+		sh.close()
+	}
+}
+
+// shardFor returns the shard registered for fp, if any.
+func (s *Server) shardFor(fp string) (*shard, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh, ok := s.shards[fp]
+	return sh, ok
+}
+
+// register creates (or returns) the shard for fp. It fails when the
+// registry is full or the server is closed.
+func (s *Server) register(fp string, sh *shard) (*shard, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("server is shutting down")
+	}
+	if prev, ok := s.shards[fp]; ok {
+		return prev, nil
+	}
+	if len(s.shards) >= s.cfg.MaxShards {
+		return nil, fmt.Errorf("fingerprint registry full (%d shards)", s.cfg.MaxShards)
+	}
+	s.shards[fp] = sh
+	sh.start()
+	s.tr.Gauge("serve.shards").Set(int64(len(s.shards)))
+	return sh, nil
+}
+
+// allShards snapshots the registry in fingerprint-sorted order.
+func (s *Server) allShards() []*shard {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*shard, 0, len(s.shards))
+	for _, sh := range s.shards {
+		out = append(out, sh)
+	}
+	sortShards(out)
+	return out
+}

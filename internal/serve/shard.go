@@ -1,0 +1,310 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/gmon"
+	"repro/internal/object"
+	"repro/internal/obs"
+)
+
+// ingestItem is one unit of shard work: a decoded upload stamped with
+// the window it lands in, or a barrier (profile nil) whose ack channel
+// closes once everything enqueued before it has merged.
+type ingestItem struct {
+	profile     *gmon.Profile
+	windowStart int64         // unix seconds, truncated to the window
+	ack         chan struct{} // barrier only
+}
+
+// shard is the merge pipeline for one executable fingerprint: a
+// bounded queue feeding a single worker goroutine that folds uploads
+// into time-windowed aggregates. One worker per fingerprint
+// serializes merging (Profile.Merge is not concurrency-safe) while
+// distinct fingerprints merge in parallel.
+type shard struct {
+	fp     string
+	im     *object.Image
+	window int64 // window width, seconds
+	retain int
+	queue  chan ingestItem
+	done   chan struct{}
+	tr     *obs.Trace
+	depth  *obs.Gauge // high-water queue depth
+
+	mu       sync.Mutex
+	closed   bool
+	windows  map[int64]*gmon.Profile // window start -> aggregate
+	geom     gmon.Histogram          // geometry of the first accepted upload (Counts nil)
+	hz       int64
+	geomSet  bool
+	accepted int64 // uploads admitted to the queue
+	merged   int64 // uploads folded into a window
+	dropped  int64 // uploads the worker could not merge
+	lastErr  string
+}
+
+func newShard(fp string, im *object.Image, cfg Config, tr *obs.Trace) *shard {
+	return &shard{
+		fp:      fp,
+		im:      im,
+		window:  int64(cfg.Window / time.Second),
+		retain:  cfg.Retain,
+		queue:   make(chan ingestItem, cfg.QueueDepth),
+		done:    make(chan struct{}),
+		tr:      tr,
+		depth:   tr.Gauge("serve.queue_high_water"),
+		windows: make(map[int64]*gmon.Profile),
+	}
+}
+
+func (s *shard) start() { go s.run() }
+
+// run is the merge worker: it owns every window aggregate, so no merge
+// ever races another.
+func (s *shard) run() {
+	defer close(s.done)
+	for it := range s.queue {
+		if it.profile == nil {
+			close(it.ack)
+			continue
+		}
+		end := s.tr.Span("serve.merge")
+		s.merge(it)
+		end()
+	}
+}
+
+// merge folds one upload into its window, opening the window or
+// evicting the oldest as needed.
+func (s *shard) merge(it ingestItem) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	agg, ok := s.windows[it.windowStart]
+	if !ok {
+		// The upload becomes the window's accumulator: ownership was
+		// transferred at enqueue, exactly like MergeAll's clone-the-
+		// first-element fold (the handler decoded a fresh profile).
+		s.windows[it.windowStart] = it.profile
+		s.merged++
+		s.evictLocked()
+		return
+	}
+	if err := agg.Merge(it.profile); err != nil {
+		// The handler pre-checks geometry, so this is a race between
+		// two first uploads with different geometry — count it, keep
+		// the error inspectable in /v1/stats.
+		s.dropped++
+		s.lastErr = err.Error()
+		return
+	}
+	s.merged++
+}
+
+// evictLocked drops the oldest windows beyond the retention bound.
+func (s *shard) evictLocked() {
+	for len(s.windows) > s.retain {
+		oldest := int64(0)
+		first := true
+		for start := range s.windows {
+			if first || start < oldest {
+				oldest, first = start, false
+			}
+		}
+		delete(s.windows, oldest)
+	}
+}
+
+// errQueueFull is the backpressure signal the ingest handler turns
+// into 429 + Retry-After.
+var errQueueFull = fmt.Errorf("serve: shard queue full")
+
+// errShardClosed rejects uploads after Close.
+var errShardClosed = fmt.Errorf("serve: shard closed")
+
+// enqueue admits a decoded upload, stamping it into the window
+// containing now. It never blocks: a full queue reports errQueueFull.
+func (s *shard) enqueue(p *gmon.Profile, now time.Time) error {
+	it := ingestItem{profile: p, windowStart: s.truncate(now)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errShardClosed
+	}
+	if !s.geomSet {
+		s.geom = gmon.Histogram{Low: p.Hist.Low, High: p.Hist.High, Step: p.Hist.Step}
+		s.hz = p.ClockHz()
+		s.geomSet = true
+	}
+	select {
+	case s.queue <- it:
+		s.accepted++
+		s.depth.Max(int64(len(s.queue)))
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// checkGeometry reports whether an upload's histogram geometry and
+// clock rate match the shard's established ones, so mismatches fail
+// the request (409) instead of dying silently in the worker.
+func (s *shard) checkGeometry(p *gmon.Profile) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.geomSet {
+		return nil
+	}
+	if s.geom.Low != p.Hist.Low || s.geom.High != p.Hist.High || s.geom.Step != p.Hist.Step {
+		return fmt.Errorf("histogram geometry [%#x,%#x)/%d does not match this fingerprint's [%#x,%#x)/%d",
+			p.Hist.Low, p.Hist.High, p.Hist.Step, s.geom.Low, s.geom.High, s.geom.Step)
+	}
+	if p.ClockHz() != s.hz {
+		return fmt.Errorf("clock rate %d Hz does not match this fingerprint's %d Hz", p.ClockHz(), s.hz)
+	}
+	return nil
+}
+
+// sync waits until every upload enqueued before the call has merged,
+// or ctx expires. Queries use it (?sync=1) to observe a quiesced
+// shard; note a full queue makes sync wait for capacity like any
+// producer would.
+func (s *shard) sync(ctx context.Context) error {
+	it := ingestItem{ack: make(chan struct{})}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil // worker drained everything before exiting
+	}
+	s.mu.Unlock()
+	select {
+	case s.queue <- it:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case <-it.ack:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// truncate maps an arrival time to its window start.
+func (s *shard) truncate(now time.Time) int64 {
+	sec := now.Unix()
+	return sec - sec%s.window
+}
+
+// windowSel selects which windows a query merges.
+type windowSel struct {
+	kind  int   // selAll, selCurrent, selPrev, selAt
+	start int64 // selAt only
+}
+
+const (
+	selAll = iota
+	selCurrent
+	selPrev
+	selAt
+)
+
+// parseWindow parses the window query parameter: empty or "all" for
+// every retained window, "current" and "prev" relative to the clock,
+// or the unix-seconds start of a specific window.
+func parseWindow(s string) (windowSel, error) {
+	switch s {
+	case "", "all":
+		return windowSel{kind: selAll}, nil
+	case "current":
+		return windowSel{kind: selCurrent}, nil
+	case "prev":
+		return windowSel{kind: selPrev}, nil
+	}
+	var start int64
+	if _, err := fmt.Sscanf(s, "%d", &start); err != nil || start < 0 {
+		return windowSel{}, fmt.Errorf("bad window selector %q (want all, current, prev, or a unix-seconds window start)", s)
+	}
+	return windowSel{kind: selAt, start: start}, nil
+}
+
+// snapshot merges the selected windows into one profile, folding
+// clones in ascending window order — the same fold gmon.MergeAll
+// performs, so the result is byte-identical to an offline merge of the
+// uploads. It reports the number of windows merged; zero means no
+// matching data.
+func (s *shard) snapshot(sel windowSel, now time.Time) (*gmon.Profile, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var starts []int64
+	switch sel.kind {
+	case selAll:
+		for start := range s.windows {
+			starts = append(starts, start)
+		}
+		sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	case selCurrent:
+		starts = []int64{s.truncate(now)}
+	case selPrev:
+		starts = []int64{s.truncate(now) - s.window}
+	case selAt:
+		starts = []int64{sel.start - sel.start%s.window}
+	}
+	var total *gmon.Profile
+	n := 0
+	for _, start := range starts {
+		agg, ok := s.windows[start]
+		if !ok {
+			continue
+		}
+		if total == nil {
+			total = agg.Clone()
+		} else if err := total.Merge(agg); err != nil {
+			continue // unreachable: geometry is enforced per shard
+		}
+		n++
+	}
+	return total, n
+}
+
+// windowStarts lists the retained window starts, ascending.
+func (s *shard) windowStarts() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int64, 0, len(s.windows))
+	for start := range s.windows {
+		out = append(out, start)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// counts returns the shard's ingest accounting.
+func (s *shard) counts() (accepted, merged, dropped int64, lastErr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.accepted, s.merged, s.dropped, s.lastErr
+}
+
+// close stops the worker after draining the queue.
+func (s *shard) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	<-s.done
+}
+
+// sortShards orders by fingerprint for deterministic listings.
+func sortShards(shards []*shard) {
+	sort.Slice(shards, func(i, j int) bool { return shards[i].fp < shards[j].fp })
+}

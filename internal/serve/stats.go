@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// StatsSchema tags every /v1/stats response.
+const StatsSchema = "gprofd.stats.v1"
+
+// serverStats is the always-on accounting behind /v1/stats; unlike the
+// optional obs trace it costs a few atomics per request and never
+// grows, so a long-running gprofd can leave tracing off and still be
+// observable.
+type serverStats struct {
+	accepted      atomic.Int64 // uploads admitted to a shard queue
+	bytes         atomic.Int64 // upload bytes consumed by the decoder
+	badRequest    atomic.Int64 // 4xx rejections (malformed, unknown, oversized)
+	backpressure  atomic.Int64 // 429 rejections (shard queue full)
+	exeRegistered atomic.Int64
+	queries       atomic.Int64
+	rate          rateTracker
+}
+
+// rateWindow is how many whole seconds the recent-rate estimate
+// averages over.
+const rateWindow = 10
+
+// rateTracker keeps per-second accept counts in a small ring so
+// /v1/stats can report a recent profiles/sec figure alongside the
+// lifetime average.
+type rateTracker struct {
+	mu    sync.Mutex
+	slots [rateWindow + 2]struct{ sec, n int64 }
+}
+
+func (t *rateTracker) add(sec int64) {
+	i := sec % int64(len(t.slots))
+	t.mu.Lock()
+	if t.slots[i].sec != sec {
+		t.slots[i].sec, t.slots[i].n = sec, 0
+	}
+	t.slots[i].n++
+	t.mu.Unlock()
+}
+
+// recent averages the accept rate over the last rateWindow whole
+// seconds (the current partial second is excluded).
+func (t *rateTracker) recent(now int64) float64 {
+	var sum int64
+	t.mu.Lock()
+	for _, s := range t.slots {
+		if s.sec >= now-rateWindow && s.sec < now {
+			sum += s.n
+		}
+	}
+	t.mu.Unlock()
+	return float64(sum) / rateWindow
+}
+
+// ShardStats is one fingerprint's row in the stats payload.
+type ShardStats struct {
+	Fingerprint string  `json:"fingerprint"`
+	Uploads     int64   `json:"uploads"`
+	Merged      int64   `json:"merged"`
+	Dropped     int64   `json:"dropped,omitempty"`
+	QueueLen    int     `json:"queue_len"`
+	QueueCap    int     `json:"queue_cap"`
+	Windows     []int64 `json:"windows,omitempty"`
+	LastError   string  `json:"last_error,omitempty"`
+}
+
+// Stats is the /v1/stats payload (schema gprofd.stats.v1): ingest
+// accounting, the profiles/sec headline both lifetime and over the
+// last few seconds, the Go heap (the soak test's bounded-RSS check
+// reads it), and per-shard queue depths. When the server carries an
+// obs trace its counter and gauge registries ride along.
+type Stats struct {
+	Schema        string  `json:"schema"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	ProfilesAccepted        int64   `json:"profiles_accepted"`
+	BytesIngested           int64   `json:"bytes_ingested"`
+	RejectedBadRequest      int64   `json:"rejected_bad_request"`
+	RejectedBackpressure    int64   `json:"rejected_backpressure"`
+	ExecutablesRegistered   int64   `json:"executables_registered"`
+	Queries                 int64   `json:"queries"`
+	ProfilesPerSecond       float64 `json:"profiles_per_second"`
+	RecentProfilesPerSecond float64 `json:"recent_profiles_per_second"`
+
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64 `json:"heap_sys_bytes"`
+	NumGoroutine   int    `json:"num_goroutine"`
+
+	Shards []ShardStats `json:"shards"`
+
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+}
+
+// Snapshot assembles the current stats payload.
+func (s *Server) Snapshot() Stats {
+	now := s.cfg.Now()
+	uptime := now.Sub(s.start).Seconds()
+	st := Stats{
+		Schema:                  StatsSchema,
+		UptimeSeconds:           uptime,
+		ProfilesAccepted:        s.stats.accepted.Load(),
+		BytesIngested:           s.stats.bytes.Load(),
+		RejectedBadRequest:      s.stats.badRequest.Load(),
+		RejectedBackpressure:    s.stats.backpressure.Load(),
+		ExecutablesRegistered:   s.stats.exeRegistered.Load(),
+		Queries:                 s.stats.queries.Load(),
+		RecentProfilesPerSecond: s.stats.rate.recent(now.Unix()),
+	}
+	if uptime > 0 {
+		st.ProfilesPerSecond = float64(st.ProfilesAccepted) / uptime
+	}
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	st.HeapAllocBytes = mem.HeapAlloc
+	st.HeapSysBytes = mem.HeapSys
+	st.NumGoroutine = runtime.NumGoroutine()
+	shards := s.allShards()
+	st.Shards = make([]ShardStats, 0, len(shards))
+	for _, sh := range shards {
+		accepted, merged, dropped, lastErr := sh.counts()
+		st.Shards = append(st.Shards, ShardStats{
+			Fingerprint: sh.fp,
+			Uploads:     accepted,
+			Merged:      merged,
+			Dropped:     dropped,
+			QueueLen:    len(sh.queue),
+			QueueCap:    cap(sh.queue),
+			Windows:     sh.windowStarts(),
+			LastError:   lastErr,
+		})
+	}
+	if s.tr.Enabled() {
+		report := s.tr.Report()
+		st.Counters, st.Gauges = report.Counters, report.Gauges
+	}
+	return st
+}
+
+// handleStats serves the Snapshot as JSON.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET /v1/stats")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
