@@ -28,13 +28,19 @@ bench-smoke:
 # the workload suite via the parallel driver, plus the engine-facing
 # go-bench micro-benchmarks parsed into the same file. Schema in
 # docs/FORMATS.md.
-LABEL ?= PR5
+LABEL ?= PR7
 .PHONY: bench-json
 bench-json:
 	go test -run xxx -bench 'Dispatch|McountFastPath|McountSteady|Snapshot|VMExecution|Overhead|GmonRead|GmonWrite|MergeAll|ImageIO|ModelBuild|ModelJSON|ObsSpan|ObsCounter' \
 		-benchmem . ./internal/mon ./internal/obs > bench-raw.out && \
-	go run ./cmd/benchjson -label $(LABEL) -parse bench-raw.out -o BENCH_$(LABEL).json && \
+	go run ./cmd/benchjson -label $(LABEL) -scale -parse bench-raw.out -o BENCH_$(LABEL).json && \
 	rm -f bench-raw.out
+
+# Compare two committed performance snapshots, worst regression first;
+# -threshold (percent) makes it a CI gate.
+.PHONY: bench-diff
+bench-diff:
+	go run ./cmd/benchdiff BENCH_PR5.json BENCH_$(LABEL).json
 
 # Self-observability smoke: a profiled run and an analysis under
 # -stats/-tracefile/-runreport, with both artifacts validated by
@@ -78,6 +84,21 @@ gprofd-smoke:
 	./.gprofd-smoke/gprofd -addr 127.0.0.1:7421 & echo $$! > .gprofd-smoke/pid
 	./.gprofd-smoke/gprofload -addr http://127.0.0.1:7421 -agents 8 -uploads 50 -verify; \
 		rc=$$?; kill `cat .gprofd-smoke/pid` 2>/dev/null; rm -rf .gprofd-smoke; exit $$rc
+
+# Scale smoke: a 10^5-routine synthetic workload through the whole
+# stack — generate real artifacts, run the in-process pipeline under a
+# throughput floor, then run the actual gprof binary over the generated
+# image + profile pair. Bounded by timeout so a scaling regression
+# fails fast instead of hanging CI.
+.PHONY: scale-smoke
+scale-smoke:
+	rm -rf .scale-smoke && mkdir -p .scale-smoke
+	go build -o .scale-smoke/ ./cmd/synthgen ./cmd/gprof
+	timeout 120 ./.scale-smoke/synthgen -nodes 100000 -seed 1 \
+		-image .scale-smoke/a.out -o .scale-smoke/gmon.out -analyze -minrate 20000
+	timeout 120 ./.scale-smoke/gprof -brief .scale-smoke/a.out .scale-smoke/gmon.out > .scale-smoke/report.txt
+	test -s .scale-smoke/report.txt
+	rm -rf .scale-smoke
 
 .PHONY: figures
 figures:

@@ -1,0 +1,218 @@
+// Command benchdiff compares two committed BENCH_*.json snapshots and
+// reports per-metric deltas, worst regression first, so the performance
+// trajectory between PRs is a one-command diff instead of a manual
+// eyeball over JSON.
+//
+// It is schema-generic: every numeric leaf in the document becomes a
+// metric named by its path (array elements are keyed by their
+// "workload" / "name" / "nodes" identity field), so bench.v1 through
+// bench.v4 files — and future schemas — diff without code changes.
+// Whether a metric improves by going up or down is inferred from its
+// name: rates (ns/op, *_ns, *_bytes, overhead...) want to fall;
+// throughputs (*_per_sec, *_rate, *hit*, *speedup*) want to rise.
+//
+// Usage:
+//
+//	benchdiff BENCH_PR5.json BENCH_PR7.json
+//	benchdiff -threshold 10 BENCH_PR5.json BENCH_PR7.json   # exit 1 on >10% regression
+//
+// With -threshold the exit status becomes a CI gate: nonzero when any
+// metric regresses by more than the given percentage.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// metric identity keys: when an array element is an object carrying one
+// of these, its value names the element in the metric path.
+var identityKeys = []string{"workload", "name", "nodes", "label"}
+
+// configKeys are run-parameter leaves, not measurements; diffing them
+// is noise (a snapshot taken with different -workers is still a valid
+// baseline for the domain metrics).
+var configKeys = map[string]bool{
+	"workers": true, "iters": true, "jobs": true, "seed": true,
+}
+
+// flatten walks any decoded JSON value and collects numeric leaves into
+// out, keyed by slash-joined path.
+func flatten(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, val := range x {
+			if configKeys[k] {
+				continue
+			}
+			p := k
+			if prefix != "" {
+				p = prefix + "/" + k
+			}
+			flatten(p, val, out)
+		}
+	case []any:
+		for i, el := range x {
+			key := fmt.Sprintf("%d", i)
+			if m, ok := el.(map[string]any); ok {
+				for _, idk := range identityKeys {
+					if idv, ok := m[idk]; ok {
+						key = fmt.Sprintf("%v", idv)
+						break
+					}
+				}
+			}
+			flatten(prefix+"/"+key, el, out)
+		}
+	case float64:
+		out[prefix] = x
+	}
+}
+
+// higherBetter reports whether a metric improves by increasing. Metric
+// names may themselves contain slashes ("MB/s"), so suffixes are
+// checked against the full path, not just the last segment.
+func higherBetter(name string) bool {
+	n := strings.ToLower(name)
+	if strings.HasSuffix(n, "b/s") { // MB/s, KB/s: throughput units
+		return true
+	}
+	for _, s := range []string{"per_sec", "rate", "hit", "speedup", "throughput"} {
+		if strings.Contains(n, s) {
+			// ns_per_... / ms_per_... names are times, not rates.
+			if strings.Contains(n, "ns_per") || strings.Contains(n, "ms_per") {
+				return false
+			}
+			return true
+		}
+	}
+	return false
+}
+
+type row struct {
+	name       string
+	old, new   float64
+	deltaPct   float64 // signed relative change, new vs old
+	regression float64 // >0 means worse, by that many percent
+}
+
+func load(path string) (map[string]float64, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64)
+	flatten("", doc, out)
+	schema := ""
+	if m, ok := doc.(map[string]any); ok {
+		schema, _ = m["schema"].(string)
+	}
+	return out, schema, nil
+}
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 0, "exit nonzero if any metric regresses more than this percent (0 = report only)")
+		quiet     = flag.Bool("q", false, "print only changed metrics")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold pct] OLD.json NEW.json\n")
+		os.Exit(2)
+	}
+	oldM, oldS, err := load(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	newM, newS, err := load(flag.Arg(1))
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("old: %s (%s)   new: %s (%s)\n", flag.Arg(0), orDash(oldS), flag.Arg(1), orDash(newS))
+
+	var rows []row
+	var added, removed []string
+	for name, nv := range newM {
+		ov, ok := oldM[name]
+		if !ok {
+			added = append(added, name)
+			continue
+		}
+		r := row{name: name, old: ov, new: nv}
+		if ov != 0 {
+			r.deltaPct = 100 * (nv - ov) / ov
+		} else if nv != 0 {
+			r.deltaPct = 100 // from zero: treat as +100%
+		}
+		if higherBetter(name) {
+			r.regression = -r.deltaPct
+		} else {
+			r.regression = r.deltaPct
+		}
+		rows = append(rows, r)
+	}
+	for name := range oldM {
+		if _, ok := newM[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].regression != rows[j].regression {
+			return rows[i].regression > rows[j].regression
+		}
+		return rows[i].name < rows[j].name
+	})
+	sort.Strings(added)
+	sort.Strings(removed)
+
+	worst := 0.0
+	shown := 0
+	for _, r := range rows {
+		if r.regression > worst {
+			worst = r.regression
+		}
+		if *quiet && r.deltaPct == 0 {
+			continue
+		}
+		mark := ""
+		if *threshold > 0 && r.regression > *threshold {
+			mark = "  REGRESSION"
+		}
+		fmt.Printf("%-64s %14.6g %14.6g %+9.2f%%%s\n", r.name, r.old, r.new, r.deltaPct, mark)
+		shown++
+	}
+	if shown == 0 {
+		fmt.Println("no common metrics changed")
+	}
+	for _, name := range added {
+		fmt.Printf("%-64s %14s %14.6g    (new)\n", name, "-", newM[name])
+	}
+	for _, name := range removed {
+		fmt.Printf("%-64s %14.6g %14s    (gone)\n", name, oldM[name], "-")
+	}
+
+	if *threshold > 0 && worst > *threshold {
+		fmt.Fprintf(os.Stderr, "benchdiff: worst regression %.2f%% exceeds threshold %.2f%%\n", worst, *threshold)
+		os.Exit(1)
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "?"
+	}
+	return s
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(1)
+}

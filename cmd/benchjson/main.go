@@ -10,7 +10,12 @@
 // Usage:
 //
 //	benchjson -label PR2 -o BENCH_PR2.json
+//	benchjson -label PR7 -scale -o BENCH_PR7.json
 //	go test -run '^$' -bench . -benchtime=1x . | benchjson -label PR2 -parse - -o BENCH_PR2.json
+//
+// -scale adds the synthetic scale suite (experiments.ScaleSuite):
+// 10^3..10^6-routine workloads through the full pipeline, with
+// profiles_analyzed_per_sec as the headline rate per tier.
 //
 // The schema is documented in docs/FORMATS.md.
 package main
@@ -27,11 +32,12 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // File is the BENCH_*.json document. Field order is the wire order.
 type File struct {
-	Schema    string                      `json:"schema"` // "bench.v3"
+	Schema    string                      `json:"schema"` // "bench.v4"
 	Label     string                      `json:"label"`  // e.g. "PR2"
 	Go        string                      `json:"go"`
 	GOOS      string                      `json:"goos"`
@@ -39,6 +45,7 @@ type File struct {
 	Workers   int                         `json:"workers"`
 	Iters     int                         `json:"iters"`
 	Workloads []experiments.WorkloadBench `json:"workloads"`
+	Scale     []experiments.ScaleTier     `json:"scale,omitempty"`
 	GoBench   []GoBench                   `json:"go_bench,omitempty"`
 }
 
@@ -90,6 +97,8 @@ func parseGoBench(r io.Reader) ([]GoBench, error) {
 }
 
 func main() {
+	var prof obs.Pprof
+	prof.RegisterFlags(flag.CommandLine)
 	var (
 		label   = flag.String("label", "dev", "snapshot label recorded in the file (e.g. PR2)")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "bench driver pool width")
@@ -97,11 +106,21 @@ func main() {
 		out     = flag.String("o", "", "output path ('' or '-' means stdout)")
 		parse   = flag.String("parse", "", "also parse `go test -bench` output from this file ('-' = stdin)")
 		noSuite = flag.Bool("nosuite", false, "skip the workload-suite driver (parse only)")
+		scale   = flag.Bool("scale", false, "also run the synthetic scale suite (10^3..10^6 routines)")
+		scMax   = flag.Int("scalemax", 1_000_000, "largest scale tier to run")
+		scSeed  = flag.Uint64("scaleseed", 1, "scale-suite generator seed")
+		scIters = flag.Int("scaleiters", 3, "timed repetitions per scale tier")
+		scJobs  = flag.Int("scalejobs", 8, "scale-suite parallel-run -jobs width")
 	)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	defer prof.Stop()
 
 	f := File{
-		Schema:  "bench.v3",
+		Schema:  "bench.v4",
 		Label:   *label,
 		Go:      runtime.Version(),
 		GOOS:    runtime.GOOS,
@@ -117,6 +136,26 @@ func main() {
 			os.Exit(1)
 		}
 		f.Workloads = rows
+	}
+
+	if *scale {
+		var tiers []int
+		for _, t := range experiments.DefaultScaleTiers {
+			if t <= *scMax {
+				tiers = append(tiers, t)
+			}
+		}
+		rows, err := experiments.ScaleSuite(experiments.ScaleConfig{
+			Tiers: tiers,
+			Seed:  *scSeed,
+			Jobs:  *scJobs,
+			Iters: *scIters,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: scale: %v\n", err)
+			os.Exit(1)
+		}
+		f.Scale = rows
 	}
 
 	if *parse != "" {

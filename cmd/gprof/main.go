@@ -87,7 +87,13 @@ func main() {
 	flag.Var(&removeArcs, "k", "remove arc caller/callee before analysis (repeatable)")
 	var o obs.CLI
 	o.Register(flag.CommandLine)
+	var prof obs.Pprof
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer prof.Stop()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -99,6 +105,7 @@ func main() {
 	// report) before exiting, so an aborted run stays diagnosable.
 	fail := func(err error) {
 		o.Finish(err)
+		prof.Stop()
 		fatal(err)
 	}
 

@@ -25,6 +25,10 @@
 // forms. Tracing records per-event spans and so grows with traffic —
 // leave it off for long-running deployments and read /v1/stats, whose
 // counters are always on and never grow.
+//
+// -pprof <addr> serves Go's net/http/pprof on a separate listener (the
+// ingest surface never exposes it), for CPU/heap profiling of a live
+// deployment.
 package main
 
 import (
@@ -33,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served only via -pprof
 	"os"
 	"os/signal"
 	"time"
@@ -50,6 +55,7 @@ func main() {
 		maxBody = flag.Int64("maxbody", serve.DefaultMaxBodyBytes, "upload body size cap in bytes")
 		shards  = flag.Int("maxshards", serve.DefaultMaxShards, "maximum registered fingerprints")
 		jobs    = flag.Int("jobs", 0, "analysis worker width for queries (0 = GOMAXPROCS)")
+		pprofA  = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty = off)")
 	)
 	var o obs.CLI
 	o.Register(flag.CommandLine)
@@ -57,6 +63,16 @@ func main() {
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "gprofd: unexpected arguments (the server takes only flags)")
 		os.Exit(2)
+	}
+	// The pprof endpoint rides the default mux on its own listener, so
+	// the ingest surface never exposes profiling handlers.
+	if *pprofA != "" {
+		go func() {
+			fmt.Fprintf(os.Stderr, "gprofd: pprof on http://%s/debug/pprof/\n", *pprofA)
+			if err := http.ListenAndServe(*pprofA, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "gprofd: pprof:", err)
+			}
+		}()
 	}
 	err := run(*addr, serve.Config{
 		Window:       *window,

@@ -223,12 +223,15 @@ func (b *Writer) Close() error {
 	return b.err
 }
 
-// Reader decodes little-endian values from pooled blocks filled from r.
+// Reader decodes little-endian values from pooled blocks filled from r,
+// or — when built over a fixed byte slice with NewBytesReader — directly
+// from the caller's memory with no buffer and no copying.
 type Reader struct {
 	r        io.Reader
 	buf      []byte
 	pos, lim int   // unread bytes are buf[pos:lim]
 	off      int64 // total bytes consumed by the caller
+	fixed    bool  // buf is caller memory: never refill, never pool
 	err      error
 }
 
@@ -238,15 +241,32 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: r, buf: *bufPool.Get().(*[]byte)}
 }
 
-// fill ensures at least n unread bytes are buffered (n must be at most
-// BufSize). A clean end of stream at a value boundary surfaces as
-// io.EOF; one inside a value as io.ErrUnexpectedEOF.
+// NewBytesReader returns a Reader decoding directly from data — no block
+// buffer, no memcpy. View returns subslices of data itself (valid for
+// the life of data, with no length cap), which is what makes decoding
+// over a memory-mapped file zero-copy. Close does not pool data.
+func NewBytesReader(data []byte) *Reader {
+	return &Reader{buf: data, lim: len(data), fixed: true}
+}
+
+// fill ensures at least n unread bytes are buffered (for streaming
+// readers n must be at most BufSize; fixed readers have the whole input
+// resident and accept any n). A clean end of stream at a value boundary
+// surfaces as io.EOF; one inside a value as io.ErrUnexpectedEOF.
 func (b *Reader) fill(n int) bool {
 	if b.err != nil {
 		return false
 	}
 	if b.lim-b.pos >= n {
 		return true
+	}
+	if b.fixed {
+		if b.lim > b.pos {
+			b.err = io.ErrUnexpectedEOF
+		} else {
+			b.err = io.EOF
+		}
+		return false
 	}
 	copy(b.buf, b.buf[b.pos:b.lim])
 	b.lim -= b.pos
@@ -331,9 +351,11 @@ func (b *Reader) Uvarint() uint64 {
 	return 0
 }
 
-// View returns the next n decoded bytes in place without copying
-// (n must be at most BufSize) and advances past them. The slice is
-// valid only until the next Reader call; nil means Err is set.
+// View returns the next n decoded bytes in place without copying and
+// advances past them. On a streaming reader n must be at most BufSize
+// and the slice is valid only until the next Reader call; on a fixed
+// reader n is uncapped and the slice aliases the underlying data for
+// its whole life. nil means Err is set.
 func (b *Reader) View(n int) []byte {
 	if !b.fill(n) {
 		return nil
@@ -352,6 +374,14 @@ func (b *Reader) Full(p []byte) {
 	b.off += int64(n)
 	p = p[n:]
 	if len(p) == 0 || b.err != nil {
+		return
+	}
+	if b.fixed {
+		if n > 0 {
+			b.err = io.ErrUnexpectedEOF
+		} else {
+			b.err = io.EOF
+		}
 		return
 	}
 	got, err := io.ReadFull(b.r, p)
@@ -410,14 +440,15 @@ func (b *Reader) Offset() int64 { return b.off }
 // Err reports the first error encountered.
 func (b *Reader) Err() error { return b.err }
 
-// Close returns the block buffer to the pool. The Reader must not be
-// used afterwards.
+// Close returns the block buffer to the pool (fixed readers release
+// their reference to the caller's data instead — caller memory is never
+// pooled). The Reader must not be used afterwards.
 func (b *Reader) Close() error {
-	if b.buf != nil {
+	if b.buf != nil && !b.fixed {
 		buf := b.buf
-		b.buf = nil
 		bufPool.Put(&buf)
 	}
+	b.buf = nil
 	if b.err == io.EOF {
 		return nil
 	}

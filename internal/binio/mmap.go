@@ -1,0 +1,24 @@
+package binio
+
+// Mapping is a read-only byte view of a whole file, produced by Map.
+// On unix it is a shared memory mapping; elsewhere a plain read of the
+// file. Either way Data is immutable input memory suitable for
+// NewBytesReader, and Close invalidates it.
+type Mapping struct {
+	Data  []byte
+	unmap func([]byte) error
+}
+
+// Reader returns a zero-copy Reader over the mapped bytes.
+func (m *Mapping) Reader() *Reader { return NewBytesReader(m.Data) }
+
+// Close releases the mapping. Data must not be touched afterwards.
+// Close is idempotent.
+func (m *Mapping) Close() error {
+	data, unmap := m.Data, m.unmap
+	m.Data, m.unmap = nil, nil
+	if unmap != nil && data != nil {
+		return unmap(data)
+	}
+	return nil
+}

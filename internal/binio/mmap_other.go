@@ -1,0 +1,16 @@
+//go:build !unix
+
+package binio
+
+import "os"
+
+// Map returns a read-only byte view of the file at path. Platforms
+// without unix mmap fall back to reading the whole file; callers see
+// the same Mapping contract either way.
+func Map(path string) (*Mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{Data: data}, nil
+}

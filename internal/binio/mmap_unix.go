@@ -1,0 +1,39 @@
+//go:build unix
+
+package binio
+
+import (
+	"os"
+	"syscall"
+)
+
+// Map returns a read-only byte view of the file at path. On unix the
+// view is a shared memory mapping: decoding through NewBytesReader then
+// touches file bytes exactly once, in the page cache, with no read
+// syscalls and no buffer copies. Close releases the mapping; the Data
+// slice must not be used after that.
+func Map(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // the mapping outlives the descriptor
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		// Zero-length mappings are an EINVAL; an empty slice decodes the
+		// same way (immediate clean EOF).
+		return &Mapping{}, nil
+	}
+	if int64(int(size)) != size {
+		return nil, syscall.EFBIG
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, &os.PathError{Op: "mmap", Path: path, Err: err}
+	}
+	return &Mapping{Data: data, unmap: func(b []byte) error { return syscall.Munmap(b) }}, nil
+}

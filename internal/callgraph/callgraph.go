@@ -33,6 +33,13 @@ import (
 type Node struct {
 	Name string
 
+	// ID is the node's creation index: Graph.Nodes()[n.ID] == n. For
+	// graphs built from a symbol table with unique routine names it
+	// equals the routine's symbol-table index. The analysis passes (scc,
+	// propagate, model) key their per-node scratch arrays on it instead
+	// of rebuilding map[*Node]int indices on every call.
+	ID int
+
 	// SelfTicks is the routine's own sampled time, in clock ticks,
 	// attributed from the histogram (possibly fractional under coarse
 	// granularity).
@@ -189,11 +196,73 @@ func (c *Cycle) InternalCalls() int64 {
 	return n
 }
 
+// arena hands out pointer-stable slots from contiguous blocks. Nodes
+// and arcs of a graph live in a handful of large slabs instead of one
+// heap object each: construction makes O(1) allocations per block
+// rather than per element, and traversals walk memory the hardware
+// prefetcher understands. Blocks are never reallocated, so every
+// pointer handed out stays valid for the life of the graph.
+type arena[T any] struct {
+	blocks [][]T
+	n      int // total slots handed out
+}
+
+// arenaBlock is the default slab size; the first block of a presized
+// arena is exactly the requested capacity instead.
+const arenaBlock = 8192
+
+func (ar *arena[T]) alloc() *T {
+	if len(ar.blocks) == 0 {
+		ar.blocks = append(ar.blocks, make([]T, 0, arenaBlock))
+	}
+	cur := ar.blocks[len(ar.blocks)-1]
+	if len(cur) == cap(cur) {
+		size := 2 * cap(cur)
+		if size > 1<<17 {
+			size = 1 << 17
+		}
+		cur = make([]T, 0, size)
+		ar.blocks = append(ar.blocks, cur)
+	}
+	cur = cur[:len(cur)+1]
+	ar.blocks[len(ar.blocks)-1] = cur
+	ar.n++
+	return &cur[len(cur)-1]
+}
+
+// reserve sizes the arena's first block for n upcoming slots.
+func (ar *arena[T]) reserve(n int) {
+	if len(ar.blocks) == 0 && n > 0 {
+		ar.blocks = append(ar.blocks, make([]T, 0, n))
+	}
+}
+
+// arcKey identifies an arc by its endpoint node IDs; the caller half is
+// biased by one so a spontaneous (nil) caller keys as zero.
+type arcKey uint64
+
+func arcKeyOf(from, to *Node) arcKey {
+	f := 0
+	if from != nil {
+		f = from.ID + 1
+	}
+	return arcKey(uint64(f)<<32 | uint64(uint32(to.ID)))
+}
+
 // Graph is a dynamic call graph, optionally augmented with static arcs.
 type Graph struct {
 	nodes  map[string]*Node
 	order  []*Node // creation order: address order for image-built graphs
 	Cycles []*Cycle
+
+	// arcIdx maps endpoint pairs to their arc, so merging a repeated
+	// (caller, callee) pair is O(1) instead of a scan of the callee's
+	// incoming arcs — the difference between linear and quadratic graph
+	// construction on million-arc profiles.
+	arcIdx map[arcKey]*Arc
+
+	nodeArena arena[Node]
+	arcArena  arena[Arc]
 
 	// TotalTicks is the histogram's total tick count, including ticks
 	// that fell outside every routine.
@@ -238,12 +307,18 @@ func (g *Graph) Nodes() []*Node { return g.order }
 // Len returns the number of nodes.
 func (g *Graph) Len() int { return len(g.order) }
 
+// NumArcs returns the number of distinct arcs (merged by endpoint
+// pair), including spontaneous and static arcs.
+func (g *Graph) NumArcs() int { return g.arcArena.n }
+
 // AddNode creates (or returns) the node for name.
 func (g *Graph) AddNode(name string) *Node {
 	if n, ok := g.nodes[name]; ok {
 		return n
 	}
-	n := &Node{Name: name}
+	n := g.nodeArena.alloc()
+	n.Name = name
+	n.ID = len(g.order)
 	g.nodes[name] = n
 	g.order = append(g.order, n)
 	return n
@@ -258,12 +333,21 @@ func (g *Graph) AddArc(caller, callee string, count int64) *Arc {
 	if caller != "" {
 		from = g.AddNode(caller)
 	}
-	if a := g.findArc(from, to); a != nil {
+	return g.addArc(from, to, count)
+}
+
+// addArc is AddArc after name resolution: the index-based fast path
+// BuildCtx uses for every profile arc record.
+func (g *Graph) addArc(from, to *Node, count int64) *Arc {
+	k := arcKeyOf(from, to)
+	if a := g.arcIdx[k]; a != nil {
 		a.Count += count
 		a.Sites++
 		return a
 	}
-	a := &Arc{Caller: from, Callee: to, Count: count, Sites: 1}
+	a := g.arcArena.alloc()
+	*a = Arc{Caller: from, Callee: to, Count: count, Sites: 1}
+	g.arcIdx[k] = a
 	to.In = append(to.In, a)
 	if from != nil {
 		from.Out = append(from.Out, a)
@@ -274,18 +358,13 @@ func (g *Graph) AddArc(caller, callee string, count int64) *Arc {
 }
 
 func (g *Graph) findArc(from, to *Node) *Arc {
-	for _, a := range to.In {
-		if a.Caller == from {
-			return a
-		}
-	}
-	return nil
+	return g.arcIdx[arcKeyOf(from, to)]
 }
 
 // Arcs returns every arc exactly once, ordered by (caller, callee) name
 // with spontaneous arcs first.
 func (g *Graph) Arcs() []*Arc {
-	var arcs []*Arc
+	arcs := make([]*Arc, 0, g.NumArcs())
 	for _, n := range g.order {
 		arcs = append(arcs, n.In...)
 	}
@@ -308,7 +387,25 @@ func arcCallerName(a *Arc) string {
 
 // New creates an empty graph.
 func New() *Graph {
-	return &Graph{nodes: make(map[string]*Node)}
+	return NewSized(0, 0)
+}
+
+// NewSized creates an empty graph with storage reserved for the given
+// node and arc counts: the node and arc arenas allocate one block each
+// and the lookup indices start at their final size. Callers that know
+// the scale up front (BuildCtx knows both exactly) construct the graph
+// without rehashing or slab growth.
+func NewSized(nodes, arcs int) *Graph {
+	g := &Graph{
+		nodes:  make(map[string]*Node, nodes),
+		arcIdx: make(map[arcKey]*Arc, arcs),
+	}
+	if nodes > 0 {
+		g.order = make([]*Node, 0, nodes)
+		g.nodeArena.reserve(nodes)
+	}
+	g.arcArena.reserve(arcs)
+	return g
 }
 
 // Build assembles the dynamic call graph for a profile against a symbol
@@ -326,11 +423,19 @@ func Build(tab *symtab.Table, p *gmon.Profile) (*Graph, error) {
 
 // BuildCtx is Build with cancellation and a worker-pool width for the
 // histogram attribution (see symtab.AttributeHistN); jobs <= 1 is the
-// serial Build. Arc insertion stays sequential — it is map-bound and
-// order-sensitive — so the graph structure is identical at any width.
+// serial Build. Arc insertion stays sequential — it is order-sensitive
+// — so the graph structure is identical at any width.
+//
+// The construction is index-based end to end: nodes are added in
+// symbol-table order (so Node.ID equals the symbol index), histogram
+// ticks come back as a slice indexed the same way, and each arc record
+// resolves its endpoint PCs to symbol indices once, so a million-arc
+// profile builds without a string lookup per record. When routine
+// names collide (two symbols share a name and collapse into one node)
+// the slower name-keyed path preserves the historic merge semantics.
 func BuildCtx(ctx context.Context, tab *symtab.Table, p *gmon.Profile, jobs int) (*Graph, error) {
 	tr := obs.FromContext(ctx)
-	g := New()
+	g := NewSized(tab.Len(), len(p.Arcs))
 	g.Hz = p.ClockHz()
 	for _, s := range tab.Syms() {
 		g.AddNode(s.Name)
@@ -338,30 +443,91 @@ func BuildCtx(ctx context.Context, tab *symtab.Table, p *gmon.Profile, jobs int)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	byIndex := g.Len() == tab.Len() // false only on duplicate routine names
 	endAttr := tr.Span("attribute")
-	ticks, lost := tab.AttributeHistN(&p.Hist, jobs)
-	endAttr()
-	for name, t := range ticks {
-		g.MustNode(name).SelfTicks = t
+	if byIndex {
+		ticks, lost := tab.AttributeHistIdxN(&p.Hist, jobs)
+		for i, t := range ticks {
+			if t != 0 {
+				g.order[i].SelfTicks = t
+			}
+		}
+		g.LostTicks = lost
+	} else {
+		ticks, lost := tab.AttributeHistN(&p.Hist, jobs)
+		for name, t := range ticks {
+			g.MustNode(name).SelfTicks = t
+		}
+		g.LostTicks = lost
 	}
+	endAttr()
 	g.TotalTicks = float64(p.Hist.TotalTicks())
-	g.LostTicks = lost
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	tr.Counter("graph.arc_records").Add(int64(len(p.Arcs)))
+	if byIndex {
+		// Resolve every record to table indices first, then size each
+		// node's adjacency exactly before linking: one allocation per
+		// node side instead of an append-doubling chain per node,
+		// which at millions of arcs is the difference between
+		// memory-speed linking and GC churn. Merged duplicate records
+		// make the counts an upper bound; that only over-reserves.
+		type endpoints struct{ from, to int32 }
+		res := make([]endpoints, len(p.Arcs))
+		inDeg := make([]int32, g.Len())
+		outDeg := make([]int32, g.Len())
+		spont := 0
+		for i, rec := range p.Arcs {
+			calleeIdx, ok := tab.FindIndex(rec.SelfPC)
+			if !ok {
+				return nil, fmt.Errorf("callgraph: arc callee pc %#x is not in any routine", rec.SelfPC)
+			}
+			fi := int32(-1)
+			if rec.FromPC >= 0 {
+				if ci, ok := tab.FindIndex(rec.FromPC); ok {
+					fi = int32(ci)
+					outDeg[ci]++
+				}
+			}
+			if fi < 0 {
+				spont++
+			}
+			res[i] = endpoints{from: fi, to: int32(calleeIdx)}
+			inDeg[calleeIdx]++
+		}
+		for i, n := range g.order {
+			if inDeg[i] > 0 {
+				n.In = make([]*Arc, 0, inDeg[i])
+			}
+			if outDeg[i] > 0 {
+				n.Out = make([]*Arc, 0, outDeg[i])
+			}
+		}
+		if spont > 0 && g.Spontaneous == nil {
+			g.Spontaneous = make([]*Arc, 0, spont)
+		}
+		for i, rec := range p.Arcs {
+			var from *Node
+			if res[i].from >= 0 {
+				from = g.order[res[i].from]
+			}
+			g.addArc(from, g.order[res[i].to], rec.Count)
+		}
+		return g, nil
+	}
 	for _, rec := range p.Arcs {
-		callee, ok := tab.Find(rec.SelfPC)
+		calleeIdx, ok := tab.FindIndex(rec.SelfPC)
 		if !ok {
 			return nil, fmt.Errorf("callgraph: arc callee pc %#x is not in any routine", rec.SelfPC)
 		}
-		caller := ""
+		var from *Node
 		if rec.FromPC >= 0 {
-			if c, ok := tab.Find(rec.FromPC); ok {
-				caller = c.Name
+			if ci, ok := tab.FindIndex(rec.FromPC); ok {
+				from = g.MustNode(tab.Syms()[ci].Name)
 			}
 		}
-		g.AddArc(caller, callee.Name, rec.Count)
+		g.addArc(from, g.MustNode(tab.Syms()[calleeIdx].Name), rec.Count)
 	}
 	return g, nil
 }
@@ -397,6 +563,7 @@ func (g *Graph) RemoveArc(caller, callee string) bool {
 	if a == nil {
 		return false
 	}
+	delete(g.arcIdx, arcKeyOf(from, to))
 	to.In = removeArc(to.In, a)
 	from.Out = removeArc(from.Out, a)
 	return true

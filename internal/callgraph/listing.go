@@ -2,7 +2,8 @@ package callgraph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 )
 
 // ListEntry is one unit of the call-graph profile listing: either a
@@ -22,15 +23,21 @@ type ListEntry struct {
 func AssignIndexes(g *Graph) []ListEntry {
 	entries := sortedUnits(g)
 	idx := 1
-	var out []ListEntry
+	out := make([]ListEntry, 0, g.Len()+len(g.Cycles))
 	for _, e := range entries {
 		if e.cycle != nil {
 			e.cycle.Index = idx
 			idx++
 			out = append(out, ListEntry{Cycle: e.cycle})
 			members := append([]*Node(nil), e.cycle.Members...)
-			sort.SliceStable(members, func(i, j int) bool {
-				return members[i].SelfTicks > members[j].SelfTicks
+			slices.SortStableFunc(members, func(a, b *Node) int {
+				switch {
+				case a.SelfTicks > b.SelfTicks:
+					return -1
+				case a.SelfTicks < b.SelfTicks:
+					return 1
+				}
+				return 0
 			})
 			for _, m := range members {
 				m.Index = idx
@@ -46,45 +53,41 @@ func AssignIndexes(g *Graph) []ListEntry {
 	return out
 }
 
-// unit is a sortable listing unit: a free node or a whole cycle.
+// unit is a sortable listing unit: a free node or a whole cycle, with
+// its sort keys computed once — the comparator runs O(n log n) times,
+// so it must not re-sum cycle members or format names per call.
 type unit struct {
 	node  *Node
 	cycle *Cycle
-}
-
-func (e unit) total() float64 {
-	if e.cycle != nil {
-		return e.cycle.TotalTicks()
-	}
-	return e.node.TotalTicks()
-}
-
-func (e unit) name() string {
-	if e.cycle != nil {
-		return fmt.Sprintf("<cycle %d as a whole>", e.cycle.Number)
-	}
-	return e.node.Name
+	total float64
+	name  string
 }
 
 // sortedUnits collects units (plain nodes and cycles) sorted by
 // decreasing total time, ties broken by name for determinism.
 func sortedUnits(g *Graph) []unit {
-	var entries []unit
+	entries := make([]unit, 0, len(g.order)+len(g.Cycles))
 	for _, n := range g.order {
 		if n.InCycle() {
 			continue
 		}
-		entries = append(entries, unit{node: n})
+		entries = append(entries, unit{node: n, total: n.TotalTicks(), name: n.Name})
 	}
 	for _, c := range g.Cycles {
-		entries = append(entries, unit{cycle: c})
+		entries = append(entries, unit{
+			cycle: c,
+			total: c.TotalTicks(),
+			name:  fmt.Sprintf("<cycle %d as a whole>", c.Number),
+		})
 	}
-	sort.SliceStable(entries, func(i, j int) bool {
-		ti, tj := entries[i].total(), entries[j].total()
-		if ti != tj {
-			return ti > tj
+	slices.SortStableFunc(entries, func(a, b unit) int {
+		if a.total != b.total {
+			if a.total > b.total {
+				return -1
+			}
+			return 1
 		}
-		return entries[i].name() < entries[j].name()
+		return strings.Compare(a.name, b.name)
 	})
 	return entries
 }

@@ -301,7 +301,14 @@ type Reader struct {
 // NewReader parses the file header from r. The Reader buffers its
 // input; r may be positioned past the profile's last byte afterwards.
 func NewReader(r io.Reader) (*Reader, error) {
-	br := binio.NewReader(r)
+	return newReaderBR(binio.NewReader(r))
+}
+
+// newReaderBR parses the file header from an already-constructed block
+// reader — streaming (NewReader) or fixed over in-memory bytes
+// (OpenBytes), which is how memory-mapped files decode with zero
+// copies.
+func newReaderBR(br *binio.Reader) (*Reader, error) {
 	fail := func(err error) (*Reader, error) {
 		br.Close()
 		return nil, err
@@ -656,14 +663,43 @@ func WriteFileVersion(name string, p *Profile, version int) error {
 	return f.Close()
 }
 
-// ReadFile reads a profile from the named file.
+// readMapped decodes the named file into p through a read-only binio
+// mapping: raw version-1/2 files decode zero-copy straight out of the
+// page cache. mapped reports false when the file could not be mapped at
+// all (a pipe, a permission error) — the caller falls back to the
+// streaming open so the error, if real, surfaces with the same shape as
+// before.
+func readMapped(name string, p *Profile) (st FileStats, mapped bool, err error) {
+	m, err := binio.Map(name)
+	if err != nil {
+		return FileStats{}, false, nil
+	}
+	defer m.Close()
+	d, err := OpenBytes(m.Data)
+	if err != nil {
+		return FileStats{}, true, err
+	}
+	defer d.Close()
+	st, err = decodeInto(d, p)
+	return st, true, err
+}
+
+// ReadFile reads a profile from the named file, decoding through a
+// memory mapping when the platform allows it.
 func ReadFile(name string) (*Profile, error) {
+	p := &Profile{}
+	if _, mapped, err := readMapped(name, p); mapped {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		return p, nil
+	}
 	f, err := os.Open(name)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	p, err := Read(f)
+	p, err = Read(f)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
@@ -673,6 +709,13 @@ func ReadFile(name string) (*Profile, error) {
 // ReadFileStats reads a profile from the named file and reports its
 // on-disk layout.
 func ReadFileStats(name string) (*Profile, FileStats, error) {
+	p := &Profile{}
+	if st, mapped, err := readMapped(name, p); mapped {
+		if err != nil {
+			return nil, st, fmt.Errorf("%s: %w", name, err)
+		}
+		return p, st, nil
+	}
 	f, err := os.Open(name)
 	if err != nil {
 		return nil, FileStats{}, err

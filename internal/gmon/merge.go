@@ -128,9 +128,17 @@ var scratchPool = sync.Pool{New: func() any { return new(Profile) }}
 
 // readFileInto decodes the named file into the scratch profile, reusing
 // its storage, and reports the bytes consumed. Errors are attributed to
-// the file. The OpenReader sniff makes gzip-compressed profile data
-// work everywhere files are summed (gprof -sum, profdiff, gprofd).
+// the file. Files decode zero-copy through a read-only mapping where
+// the platform allows (readMapped), streaming otherwise; the OpenBytes/
+// OpenReader sniff makes gzip-compressed profile data work everywhere
+// files are summed (gprof -sum, profdiff, gprofd).
 func readFileInto(name string, p *Profile) (int64, error) {
+	if st, mapped, err := readMapped(name, p); mapped {
+		if err != nil {
+			return st.TotalBytes, fmt.Errorf("%s: %w", name, err)
+		}
+		return st.TotalBytes, nil
+	}
 	f, err := os.Open(name)
 	if err != nil {
 		return 0, err

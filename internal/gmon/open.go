@@ -5,6 +5,8 @@ import (
 	"compress/gzip"
 	"fmt"
 	"io"
+
+	"repro/internal/binio"
 )
 
 // gzipMagic is the two-byte RFC 1952 member header every gzip stream
@@ -60,6 +62,29 @@ func OpenReader(r io.Reader) (*Reader, error) {
 		d.src = unzip
 	}
 	return d, nil
+}
+
+// OpenBytes is OpenReader for profile data already resident in memory
+// (a binio.Map mapping, an upload body): raw files decode through a
+// fixed zero-copy reader whose record views alias data itself — no
+// block buffer, no staging memcpy — while gzip payloads unwrap through
+// the streaming decompressor. The caller keeps data alive until the
+// returned Reader is closed.
+func OpenBytes(data []byte) (*Reader, error) {
+	if len(data) >= 2 && data[0] == gzipMagic[0] && data[1] == gzipMagic[1] {
+		unzip, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("gmon: opening gzip stream: %w", err)
+		}
+		d, err := NewReader(unzip)
+		if err != nil {
+			unzip.Close()
+			return nil, err
+		}
+		d.src = unzip
+		return d, nil
+	}
+	return newReaderBR(binio.NewBytesReader(data))
 }
 
 // Open decodes a whole profile through OpenReader: gzip or identity

@@ -1,7 +1,9 @@
 package model
 
 import (
+	"slices"
 	"sort"
+	"strings"
 
 	"repro/internal/callgraph"
 )
@@ -37,10 +39,12 @@ func Build(g *callgraph.Graph) *Profile {
 
 	nodes := g.Nodes()
 	// One pass over each node's incoming arcs for its call counts; the
-	// accessor pair (Calls, SelfCalls) would make two.
+	// accessor pair (Calls, SelfCalls) would make two. Node.ID is the
+	// position in the creation-ordered node list, so a flat slice
+	// replaces the pointer-keyed map.
 	type counts struct{ calls, selfCalls int64 }
-	callsOf := make(map[*callgraph.Node]counts, len(nodes))
-	for _, n := range nodes {
+	callsOf := make([]counts, len(nodes))
+	for i, n := range nodes {
 		var c counts
 		for _, a := range n.In {
 			if a.Self() {
@@ -49,12 +53,12 @@ func Build(g *callgraph.Graph) *Profile {
 				c.calls += a.Count
 			}
 		}
-		callsOf[n] = c
+		callsOf[i] = c
 	}
 
 	p.Routines = make([]Routine, 0, len(nodes))
 	for _, n := range nodes {
-		c := callsOf[n]
+		c := callsOf[n.ID]
 		r := Routine{
 			Name:         n.Name,
 			Index:        n.Index,
@@ -71,11 +75,12 @@ func Build(g *callgraph.Graph) *Profile {
 		p.Routines = append(p.Routines, r)
 	}
 
-	// Per-cycle totals once per cycle, not once per arc.
-	extCalls := make(map[*callgraph.Cycle]int64, len(g.Cycles))
+	// Per-cycle totals once per cycle, not once per arc. Cycle numbers
+	// are dense and 1-based.
+	extCalls := make([]int64, len(g.Cycles)+1)
 	for _, c := range g.Cycles {
 		ext := c.ExternalCalls()
-		extCalls[c] = ext
+		extCalls[c.Number] = ext
 		mc := Cycle{
 			Number:        c.Number,
 			Index:         c.Index,
@@ -91,6 +96,7 @@ func Build(g *callgraph.Graph) *Profile {
 		p.Cycles = append(p.Cycles, mc)
 	}
 
+	p.Arcs = make([]Arc, 0, g.NumArcs())
 	for _, n := range nodes {
 		for _, a := range n.In {
 			row := Arc{
@@ -107,16 +113,16 @@ func Build(g *callgraph.Graph) *Profile {
 			// The calls/total denominator: calls into the callee, or
 			// into its whole cycle when it is a member.
 			if a.Callee.InCycle() {
-				row.TotalCalls = extCalls[a.Callee.Cycle]
+				row.TotalCalls = extCalls[a.Callee.Cycle.Number]
 			} else {
-				row.TotalCalls = callsOf[a.Callee].calls
+				row.TotalCalls = callsOf[a.Callee.ID].calls
 			}
 			p.Arcs = append(p.Arcs, row)
 		}
 	}
 
 	p.buildFlat(nodes, func(n *callgraph.Node) int64 {
-		c := callsOf[n]
+		c := callsOf[n.ID]
 		return c.calls + c.selfCalls
 	})
 	p.Reindex()
@@ -130,7 +136,7 @@ func (p *Profile) buildFlat(nodes []*callgraph.Node, callsOf func(*callgraph.Nod
 		n     *callgraph.Node
 		calls int64
 	}
-	var rows []row
+	rows := make([]row, 0, len(nodes))
 	for _, n := range nodes {
 		calls := callsOf(n)
 		if calls == 0 && n.SelfTicks == 0 {
@@ -139,17 +145,24 @@ func (p *Profile) buildFlat(nodes []*callgraph.Node, callsOf func(*callgraph.Nod
 		}
 		rows = append(rows, row{n, calls})
 	}
-	sort.SliceStable(rows, func(i, j int) bool {
-		if rows[i].n.SelfTicks != rows[j].n.SelfTicks {
-			return rows[i].n.SelfTicks > rows[j].n.SelfTicks
+	slices.SortStableFunc(rows, func(a, b row) int {
+		if a.n.SelfTicks != b.n.SelfTicks {
+			if a.n.SelfTicks > b.n.SelfTicks {
+				return -1
+			}
+			return 1
 		}
-		if rows[i].calls != rows[j].calls {
-			return rows[i].calls > rows[j].calls
+		if a.calls != b.calls {
+			if a.calls > b.calls {
+				return -1
+			}
+			return 1
 		}
-		return rows[i].n.Name < rows[j].n.Name
+		return strings.Compare(a.n.Name, b.n.Name)
 	})
 	sort.Strings(p.NeverCalled)
 
+	p.Flat = make([]FlatRow, 0, len(rows))
 	var cum float64
 	for _, r := range rows {
 		selfSecs := p.Seconds(r.n.SelfTicks)

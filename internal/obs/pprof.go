@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Pprof is the shared -cpuprofile/-memprofile plumbing for the CLIs:
+// standard Go execution profiles of the profiler itself, so scale runs
+// can be dissected with `go tool pprof`. Register flags before
+// flag.Parse, then defer Stop:
+//
+//	var prof obs.Pprof
+//	prof.RegisterFlags(flag.CommandLine)
+//	flag.Parse()
+//	if err := prof.Start(); err != nil { ... }
+//	defer prof.Stop()
+//
+// Stop writes the heap profile (after a final GC) and closes the CPU
+// profile; it is safe to call when neither flag was given.
+type Pprof struct {
+	cpuPath string
+	memPath string
+	cpuFile *os.File
+}
+
+// RegisterFlags installs -cpuprofile and -memprofile on fs.
+func (p *Pprof) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&p.cpuPath, "cpuprofile", "", "write a CPU profile of this run to `file`")
+	fs.StringVar(&p.memPath, "memprofile", "", "write a heap profile of this run to `file`")
+}
+
+// Start begins CPU profiling if -cpuprofile was given.
+func (p *Pprof) Start() error {
+	if p.cpuPath == "" {
+		return nil
+	}
+	f, err := os.Create(p.cpuPath)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("starting CPU profile: %w", err)
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile, if their
+// flags were given. Errors go to stderr: profile trouble must not turn
+// a successful analysis into a failed one.
+func (p *Pprof) Stop() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+		}
+		p.cpuFile = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			return
+		}
+		runtime.GC() // materialize final live-heap numbers
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		}
+		f.Close()
+	}
+}

@@ -25,7 +25,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/callgraph"
 	"repro/internal/obs"
@@ -43,10 +45,13 @@ func Run(g *callgraph.Graph) {
 // the exact serial Run. At higher widths the condensation DAG is cut
 // into depth levels — a unit (node, or collapsed cycle) sits one level
 // above its deepest callee, so the topological numbers from scc already
-// certify the schedule — and units within a level compute their arc
-// shares concurrently. The caller-side accumulation is applied serially
-// in topological order after each level, keeping the result
-// deterministic for any jobs regardless of goroutine scheduling.
+// certify the schedule — and units within a level compute concurrently.
+//
+// The parallel result is bit-identical to the serial one for every
+// input: each caller folds its incoming propagated shares from a
+// per-unit application list laid out in the serial traversal's exact
+// order, so every floating-point accumulator sees the same additions in
+// the same sequence regardless of jobs or goroutine scheduling.
 func RunCtx(ctx context.Context, g *callgraph.Graph, jobs int) error {
 	for _, n := range g.Nodes() {
 		n.ChildTicks = 0
@@ -61,194 +66,41 @@ func RunCtx(ctx context.Context, g *callgraph.Graph, jobs int) error {
 		return err
 	}
 
+	// More workers than schedulable CPUs is pure overhead, and the
+	// application-list design makes the scheduled path bit-identical to
+	// the serial one at any width, so clamping cannot change output —
+	// on a single-CPU host every width runs the cheaper serial path.
+	jobs = min(jobs, runtime.GOMAXPROCS(0))
 	if jobs <= 1 {
-		done := make(map[*callgraph.Cycle]bool)
+		doneCycle := make([]bool, len(g.Cycles)+1)
 		for _, n := range scc.TopoOrder(g) {
 			if c := n.Cycle; c != nil {
-				if done[c] {
+				if doneCycle[c.Number] {
 					continue
 				}
-				done[c] = true
-				distribute(c.SelfTicks(), c.ChildTicks, c.ExternalCalls(), cycleInArcs(c))
+				doneCycle[c.Number] = true
+				distributeCycle(c)
 				continue
 			}
-			distribute(n.SelfTicks, n.ChildTicks, n.Calls(), nodeInArcs(n))
+			distributeNode(n)
 		}
 		return nil
 	}
 	return runLevels(ctx, g, jobs)
 }
 
-// unit is one propagation entity: a collapsed cycle or a plain node.
-type unit struct {
-	node  *callgraph.Node  // nil when cycle != nil
-	cycle *callgraph.Cycle
-	depth int
-	in    []*callgraph.Arc // filled during the level's parallel phase
-}
-
-func nodeInArcs(n *callgraph.Node) []*callgraph.Arc {
-	var in []*callgraph.Arc
-	for _, a := range n.In {
-		if !a.Self() {
-			in = append(in, a)
-		}
-	}
-	return in
-}
-
-func cycleInArcs(c *callgraph.Cycle) []*callgraph.Arc {
-	var in []*callgraph.Arc
-	for _, m := range c.Members {
-		for _, a := range m.In {
-			if !a.IntraCycle() && !a.Self() {
-				in = append(in, a)
-			}
-		}
-	}
-	return in
-}
-
-// runLevels is the parallel schedule behind RunCtx.
-func runLevels(ctx context.Context, g *callgraph.Graph, jobs int) error {
-	// Units in topological order (callees first), with the unit of every
-	// member node recorded so arcs can be chased to their unit.
-	unitOf := make(map[*callgraph.Node]*unit, g.Len())
-	var units []*unit
-	for _, n := range scc.TopoOrder(g) {
-		if c := n.Cycle; c != nil {
-			if u := unitOf[c.Members[0]]; u != nil {
-				unitOf[n] = u
-				continue
-			}
-			u := &unit{cycle: c}
-			for _, m := range c.Members {
-				unitOf[m] = u
-			}
-			units = append(units, u)
-			continue
-		}
-		u := &unit{node: n}
-		unitOf[n] = u
-		units = append(units, u)
-	}
-	// A unit's depth is one past its deepest callee unit: everything a
-	// unit calls is finished before the unit's own total is read. The
-	// topological order makes this a single pass.
-	maxDepth := 0
-	for _, u := range units {
-		members := []*callgraph.Node{u.node}
-		if u.cycle != nil {
-			members = u.cycle.Members
-		}
-		for _, m := range members {
-			for _, a := range m.Out {
-				if a.Self() || a.IntraCycle() {
-					continue
-				}
-				if d := unitOf[a.Callee].depth + 1; d > u.depth {
-					u.depth = d
-				}
-			}
-		}
-		if u.depth > maxDepth {
-			maxDepth = u.depth
-		}
-	}
-	levels := make([][]*unit, maxDepth+1)
-	for _, u := range units {
-		levels[u.depth] = append(levels[u.depth], u)
-	}
-	// The level schedule is the interesting scheduling fact about the
-	// parallel pipeline: publish it, and record one span per level so a
-	// Chrome trace shows how the DAG's depth serializes the run.
-	tr := obs.FromContext(ctx)
-	tr.Gauge("propagate.levels").Set(int64(len(levels)))
-	tr.Gauge("propagate.units").Set(int64(len(units)))
-	tr.Gauge("propagate.jobs").Set(int64(jobs))
-
-	for depth, level := range levels {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		var endLevel func()
-		if tr != nil {
-			endLevel = tr.Span(fmt.Sprintf("propagate.L%d", depth))
-		}
-		// Parallel phase: each unit gathers its incoming arcs and writes
-		// its shares onto them. Every arc targets exactly one unit, so
-		// the writes are disjoint; the unit's own ChildTicks is final
-		// because all of its callees live in earlier levels.
-		workers := jobs
-		if workers > len(level) {
-			workers = len(level)
-		}
-		var wg sync.WaitGroup
-		idx := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range idx {
-					u := level[i]
-					var self, child float64
-					var calls int64
-					if c := u.cycle; c != nil {
-						u.in = cycleInArcs(c)
-						self, child, calls = c.SelfTicks(), c.ChildTicks, c.ExternalCalls()
-					} else {
-						u.in = nodeInArcs(u.node)
-						self, child, calls = u.node.SelfTicks, u.node.ChildTicks, u.node.Calls()
-					}
-					if calls <= 0 {
-						continue
-					}
-					for _, a := range u.in {
-						if a.Count <= 0 {
-							continue // static arcs never propagate
-						}
-						frac := float64(a.Count) / float64(calls)
-						a.PropSelf = self * frac
-						a.PropChild = child * frac
-					}
-				}
-			}()
-		}
-		for i := range level {
-			idx <- i
-		}
-		close(idx)
-		wg.Wait()
-		// Serial phase: accumulate into callers in topological unit
-		// order, so the floating-point sums are reproducible.
-		for _, u := range level {
-			for _, a := range u.in {
-				if a.Count <= 0 || a.Caller == nil {
-					continue
-				}
-				if pc := a.Caller.Cycle; pc != nil {
-					pc.ChildTicks += a.PropSelf + a.PropChild
-				} else {
-					a.Caller.ChildTicks += a.PropSelf + a.PropChild
-				}
-			}
-		}
-		if endLevel != nil {
-			endLevel()
-		}
-	}
-	return nil
-}
-
-// distribute shares self+child time among the incoming arcs in
-// proportion to their counts, accumulating into each caller's unit.
-func distribute(self, child float64, calls int64, in []*callgraph.Arc) {
+// distributeNode shares a node's self+child time among its incoming
+// arcs in proportion to their counts, accumulating into each caller's
+// unit (or nowhere, for spontaneous arcs).
+func distributeNode(n *callgraph.Node) {
+	calls := n.Calls()
 	if calls <= 0 {
 		return
 	}
-	for _, a := range in {
-		if a.Count <= 0 {
-			continue // static arcs never propagate
+	self, child := n.SelfTicks, n.ChildTicks
+	for _, a := range n.In {
+		if a.Self() || a.Count <= 0 {
+			continue // self-recursion and static arcs never propagate
 		}
 		frac := float64(a.Count) / float64(calls)
 		a.PropSelf = self * frac
@@ -262,6 +114,299 @@ func distribute(self, child float64, calls int64, in []*callgraph.Arc) {
 			a.Caller.ChildTicks += a.PropSelf + a.PropChild
 		}
 	}
+}
+
+// distributeCycle is distributeNode for a collapsed cycle: the members'
+// summed time is shared among the arcs entering the cycle from outside.
+func distributeCycle(c *callgraph.Cycle) {
+	calls := c.ExternalCalls()
+	if calls <= 0 {
+		return
+	}
+	self, child := c.SelfTicks(), c.ChildTicks
+	for _, m := range c.Members {
+		for _, a := range m.In {
+			if a.IntraCycle() || a.Self() || a.Count <= 0 {
+				continue
+			}
+			frac := float64(a.Count) / float64(calls)
+			a.PropSelf = self * frac
+			a.PropChild = child * frac
+			if a.Caller == nil {
+				continue
+			}
+			if pc := a.Caller.Cycle; pc != nil {
+				pc.ChildTicks += a.PropSelf + a.PropChild
+			} else {
+				a.Caller.ChildTicks += a.PropSelf + a.PropChild
+			}
+		}
+	}
+}
+
+// unit is one propagation entity: a collapsed cycle or a plain node.
+type unit struct {
+	node  *callgraph.Node // nil when cycle != nil
+	cycle *callgraph.Cycle
+	depth int32
+}
+
+// sched is the level schedule plus the application lists that make the
+// parallel run bit-exact. Everything is indexed by unit number (units
+// are stored in topological order) via Node.ID and Cycle.Number — no
+// pointer-keyed maps.
+type sched struct {
+	units []unit
+	// appList[appHead[u]:appHead[u+1]] holds the arcs whose propagated
+	// shares accumulate into unit u's ChildTicks, in exactly the order
+	// the serial traversal would apply them (callee units in topological
+	// order, arcs in each callee's filter order). Folding this list is
+	// therefore the same floating-point addition sequence as the serial
+	// run, independent of scheduling.
+	appHead []int32
+	appList []*callgraph.Arc
+}
+
+// apply computes unit ui completely: fold its application list into its
+// ChildTicks (every arc in the list was finalized by a callee unit in a
+// strictly earlier level), then write this unit's shares onto its own
+// incoming arcs. Units are disjoint in what they write, so any set of
+// same-level units may run concurrently.
+func (s *sched) apply(ui int32) {
+	u := &s.units[ui]
+	if lo, hi := s.appHead[ui], s.appHead[ui+1]; lo != hi {
+		t := 0.0
+		for _, a := range s.appList[lo:hi] {
+			t += a.PropSelf + a.PropChild
+		}
+		if u.cycle != nil {
+			u.cycle.ChildTicks = t
+		} else {
+			u.node.ChildTicks = t
+		}
+	}
+	if c := u.cycle; c != nil {
+		calls := c.ExternalCalls()
+		if calls <= 0 {
+			return
+		}
+		self, child := c.SelfTicks(), c.ChildTicks
+		for _, m := range c.Members {
+			for _, a := range m.In {
+				if a.IntraCycle() || a.Self() || a.Count <= 0 {
+					continue
+				}
+				frac := float64(a.Count) / float64(calls)
+				a.PropSelf = self * frac
+				a.PropChild = child * frac
+			}
+		}
+		return
+	}
+	n := u.node
+	calls := n.Calls()
+	if calls <= 0 {
+		return
+	}
+	self, child := n.SelfTicks, n.ChildTicks
+	for _, a := range n.In {
+		if a.Self() || a.Count <= 0 {
+			continue
+		}
+		frac := float64(a.Count) / float64(calls)
+		a.PropSelf = self * frac
+		a.PropChild = child * frac
+	}
+}
+
+// callerUnit resolves the unit an arc accumulates into, or -1 for arcs
+// that flow nowhere (spontaneous or static).
+func callerUnit(a *callgraph.Arc, unitOf, cycleUnit []int32) int32 {
+	if a.Count <= 0 || a.Caller == nil {
+		return -1
+	}
+	if pc := a.Caller.Cycle; pc != nil {
+		return cycleUnit[pc.Number]
+	}
+	return unitOf[a.Caller.ID]
+}
+
+// runLevels is the parallel schedule behind RunCtx.
+func runLevels(ctx context.Context, g *callgraph.Graph, jobs int) error {
+	nodes := g.Nodes()
+	s := &sched{units: make([]unit, 0, len(nodes))}
+	// Units in topological order (callees first), with the unit of every
+	// node recorded by its ID so arcs can be chased to their unit.
+	unitOf := make([]int32, len(nodes))
+	cycleUnit := make([]int32, len(g.Cycles)+1)
+	for i := range cycleUnit {
+		cycleUnit[i] = -1
+	}
+	topo := scc.TopoOrder(g)
+	for _, n := range topo {
+		if c := n.Cycle; c != nil {
+			if u := cycleUnit[c.Number]; u >= 0 {
+				unitOf[n.ID] = u
+				continue
+			}
+			ui := int32(len(s.units))
+			cycleUnit[c.Number] = ui
+			unitOf[n.ID] = ui
+			s.units = append(s.units, unit{cycle: c})
+			continue
+		}
+		unitOf[n.ID] = int32(len(s.units))
+		s.units = append(s.units, unit{node: n})
+	}
+	nu := len(s.units)
+
+	// A unit's depth is one past its deepest callee unit: everything a
+	// unit calls is finished before the unit's own total is read. The
+	// topological order makes this a single pass. In the same sweep,
+	// count each caller unit's incoming applications so the application
+	// lists can be laid out as one contiguous CSR arena.
+	appCount := make([]int32, nu+1)
+	maxDepth := int32(0)
+	one := make([]*callgraph.Node, 1) // reusable member list for plain nodes
+	for ui := range s.units {
+		u := &s.units[ui]
+		members := one
+		if u.cycle != nil {
+			members = u.cycle.Members
+		} else {
+			one[0] = u.node
+		}
+		for _, m := range members {
+			for _, a := range m.Out {
+				if a.Self() || a.IntraCycle() {
+					continue
+				}
+				cu := unitOf[a.Callee.ID]
+				if c := a.Callee.Cycle; c != nil {
+					cu = cycleUnit[c.Number]
+				}
+				if d := s.units[cu].depth + 1; d > u.depth {
+					u.depth = d
+				}
+			}
+			for _, a := range m.In {
+				if a.Self() || a.IntraCycle() {
+					continue
+				}
+				if cu := callerUnit(a, unitOf, cycleUnit); cu >= 0 {
+					appCount[cu+1]++
+				}
+			}
+		}
+		if u.depth > maxDepth {
+			maxDepth = u.depth
+		}
+	}
+	s.appHead = appCount
+	for i := 1; i <= nu; i++ {
+		s.appHead[i] += s.appHead[i-1]
+	}
+	// Fill pass walks units (hence callee filter lists) in topological
+	// order, appending each arc to its caller unit's slot — per caller
+	// this reproduces the serial application order exactly.
+	s.appList = make([]*callgraph.Arc, s.appHead[nu])
+	next := make([]int32, nu)
+	copy(next, s.appHead[:nu])
+	for ui := range s.units {
+		u := &s.units[ui]
+		members := one
+		if u.cycle != nil {
+			members = u.cycle.Members
+		} else {
+			one[0] = u.node
+		}
+		for _, m := range members {
+			for _, a := range m.In {
+				if a.Self() || a.IntraCycle() {
+					continue
+				}
+				if cu := callerUnit(a, unitOf, cycleUnit); cu >= 0 {
+					s.appList[next[cu]] = a
+					next[cu]++
+				}
+			}
+		}
+	}
+
+	// Bucket units into levels (counting sort keeps them in topological
+	// order within a level, though correctness no longer depends on it).
+	levelHead := make([]int32, maxDepth+2)
+	for ui := range s.units {
+		levelHead[s.units[ui].depth+1]++
+	}
+	for d := 1; d < len(levelHead); d++ {
+		levelHead[d] += levelHead[d-1]
+	}
+	levelUnits := make([]int32, nu)
+	fill := make([]int32, maxDepth+1)
+	copy(fill, levelHead[:maxDepth+1])
+	for ui := range s.units {
+		d := s.units[ui].depth
+		levelUnits[fill[d]] = int32(ui)
+		fill[d]++
+	}
+
+	// The level schedule is the interesting scheduling fact about the
+	// parallel pipeline: publish it, and record one span per level so a
+	// Chrome trace shows how the DAG's depth serializes the run.
+	tr := obs.FromContext(ctx)
+	tr.Gauge("propagate.levels").Set(int64(maxDepth) + 1)
+	tr.Gauge("propagate.units").Set(int64(nu))
+	tr.Gauge("propagate.jobs").Set(int64(jobs))
+
+	for depth := int32(0); depth <= maxDepth; depth++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		level := levelUnits[levelHead[depth]:levelHead[depth+1]]
+		var endLevel func()
+		if tr != nil {
+			endLevel = tr.Span(fmt.Sprintf("propagate.L%d", depth))
+		}
+		// Narrow levels (deep chains degenerate to width 1) run inline:
+		// spawning goroutines per unit would dominate the work.
+		if workers := min(jobs, len(level)); workers > 1 && len(level) >= 2*workers {
+			// Workers claim contiguous chunks off a shared cursor, so a
+			// million-unit level costs ~8·workers atomic ops, not a
+			// channel send per unit.
+			chunk := int32(len(level)/(workers*8) + 1)
+			var cursor atomic.Int32
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						hi := cursor.Add(chunk)
+						lo := hi - chunk
+						if lo >= int32(len(level)) {
+							return
+						}
+						if hi > int32(len(level)) {
+							hi = int32(len(level))
+						}
+						for _, ui := range level[lo:hi] {
+							s.apply(ui)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		} else {
+			for _, ui := range level {
+				s.apply(ui)
+			}
+		}
+		if endLevel != nil {
+			endLevel()
+		}
+	}
+	return nil
 }
 
 // CheckConservation verifies the propagation invariant: every unit's

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -407,6 +408,12 @@ func randomCyclicGraph(n int, degree float64, seed int64) *callgraph.Graph {
 // same ChildTicks and per-arc shares as the serial traversal, at every
 // worker count, on graphs with cycles, spontaneous arcs, and statics.
 func TestRunCtxMatchesSerial(t *testing.T) {
+	// RunCtx clamps jobs to GOMAXPROCS; raise it so the scheduled
+	// path (and its worker dispatch) is exercised even on a 1-CPU CI
+	// host. GOMAXPROCS may legally exceed the CPU count.
+	if runtime.GOMAXPROCS(0) < 4 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	}
 	for seed := int64(0); seed < 6; seed++ {
 		g := randomCyclicGraph(60, 2.5, 100+seed)
 		g.AddArc("", "f0", 3) // spontaneous

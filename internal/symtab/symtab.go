@@ -67,11 +67,24 @@ func (t *Table) Names() []string {
 
 // Find returns the routine containing pc.
 func (t *Table) Find(pc int64) (object.Sym, bool) {
+	i, ok := t.FindIndex(pc)
+	if !ok {
+		return object.Sym{}, false
+	}
+	return t.funcs[i], true
+}
+
+// FindIndex returns the table index of the routine containing pc. The
+// index is stable for the life of the table (addresses sort once, at
+// construction), so callers can key per-routine arrays on it instead
+// of on names — the call-graph builder resolves every arc record this
+// way.
+func (t *Table) FindIndex(pc int64) (int, bool) {
 	i := sort.Search(len(t.funcs), func(i int) bool { return t.funcs[i].End() > pc })
 	if i < len(t.funcs) && t.funcs[i].Addr <= pc && pc < t.funcs[i].End() {
-		return t.funcs[i], true
+		return i, true
 	}
-	return object.Sym{}, false
+	return 0, false
 }
 
 // Lookup returns the routine with the given name.
@@ -93,26 +106,54 @@ type SelfTicks map[string]float64
 // fell outside every known routine (charged to no one, reported so the
 // flat profile can still sum to the total run time via the caller).
 func (t *Table) AttributeHist(h *gmon.Histogram) (SelfTicks, float64) {
-	return t.attributeBuckets(h, 0, len(h.Counts))
+	return t.AttributeHistN(h, 1)
 }
 
-// AttributeHistN is AttributeHist across a worker pool: the bucket range
-// is sharded into jobs contiguous slices attributed concurrently, and
-// the partial per-routine totals reduce in shard order. jobs <= 1 is the
-// serial AttributeHist. The result is deterministic for a fixed jobs;
-// shard-boundary reassociation may differ from the serial sum by
-// floating-point rounding only (exact whenever bucket splits are exact,
-// e.g. at one-to-one granularity).
+// AttributeHistN is AttributeHist across a worker pool; jobs <= 1 is
+// serial. It is the name-keyed projection of AttributeHistIdxN: when
+// two routines share a name their ticks merge under it.
 func (t *Table) AttributeHistN(h *gmon.Histogram, jobs int) (SelfTicks, float64) {
+	ticks, lost := t.AttributeHistIdxN(h, jobs)
+	out := make(SelfTicks, len(t.funcs))
+	for i, v := range ticks {
+		if v != 0 {
+			out[t.funcs[i].Name] += v
+		}
+	}
+	return out, lost
+}
+
+// AttributeHistIdxN distributes the histogram's ticks across routines
+// into a slice indexed by table position (see FindIndex) — no map
+// operations on the hot path, so million-bucket histograms attribute
+// at memory speed. The bucket range is sharded into jobs contiguous
+// slices attributed concurrently, and the partial per-routine totals
+// reduce in shard order. jobs <= 1 is the serial scan. The result is
+// deterministic for a fixed jobs; shard-boundary reassociation may
+// differ from the serial sum by floating-point rounding only (exact
+// whenever bucket splits are exact, e.g. at one-to-one granularity or
+// routine-aligned buckets).
+func (t *Table) AttributeHistIdxN(h *gmon.Histogram, jobs int) ([]float64, float64) {
 	nb := len(h.Counts)
 	if jobs > nb {
 		jobs = nb
 	}
+	out := make([]float64, len(t.funcs))
 	if jobs <= 1 {
-		return t.AttributeHist(h)
+		return out, t.attributeBuckets(h, 0, nb, out, 0)
 	}
-	parts := make([]SelfTicks, jobs)
-	losts := make([]float64, jobs)
+	// Each shard's buckets span a contiguous PC range, so only a
+	// contiguous window of routines can receive its ticks: the partial
+	// is sized to that window, keeping total scratch ~len(funcs) across
+	// all shards instead of jobs*len(funcs). The dropped entries were
+	// exact zeros, so the shard-order reduction below computes the same
+	// floating-point sums as full-length partials would.
+	type part struct {
+		base int
+		vals []float64
+		lost float64
+	}
+	parts := make([]part, jobs)
 	per := (nb + jobs - 1) / jobs
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
@@ -121,25 +162,38 @@ func (t *Table) AttributeHistN(h *gmon.Histogram, jobs int) (SelfTicks, float64)
 			hi = nb
 		}
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(p *part, lo, hi int) {
 			defer wg.Done()
-			parts[w], losts[w] = t.attributeBuckets(h, lo, hi)
-		}(w, lo, hi)
+			wLo, _ := h.BucketRange(lo)
+			_, wHi := h.BucketRange(hi - 1)
+			jLo := sort.Search(len(t.funcs), func(k int) bool { return t.funcs[k].End() > wLo })
+			jHi := sort.Search(len(t.funcs), func(k int) bool { return t.funcs[k].Addr >= wHi })
+			if jHi < jLo {
+				jHi = jLo
+			}
+			p.base = jLo
+			p.vals = make([]float64, jHi-jLo)
+			p.lost = t.attributeBuckets(h, lo, hi, p.vals, jLo)
+		}(&parts[w], lo, hi)
 	}
 	wg.Wait()
-	out, lost := parts[0], losts[0]
-	for w := 1; w < jobs; w++ {
-		for name, v := range parts[w] {
-			out[name] += v
+	var lost float64
+	for w := range parts {
+		p := &parts[w]
+		for i, v := range p.vals {
+			if v != 0 {
+				out[p.base+i] += v
+			}
 		}
-		lost += losts[w]
+		lost += p.lost
 	}
 	return out, lost
 }
 
-// attributeBuckets attributes the buckets in [from, to).
-func (t *Table) attributeBuckets(h *gmon.Histogram, from, to int) (SelfTicks, float64) {
-	out := make(SelfTicks, len(t.funcs))
+// attributeBuckets attributes the buckets in [from, to) into out, whose
+// element 0 corresponds to table index base; out must cover every
+// routine the bucket range overlaps. It returns the lost ticks.
+func (t *Table) attributeBuckets(h *gmon.Histogram, from, to int, out []float64, base int) float64 {
 	var lost float64
 	for i := from; i < to; i++ {
 		n := h.Counts[i]
@@ -162,14 +216,14 @@ func (t *Table) attributeBuckets(h *gmon.Histogram, from, to int) (SelfTicks, fl
 				continue
 			}
 			frac := float64(ohi-olo) / width
-			out[s.Name] += float64(n) * frac
+			out[j-base] += float64(n) * frac
 			covered += frac
 		}
 		if covered < 1 {
 			lost += float64(n) * (1 - covered)
 		}
 	}
-	return out, lost
+	return lost
 }
 
 // Total sums all attributed ticks.
