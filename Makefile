@@ -25,22 +25,26 @@ bench-smoke:
 	go test -run xxx -bench . -benchtime=1x ./...
 
 # Regenerate the committed performance snapshot (BENCH_$(LABEL).json):
-# the workload suite via the parallel driver, plus the engine-facing
-# go-bench micro-benchmarks parsed into the same file. Schema in
-# docs/FORMATS.md.
-LABEL ?= PR7
+# the workload suite via the parallel driver, the scale and gprofd
+# query suites, plus the engine-facing go-bench micro-benchmarks
+# parsed into the same file. Schema in docs/FORMATS.md.
+LABEL ?= PR8
 .PHONY: bench-json
 bench-json:
 	go test -run xxx -bench 'Dispatch|McountFastPath|McountSteady|Snapshot|VMExecution|Overhead|GmonRead|GmonWrite|MergeAll|ImageIO|ModelBuild|ModelJSON|ObsSpan|ObsCounter' \
 		-benchmem . ./internal/mon ./internal/obs > bench-raw.out && \
-	go run ./cmd/benchjson -label $(LABEL) -scale -parse bench-raw.out -o BENCH_$(LABEL).json && \
+	go run ./cmd/benchjson -label $(LABEL) -scale -query -parse bench-raw.out -o BENCH_$(LABEL).json && \
 	rm -f bench-raw.out
 
 # Compare two committed performance snapshots, worst regression first;
-# -threshold (percent) makes it a CI gate.
+# -threshold (percent) makes it a gate. The threshold is sized to the
+# microsecond-scale per-stage span metrics, which jitter by >2x across
+# runs on the same host; domain-level regressions (analysis_ns,
+# profiles_analyzed_per_sec, warm_flat_ns) sit far below it in
+# practice and are what the diff output surfaces first.
 .PHONY: bench-diff
 bench-diff:
-	go run ./cmd/benchdiff BENCH_PR5.json BENCH_$(LABEL).json
+	go run ./cmd/benchdiff -threshold 200 BENCH_PR7.json BENCH_$(LABEL).json
 
 # Self-observability smoke: a profiled run and an analysis under
 # -stats/-tracefile/-runreport, with both artifacts validated by
@@ -84,6 +88,19 @@ gprofd-smoke:
 	./.gprofd-smoke/gprofd -addr 127.0.0.1:7421 & echo $$! > .gprofd-smoke/pid
 	./.gprofd-smoke/gprofload -addr http://127.0.0.1:7421 -agents 8 -uploads 50 -verify; \
 		rc=$$?; kill `cat .gprofd-smoke/pid` 2>/dev/null; rm -rf .gprofd-smoke; exit $$rc
+
+# Query-path smoke: mixed read/write traffic against a live gprofd —
+# reader agents hit /v1/flat and /v1/profile while uploads invalidate
+# underneath them. gprofload exits nonzero on any reader failure, a
+# verify mismatch, or (with -readers) a server whose incremental
+# caches served no hits.
+.PHONY: query-smoke
+query-smoke:
+	rm -rf .query-smoke && mkdir -p .query-smoke
+	go build -o .query-smoke/ ./cmd/gprofd ./cmd/gprofload
+	./.query-smoke/gprofd -addr 127.0.0.1:7423 & echo $$! > .query-smoke/pid
+	./.query-smoke/gprofload -addr http://127.0.0.1:7423 -agents 8 -uploads 50 -readers 4 -verify; \
+		rc=$$?; kill `cat .query-smoke/pid` 2>/dev/null; rm -rf .query-smoke; exit $$rc
 
 # Scale smoke: a 10^5-routine synthetic workload through the whole
 # stack — generate real artifacts, run the in-process pipeline under a

@@ -11,11 +11,17 @@
 //
 //	benchjson -label PR2 -o BENCH_PR2.json
 //	benchjson -label PR7 -scale -o BENCH_PR7.json
+//	benchjson -label PR8 -scale -query -o BENCH_PR8.json
 //	go test -run '^$' -bench . -benchtime=1x . | benchjson -label PR2 -parse - -o BENCH_PR2.json
 //
 // -scale adds the synthetic scale suite (experiments.ScaleSuite):
 // 10^3..10^6-routine workloads through the full pipeline, with
 // profiles_analyzed_per_sec as the headline rate per tier.
+//
+// -query adds the gprofd query suite (experiments.QuerySuite): cold vs
+// warm /v1/flat latency against an in-process server (the warm_speedup
+// figure pins the incremental read path's >= 10x bar) plus the query
+// rate sustained under concurrent ingest.
 //
 // The schema is documented in docs/FORMATS.md.
 package main
@@ -37,7 +43,7 @@ import (
 
 // File is the BENCH_*.json document. Field order is the wire order.
 type File struct {
-	Schema    string                      `json:"schema"` // "bench.v4"
+	Schema    string                      `json:"schema"` // "bench.v5"
 	Label     string                      `json:"label"`  // e.g. "PR2"
 	Go        string                      `json:"go"`
 	GOOS      string                      `json:"goos"`
@@ -46,6 +52,7 @@ type File struct {
 	Iters     int                         `json:"iters"`
 	Workloads []experiments.WorkloadBench `json:"workloads"`
 	Scale     []experiments.ScaleTier     `json:"scale,omitempty"`
+	Query     *experiments.QueryBench     `json:"query,omitempty"`
 	GoBench   []GoBench                   `json:"go_bench,omitempty"`
 }
 
@@ -111,6 +118,8 @@ func main() {
 		scSeed  = flag.Uint64("scaleseed", 1, "scale-suite generator seed")
 		scIters = flag.Int("scaleiters", 3, "timed repetitions per scale tier")
 		scJobs  = flag.Int("scalejobs", 8, "scale-suite parallel-run -jobs width")
+		query   = flag.Bool("query", false, "also run the gprofd query suite (cold/warm latency, mixed traffic)")
+		qIters  = flag.Int("queryiters", 5, "cold-query repetitions; minimum wins")
 	)
 	flag.Parse()
 	if err := prof.Start(); err != nil {
@@ -120,7 +129,7 @@ func main() {
 	defer prof.Stop()
 
 	f := File{
-		Schema:  "bench.v4",
+		Schema:  "bench.v5",
 		Label:   *label,
 		Go:      runtime.Version(),
 		GOOS:    runtime.GOOS,
@@ -156,6 +165,15 @@ func main() {
 			os.Exit(1)
 		}
 		f.Scale = rows
+	}
+
+	if *query {
+		row, err := experiments.QuerySuite(experiments.QueryConfig{Iters: *qIters})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: query: %v\n", err)
+			os.Exit(1)
+		}
+		f.Query = &row
 	}
 
 	if *parse != "" {

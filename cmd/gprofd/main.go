@@ -55,6 +55,7 @@ func main() {
 		maxBody = flag.Int64("maxbody", serve.DefaultMaxBodyBytes, "upload body size cap in bytes")
 		shards  = flag.Int("maxshards", serve.DefaultMaxShards, "maximum registered fingerprints")
 		jobs    = flag.Int("jobs", 0, "analysis worker width for queries (0 = GOMAXPROCS)")
+		qcache  = flag.Int("querycache", serve.DefaultQueryCache, "memoized-analysis LRU entries (finished core.Run results and rendered bodies)")
 		pprofA  = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty = off)")
 	)
 	var o obs.CLI
@@ -81,6 +82,7 @@ func main() {
 		MaxBodyBytes: *maxBody,
 		MaxShards:    *shards,
 		Jobs:         *jobs,
+		QueryCache:   *qcache,
 		Trace:        o.Trace(),
 	})
 	if ferr := o.Finish(err); ferr != nil && err == nil {

@@ -10,6 +10,13 @@
 //	gprofload [flags]
 //
 //	gprofload -addr http://127.0.0.1:7421 -agents 8 -uploads 100 -verify
+//	gprofload -agents 8 -uploads 100 -readers 4 -verify
+//
+// With -readers N, N query agents run alongside the uploaders for the
+// whole ingest phase, cycling deterministically over /v1/flat and
+// /v1/profile across every fingerprint and requiring 200s with
+// schema-valid bodies — mixed read/write traffic against the server's
+// incremental query path. Any reader failure exits nonzero.
 //
 // With -verify it fetches each fingerprint's merged profile back
 // (quiesced with ?sync=1) and byte-compares it against an offline
@@ -37,6 +44,7 @@ func main() {
 		addr     = flag.String("addr", "http://127.0.0.1:7421", "gprofd base URL")
 		agents   = flag.Int("agents", 4, "concurrent simulated agents")
 		uploads  = flag.Int("uploads", 50, "uploads per agent (ignored with -duration)")
+		readers  = flag.Int("readers", 0, "concurrent query agents hitting /v1/flat and /v1/profile during ingest")
 		duration = flag.Duration("duration", 0, "replay for this long instead of a fixed count")
 		names    = flag.String("workloads", "", "comma-separated workload names (default all)")
 		verify   = flag.Bool("verify", false, "byte-compare server merges against offline MergeAll")
@@ -44,13 +52,13 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "print the result as JSON instead of a summary line")
 	)
 	flag.Parse()
-	if err := run(*addr, *agents, *uploads, *duration, *names, *verify, *wait, *jsonOut); err != nil {
+	if err := run(*addr, *agents, *uploads, *readers, *duration, *names, *verify, *wait, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "gprofload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, agents, uploads int, duration time.Duration, names string, verify bool, wait time.Duration, jsonOut bool) error {
+func run(addr string, agents, uploads, readers int, duration time.Duration, names string, verify bool, wait time.Duration, jsonOut bool) error {
 	var list []string
 	if names != "" {
 		for _, n := range strings.Split(names, ",") {
@@ -75,6 +83,7 @@ func run(addr string, agents, uploads int, duration time.Duration, names string,
 		Agents:          agents,
 		UploadsPerAgent: uploads,
 		Duration:        duration,
+		Readers:         readers,
 	})
 	if err != nil {
 		return err
@@ -86,9 +95,13 @@ func run(addr string, agents, uploads int, duration time.Duration, names string,
 			PerSecond    float64 `json:"profiles_per_second"`
 			Retries429   int64   `json:"retries_429"`
 			Errors       int64   `json:"errors"`
+			Reads        int64   `json:"reads,omitempty"`
+			ReadErrors   int64   `json:"read_errors,omitempty"`
+			ReadsPerSec  float64 `json:"reads_per_second,omitempty"`
 			ElapsedMs    int64   `json:"elapsed_ms"`
 			ServerHeapMB float64 `json:"server_heap_mb,omitempty"`
-		}{res.Uploads, res.PerSecond, res.Retries429, res.Errors, res.Elapsed.Milliseconds(), 0}
+		}{res.Uploads, res.PerSecond, res.Retries429, res.Errors,
+			res.Reads, res.ReadErrors, res.ReadsPerSecond, res.Elapsed.Milliseconds(), 0}
 		if statsErr == nil {
 			out.ServerHeapMB = float64(stats.HeapAllocBytes) / (1 << 20)
 		}
@@ -100,13 +113,32 @@ func run(addr string, agents, uploads int, duration time.Duration, names string,
 	} else {
 		fmt.Printf("uploaded %d profiles from %d agents in %v (%.0f profiles/sec, %d retries after 429, %d errors)\n",
 			res.Uploads, agents, res.Elapsed.Round(time.Millisecond), res.PerSecond, res.Retries429, res.Errors)
+		if readers > 0 {
+			fmt.Printf("readers: %d queries from %d agents (%.0f queries/sec, %d errors)\n",
+				res.Reads, readers, res.ReadsPerSecond, res.ReadErrors)
+		}
 		if statsErr == nil {
 			fmt.Printf("server: %d accepted, %.1f MB heap, %d shards\n",
 				stats.ProfilesAccepted, float64(stats.HeapAllocBytes)/(1<<20), len(stats.Shards))
+			if readers > 0 {
+				fmt.Printf("server caches: %d/%d analysis hits/misses, %d/%d snapshot hits/misses, %d coalesced\n",
+					stats.AnalysisCacheHits, stats.AnalysisCacheMisses,
+					stats.SnapshotCacheHits, stats.SnapshotCacheMisses, stats.CoalescedQueries)
+			}
 		}
 	}
 	if res.Errors > 0 {
 		return fmt.Errorf("%d uploads failed", res.Errors)
+	}
+	if res.ReadErrors > 0 {
+		return fmt.Errorf("%d reader queries failed", res.ReadErrors)
+	}
+	// Readers that completed queries must have left tracks in the
+	// server's incremental caches; a server serving every read from
+	// scratch is a query-path regression (the make query-smoke gate).
+	if readers > 0 && res.Reads > 0 && statsErr == nil &&
+		stats.AnalysisCacheHits == 0 && stats.SnapshotCacheHits == 0 {
+		return fmt.Errorf("%d reads but the server reports zero analysis/snapshot cache hits", res.Reads)
 	}
 	if res.Uploads == 0 {
 		return fmt.Errorf("no uploads were accepted")

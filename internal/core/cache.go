@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/list"
 	"fmt"
 	"sync"
 
@@ -17,21 +16,31 @@ import (
 //
 // Cached tables and static arc slices are shared between analyses and
 // must be treated as immutable; every consumer in this package already
-// copies what it mutates. A Cache is safe for concurrent use.
+// copies what it mutates. A Cache is safe for concurrent use. The
+// eviction mechanism is the shared core.LRU, the same one the serving
+// layer uses for its snapshot and analysis caches.
 type Cache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	byKey map[string]*list.Element
-
-	hits, misses uint64
+	lru *LRU
 }
 
 type cacheEntry struct {
-	key     string
-	tab     *symtab.Table
+	tab *symtab.Table
+
+	mu      sync.Mutex // guards the lazily scanned static layer
 	static  []object.StaticArc
 	scanned bool // static is only computed once an analysis asks for it
+}
+
+// staticArcs returns the entry's static call graph, scanning im on
+// first demand. The scan memoizes on the entry so every later analysis
+// of the image shares it.
+func (e *cacheEntry) staticArcs(im *object.Image) []object.StaticArc {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.scanned {
+		e.static, e.scanned = object.Scan(im), true
+	}
+	return e.static
 }
 
 // DefaultCacheEntries is the capacity NewCache uses for a non-positive
@@ -41,24 +50,16 @@ const DefaultCacheEntries = 8
 // NewCache creates a cache holding up to capacity images (<= 0 means
 // DefaultCacheEntries).
 func NewCache(capacity int) *Cache {
-	if capacity <= 0 {
-		capacity = DefaultCacheEntries
-	}
-	return &Cache{cap: capacity, ll: list.New(), byKey: make(map[string]*list.Element)}
+	return &Cache{lru: NewLRU(capacity)}
 }
 
 // Len returns the number of cached images.
-func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.byKey)
-}
+func (c *Cache) Len() int { return c.lru.Len() }
 
 // Stats returns the lookup counters.
 func (c *Cache) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	hits, misses, _ = c.lru.Stats()
+	return hits, misses
 }
 
 // load returns the symbol layers for im, building and inserting them on
@@ -70,47 +71,22 @@ func (c *Cache) load(im *object.Image, needStatic bool) (*symtab.Table, []object
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: fingerprinting image: %w", err)
 	}
-	c.mu.Lock()
-	if el, ok := c.byKey[key]; ok {
-		c.ll.MoveToFront(el)
-		e := el.Value.(*cacheEntry)
-		if needStatic && !e.scanned {
-			e.static, e.scanned = object.Scan(im), true
+	var e *cacheEntry
+	if v, ok := c.lru.Get(key); ok {
+		e = v.(*cacheEntry)
+	} else {
+		// Build outside any lock so distinct images index concurrently; a
+		// racing insert of the same key wins in Add and this work is
+		// dropped.
+		tab := symtab.New(im)
+		if err := tab.Validate(); err != nil {
+			return nil, nil, err // invalid images are never cached
 		}
-		c.hits++
-		tab, static := e.tab, e.static
-		c.mu.Unlock()
-		return tab, static, nil
+		e = c.lru.Add(key, &cacheEntry{tab: tab}).(*cacheEntry)
 	}
-	c.misses++
-	c.mu.Unlock()
-
-	// Build outside the lock so distinct images index concurrently; a
-	// racing insert of the same key wins below and this work is dropped.
-	tab := symtab.New(im)
-	if err := tab.Validate(); err != nil {
-		return nil, nil, err // invalid images are never cached
-	}
-	e := &cacheEntry{key: key, tab: tab}
+	var static []object.StaticArc
 	if needStatic {
-		e.static, e.scanned = object.Scan(im), true
+		static = e.staticArcs(im)
 	}
-
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.byKey[key]; ok {
-		c.ll.MoveToFront(el)
-		prev := el.Value.(*cacheEntry)
-		if needStatic && !prev.scanned {
-			prev.static, prev.scanned = e.static, true
-		}
-		return prev.tab, prev.static, nil
-	}
-	c.byKey[key] = c.ll.PushFront(e)
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*cacheEntry).key)
-	}
-	return e.tab, e.static, nil
+	return e.tab, static, nil
 }

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/serve"
+)
+
+// The query side of the performance trajectory (bench.v5): gprofd's
+// incremental read path measured end to end. An in-process server is
+// loaded with the replay corpus, then three figures are taken: the
+// cold latency of /v1/flat right after an invalidating fold (a full
+// core.Run plus render), the warm latency of the same query against
+// unchanged data (two LRU lookups and a buffer write), and the query
+// rate readers sustain while ingest keeps invalidating underneath
+// them. Timed queries invoke the handler directly (no TCP) so the
+// numbers measure the server, not the loopback stack.
+
+// QueryBench is the measured query-path row.
+type QueryBench struct {
+	Workloads int   `json:"workloads"` // corpus fingerprints
+	Uploads   int64 `json:"uploads"`   // profiles ingested before timing
+
+	ColdFlatNs int64 `json:"cold_flat_ns"` // /v1/flat after a fold, min over iters
+	WarmFlatNs int64 `json:"warm_flat_ns"` // repeat /v1/flat, unchanged data, min
+
+	// WarmSpeedup is ColdFlatNs / WarmFlatNs — the acceptance bar is
+	// >= 10x (the warm path skips merge, analysis, and render).
+	WarmSpeedup       float64 `json:"warm_speedup"`
+	WarmQueriesPerSec float64 `json:"warm_queries_per_sec"` // sustained warm loop
+
+	// The mixed phase replays ingest with concurrent readers (the
+	// loadgen -readers mode) and reports both sides' throughput.
+	MixedQueriesPerSec float64 `json:"mixed_queries_per_sec"`
+	MixedUploadsPerSec float64 `json:"mixed_uploads_per_sec"`
+}
+
+// QueryConfig controls a query-suite run.
+type QueryConfig struct {
+	Workloads []string // corpus workloads; nil means sort, matrix, hash
+	Uploads   int      // uploads per phase (default 60)
+	Iters     int      // cold-query repetitions; the minimum wins (default 5)
+	Readers   int      // mixed-phase reader agents (default 4)
+}
+
+// warmLoop is how many warm queries the sustained-rate loop issues.
+const warmLoop = 200
+
+// QuerySuite loads an in-process gprofd with the corpus and measures
+// the incremental read path: cold vs warm /v1/flat latency and the
+// mixed ingest+query rates.
+func QuerySuite(cfg QueryConfig) (QueryBench, error) {
+	if len(cfg.Workloads) == 0 {
+		cfg.Workloads = []string{"sort", "matrix", "hash"}
+	}
+	if cfg.Uploads < 1 {
+		cfg.Uploads = 60
+	}
+	if cfg.Iters < 1 {
+		cfg.Iters = 5
+	}
+	if cfg.Readers < 1 {
+		cfg.Readers = 4
+	}
+
+	corpus, err := loadgen.BuildCorpus(cfg.Workloads)
+	if err != nil {
+		return QueryBench{}, err
+	}
+	s := serve.New(serve.Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &loadgen.Client{Base: ts.URL}
+	ctx := context.Background()
+	if err := client.RegisterAll(ctx, corpus); err != nil {
+		return QueryBench{}, err
+	}
+
+	row := QueryBench{Workloads: len(corpus.Items)}
+	const agents = 4
+	res, err := client.Run(ctx, corpus, loadgen.Options{Agents: agents, UploadsPerAgent: cfg.Uploads / agents})
+	if err != nil {
+		return QueryBench{}, err
+	}
+	row.Uploads = res.Uploads
+
+	h := s.Handler()
+	fp := corpus.Items[0].Fingerprint
+	flatPath := "/v1/flat?fp=" + fp
+	row.ColdFlatNs, row.WarmFlatNs = int64(1<<63-1), int64(1<<63-1)
+	for it := 0; it < cfg.Iters; it++ {
+		// One more upload invalidates the analysis for this fingerprint
+		// (every corpus item folds, so item 0's shard version bumps).
+		if _, err := client.Run(ctx, corpus, loadgen.Options{Agents: 1, UploadsPerAgent: 1}); err != nil {
+			return QueryBench{}, err
+		}
+		row.Uploads++
+		// Quiesce the shard outside the timed window so the cold figure
+		// is the analysis, not the merge queue.
+		if _, err := handlerGet(h, "/v1/gmon?sync=1&fp="+fp); err != nil {
+			return QueryBench{}, err
+		}
+		d, err := handlerGet(h, flatPath)
+		if err != nil {
+			return QueryBench{}, err
+		}
+		row.ColdFlatNs = min(row.ColdFlatNs, d)
+		for k := 0; k < 10; k++ {
+			d, err := handlerGet(h, flatPath)
+			if err != nil {
+				return QueryBench{}, err
+			}
+			row.WarmFlatNs = min(row.WarmFlatNs, d)
+		}
+	}
+	if row.WarmFlatNs > 0 {
+		row.WarmSpeedup = float64(row.ColdFlatNs) / float64(row.WarmFlatNs)
+	}
+
+	start := time.Now()
+	for i := 0; i < warmLoop; i++ {
+		if _, err := handlerGet(h, flatPath); err != nil {
+			return QueryBench{}, err
+		}
+	}
+	if d := time.Since(start).Seconds(); d > 0 {
+		row.WarmQueriesPerSec = warmLoop / d
+	}
+
+	mixed, err := client.Run(ctx, corpus, loadgen.Options{
+		Agents:          agents,
+		UploadsPerAgent: cfg.Uploads / agents,
+		Readers:         cfg.Readers,
+	})
+	if err != nil {
+		return QueryBench{}, err
+	}
+	if mixed.ReadErrors > 0 {
+		return QueryBench{}, fmt.Errorf("experiments: %d reader queries failed during the mixed phase", mixed.ReadErrors)
+	}
+	row.MixedQueriesPerSec = mixed.ReadsPerSecond
+	row.MixedUploadsPerSec = mixed.PerSecond
+	return row, nil
+}
+
+// handlerGet invokes the handler directly (no TCP) and returns the
+// wall time of one 200 response.
+func handlerGet(h http.Handler, path string) (int64, error) {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	h.ServeHTTP(rec, req)
+	d := time.Since(start).Nanoseconds()
+	if rec.Code != http.StatusOK {
+		return 0, fmt.Errorf("experiments: GET %s: %d: %s", path, rec.Code, rec.Body.String())
+	}
+	return d, nil
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+// TestQuerySuiteSmall runs a minimal query-suite pass: the measured
+// fields must all be populated and the mixed phase must complete with
+// zero reader errors (QuerySuite fails otherwise). The >= 10x warm
+// speedup is an acceptance figure pinned by the committed BENCH
+// snapshot, not asserted here where CI load would make it flaky.
+func TestQuerySuiteSmall(t *testing.T) {
+	row, err := QuerySuite(QueryConfig{Workloads: []string{"sort"}, Uploads: 8, Iters: 2, Readers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Workloads != 1 || row.Uploads < 8 {
+		t.Errorf("workloads=%d uploads=%d, want 1 and >=8", row.Workloads, row.Uploads)
+	}
+	if row.ColdFlatNs <= 0 || row.WarmFlatNs <= 0 {
+		t.Errorf("latencies: cold=%d warm=%d", row.ColdFlatNs, row.WarmFlatNs)
+	}
+	if row.WarmSpeedup <= 0 || row.WarmQueriesPerSec <= 0 {
+		t.Errorf("warm: speedup=%.2f qps=%.0f", row.WarmSpeedup, row.WarmQueriesPerSec)
+	}
+	if row.MixedQueriesPerSec <= 0 || row.MixedUploadsPerSec <= 0 {
+		t.Errorf("mixed: qps=%.0f ups=%.0f", row.MixedQueriesPerSec, row.MixedUploadsPerSec)
+	}
+}

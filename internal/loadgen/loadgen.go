@@ -10,7 +10,10 @@
 // the load generator spends its cycles on HTTP, not on re-encoding —
 // cycling deterministically through variants and transports so a run
 // is reproducible. Backpressure (429) is honored with a short backoff
-// and the upload retried.
+// and the upload retried. Options.Readers adds concurrent query agents
+// hitting /v1/flat and /v1/profile while ingest runs — mixed traffic
+// that exercises the server's incremental query path (snapshot reuse,
+// analysis memoization, single-flight) under live invalidation.
 //
 // Verify fetches each fingerprint's merged profile back
 // (/v1/gmon?sync=1) and byte-compares it against an offline
@@ -31,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/gmon"
+	"repro/internal/model"
 	"repro/internal/object"
 	"repro/internal/serve"
 	"repro/internal/workloads"
@@ -232,6 +236,13 @@ type Options struct {
 	Duration time.Duration
 	// Backoff is the sleep before retrying a 429 (default 10ms).
 	Backoff time.Duration
+	// Readers adds that many concurrent query agents alongside the
+	// uploaders: mixed read/write traffic against the incremental query
+	// path. Each reader cycles deterministically through (fingerprint,
+	// endpoint) over /v1/flat and /v1/profile, requiring 200s with
+	// schema-valid bodies (404 is tolerated only before a fingerprint
+	// has merged data). Readers run until the upload phase finishes.
+	Readers int
 }
 
 // Result is one replay's outcome.
@@ -242,6 +253,14 @@ type Result struct {
 	Elapsed    time.Duration // wall time of the upload phase
 	// PerSecond is Uploads / Elapsed — the achieved ingest rate.
 	PerSecond float64
+	// Reads counts reader agents' schema-valid 200 responses;
+	// ReadErrors counts their transport failures, unexpected statuses,
+	// and invalid bodies (zero on a healthy server).
+	Reads      int64
+	ReadErrors int64
+	// ReadsPerSecond is Reads / Elapsed — the query rate sustained
+	// while ingest ran.
+	ReadsPerSecond float64
 	// counts[fingerprint][variant] = accepted uploads, for Verify.
 	counts map[string][]int64
 }
@@ -329,13 +348,64 @@ func (c *Client) Run(ctx context.Context, corpus *Corpus, opts Options) (*Result
 			}
 		}(a)
 	}
+	var reads, readErrs atomic.Int64
+	stopReaders := make(chan struct{})
+	var rg sync.WaitGroup
+	for r := 0; r < opts.Readers; r++ {
+		rg.Add(1)
+		go func(reader int) {
+			defer rg.Done()
+			for i := 0; ; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				if i > 0 { // every reader makes at least one pass
+					select {
+					case <-stopReaders:
+						return
+					default:
+					}
+				}
+				// The same deterministic walk the uploaders use, over
+				// (fingerprint, endpoint) instead of upload bodies.
+				seq := reader + i*opts.Readers
+				item := &corpus.Items[seq%len(corpus.Items)]
+				ep := readEndpoints[(seq/len(corpus.Items))%len(readEndpoints)]
+				status, body, err := c.get(ctx, ep.path+item.Fingerprint)
+				if err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					readErrs.Add(1)
+					continue
+				}
+				if status == http.StatusNotFound {
+					continue // registered but nothing merged yet
+				}
+				if status != http.StatusOK {
+					readErrs.Add(1)
+					continue
+				}
+				if ep.validate(body) != nil {
+					readErrs.Add(1)
+					continue
+				}
+				reads.Add(1)
+			}
+		}(r)
+	}
 	wg.Wait()
+	close(stopReaders)
+	rg.Wait()
 	res.Elapsed = time.Since(start)
 	res.Uploads = uploads.Load()
 	res.Retries429 = retries.Load()
 	res.Errors = errs.Load()
+	res.Reads = reads.Load()
+	res.ReadErrors = readErrs.Load()
 	if res.Elapsed > 0 {
 		res.PerSecond = float64(res.Uploads) / res.Elapsed.Seconds()
+		res.ReadsPerSecond = float64(res.Reads) / res.Elapsed.Seconds()
 	}
 	for i := range corpus.Items {
 		row := make([]int64, len(counts[i]))
@@ -361,6 +431,47 @@ func (c *Client) upload(ctx context.Context, fp string, body []byte) (int, error
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	return resp.StatusCode, nil
+}
+
+// readEndpoints are the query endpoints reader agents cycle through,
+// each with the schema check its 200 bodies must pass.
+var readEndpoints = []struct {
+	path     string
+	validate func([]byte) error
+}{
+	{"/v1/flat?fp=", func(body []byte) error {
+		if !bytes.Contains(body, []byte("flat profile")) {
+			return fmt.Errorf("flat body lacks the report header")
+		}
+		return nil
+	}},
+	{"/v1/profile?fp=", func(body []byte) error {
+		var p struct {
+			Schema string `json:"schema"`
+		}
+		if err := json.Unmarshal(body, &p); err != nil {
+			return err
+		}
+		if p.Schema != model.Schema {
+			return fmt.Errorf("profile schema %q, want %q", p.Schema, model.Schema)
+		}
+		return nil
+	}},
+}
+
+// get fetches one query endpoint, returning status and body.
+func (c *Client) get(ctx context.Context, path string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, body, err
 }
 
 // Verify fetches each fingerprint's merged profile (quiesced with

@@ -91,6 +91,48 @@ func TestReplayAndVerify(t *testing.T) {
 	}
 }
 
+// TestMixedReaders runs uploaders and reader agents together: every
+// reader response must be a schema-valid 200 (404 only before first
+// data), the server merge must still verify byte-identical, and the
+// reads must land in the server's analysis/snapshot cache accounting.
+func TestMixedReaders(t *testing.T) {
+	corpus := testCorpus(t)
+	client := startServer(t, serve.Config{})
+	ctx := context.Background()
+	if err := client.RegisterAll(ctx, corpus); err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.Run(ctx, corpus, Options{Agents: 4, UploadsPerAgent: 25, Readers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 || res.ReadErrors != 0 {
+		t.Fatalf("errors: %d uploads, %d reads", res.Errors, res.ReadErrors)
+	}
+	if want := int64(4 * 25); res.Uploads != want {
+		t.Fatalf("uploads = %d, want %d", res.Uploads, want)
+	}
+	if res.Reads == 0 {
+		t.Fatal("reader agents completed no queries")
+	}
+	if err := client.Verify(ctx, corpus, res); err != nil {
+		t.Errorf("verify under mixed traffic: %v", err)
+	}
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries < res.Reads {
+		t.Errorf("server counted %d queries, readers made %d", st.Queries, res.Reads)
+	}
+	if st.AnalysisCacheHits+st.AnalysisCacheMisses == 0 {
+		t.Error("reads did not touch the analysis cache accounting")
+	}
+	if st.SnapshotCacheHits+st.SnapshotCacheMisses == 0 {
+		t.Error("reads did not touch the snapshot cache accounting")
+	}
+}
+
 // TestBackpressureRetry replays against a server with a one-deep queue
 // and many agents: agents must see 429s, back off, retry, and still
 // land every upload exactly once.

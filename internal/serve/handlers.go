@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -21,8 +20,8 @@ const FingerprintHeader = "X-Gprof-Fingerprint"
 func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/exe", s.handleExe)
 	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
-	s.mux.HandleFunc("/v1/flat", s.queryText((*core.Result).WriteFlat))
-	s.mux.HandleFunc("/v1/callgraph", s.queryText((*core.Result).WriteCallGraph))
+	s.mux.HandleFunc("/v1/flat", s.queryText("flat", (*core.Result).WriteFlat))
+	s.mux.HandleFunc("/v1/callgraph", s.queryText("callgraph", (*core.Result).WriteCallGraph))
 	s.mux.HandleFunc("/v1/profile", s.handleProfile)
 	s.mux.HandleFunc("/v1/diff", s.handleDiff)
 	s.mux.HandleFunc("/v1/gmon", s.handleGmon)
@@ -197,24 +196,13 @@ func (s *Server) queryShard(w http.ResponseWriter, r *http.Request) (*shard, win
 	return sh, sel, true
 }
 
-// analyze merges the selected windows and runs the analysis pipeline
-// over the result against the shard's registered image.
-func (s *Server) analyze(ctx context.Context, sh *shard, sel windowSel) (*core.Result, error) {
-	p, n := sh.snapshot(sel, s.cfg.Now())
-	if n == 0 {
-		return nil, errNoData
-	}
-	return core.Run(ctx, core.ImageSource{Image: sh.im}, p, core.Options{
-		Jobs:  s.cfg.Jobs,
-		Cache: s.cache,
-	})
-}
-
 var errNoData = fmt.Errorf("no profile data in the selected window(s)")
 
-// queryText builds a handler rendering one of the Result text reports
-// (the flat profile or the call graph profile).
-func (s *Server) queryText(render func(*core.Result, io.Writer) error) http.HandlerFunc {
+// queryText builds a handler serving one of the Result text reports
+// (the flat profile or the call graph profile) through the incremental
+// path: snapshot reuse, analysis memoization, and a per-entry memo of
+// the rendered bytes, all invalidated by the shard's fold version.
+func (s *Server) queryText(endpoint string, render func(*core.Result, io.Writer) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		end := s.tr.Span("serve.query")
 		defer end()
@@ -223,13 +211,18 @@ func (s *Server) queryText(render func(*core.Result, io.Writer) error) http.Hand
 			return
 		}
 		s.stats.queries.Add(1)
-		res, err := s.analyze(r.Context(), sh, sel)
+		e, err := s.analyzed(r.Context(), sh, sel)
+		if err != nil {
+			s.queryFail(w, sh, err)
+			return
+		}
+		body, err := e.bytesFor(endpoint, render)
 		if err != nil {
 			s.queryFail(w, sh, err)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		render(res, w)
+		w.Write(body)
 	}
 }
 
@@ -243,13 +236,18 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.stats.queries.Add(1)
-	res, err := s.analyze(r.Context(), sh, sel)
+	e, err := s.analyzed(r.Context(), sh, sel)
+	if err != nil {
+		s.queryFail(w, sh, err)
+		return
+	}
+	body, err := e.bytesFor("profile", (*core.Result).WriteJSON)
 	if err != nil {
 		s.queryFail(w, sh, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	res.WriteJSON(w)
+	w.Write(body)
 }
 
 // DiffResponse is the /v1/diff payload: per-routine deltas between two
@@ -293,12 +291,12 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "new: %v", err)
 		return
 	}
-	oldRes, err := s.analyze(r.Context(), sh, oldSel)
+	oldEnt, err := s.analyzed(r.Context(), sh, oldSel)
 	if err != nil {
 		s.queryFail(w, sh, err)
 		return
 	}
-	newRes, err := s.analyze(r.Context(), sh, newSel)
+	newEnt, err := s.analyzed(r.Context(), sh, newSel)
 	if err != nil {
 		s.queryFail(w, sh, err)
 		return
@@ -308,7 +306,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		Fingerprint: sh.fp,
 		Old:         oldParam,
 		New:         newParam,
-		Deltas:      model.Diff(oldRes.Model, newRes.Model),
+		Deltas:      model.Diff(oldEnt.res.Model, newEnt.res.Model),
 	})
 }
 
@@ -324,17 +322,17 @@ func (s *Server) handleGmon(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.stats.queries.Add(1)
-	p, n := sh.snapshot(sel, s.cfg.Now())
-	if n == 0 {
-		s.queryFail(w, sh, errNoData)
-		return
-	}
 	version := gmon.Version1
 	if r.URL.Query().Get("v") == "2" {
 		version = gmon.Version2
 	}
+	body, err := s.gmonBytes(sh, sel, version)
+	if err != nil {
+		s.queryFail(w, sh, err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	gmon.WriteVersion(w, p, version)
+	w.Write(body)
 }
 
 // queryFail maps analysis errors to status codes.

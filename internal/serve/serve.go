@@ -53,6 +53,7 @@ const (
 	DefaultQueueDepth   = 64
 	DefaultMaxBodyBytes = 32 << 20
 	DefaultMaxShards    = 1024
+	DefaultQueryCache   = 128
 )
 
 // Config sizes the service. The zero value is usable: every field
@@ -75,6 +76,12 @@ type Config struct {
 	// Jobs is the analysis worker width queries pass to core.Run.
 	// Zero means GOMAXPROCS.
 	Jobs int
+	// QueryCache bounds the analysis-memoization LRU: finished
+	// core.Run results (with their rendered flat/callgraph/JSON
+	// bodies) and raw-merge encodings, keyed by (fingerprint, window
+	// versions, normalized options). Non-positive means
+	// DefaultQueryCache.
+	QueryCache int
 	// Now is the clock, injectable for tests. Nil means time.Now.
 	Now func() time.Time
 	// Trace, when set, records ingest/merge/query spans and
@@ -102,6 +109,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxShards <= 0 {
 		c.MaxShards = DefaultMaxShards
 	}
+	if c.QueryCache <= 0 {
+		c.QueryCache = DefaultQueryCache
+	}
 	if c.Jobs <= 0 {
 		c.Jobs = runtime.GOMAXPROCS(0)
 	}
@@ -115,11 +125,14 @@ func (c Config) withDefaults() Config {
 // per registered fingerprint, and the HTTP API over both. Create with
 // New, expose Handler, and Close when done.
 type Server struct {
-	cfg   Config
-	tr    *obs.Trace
-	mux   *http.ServeMux
-	cache *core.Cache
-	start time.Time
+	cfg     Config
+	tr      *obs.Trace
+	mux     *http.ServeMux
+	cache   *core.Cache // static layers (symbol table, static arcs) per image
+	queries *core.LRU   // finished analyses + rendered bodies per data version
+	flights flightGroup // single-flight coalescing of cold analyses
+	optKey  string      // CacheKey of the server's fixed core.Options
+	start   time.Time
 
 	mu     sync.Mutex
 	shards map[string]*shard
@@ -138,6 +151,8 @@ func New(cfg Config) *Server {
 		start:  cfg.Now(),
 		shards: make(map[string]*shard),
 	}
+	s.queries = core.NewLRU(cfg.QueryCache)
+	s.optKey = s.runOptions().CacheKey()
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/gmon"
 	"repro/internal/object"
 	"repro/internal/obs"
@@ -21,11 +23,36 @@ type ingestItem struct {
 	ack         chan struct{} // barrier only
 }
 
+// window is one time bin's aggregate plus the bookkeeping the
+// incremental query path needs: a fold version (so snapshot cache keys
+// change exactly when the data does) and a shared flag implementing
+// copy-on-write (a cached snapshot may reference prof directly; the
+// next fold into the window must clone before mutating).
+type window struct {
+	prof    *gmon.Profile
+	version int64 // shard version at the last fold into this window
+	shared  bool  // prof is referenced by a cached snapshot
+}
+
+// snapCacheEntries bounds each shard's merged-snapshot cache. Live keys
+// are one per distinct window selection of the current data version —
+// a handful — and every fold retires a generation, so a small LRU
+// holds the working set while old generations fall off the tail.
+const snapCacheEntries = 8
+
 // shard is the merge pipeline for one executable fingerprint: a
 // bounded queue feeding a single worker goroutine that folds uploads
 // into time-windowed aggregates. One worker per fingerprint
 // serializes merging (Profile.Merge is not concurrency-safe) while
 // distinct fingerprints merge in parallel.
+//
+// The query side is incremental: every fold bumps the shard version
+// and stamps it on the folded window, and merged-window snapshots are
+// cached per resolved (window start, version) selection, so a query
+// against an unchanged shard reuses the previous merge instead of
+// re-cloning and re-folding every retained window. Cached snapshots
+// are shared read-only with callers; copy-on-write in merge keeps a
+// concurrent fold from ever mutating one.
 type shard struct {
 	fp     string
 	im     *object.Image
@@ -35,11 +62,13 @@ type shard struct {
 	done   chan struct{}
 	tr     *obs.Trace
 	depth  *obs.Gauge // high-water queue depth
+	snaps  *core.LRU  // resolved selection -> *gmon.Profile (read-only)
 
 	mu       sync.Mutex
 	closed   bool
-	windows  map[int64]*gmon.Profile // window start -> aggregate
-	geom     gmon.Histogram          // geometry of the first accepted upload (Counts nil)
+	version  int64             // bumps on every fold; stamps windows and cache keys
+	windows  map[int64]*window // window start -> aggregate
+	geom     gmon.Histogram    // geometry of the first accepted upload (Counts nil)
 	hz       int64
 	geomSet  bool
 	accepted int64 // uploads admitted to the queue
@@ -58,7 +87,8 @@ func newShard(fp string, im *object.Image, cfg Config, tr *obs.Trace) *shard {
 		done:    make(chan struct{}),
 		tr:      tr,
 		depth:   tr.Gauge("serve.queue_high_water"),
-		windows: make(map[int64]*gmon.Profile),
+		snaps:   core.NewLRU(snapCacheEntries),
+		windows: make(map[int64]*window),
 	}
 }
 
@@ -80,21 +110,32 @@ func (s *shard) run() {
 }
 
 // merge folds one upload into its window, opening the window or
-// evicting the oldest as needed.
+// evicting the oldest as needed. Every successful fold bumps the shard
+// version and stamps it on the window, invalidating cached snapshots
+// that included the window's previous state.
 func (s *shard) merge(it ingestItem) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	agg, ok := s.windows[it.windowStart]
+	w, ok := s.windows[it.windowStart]
 	if !ok {
 		// The upload becomes the window's accumulator: ownership was
 		// transferred at enqueue, exactly like MergeAll's clone-the-
 		// first-element fold (the handler decoded a fresh profile).
-		s.windows[it.windowStart] = it.profile
+		s.version++
+		s.windows[it.windowStart] = &window{prof: it.profile, version: s.version}
 		s.merged++
 		s.evictLocked()
 		return
 	}
-	if err := agg.Merge(it.profile); err != nil {
+	if w.shared {
+		// Copy-on-write: a cached snapshot still references prof, so the
+		// fold works on a private copy and the snapshot stays frozen at
+		// the version its cache key names.
+		w.prof = w.prof.Clone()
+		w.shared = false
+		s.tr.Counter("serve.snapshot_cow_clones").Add(1)
+	}
+	if err := w.prof.Merge(it.profile); err != nil {
 		// The handler pre-checks geometry, so this is a race between
 		// two first uploads with different geometry — count it, keep
 		// the error inspectable in /v1/stats.
@@ -102,10 +143,16 @@ func (s *shard) merge(it ingestItem) {
 		s.lastErr = err.Error()
 		return
 	}
+	s.version++
+	w.version = s.version
 	s.merged++
 }
 
 // evictLocked drops the oldest windows beyond the retention bound.
+// Snapshot-cache entries that included an evicted window become
+// unreachable (their key can never resolve again — shard versions are
+// monotonic, so a reopened window start gets a fresh version) and age
+// off the snapshot LRU.
 func (s *shard) evictLocked() {
 	for len(s.windows) > s.retain {
 		oldest := int64(0)
@@ -235,9 +282,17 @@ func parseWindow(s string) (windowSel, error) {
 // snapshot merges the selected windows into one profile, folding
 // clones in ascending window order — the same fold gmon.MergeAll
 // performs, so the result is byte-identical to an offline merge of the
-// uploads. It reports the number of windows merged; zero means no
-// matching data.
-func (s *shard) snapshot(sel windowSel, now time.Time) (*gmon.Profile, int) {
+// uploads. It reports the number of windows merged (zero means no
+// matching data) and the resolved selection key — every included
+// window's (start, fold version), which names the snapshot's exact
+// content and is what the analysis cache keys on.
+//
+// Snapshots are cached per key: an unchanged shard answers repeat
+// queries with the previous merge — for a single-window selection the
+// window aggregate itself, zero copies, protected by copy-on-write in
+// merge. The returned profile is shared and must be treated read-only
+// (gmon.Write and core.Run never mutate their input profile).
+func (s *shard) snapshot(sel windowSel, now time.Time) (*gmon.Profile, int, string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var starts []int64
@@ -254,21 +309,43 @@ func (s *shard) snapshot(sel windowSel, now time.Time) (*gmon.Profile, int) {
 	case selAt:
 		starts = []int64{sel.start - sel.start%s.window}
 	}
-	var total *gmon.Profile
-	n := 0
+	var key strings.Builder
+	included := make([]*window, 0, len(starts))
 	for _, start := range starts {
-		agg, ok := s.windows[start]
+		w, ok := s.windows[start]
 		if !ok {
 			continue
 		}
-		if total == nil {
-			total = agg.Clone()
-		} else if err := total.Merge(agg); err != nil {
-			continue // unreachable: geometry is enforced per shard
-		}
-		n++
+		fmt.Fprintf(&key, "%d:%d|", start, w.version)
+		included = append(included, w)
 	}
-	return total, n
+	n := len(included)
+	if n == 0 {
+		return nil, 0, ""
+	}
+	if v, ok := s.snaps.Get(key.String()); ok {
+		s.tr.Counter("serve.snapshot_cache_hit").Add(1)
+		return v.(*gmon.Profile), n, key.String()
+	}
+	s.tr.Counter("serve.snapshot_cache_miss").Add(1)
+	var total *gmon.Profile
+	if n == 1 {
+		// Zero-copy: serve the aggregate itself and mark it shared; the
+		// next fold into this window clones first (copy-on-write). The
+		// bytes equal an offline MergeAll of the window's uploads, which
+		// for one window is exactly the aggregate.
+		included[0].shared = true
+		total = included[0].prof
+	} else {
+		total = included[0].prof.Clone()
+		for _, w := range included[1:] {
+			if err := total.Merge(w.prof); err != nil {
+				continue // unreachable: geometry is enforced per shard
+			}
+		}
+	}
+	total = s.snaps.Add(key.String(), total).(*gmon.Profile)
+	return total, n, key.String()
 }
 
 // windowStarts lists the retained window starts, ascending.
@@ -288,6 +365,14 @@ func (s *shard) counts() (accepted, merged, dropped int64, lastErr string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.accepted, s.merged, s.dropped, s.lastErr
+}
+
+// currentVersion returns the shard's fold version (zero before any
+// fold).
+func (s *shard) currentVersion() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
 }
 
 // close stops the worker after draining the queue.

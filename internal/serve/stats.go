@@ -15,13 +15,16 @@ const StatsSchema = "gprofd.stats.v1"
 // grows, so a long-running gprofd can leave tracing off and still be
 // observable.
 type serverStats struct {
-	accepted      atomic.Int64 // uploads admitted to a shard queue
-	bytes         atomic.Int64 // upload bytes consumed by the decoder
-	badRequest    atomic.Int64 // 4xx rejections (malformed, unknown, oversized)
-	backpressure  atomic.Int64 // 429 rejections (shard queue full)
-	exeRegistered atomic.Int64
-	queries       atomic.Int64
-	rate          rateTracker
+	accepted       atomic.Int64 // uploads admitted to a shard queue
+	bytes          atomic.Int64 // upload bytes consumed by the decoder
+	badRequest     atomic.Int64 // 4xx rejections (malformed, unknown, oversized)
+	backpressure   atomic.Int64 // 429 rejections (shard queue full)
+	exeRegistered  atomic.Int64
+	queries        atomic.Int64
+	analysisHits   atomic.Int64 // queries served from the analysis LRU
+	analysisMisses atomic.Int64
+	coalesced      atomic.Int64 // cold queries that joined another's core.Run
+	rate           rateTracker
 }
 
 // rateWindow is how many whole seconds the recent-rate estimate
@@ -68,6 +71,7 @@ type ShardStats struct {
 	Dropped     int64   `json:"dropped,omitempty"`
 	QueueLen    int     `json:"queue_len"`
 	QueueCap    int     `json:"queue_cap"`
+	Version     int64   `json:"version"` // fold version; bumps on every merged upload
 	Windows     []int64 `json:"windows,omitempty"`
 	LastError   string  `json:"last_error,omitempty"`
 }
@@ -89,6 +93,18 @@ type Stats struct {
 	Queries                 int64   `json:"queries"`
 	ProfilesPerSecond       float64 `json:"profiles_per_second"`
 	RecentProfilesPerSecond float64 `json:"recent_profiles_per_second"`
+
+	// The incremental query path's accounting: the snapshot layer
+	// (merged-window reuse, summed over shards) and the analysis layer
+	// (memoized core.Run results and rendered bodies), plus how many
+	// cold queries were coalesced into another request's analysis.
+	SnapshotCacheHits      int64 `json:"snapshot_cache_hits"`
+	SnapshotCacheMisses    int64 `json:"snapshot_cache_misses"`
+	SnapshotCacheEvictions int64 `json:"snapshot_cache_evictions"`
+	AnalysisCacheHits      int64 `json:"analysis_cache_hits"`
+	AnalysisCacheMisses    int64 `json:"analysis_cache_misses"`
+	AnalysisCacheEvictions int64 `json:"analysis_cache_evictions"`
+	CoalescedQueries       int64 `json:"coalesced_queries"`
 
 	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
 	HeapSysBytes   uint64 `json:"heap_sys_bytes"`
@@ -114,7 +130,12 @@ func (s *Server) Snapshot() Stats {
 		ExecutablesRegistered:   s.stats.exeRegistered.Load(),
 		Queries:                 s.stats.queries.Load(),
 		RecentProfilesPerSecond: s.stats.rate.recent(now.Unix()),
+		AnalysisCacheHits:       s.stats.analysisHits.Load(),
+		AnalysisCacheMisses:     s.stats.analysisMisses.Load(),
+		CoalescedQueries:        s.stats.coalesced.Load(),
 	}
+	_, _, qEvict := s.queries.Stats()
+	st.AnalysisCacheEvictions = int64(qEvict)
 	if uptime > 0 {
 		st.ProfilesPerSecond = float64(st.ProfilesAccepted) / uptime
 	}
@@ -134,9 +155,14 @@ func (s *Server) Snapshot() Stats {
 			Dropped:     dropped,
 			QueueLen:    len(sh.queue),
 			QueueCap:    cap(sh.queue),
+			Version:     sh.currentVersion(),
 			Windows:     sh.windowStarts(),
 			LastError:   lastErr,
 		})
+		hits, misses, evictions := sh.snaps.Stats()
+		st.SnapshotCacheHits += int64(hits)
+		st.SnapshotCacheMisses += int64(misses)
+		st.SnapshotCacheEvictions += int64(evictions)
 	}
 	if s.tr.Enabled() {
 		report := s.tr.Report()
