@@ -28,10 +28,10 @@ bench-smoke:
 # the workload suite via the parallel driver, the scale and gprofd
 # query suites, plus the engine-facing go-bench micro-benchmarks
 # parsed into the same file. Schema in docs/FORMATS.md.
-LABEL ?= PR8
+LABEL ?= PR9
 .PHONY: bench-json
 bench-json:
-	go test -run xxx -bench 'Dispatch|McountFastPath|McountSteady|Snapshot|VMExecution|Overhead|GmonRead|GmonWrite|MergeAll|ImageIO|ModelBuild|ModelJSON|ObsSpan|ObsCounter' \
+	go test -run xxx -bench 'Dispatch|McountFastPath|McountSteady|Snapshot|VMExecution|Overhead|GmonRead|GmonWrite|MergeAll|ImageIO|ModelBuild|ModelJSON|ObsSpan|ObsCounter|StackCollect|GmonV3ReadWrite|FoldedRender' \
 		-benchmem . ./internal/mon ./internal/obs > bench-raw.out && \
 	go run ./cmd/benchjson -label $(LABEL) -scale -query -parse bench-raw.out -o BENCH_$(LABEL).json && \
 	rm -f bench-raw.out
@@ -44,7 +44,7 @@ bench-json:
 # practice and are what the diff output surfaces first.
 .PHONY: bench-diff
 bench-diff:
-	go run ./cmd/benchdiff -threshold 200 BENCH_PR7.json BENCH_$(LABEL).json
+	go run ./cmd/benchdiff -threshold 200 BENCH_PR8.json BENCH_$(LABEL).json
 
 # Self-observability smoke: a profiled run and an analysis under
 # -stats/-tracefile/-runreport, with both artifacts validated by
@@ -116,6 +116,23 @@ scale-smoke:
 	timeout 120 ./.scale-smoke/gprof -brief .scale-smoke/a.out .scale-smoke/gmon.out > .scale-smoke/report.txt
 	test -s .scale-smoke/report.txt
 	rm -rf .scale-smoke
+
+# Whole-stack pipeline smoke: collect stacks from the E8 workload,
+# write the v3 profile data plus the gzipped pprof protobuf, then
+# validate the pprof stream with the in-repo decoder and check that
+# pricey() — the routine the arc view famously underestimates — tops
+# the measured table.
+.PHONY: pprof-smoke
+pprof-smoke:
+	rm -rf .pprof-smoke && mkdir -p .pprof-smoke
+	go build -o .pprof-smoke/ ./cmd/stackprof ./cmd/pprofcheck ./cmd/gmondump
+	cd .pprof-smoke && ./stackprof -workload unequal -tick 200 -folded \
+		-o stacks.gmon -pprof stacks.pb.gz > folded.txt
+	test -s .pprof-smoke/folded.txt
+	cd .pprof-smoke && ./gmondump stacks.gmon | grep -q 'stacks:'
+	cd .pprof-smoke && ./pprofcheck stacks.pb.gz > top.txt
+	grep -q pricey .pprof-smoke/top.txt
+	rm -rf .pprof-smoke
 
 .PHONY: figures
 figures:

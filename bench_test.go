@@ -832,3 +832,92 @@ func BenchmarkWorkloadSuite(b *testing.B) {
 	b.ReportMetric(hit/n, "avg-cache-hit-rate")
 	b.ReportMetric(probes/n, "avg-probes/call")
 }
+
+// --- PR9: whole-stack sampling as a first-class sample kind -----------
+
+// BenchmarkStackCollect measures the tick-time frame walk plus intern
+// on a real machine mid-run: the steady-state cost every stack-enabled
+// tick pays.
+func BenchmarkStackCollect(b *testing.B) {
+	im, err := workloads.Build("sort", false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := vm.New(im, vm.Config{MaxCycles: 1 << 20})
+	// Run into the cycle limit on purpose: the machine halts mid-call
+	// with live frames, giving the walker a realistic stack.
+	_, _ = m.Run()
+	col := mon.NewStackCollector(m, 0)
+	pc := im.TextBase
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		col.Record(pc)
+	}
+	b.StopTimer()
+	if col.Samples() != int64(b.N) {
+		b.Fatalf("recorded %d of %d samples", col.Samples(), b.N)
+	}
+}
+
+// BenchmarkGmonV3ReadWrite round-trips stack-carrying profiles through
+// the v3 codec — the wire cost whole-stack sampling adds to ingest.
+func BenchmarkGmonV3ReadWrite(b *testing.B) {
+	im, err := workloads.Build("sort", true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, _, _, err := workloads.Run(im, workloads.RunConfig{Seed: 5, Stacks: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(p.Stacks) == 0 {
+		b.Fatal("no stacks collected")
+	}
+	var buf bytes.Buffer
+	if err := gmon.WriteVersion(&buf, p, gmon.Version3); err != nil {
+		b.Fatal(err)
+	}
+	enc := buf.Bytes()
+	b.Run("write", func(b *testing.B) {
+		b.SetBytes(int64(len(enc)))
+		for i := 0; i < b.N; i++ {
+			if err := gmon.WriteVersion(io.Discard, p, gmon.Version3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("read", func(b *testing.B) {
+		b.SetBytes(int64(len(enc)))
+		var q gmon.Profile
+		for i := 0; i < b.N; i++ {
+			if err := gmon.ReadInto(bytes.NewReader(enc), &q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFoldedRender builds the Stacks view's folded rendering from
+// an analyzed profile — the /v1/folded hot path after the analysis
+// cache hits.
+func BenchmarkFoldedRender(b *testing.B) {
+	im, err := workloads.Build("sort", true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, _, _, err := workloads.Run(im, workloads.RunConfig{Seed: 5, Stacks: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Run(context.Background(), core.ImageSource{Image: im}, p, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := report.Folded(io.Discard, res.Model); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -27,7 +27,7 @@ import (
 func main() {
 	exe := flag.String("exe", "", "executable for symbol resolution (optional)")
 	out := flag.String("o", "", "write the merged profile data to this file")
-	format := flag.Int("format", gmon.Version1, "profile data format version for -o (1 or 2)")
+	format := flag.Int("format", gmon.Version1, "profile data format version for -o (1, 2, or 3)")
 	flag.Parse()
 	files := flag.Args()
 	if len(files) == 0 {
@@ -46,8 +46,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(w, "file %s: format v%d, %d bytes (header %d, histogram %d, arcs %d)\n",
+		line := fmt.Sprintf("file %s: format v%d, %d bytes (header %d, histogram %d, arcs %d",
 			name, st.Version, st.TotalBytes, st.HeaderBytes, st.HistBytes, st.ArcBytes)
+		if st.Version >= gmon.Version3 {
+			line += fmt.Sprintf(", stacks %d", st.StackBytes)
+		}
+		fmt.Fprintln(w, line+")")
 		if p == nil {
 			p = q
 		} else if err := p.Merge(q); err != nil {
@@ -88,6 +92,18 @@ func main() {
 			from += symFor(tab, a.FromPC)
 		}
 		fmt.Fprintf(w, "  %s -> %#06x%s  x%d\n", from, a.SelfPC, symFor(tab, a.SelfPC), a.Count)
+	}
+	if len(p.Stacks) > 0 {
+		var total int64
+		for i := range p.Stacks {
+			total += p.Stacks[i].Count
+		}
+		fmt.Fprintf(w, "stacks: %d distinct paths, %d samples\n", len(p.Stacks), total)
+		for i := range p.Stacks {
+			s := &p.Stacks[i]
+			fmt.Fprintf(w, "  depth %3d x%-6d leaf %#06x%s\n",
+				len(s.PCs), s.Count, s.PCs[0], symFor(tab, s.PCs[0]))
+		}
 	}
 	if err := w.Flush(); err != nil {
 		fatal(err)

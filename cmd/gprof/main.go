@@ -72,6 +72,8 @@ func main() {
 		lines     = flag.Bool("lines", false, "print the per-source-line profile")
 		dot       = flag.Bool("dot", false, "emit the call graph in Graphviz DOT form")
 		jsonOut   = flag.Bool("json", false, "emit the analyzed profile as versioned JSON (docs/FORMATS.md)")
+		folded    = flag.Bool("folded", false, "emit collapsed call stacks for flame graphs (needs v3 profile data with stacks)")
+		pprofOut  = flag.String("pprof", "", "write the stacks view as a gzipped pprof protobuf to this file")
 		static    = flag.Bool("s", false, "merge the static call graph from the executable")
 		autoBreak = flag.Bool("C", false, "run the cycle-breaking heuristic")
 		maxBreak  = flag.Int("b", 0, "bound on arcs the heuristic may remove (0 = default)")
@@ -82,7 +84,7 @@ func main() {
 		jobs      = flag.Int("jobs", runtime.GOMAXPROCS(0),
 			"worker-pool width for profile merging, attribution, and propagation (1 = serial)")
 		sumFile = flag.String("sum", "", "write the merged profile data to this file and exit")
-		format  = flag.Int("format", gmon.Version1, "profile data format version for -sum (1 or 2)")
+		format  = flag.Int("format", gmon.Version1, "profile data format version for -sum (1, 2, or 3)")
 	)
 	flag.Var(&removeArcs, "k", "remove arc caller/callee before analysis (repeatable)")
 	var o obs.CLI
@@ -164,6 +166,19 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := res.WritePprof(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
 	// One buffered writer, flushed with the error checked: a full disk
 	// must fail loudly, not truncate the listing silently.
 	w := bufio.NewWriter(os.Stdout)
@@ -175,6 +190,8 @@ func main() {
 		err = report.WriteDOT(w, res.Model, opt.Report)
 	case *jsonOut:
 		err = res.WriteJSON(w)
+	case *folded:
+		err = res.WriteFolded(w)
 	case *flatOnly:
 		err = res.WriteFlat(w)
 	case *graphOnly:

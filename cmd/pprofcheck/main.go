@@ -1,0 +1,58 @@
+// Command pprofcheck validates a pprof profile.proto stream (gzipped
+// or raw) with the in-repo minimal decoder and prints a -top style
+// summary — the stand-in for go tool pprof -top in environments
+// without the Go pprof tool, and the verifier make pprof-smoke runs
+// against gprof -pprof output.
+//
+// Usage:
+//
+//	pprofcheck profile.pb.gz
+//
+// Exit status is non-zero when the stream does not parse, references
+// unknown locations or functions, or carries no samples.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/pprofenc"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "validate only; print nothing on success")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pprofcheck [-q] profile.pb.gz")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	d, err := pprofenc.Decode(f)
+	if err != nil {
+		fatal(err)
+	}
+	if len(d.Samples) == 0 {
+		fatal(fmt.Errorf("pprofcheck: %s: profile has no samples", flag.Arg(0)))
+	}
+	if *quiet {
+		return
+	}
+	w := bufio.NewWriter(os.Stdout)
+	if err := d.WriteTop(w); err != nil {
+		fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

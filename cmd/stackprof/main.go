@@ -7,10 +7,13 @@
 // No instrumentation is needed: the program is compiled without -p and
 // runs at full speed between samples. Output is a self/inclusive table
 // and, with -folded, collapsed stacks in the flame-graph input format.
+// The samples ride the unified stack pipeline: -o writes them as
+// version-3 profile data (gmon v3) for gprof and gprofd to consume,
+// and -pprof writes the analyzed view as a gzipped pprof protobuf.
 //
 // Usage:
 //
-//	stackprof [-tick N] [-folded] [-workload name | file.tl ...]
+//	stackprof [-tick N] [-folded] [-o gmon.out] [-pprof file] [-workload name | file.tl ...]
 package main
 
 import (
@@ -19,8 +22,11 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/gmon"
 	"repro/internal/lang"
+	"repro/internal/model"
 	"repro/internal/object"
+	"repro/internal/pprofenc"
 	"repro/internal/stacksample"
 	"repro/internal/symtab"
 	"repro/internal/vm"
@@ -32,6 +38,8 @@ func main() {
 		workload = flag.String("workload", "", "run a built-in workload instead of source files")
 		tick     = flag.Int64("tick", 1000, "cycles between stack samples")
 		folded   = flag.Bool("folded", false, "emit collapsed stacks (flame-graph input) instead of the table")
+		gmonOut  = flag.String("o", "", "write the raw samples as version-3 profile data to this file")
+		pprofOut = flag.String("pprof", "", "write the analyzed view as a gzipped pprof protobuf to this file")
 		maxCyc   = flag.Int64("maxcycles", 1<<32, "abort after this many cycles")
 		seed     = flag.Uint64("seed", 1, "seed for the program's rand() builtin")
 	)
@@ -55,6 +63,32 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "exit %d, %d cycles, %d samples\n", res.ExitCode, res.Cycles, sampler.Samples())
+
+	if *gmonOut != "" {
+		// A stacks-only v3 file: the histogram is empty (stack sampling
+		// needs no PC histogram) and the stack table carries everything.
+		p := &gmon.Profile{
+			Hist:   gmon.Histogram{Low: im.TextBase, High: im.TextBase, Step: 1},
+			Hz:     gmon.DefaultHz,
+			Stacks: sampler.RawStacks(),
+		}
+		if err := gmon.WriteFileVersion(*gmonOut, p, gmon.Version3); err != nil {
+			fatal(err)
+		}
+	}
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprofenc.Encode(f, &model.Profile{Stacks: sampler.View()}); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 
 	// Flush explicitly and check the error: a deferred Flush would drop
 	// a short write (full disk, closed pipe) on the floor.

@@ -99,6 +99,24 @@ func (b *Writer) Uvarint(v uint64) {
 	b.off += int64(n)
 }
 
+// Varint encodes v as a zigzag-mapped LEB128 varint (1-10 bytes):
+// small magnitudes of either sign encode short, which is what makes
+// delta-encoding unsorted PC sequences (gmon v3 stack records) pay.
+func (b *Writer) Varint(v int64) {
+	b.Uvarint(uint64(v)<<1 ^ uint64(v>>63))
+}
+
+// AppendUvarint appends v in LEB128 form to dst — the in-memory
+// counterpart of Writer.Uvarint, for encoders that assemble
+// length-prefixed messages (protobuf wire format) before streaming.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
 // Bytes copies p into the stream; blocks larger than the buffer bypass
 // it entirely.
 func (b *Writer) Bytes(p []byte) {
@@ -349,6 +367,13 @@ func (b *Reader) Uvarint() uint64 {
 	}
 	b.err = ErrOverflow
 	return 0
+}
+
+// Varint decodes a zigzag-mapped LEB128 varint written by
+// Writer.Varint, rejecting encodings past 64 bits with ErrOverflow.
+func (b *Reader) Varint() int64 {
+	u := b.Uvarint()
+	return int64(u>>1) ^ -int64(u&1)
 }
 
 // View returns the next n decoded bytes in place without copying and

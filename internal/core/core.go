@@ -40,8 +40,10 @@ import (
 	"repro/internal/cyclebreak"
 	"repro/internal/gmon"
 	"repro/internal/model"
+	"repro/internal/mon"
 	"repro/internal/object"
 	"repro/internal/obs"
+	"repro/internal/pprofenc"
 	"repro/internal/propagate"
 	"repro/internal/report"
 	"repro/internal/scc"
@@ -262,7 +264,27 @@ func Run(ctx context.Context, src Source, p *gmon.Profile, opt Options) (res *Re
 		g.AddStatic(static)
 	}
 	tr.Gauge("graph.nodes").Set(int64(g.Len()))
-	return finish(ctx, g, opt)
+	res, err = finish(ctx, g, opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.Stacks) > 0 {
+		// The context-sensitive view rides alongside the arc-based one,
+		// built from the same symbol table; its presence moves the model
+		// to the v2 schema. Stack-less profiles skip this entirely, so
+		// their JSON stays byte-identical to the v1 goldens.
+		endStacks := tr.Span("stacks-build")
+		res.Model.Stacks = model.BuildStacks(p.Stacks, func(pc int64) (string, bool) {
+			fn, ok := tab.Find(pc)
+			if !ok {
+				return "", false
+			}
+			return fn.Name, true
+		}, mon.DefaultStackDepth)
+		res.Model.Schema = model.SchemaV2
+		endStacks()
+	}
+	return res, nil
 }
 
 // LoadProfiles reads one or more profile data files and sums them into
@@ -337,6 +359,20 @@ func (r *Result) WriteIndex(w io.Writer) error {
 // (docs/FORMATS.md); the encoding round-trips through model.Decode.
 func (r *Result) WriteJSON(w io.Writer) error {
 	return model.Encode(w, r.Model)
+}
+
+// WriteFolded renders the stacks view in collapsed-stack ("folded")
+// form, the input format of flame-graph renderers. It fails when the
+// profile data carried no stack samples.
+func (r *Result) WriteFolded(w io.Writer) error {
+	return report.Folded(w, r.Model)
+}
+
+// WritePprof encodes the stacks view as a gzipped pprof protobuf,
+// openable with go tool pprof. It fails when the profile data carried
+// no stack samples.
+func (r *Result) WritePprof(w io.Writer) error {
+	return pprofenc.Encode(w, r.Model)
 }
 
 // WriteAll renders the full gprof output: call graph profile, flat

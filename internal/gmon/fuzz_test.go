@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"sort"
 	"testing"
+
+	"repro/internal/binio"
 )
 
 // FuzzRead hammers the profile decoder with arbitrary bytes: corrupt
@@ -26,9 +28,27 @@ func FuzzRead(f *testing.F) {
 	}
 	seed(sample(), Version1)
 	seed(sample(), Version2)
+	seed(sampleV3(), Version3)
 	empty := &Profile{Hist: Histogram{Low: 0, High: 0, Step: 1, Counts: []uint32{}}, Arcs: []Arc{}}
 	seed(empty, Version1)
 	f.Add([]byte("GMOO____________"))
+	// Hostile version-3 stack sections: lying record count, zero and
+	// overflowing depth, zero count, negative frame pc, out-of-order
+	// and duplicate records.
+	uv := func(dst []byte, vs ...uint64) []byte {
+		for _, v := range vs {
+			dst = binio.AppendUvarint(dst, v)
+		}
+		return dst
+	}
+	f.Add(v3Bytes(1<<27, nil))
+	f.Add(v3Bytes(1, uv(nil, 7, 0, 4)))
+	f.Add(v3Bytes(1, uv(nil, 7, MaxStackDepth+1)))
+	f.Add(v3Bytes(1, uv(nil, 7, 1, 0)))
+	f.Add(v3Bytes(1, uv(uv(nil, 7, 2), zigzag(-8), 1)))
+	f.Add(v3Bytes(2, uv(nil, 7, 2, 8, 1, 0, 2, 9, 1)))
+	f.Add(v3Bytes(2, uv(nil, 7, 1, 1, 0, 1, 1)))
+	f.Add(v3Bytes(2, uv(nil, 7, 3, 2, 4, 6, 0, 3, 2, 6, 6)))
 	// Header declaring 2^27 records over no body.
 	huge := append([]byte(nil), []byte("GMON")...)
 	huge = append(huge, 1, 0, 0, 0)
@@ -55,7 +75,14 @@ func FuzzRead(f *testing.F) {
 		if err := p.Validate(); err != nil {
 			t.Fatalf("decoder accepted an invalid profile: %v", err)
 		}
-		// Round trip through both encoders.
+		// Round trip through every encoder. Pre-v3 encodings drop the
+		// stack table, so those legs compare against a stripped clone.
+		flat := p
+		if p.Stacks != nil {
+			cp := *p // shallow: keep empty-vs-nil slice identity intact
+			cp.Stacks = nil
+			flat = &cp
+		}
 		var v1 bytes.Buffer
 		if err := Write(&v1, p); err != nil {
 			t.Fatalf("re-encode v1: %v", err)
@@ -64,8 +91,21 @@ func FuzzRead(f *testing.F) {
 		if err != nil {
 			t.Fatalf("decode re-encoded v1: %v", err)
 		}
-		if !reflect.DeepEqual(p, q) {
-			t.Fatalf("v1 round trip diverged:\n got %+v\nwant %+v", q, p)
+		if !reflect.DeepEqual(flat, q) {
+			t.Fatalf("v1 round trip diverged:\n got %+v\nwant %+v", q, flat)
+		}
+		// The reader enforces canonical stack order, so any decoded
+		// stack table re-encodes at v3 and round-trips exactly.
+		var v3 bytes.Buffer
+		if err := WriteVersion(&v3, p, Version3); err != nil {
+			t.Fatalf("re-encode v3: %v", err)
+		}
+		s, err := Read(bytes.NewReader(v3.Bytes()))
+		if err != nil {
+			t.Fatalf("decode re-encoded v3: %v", err)
+		}
+		if !reflect.DeepEqual(s.Stacks, p.Stacks) {
+			t.Fatalf("v3 stack round trip diverged:\n got %+v\nwant %+v", s.Stacks, p.Stacks)
 		}
 		var v2 bytes.Buffer
 		if err := WriteV2(&v2, p); err != nil {
@@ -78,7 +118,7 @@ func FuzzRead(f *testing.F) {
 		// Arbitrary inputs may hold duplicate (FromPC, SelfPC) keys,
 		// which SortArcs (unstable) may order either way — compare
 		// under a total order on the whole triple.
-		canon := p.Clone()
+		canon := flat.Clone()
 		canon.SortArcs()
 		if canon.Arcs == nil {
 			canon.Arcs = []Arc{}

@@ -83,6 +83,28 @@ func (h *Histogram) Validate() error {
 	return nil
 }
 
+// MaxStackDepth is the format bound on frames per stack sample: the
+// reader rejects deeper records, so a hostile file cannot drive an
+// unbounded per-record allocation. Collectors cap their walks well
+// below it (mon.DefaultStackDepth).
+const MaxStackDepth = 512
+
+// StackSample is one whole-call-stack sample with its observation
+// count — the retrospective's fix for §3.2's average-time-per-call
+// assumption: "periodically gathering not just isolated program counter
+// samples and isolated call graph arcs, but complete call stacks".
+//
+// PCs are leaf-first: PCs[0] is the program counter the clock tick
+// sampled, and each later entry is the return address of the next
+// active frame outward (so the call site of frame i is PCs[i]-1 for
+// i > 0). PCs are raw addresses; symbol resolution happens at model
+// build time, which is what lets stacks merge across runs without a
+// symbol table present.
+type StackSample struct {
+	PCs   []int64
+	Count int64
+}
+
 // Arc is one dynamic call-graph arc with its traversal count. FromPC is
 // the address of the call instruction (the call site); SelfPC is the
 // address of the callee's profiled prologue, which the symbol table maps
@@ -97,6 +119,11 @@ type Arc struct {
 type Profile struct {
 	Hist Histogram
 	Arcs []Arc
+	// Stacks holds the interned whole-stack samples, one entry per
+	// distinct PC sequence. Empty for profiles gathered without a stack
+	// walker and for files in format versions 1 and 2 (the stack
+	// section is a version-3 addition; downgrading drops it).
+	Stacks []StackSample
 	// Hz is the clock-tick rate: histogram counts are ticks, and
 	// seconds = ticks / Hz. Zero means DefaultHz.
 	Hz int64
@@ -131,6 +158,23 @@ func (p *Profile) Validate() error {
 			return fmt.Errorf("gmon: arc %d has invalid call-site pc %#x", i, a.FromPC)
 		}
 	}
+	for i := range p.Stacks {
+		s := &p.Stacks[i]
+		if len(s.PCs) == 0 {
+			return fmt.Errorf("gmon: stack %d has no frames", i)
+		}
+		if len(s.PCs) > MaxStackDepth {
+			return fmt.Errorf("gmon: stack %d has %d frames (max %d)", i, len(s.PCs), MaxStackDepth)
+		}
+		if s.Count <= 0 {
+			return fmt.Errorf("gmon: stack %d has non-positive count %d", i, s.Count)
+		}
+		for j, pc := range s.PCs {
+			if pc < 0 {
+				return fmt.Errorf("gmon: stack %d frame %d has invalid pc %#x", i, j, pc)
+			}
+		}
+	}
 	return nil
 }
 
@@ -144,6 +188,69 @@ func sortArcs(arcs []Arc) {
 		}
 		return arcs[i].SelfPC < arcs[j].SelfPC
 	})
+}
+
+// compareStacks orders PC sequences lexicographically, shorter prefix
+// first — the canonical stack-table order SortStacks and the v3 writer
+// fix.
+func compareStacks(a, b []int64) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// SortStacks orders stack samples lexicographically by PC sequence for
+// deterministic output; Merge and the v3 writer rely on this canonical
+// order the way arcs rely on SortArcs.
+func (p *Profile) SortStacks() { SortStacks(p.Stacks) }
+
+// SortStacks orders a bare stack-sample slice into the same canonical
+// order, for collectors that assemble one outside a Profile.
+func SortStacks(stacks []StackSample) {
+	sort.Slice(stacks, func(i, j int) bool {
+		return compareStacks(stacks[i].PCs, stacks[j].PCs) < 0
+	})
+}
+
+// SumStacks returns the total number of whole-stack samples the
+// profile carries — the sum of interned counts, the stacks-view
+// analogue of the histogram's TotalTicks.
+func (p *Profile) SumStacks() int64 {
+	var n int64
+	for i := range p.Stacks {
+		n += p.Stacks[i].Count
+	}
+	return n
+}
+
+// stackKey maps a PC sequence to a comparable map key without
+// allocating beyond the string itself: the raw little-endian bytes of
+// the sequence.
+func stackKey(pcs []int64) string {
+	b := make([]byte, 8*len(pcs))
+	for i, pc := range pcs {
+		v := uint64(pc)
+		for j := 0; j < 8; j++ {
+			b[i*8+j] = byte(v >> (8 * j))
+		}
+	}
+	return string(b)
 }
 
 // Merge accumulates other into p: histogram bucket counts and arc counts
@@ -171,13 +278,37 @@ func (p *Profile) Merge(other *Profile) error {
 		}
 	}
 	p.SortArcs()
+	if len(other.Stacks) > 0 {
+		// Stack-table-aware fold: identical PC sequences sum their
+		// counts, new sequences append. PC slices are never mutated
+		// after construction, so the merged table may alias other's.
+		sidx := make(map[string]int, len(p.Stacks))
+		for i := range p.Stacks {
+			sidx[stackKey(p.Stacks[i].PCs)] = i
+		}
+		for _, s := range other.Stacks {
+			if i, ok := sidx[stackKey(s.PCs)]; ok {
+				p.Stacks[i].Count += s.Count
+			} else {
+				sidx[stackKey(s.PCs)] = len(p.Stacks)
+				p.Stacks = append(p.Stacks, s)
+			}
+		}
+		p.SortStacks()
+	}
 	return nil
 }
 
-// Clone returns a deep copy of p.
+// Clone returns a deep copy of p. Stack PC sequences are shared, not
+// copied: they are immutable after construction (Merge only ever sums
+// counts or appends whole entries), so aliasing them is safe and keeps
+// the copy-on-write snapshot path cheap.
 func (p *Profile) Clone() *Profile {
 	q := &Profile{Hist: p.Hist, Hz: p.Hz}
 	q.Hist.Counts = append([]uint32(nil), p.Hist.Counts...)
 	q.Arcs = append([]Arc(nil), p.Arcs...)
+	if p.Stacks != nil {
+		q.Stacks = append([]StackSample(nil), p.Stacks...)
+	}
 	return q
 }

@@ -39,15 +39,36 @@ import (
 // The frompc+1 bias makes the spontaneous-caller sentinel (-1) encode
 // as zero, so every varint is non-negative. Arcs decode to the same
 // (FromPC, SelfPC, Count) triples as version 1; only the bytes differ.
+//
+// Version 3 is version 2 plus whole-stack samples. The fixed header
+// grows one field (present only at version 3):
+//
+//	nstack uint32   number of interned stack records
+//
+// and a stack section follows the arcs, records sorted by PC sequence
+// (lexicographic, shorter prefix first):
+//
+//	stacks  [nstack]:
+//	        dpc0  uvarint  = PCs[0] - previous record's PCs[0]  [starts at 0]
+//	        depth uvarint  = len(PCs), 1..MaxStackDepth
+//	        dpc   varint   (depth-1 times) zigzag delta from the
+//	                       previous PC in this record
+//	        count uvarint
+//
+// The leaf PC delta-encodes across records (sorted, so non-negative
+// uvarint); the outward frames delta-encode within the record with
+// zigzag varints because a walk moves through unsorted addresses.
 // docs/FORMATS.md is the narrative version.
 var magic = [4]byte{'G', 'M', 'O', 'N'}
 
 // Format versions. Write emits Version1, the original fixed-width
-// layout; WriteV2 emits the compressed Version2 layout. Read accepts
-// both, negotiated by the header's version field.
+// layout; WriteV2 emits the compressed Version2 layout; WriteV3 adds
+// the stack-samples section. Read accepts all three, negotiated by the
+// header's version field.
 const (
 	Version1 = 1
 	Version2 = 2
+	Version3 = 3
 
 	// Version is the default format Write emits.
 	Version = Version1
@@ -67,13 +88,16 @@ const chunkRecords = 8192
 // record counts. Reader exposes it after parsing; Writer is configured
 // by it.
 type Header struct {
-	Version    int   // Version1 or Version2; zero means Version1
+	Version    int   // Version1..Version3; zero means Version1
 	Hz         int64 // clock-tick rate; zero means DefaultHz
 	Low        int64 // histogram bounds and step, as in Histogram
 	High       int64
 	Step       int64
 	NumBuckets int
 	NumArcs    int
+	// NumStacks is the stack-record count; the field exists on disk
+	// only at Version3 and must be zero below it.
+	NumStacks int
 }
 
 // FileStats is the on-disk layout of one decoded profile data file:
@@ -84,6 +108,7 @@ type FileStats struct {
 	HeaderBytes int64 // magic + fixed header
 	HistBytes   int64 // histogram counts section
 	ArcBytes    int64 // arc records section
+	StackBytes  int64 // stack records section (version 3 only)
 	TotalBytes  int64
 }
 
@@ -96,9 +121,12 @@ type Writer struct {
 	version    int
 	nbkt       int // counts still owed
 	narc       int // arcs still owed
+	nstack     int // stacks still owed (version 3)
 	countsDone bool
 	prevFrom1  int64 // version 2 delta state: previous FromPC+1
 	prevSelf   int64
+	prevPC0    int64   // version 3 delta state: previous record's leaf PC
+	prevStack  []int64 // previous record's full sequence, for order checks
 }
 
 // NewWriter validates h, writes the file header to w, and returns a
@@ -108,7 +136,7 @@ func NewWriter(w io.Writer, h Header) (*Writer, error) {
 	if version == 0 {
 		version = Version1
 	}
-	if version != Version1 && version != Version2 {
+	if version < Version1 || version > Version3 {
 		return nil, fmt.Errorf("gmon: unsupported write version %d", version)
 	}
 	hz := h.Hz
@@ -131,6 +159,12 @@ func NewWriter(w io.Writer, h Header) (*Writer, error) {
 	if h.NumArcs < 0 || h.NumArcs > maxRecords || h.NumBuckets > maxRecords {
 		return nil, fmt.Errorf("gmon: implausible record counts (%d buckets, %d arcs)", h.NumBuckets, h.NumArcs)
 	}
+	if h.NumStacks < 0 || h.NumStacks > maxRecords {
+		return nil, fmt.Errorf("gmon: implausible stack count %d", h.NumStacks)
+	}
+	if version < Version3 && h.NumStacks != 0 {
+		return nil, fmt.Errorf("gmon: version %d has no stack section (%d stacks declared)", version, h.NumStacks)
+	}
 	bw := binio.NewWriter(w)
 	bw.Bytes(magic[:])
 	bw.U32(uint32(version))
@@ -140,11 +174,14 @@ func NewWriter(w io.Writer, h Header) (*Writer, error) {
 	bw.I64(h.Step)
 	bw.U32(uint32(h.NumBuckets))
 	bw.U32(uint32(h.NumArcs))
+	if version == Version3 {
+		bw.U32(uint32(h.NumStacks))
+	}
 	if err := bw.Err(); err != nil {
 		bw.Close()
 		return nil, err
 	}
-	return &Writer{bw: bw, version: version, nbkt: h.NumBuckets, narc: h.NumArcs}, nil
+	return &Writer{bw: bw, version: version, nbkt: h.NumBuckets, narc: h.NumArcs, nstack: h.NumStacks}, nil
 }
 
 // WriteCounts writes the histogram counts section; len(counts) must
@@ -213,6 +250,53 @@ func (e *Writer) WriteArcs(arcs []Arc) error {
 	return nil
 }
 
+// WriteStack appends one stack record. Stacks follow the arc section
+// and must arrive in canonical order: strictly increasing PC sequence
+// (an interned table has no duplicate sequences), which is what keeps
+// the cross-record leaf-PC delta a non-negative uvarint.
+func (e *Writer) WriteStack(s StackSample) error {
+	if e.version != Version3 {
+		return fmt.Errorf("gmon: stack records require version %d", Version3)
+	}
+	if !e.countsDone || e.narc != 0 {
+		return fmt.Errorf("gmon: stack written before histogram counts and arcs")
+	}
+	if e.nstack == 0 {
+		return fmt.Errorf("gmon: more stacks than the header declared")
+	}
+	if len(s.PCs) == 0 || len(s.PCs) > MaxStackDepth || s.Count <= 0 {
+		return fmt.Errorf("gmon: invalid stack record (%d frames, count %d)", len(s.PCs), s.Count)
+	}
+	for _, pc := range s.PCs {
+		if pc < 0 {
+			return fmt.Errorf("gmon: stack record has invalid pc %#x", pc)
+		}
+	}
+	if e.prevStack != nil && compareStacks(s.PCs, e.prevStack) <= 0 {
+		return fmt.Errorf("gmon: version-3 stacks must be written in increasing PC-sequence order")
+	}
+	e.bw.Uvarint(uint64(s.PCs[0] - e.prevPC0))
+	e.bw.Uvarint(uint64(len(s.PCs)))
+	for i := 1; i < len(s.PCs); i++ {
+		e.bw.Varint(s.PCs[i] - s.PCs[i-1])
+	}
+	e.bw.Uvarint(uint64(s.Count))
+	e.prevPC0 = s.PCs[0]
+	e.prevStack = append(e.prevStack[:0], s.PCs...)
+	e.nstack--
+	return e.bw.Err()
+}
+
+// WriteStacks appends a batch of stack records.
+func (e *Writer) WriteStacks(stacks []StackSample) error {
+	for _, s := range stacks {
+		if err := e.WriteStack(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Close flushes the file and releases the Writer's buffer. It fails if
 // fewer records were written than the header declared.
 func (e *Writer) Close() error {
@@ -224,6 +308,8 @@ func (e *Writer) Close() error {
 		short = fmt.Errorf("gmon: histogram counts never written")
 	} else if e.narc != 0 {
 		short = fmt.Errorf("gmon: %d declared arcs never written", e.narc)
+	} else if e.nstack != 0 {
+		short = fmt.Errorf("gmon: %d declared stacks never written", e.nstack)
 	}
 	err := e.bw.Close()
 	e.bw = nil
@@ -246,13 +332,22 @@ func WriteV2(w io.Writer, p *Profile) error {
 	return WriteVersion(w, p, Version2)
 }
 
-// WriteVersion encodes p to w in the given format version.
+// WriteV3 encodes p to w in the version-3 format: the version-2 layout
+// plus the interned stack-samples section.
+func WriteV3(w io.Writer, p *Profile) error {
+	return WriteVersion(w, p, Version3)
+}
+
+// WriteVersion encodes p to w in the given format version. Versions 1
+// and 2 have no stack section; writing a stacked profile at those
+// versions drops the stacks — the documented downgrade, applied
+// identically by gprofd when a client asks for an older version.
 func WriteVersion(w io.Writer, p *Profile, version int) error {
 	if err := p.Validate(); err != nil {
 		return fmt.Errorf("gmon: refusing to write invalid profile: %w", err)
 	}
 	arcs := p.Arcs
-	if version == Version2 && !sort.SliceIsSorted(arcs, func(i, j int) bool {
+	if version >= Version2 && !sort.SliceIsSorted(arcs, func(i, j int) bool {
 		if arcs[i].FromPC != arcs[j].FromPC {
 			return arcs[i].FromPC < arcs[j].FromPC
 		}
@@ -261,10 +356,21 @@ func WriteVersion(w io.Writer, p *Profile, version int) error {
 		arcs = append([]Arc(nil), arcs...)
 		sortArcs(arcs)
 	}
+	var stacks []StackSample
+	if version >= Version3 {
+		stacks = p.Stacks
+		if !sort.SliceIsSorted(stacks, func(i, j int) bool {
+			return compareStacks(stacks[i].PCs, stacks[j].PCs) < 0
+		}) {
+			stacks = append([]StackSample(nil), stacks...)
+			SortStacks(stacks)
+		}
+	}
 	e, err := NewWriter(w, Header{
 		Version: version, Hz: p.ClockHz(),
 		Low: p.Hist.Low, High: p.Hist.High, Step: p.Hist.Step,
 		NumBuckets: len(p.Hist.Counts), NumArcs: len(arcs),
+		NumStacks: len(stacks),
 	})
 	if err != nil {
 		return err
@@ -274,6 +380,10 @@ func WriteVersion(w io.Writer, p *Profile, version int) error {
 		return err
 	}
 	if err := e.WriteArcs(arcs); err != nil {
+		e.Close()
+		return err
+	}
+	if err := e.WriteStacks(stacks); err != nil {
 		e.Close()
 		return err
 	}
@@ -290,11 +400,15 @@ type Reader struct {
 	h           Header
 	countsDone  bool
 	narc        int // arcs still unread
+	nstack      int // stacks still unread (version 3)
 	prevFrom1   int64
 	prevSelf    int64
+	prevPC0     int64
+	prevStack   []int64 // previous stack record, for the ordering check
 	headerBytes int64
 	histBytes   int64
 	arcBytes    int64
+	stackBytes  int64
 	err         error
 }
 
@@ -325,8 +439,8 @@ func newReaderBR(br *binio.Reader) (*Reader, error) {
 	if err := br.Err(); err != nil {
 		return fail(fmt.Errorf("gmon: reading version: %w", err))
 	}
-	if version != Version1 && version != Version2 {
-		return fail(fmt.Errorf("gmon: unsupported version %d (want %d or %d)", version, Version1, Version2))
+	if version < Version1 || version > Version3 {
+		return fail(fmt.Errorf("gmon: unsupported version %d (want %d..%d)", version, Version1, Version3))
 	}
 	h := Header{Version: int(version)}
 	h.Hz = br.I64()
@@ -335,11 +449,18 @@ func newReaderBR(br *binio.Reader) (*Reader, error) {
 	h.Step = br.I64()
 	nbkt := br.U32()
 	narc := br.U32()
+	var nstack uint32
+	if version == Version3 {
+		nstack = br.U32()
+	}
 	if err := br.Err(); err != nil {
 		return fail(fmt.Errorf("gmon: reading header: %w", eofIsTruncation(err)))
 	}
 	if nbkt > maxRecords || narc > maxRecords {
 		return fail(fmt.Errorf("gmon: implausible record counts (%d buckets, %d arcs)", nbkt, narc))
+	}
+	if nstack > maxRecords {
+		return fail(fmt.Errorf("gmon: implausible stack count %d", nstack))
 	}
 	if h.Step <= 0 {
 		return fail(fmt.Errorf("gmon: histogram step %d (want > 0)", h.Step))
@@ -351,8 +472,8 @@ func newReaderBR(br *binio.Reader) (*Reader, error) {
 	if want := geom.NumBuckets(); int(nbkt) != want {
 		return fail(fmt.Errorf("gmon: histogram has %d buckets, bounds imply %d", nbkt, want))
 	}
-	h.NumBuckets, h.NumArcs = int(nbkt), int(narc)
-	return &Reader{br: br, h: h, narc: int(narc), headerBytes: br.Offset()}, nil
+	h.NumBuckets, h.NumArcs, h.NumStacks = int(nbkt), int(narc), int(nstack)
+	return &Reader{br: br, h: h, narc: int(narc), nstack: int(nstack), headerBytes: br.Offset()}, nil
 }
 
 // Header returns the parsed file header.
@@ -500,6 +621,103 @@ func (d *Reader) decodeArcV2(a *Arc) bool {
 	return true
 }
 
+// ReadStacks decodes up to len(dst) stack records into dst and reports
+// how many were decoded; once every declared record has been returned
+// it reports 0, io.EOF. The arc section must be fully drained first.
+// Each record's PCs slice is freshly allocated — decoded stacks are
+// merged by aliasing, so they must outlive any reader scratch.
+func (d *Reader) ReadStacks(dst []StackSample) (int, error) {
+	if d.err != nil {
+		return 0, d.err
+	}
+	if !d.countsDone || d.narc != 0 {
+		return 0, d.fail(fmt.Errorf("gmon: stacks read before histogram counts and arcs"))
+	}
+	if d.nstack == 0 {
+		return 0, io.EOF
+	}
+	n := len(dst)
+	if n > d.nstack {
+		n = d.nstack
+	}
+	for i := range dst[:n] {
+		if !d.decodeStackV3(&dst[i]) {
+			break
+		}
+	}
+	if err := d.br.Err(); err != nil {
+		read := d.h.NumStacks - d.nstack
+		return 0, d.fail(fmt.Errorf("gmon: reading stack %d: %w", read, eofIsTruncation(err)))
+	}
+	if d.err != nil {
+		return 0, d.err
+	}
+	d.nstack -= n
+	if d.nstack == 0 {
+		d.stackBytes = d.br.Offset() - d.headerBytes - d.histBytes - d.arcBytes
+	}
+	return n, nil
+}
+
+// decodeStackV3 decodes one delta-encoded stack record; false means
+// d.err or the underlying reader's error is set. The per-record
+// allocation is bounded by the depth check, so a lying header cannot
+// drive it past MaxStackDepth words.
+func (d *Reader) decodeStackV3(s *StackSample) bool {
+	dpc0 := d.br.Uvarint()
+	if dpc0 > math.MaxInt64 || int64(dpc0) > math.MaxInt64-d.prevPC0 {
+		d.fail(fmt.Errorf("gmon: stack leaf pc overflows"))
+		return false
+	}
+	pc0 := d.prevPC0 + int64(dpc0)
+	depth := d.br.Uvarint()
+	if depth == 0 || depth > MaxStackDepth {
+		if d.br.Err() == nil {
+			d.fail(fmt.Errorf("gmon: stack depth %d (want 1..%d)", depth, MaxStackDepth))
+		}
+		return false
+	}
+	pcs := make([]int64, depth)
+	pcs[0] = pc0
+	for i := 1; i < int(depth); i++ {
+		delta := d.br.Varint()
+		prev := pcs[i-1]
+		if (delta > 0 && prev > math.MaxInt64-delta) || (delta < 0 && prev < math.MinInt64-delta) {
+			d.fail(fmt.Errorf("gmon: stack frame pc overflows"))
+			return false
+		}
+		pc := prev + delta
+		if pc < 0 {
+			d.fail(fmt.Errorf("gmon: stack frame has invalid pc %#x", pc))
+			return false
+		}
+		pcs[i] = pc
+	}
+	cnt := d.br.Uvarint()
+	if cnt == 0 || cnt > math.MaxInt64 {
+		if d.br.Err() == nil {
+			d.fail(fmt.Errorf("gmon: stack count %d out of range", cnt))
+		}
+		return false
+	}
+	if d.br.Err() != nil {
+		return false
+	}
+	// The format defines records in strictly increasing canonical order
+	// (the writer enforces it); accepting violations would let corrupt
+	// files smuggle duplicate paths past Merge's fold and break
+	// re-encoding, so the reader rejects them too.
+	if d.prevStack != nil && compareStacks(pcs, d.prevStack) <= 0 {
+		d.fail(fmt.Errorf("gmon: stack records out of order"))
+		return false
+	}
+	s.PCs = pcs
+	s.Count = int64(cnt)
+	d.prevPC0 = pc0
+	d.prevStack = pcs
+	return true
+}
+
 // Next returns the next arc record, reporting io.EOF after the last.
 func (d *Reader) Next() (Arc, error) {
 	var a [1]Arc
@@ -518,6 +736,7 @@ func (d *Reader) Stats() FileStats {
 		HeaderBytes: d.headerBytes,
 		HistBytes:   d.histBytes,
 		ArcBytes:    d.arcBytes,
+		StackBytes:  d.stackBytes,
 		TotalBytes:  d.br.Offset(),
 	}
 }
@@ -617,6 +836,23 @@ func decodeInto(d *Reader, p *Profile) (FileStats, error) {
 		arcs = []Arc{}
 	}
 	p.Arcs = arcs
+	// Reset, don't keep: when p is a reused scratch profile, a
+	// stack-less file must not inherit the previous file's stacks.
+	stacks := p.Stacks[:0]
+	for len(stacks) < h.NumStacks {
+		c := h.NumStacks - len(stacks)
+		if c > chunkRecords {
+			c = chunkRecords
+		}
+		start := len(stacks)
+		stacks = growStacks(stacks, c)
+		n, err := d.ReadStacks(stacks[start:])
+		if err != nil {
+			return d.Stats(), err
+		}
+		stacks = stacks[:start+n]
+	}
+	p.Stacks = stacks
 	return d.Stats(), p.Validate()
 }
 
@@ -642,6 +878,17 @@ func growArcs(s []Arc, c int) []Arc {
 	return ns
 }
 
+// growStacks extends s by c entries, reusing capacity when it can.
+func growStacks(s []StackSample, c int) []StackSample {
+	need := len(s) + c
+	if cap(s) >= need {
+		return s[:need]
+	}
+	ns := make([]StackSample, need)
+	copy(ns, s)
+	return ns
+}
+
 // WriteFile writes p to the named file in the default format. The block
 // codec writes the *os.File directly, so there is exactly one buffer
 // layer between records and the disk.
@@ -650,7 +897,7 @@ func WriteFile(name string, p *Profile) error {
 }
 
 // WriteFileVersion writes p to the named file in the given format
-// version (Version1 or Version2).
+// version (Version1..Version3).
 func WriteFileVersion(name string, p *Profile, version int) error {
 	f, err := os.Create(name)
 	if err != nil {

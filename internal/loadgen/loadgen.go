@@ -4,9 +4,10 @@
 // package's soak test drives the same code in-process.
 //
 // A corpus is built once: every workload program is compiled and run
-// under the profiler a few times with different seeds, and each
-// resulting profile is pre-encoded in all four transport forms (format
-// v1/v2 × identity/gzip). Agents then upload the pre-encoded bodies —
+// under the profiler (with whole-stack collection on) a few times with
+// different seeds, and each resulting profile is pre-encoded in all six
+// transport forms (format v1/v2/v3 × identity/gzip — only v3 bodies
+// carry the stack table). Agents then upload the pre-encoded bodies —
 // the load generator spends its cycles on HTTP, not on re-encoding —
 // cycling deterministically through variants and transports so a run
 // is reproducible. Backpressure (429) is honored with a short backoff
@@ -36,6 +37,7 @@ import (
 	"repro/internal/gmon"
 	"repro/internal/model"
 	"repro/internal/object"
+	"repro/internal/pprofenc"
 	"repro/internal/serve"
 	"repro/internal/workloads"
 )
@@ -52,13 +54,24 @@ const (
 	encV2
 	encV1Gzip
 	encV2Gzip
+	encV3
+	encV3Gzip
 	numEncodings
 )
 
-// variant is one profiled run of a workload, pre-encoded.
+// carriesStacks reports whether the encoding's bodies keep the stack
+// table: pre-v3 formats drop it on the wire, so Verify must account
+// v1/v2 and v3 uploads separately.
+func (e encoding) carriesStacks() bool { return e == encV3 || e == encV3Gzip }
+
+// variant is one profiled run of a workload, pre-encoded. profile is
+// the full collected profile (with stacks); stripped is what a v1/v2
+// body decodes back to on the server — the same profile minus the
+// stack table.
 type variant struct {
-	profile *gmon.Profile
-	bodies  [numEncodings][]byte
+	profile  *gmon.Profile
+	stripped *gmon.Profile
+	bodies   [numEncodings][]byte
 }
 
 // Item is one workload's corpus entry: the linked image and its
@@ -94,28 +107,37 @@ func BuildCorpus(names []string) (*Corpus, error) {
 		}
 		item := Item{Workload: name, imageBytes: imBuf.Bytes()}
 		for seed := uint64(1); seed <= VariantsPerWorkload; seed++ {
-			p, _, _, err := workloads.Run(im, workloads.RunConfig{Seed: seed})
+			p, _, _, err := workloads.Run(im, workloads.RunConfig{Seed: seed, Stacks: true})
 			if err != nil {
 				return nil, fmt.Errorf("profiling %s (seed %d): %w", name, seed, err)
 			}
-			v := variant{profile: p}
-			if v.bodies[encV1], err = encode(p, gmon.Version1, false); err != nil {
-				return nil, err
-			}
-			if v.bodies[encV2], err = encode(p, gmon.Version2, false); err != nil {
-				return nil, err
-			}
-			if v.bodies[encV1Gzip], err = encode(p, gmon.Version1, true); err != nil {
-				return nil, err
-			}
-			if v.bodies[encV2Gzip], err = encode(p, gmon.Version2, true); err != nil {
-				return nil, err
+			stripped := p.Clone()
+			stripped.Stacks = nil
+			v := variant{profile: p, stripped: stripped}
+			for enc := encoding(0); enc < numEncodings; enc++ {
+				version, zip := encV(enc)
+				if v.bodies[enc], err = encode(p, version, zip); err != nil {
+					return nil, err
+				}
 			}
 			item.variants = append(item.variants, v)
 		}
 		c.Items = append(c.Items, item)
 	}
 	return c, nil
+}
+
+// encV maps an encoding to its format version and transport.
+func encV(e encoding) (version int, zip bool) {
+	switch e {
+	case encV1, encV1Gzip:
+		version = gmon.Version1
+	case encV2, encV2Gzip:
+		version = gmon.Version2
+	default:
+		version = gmon.Version3
+	}
+	return version, e == encV1Gzip || e == encV2Gzip || e == encV3Gzip
 }
 
 func encode(p *gmon.Profile, version int, zip bool) ([]byte, error) {
@@ -239,9 +261,10 @@ type Options struct {
 	// Readers adds that many concurrent query agents alongside the
 	// uploaders: mixed read/write traffic against the incremental query
 	// path. Each reader cycles deterministically through (fingerprint,
-	// endpoint) over /v1/flat and /v1/profile, requiring 200s with
-	// schema-valid bodies (404 is tolerated only before a fingerprint
-	// has merged data). Readers run until the upload phase finishes.
+	// endpoint) over /v1/flat, /v1/profile, /v1/folded, and /v1/pprof,
+	// requiring 200s with schema-valid bodies (404 is tolerated before a
+	// fingerprint has merged data — or merged stack data, for the stack
+	// endpoints). Readers run until the upload phase finishes.
 	Readers int
 }
 
@@ -261,7 +284,9 @@ type Result struct {
 	// ReadsPerSecond is Reads / Elapsed — the query rate sustained
 	// while ingest ran.
 	ReadsPerSecond float64
-	// counts[fingerprint][variant] = accepted uploads, for Verify.
+	// counts[fingerprint][variant*2+stackBit] = accepted uploads, for
+	// Verify; stackBit 1 counts the v3-encoded uploads whose bodies
+	// carried the stack table, 0 the v1/v2 ones that dropped it.
 	counts map[string][]int64
 }
 
@@ -287,7 +312,7 @@ func (c *Client) Run(ctx context.Context, corpus *Corpus, opts Options) (*Result
 	res := &Result{counts: make(map[string][]int64)}
 	counts := make([][]atomic.Int64, len(corpus.Items))
 	for i := range counts {
-		counts[i] = make([]atomic.Int64, len(corpus.Items[i].variants))
+		counts[i] = make([]atomic.Int64, len(corpus.Items[i].variants)*2)
 	}
 	var uploads, retries, errs atomic.Int64
 	deadline := time.Time{}
@@ -330,7 +355,11 @@ func (c *Client) Run(ctx context.Context, corpus *Corpus, opts Options) (*Result
 					}
 					if status == http.StatusAccepted {
 						uploads.Add(1)
-						counts[itemIdx][variantIdx].Add(1)
+						bit := 0
+						if enc.carriesStacks() {
+							bit = 1
+						}
+						counts[itemIdx][variantIdx*2+bit].Add(1)
 						break
 					}
 					if status == http.StatusTooManyRequests {
@@ -452,8 +481,24 @@ var readEndpoints = []struct {
 		if err := json.Unmarshal(body, &p); err != nil {
 			return err
 		}
-		if p.Schema != model.Schema {
-			return fmt.Errorf("profile schema %q, want %q", p.Schema, model.Schema)
+		if p.Schema != model.Schema && p.Schema != model.SchemaV2 {
+			return fmt.Errorf("profile schema %q, want %q or %q", p.Schema, model.Schema, model.SchemaV2)
+		}
+		return nil
+	}},
+	{"/v1/folded?fp=", func(body []byte) error {
+		if len(bytes.TrimSpace(body)) == 0 {
+			return fmt.Errorf("folded body is empty")
+		}
+		return nil
+	}},
+	{"/v1/pprof?fp=", func(body []byte) error {
+		d, err := pprofenc.Decode(bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if len(d.Samples) == 0 {
+			return fmt.Errorf("pprof body has no samples")
 		}
 		return nil
 	}},
@@ -476,16 +521,23 @@ func (c *Client) get(ctx context.Context, path string) (int, []byte, error) {
 
 // Verify fetches each fingerprint's merged profile (quiesced with
 // ?sync=1) and byte-compares it against an offline gmon.MergeAll over
-// the same multiset of uploads res accounted. A mismatch is a server
-// merge bug.
+// the same multiset of uploads res accounted — v1/v2 uploads enter the
+// offline merge without their stack tables, exactly as the server
+// decoded them. Both the v1 and the v3 served encodings are compared,
+// so the stack-table fold path is checked end to end. A mismatch is a
+// server merge bug.
 func (c *Client) Verify(ctx context.Context, corpus *Corpus, res *Result) error {
 	for i := range corpus.Items {
 		item := &corpus.Items[i]
 		counts := res.counts[item.Fingerprint]
 		var inputs []*gmon.Profile
 		for v, n := range counts {
+			p := item.variants[v/2].stripped
+			if v%2 == 1 {
+				p = item.variants[v/2].profile
+			}
 			for k := int64(0); k < n; k++ {
-				inputs = append(inputs, item.variants[v].profile)
+				inputs = append(inputs, p)
 			}
 		}
 		if len(inputs) == 0 {
@@ -495,26 +547,29 @@ func (c *Client) Verify(ctx context.Context, corpus *Corpus, res *Result) error 
 		if err != nil {
 			return fmt.Errorf("loadgen: offline merge for %s: %w", item.Workload, err)
 		}
-		var wantBuf bytes.Buffer
-		if err := gmon.Write(&wantBuf, want); err != nil {
-			return err
-		}
-		got, err := c.fetchGmon(ctx, item.Fingerprint)
-		if err != nil {
-			return err
-		}
-		if !bytes.Equal(got, wantBuf.Bytes()) {
-			return fmt.Errorf("loadgen: %s: merged profile from server (%d bytes) differs from offline MergeAll of %d uploads (%d bytes)",
-				item.Workload, len(got), len(inputs), wantBuf.Len())
+		for _, version := range []int{gmon.Version1, gmon.Version3} {
+			var wantBuf bytes.Buffer
+			if err := gmon.WriteVersion(&wantBuf, want, version); err != nil {
+				return err
+			}
+			got, err := c.fetchGmon(ctx, item.Fingerprint, version)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, wantBuf.Bytes()) {
+				return fmt.Errorf("loadgen: %s: merged v%d profile from server (%d bytes) differs from offline MergeAll of %d uploads (%d bytes)",
+					item.Workload, version, len(got), len(inputs), wantBuf.Len())
+			}
 		}
 	}
 	return nil
 }
 
-// fetchGmon downloads the merged raw profile for one fingerprint.
-func (c *Client) fetchGmon(ctx context.Context, fp string) ([]byte, error) {
+// fetchGmon downloads the merged raw profile for one fingerprint in
+// the given format version.
+func (c *Client) fetchGmon(ctx context.Context, fp string, version int) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.Base+"/v1/gmon?sync=1&fp="+fp, nil)
+		fmt.Sprintf("%s/v1/gmon?sync=1&fp=%s&v=%d", c.Base, fp, version), nil)
 	if err != nil {
 		return nil, err
 	}

@@ -17,6 +17,12 @@ type Delta struct {
 	NewTotal float64 `json:"new_total_seconds"`
 	OldCalls int64   `json:"old_calls"`
 	NewCalls int64   `json:"new_calls"`
+
+	// OldStackIncl/NewStackIncl carry the measured inclusive ticks from
+	// the stacks view when a profile has one — zero (and omitted from
+	// JSON) for arc-only profiles, so pre-stack diffs are unchanged.
+	OldStackIncl int64 `json:"old_stack_inclusive_ticks,omitempty"`
+	NewStackIncl int64 `json:"new_stack_inclusive_ticks,omitempty"`
 }
 
 // DSelf returns the self-seconds change (new - old).
@@ -30,7 +36,8 @@ func (d *Delta) DCalls() int64 { return d.NewCalls - d.OldCalls }
 
 // Changed reports whether anything moved between the runs.
 func (d *Delta) Changed() bool {
-	return d.DSelf() != 0 || d.DTotal() != 0 || d.DCalls() != 0 || d.InOld != d.InNew
+	return d.DSelf() != 0 || d.DTotal() != 0 || d.DCalls() != 0 || d.InOld != d.InNew ||
+		d.OldStackIncl != d.NewStackIncl
 }
 
 // Diff compares two profiles routine by routine — the "did my change
@@ -70,13 +77,24 @@ func Diff(old, new *Profile) []Delta {
 		d.NewTotal = r.TotalSeconds()
 		d.NewCalls = r.Calls + r.SelfCalls
 	}
+	if old.Stacks != nil {
+		for _, r := range old.Stacks.Routines {
+			get(r.Name).OldStackIncl = r.InclusiveTicks
+		}
+	}
+	if new.Stacks != nil {
+		for _, r := range new.Stacks.Routines {
+			get(r.Name).NewStackIncl = r.InclusiveTicks
+		}
+	}
 
 	out := make([]Delta, 0, len(order))
 	for _, name := range order {
 		d := byName[name]
 		dead := d.OldSelf == 0 && d.NewSelf == 0 &&
 			d.OldTotal == 0 && d.NewTotal == 0 &&
-			d.OldCalls == 0 && d.NewCalls == 0
+			d.OldCalls == 0 && d.NewCalls == 0 &&
+			d.OldStackIncl == 0 && d.NewStackIncl == 0
 		if dead {
 			continue
 		}

@@ -25,16 +25,20 @@ func Encode(w io.Writer, p *Profile) error {
 }
 
 // Decode reads a JSON profile and validates its schema tag and
-// internal consistency. It accepts exactly the Schema this package
-// writes; unknown versions are rejected loudly rather than misread.
+// internal consistency. It accepts the schemas this package writes —
+// v1, and v2 for profiles carrying a stacks view; unknown versions are
+// rejected loudly rather than misread.
 func Decode(r io.Reader) (*Profile, error) {
 	var p Profile
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&p); err != nil {
 		return nil, fmt.Errorf("model: decode: %w", err)
 	}
-	if p.Schema != Schema {
-		return nil, fmt.Errorf("model: unsupported profile schema %q (want %q)", p.Schema, Schema)
+	if p.Schema != Schema && p.Schema != SchemaV2 {
+		return nil, fmt.Errorf("model: unsupported profile schema %q (want %q or %q)", p.Schema, Schema, SchemaV2)
+	}
+	if p.Schema == Schema && p.Stacks != nil {
+		return nil, fmt.Errorf("model: schema %q cannot carry a stacks view (that is %q)", Schema, SchemaV2)
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -91,6 +95,11 @@ func (p *Profile) Validate() error {
 	for _, n := range p.NeverCalled {
 		if !names[n] {
 			return fmt.Errorf("model: never-called %q is not a routine", n)
+		}
+	}
+	if p.Stacks != nil {
+		if err := p.Stacks.validate(); err != nil {
+			return err
 		}
 	}
 	return nil

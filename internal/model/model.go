@@ -63,6 +63,12 @@ type Profile struct {
 	// omitted by this execution".
 	NeverCalled []string `json:"never_called,omitempty"`
 
+	// Stacks is the context-sensitive view built from whole-stack
+	// samples (BuildStacks), present only when the profile data carried
+	// stacks. A profile with this view encodes under SchemaV2; without
+	// it the encoding is byte-identical to the v1 schema.
+	Stacks *StackView `json:"stacks,omitempty"`
+
 	// Derived lookup tables; see Reindex.
 	byName   map[string]*Routine
 	byNumber map[int]*Cycle

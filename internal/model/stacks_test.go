@@ -1,0 +1,219 @@
+package model
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/gmon"
+)
+
+// tinySyms resolves pcs in [base, base+0x10) to a, [base+0x10, ...) to
+// b, etc., mimicking a symbol table over 16-byte routines.
+func tinySyms(names ...string) ResolveFunc {
+	return func(pc int64) (string, bool) {
+		i := int(pc / 0x10)
+		if pc < 0 || i >= len(names) || names[i] == "" {
+			return "", false
+		}
+		return names[i], true
+	}
+}
+
+func TestBuildStacksRollup(t *testing.T) {
+	// Layout: a=[0,0x10) b=[0x10,0x20) c=[0x20,0x30).
+	// Call sites place return addresses one past a CALL inside the
+	// caller, so frame pcs resolve at ra-1.
+	resolve := tinySyms("a", "b", "c")
+	stacks := []gmon.StackSample{
+		// leaf c, called from b, called from a: a;b;c
+		{PCs: []int64{0x24, 0x18, 0x08}, Count: 5},
+		// leaf b called from a: a;b
+		{PCs: []int64{0x14, 0x08}, Count: 3},
+		// leaf a alone
+		{PCs: []int64{0x04}, Count: 2},
+	}
+	v := BuildStacks(stacks, resolve, 0)
+	if v.Samples != 10 || v.Truncated != 0 {
+		t.Fatalf("samples %d truncated %d, want 10, 0", v.Samples, v.Truncated)
+	}
+	wantNodes := []StackNode{
+		{Name: "a", Parent: -1, SelfTicks: 2, InclusiveTicks: 10},
+		{Name: "b", Parent: 0, SelfTicks: 3, InclusiveTicks: 8},
+		{Name: "c", Parent: 1, SelfTicks: 5, InclusiveTicks: 5},
+	}
+	if !reflect.DeepEqual(v.Nodes, wantNodes) {
+		t.Errorf("nodes = %+v, want %+v", v.Nodes, wantNodes)
+	}
+	wantRoutines := []StackRoutine{
+		{Name: "a", SelfTicks: 2, InclusiveTicks: 10},
+		{Name: "b", SelfTicks: 3, InclusiveTicks: 8},
+		{Name: "c", SelfTicks: 5, InclusiveTicks: 5},
+	}
+	if !reflect.DeepEqual(v.Routines, wantRoutines) {
+		t.Errorf("routines = %+v, want %+v", v.Routines, wantRoutines)
+	}
+	if f := v.InclusiveFraction("a"); f != 1.0 {
+		t.Errorf("InclusiveFraction(a) = %v, want 1.0", f)
+	}
+	if f := v.InclusiveFraction("c"); f != 0.5 {
+		t.Errorf("InclusiveFraction(c) = %v, want 0.5", f)
+	}
+	if f := v.InclusiveFraction("nope"); f != 0 {
+		t.Errorf("InclusiveFraction(nope) = %v, want 0", f)
+	}
+	if err := v.validate(); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+// TestBuildStacksRecursionOncePerSample: a routine in several frames of
+// one sample contributes inclusive time once.
+func TestBuildStacksRecursionOncePerSample(t *testing.T) {
+	resolve := tinySyms("a", "b")
+	stacks := []gmon.StackSample{
+		// b called from b called from b called from a: a;b;b;b
+		{PCs: []int64{0x14, 0x19, 0x19, 0x08}, Count: 4},
+	}
+	v := BuildStacks(stacks, resolve, 0)
+	b, ok := v.Routine("b")
+	if !ok {
+		t.Fatal("routine b missing")
+	}
+	if b.InclusiveTicks != 4 {
+		t.Errorf("b inclusive = %d, want 4 (once per sample, not per frame)", b.InclusiveTicks)
+	}
+	if b.SelfTicks != 4 {
+		t.Errorf("b self = %d, want 4", b.SelfTicks)
+	}
+	// The path tree still has every frame: a > b > b > b.
+	if len(v.Nodes) != 4 {
+		t.Errorf("nodes = %+v, want 4 entries", v.Nodes)
+	}
+}
+
+func TestBuildStacksTruncation(t *testing.T) {
+	resolve := tinySyms("a", "", "c")
+	stacks := []gmon.StackSample{
+		// Unresolvable leaf (gap routine): counts toward Samples and
+		// Truncated, contributes no nodes.
+		{PCs: []int64{0x14}, Count: 7},
+		// Leaf resolves, mid-walk frame does not: the resolved prefix
+		// survives, the sample counts as truncated.
+		{PCs: []int64{0x24, 0x18, 0x08}, Count: 2},
+		// Full-depth walk (maxDepth return addresses): truncated.
+		{PCs: []int64{0x04, 0x09, 0x09}, Count: 1},
+	}
+	v := BuildStacks(stacks, resolve, 2)
+	if v.Samples != 10 {
+		t.Errorf("samples = %d, want 10", v.Samples)
+	}
+	// The mid-walk-failing sample also filled the depth bound, so it
+	// counts twice (legacy accounting): 7 leaf + 2 mid-walk + 2 depth
+	// on the same sample + 1 depth on the full-depth walk.
+	if v.Truncated != 12 {
+		t.Errorf("truncated = %d, want 12", v.Truncated)
+	}
+	// The mid-fail prefix kept only "c"; the depth-bounded sample is a>a>a.
+	c, ok := v.Routine("c")
+	if !ok || c.InclusiveTicks != 2 || c.SelfTicks != 2 {
+		t.Errorf("c = %+v ok=%v, want self=incl=2", c, ok)
+	}
+	if _, ok := v.Routine("b"); ok {
+		t.Error("unresolvable routine appeared in rollup")
+	}
+	if err := v.validate(); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+func TestBuildStacksNoResolver(t *testing.T) {
+	stacks := []gmon.StackSample{{PCs: []int64{0x04}, Count: 3}}
+	v := BuildStacks(stacks, nil, 0)
+	if v.Samples != 3 || len(v.Nodes) != 0 || len(v.Routines) != 0 {
+		t.Errorf("nil-resolver view = %+v", v)
+	}
+}
+
+// TestBuildStacksDeterministic: map-backed internals must not leak
+// iteration order — same multiset in a different order, same view.
+func TestBuildStacksDeterministic(t *testing.T) {
+	resolve := tinySyms("a", "b", "c", "d", "e")
+	stacks := []gmon.StackSample{
+		{PCs: []int64{0x44, 0x08}, Count: 1},
+		{PCs: []int64{0x34, 0x08}, Count: 2},
+		{PCs: []int64{0x24, 0x08}, Count: 3},
+		{PCs: []int64{0x14, 0x08}, Count: 4},
+		{PCs: []int64{0x04}, Count: 5},
+	}
+	want := BuildStacks(stacks, resolve, 0)
+	rev := make([]gmon.StackSample, len(stacks))
+	for i, s := range stacks {
+		rev[len(stacks)-1-i] = s
+	}
+	got := BuildStacks(rev, resolve, 0)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("order-dependent view:\n got %+v\nwant %+v", got, want)
+	}
+	// Children sort by name under a shared root.
+	var names []string
+	for _, n := range want.Nodes {
+		if n.Parent == 0 {
+			names = append(names, n.Name)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("children not name-sorted: %v", names)
+		}
+	}
+}
+
+// TestJSONV2RoundTrip: a stacks-carrying profile encodes under the v2
+// schema and decodes back; a v1-tagged profile carrying stacks is
+// rejected.
+func TestJSONV2RoundTrip(t *testing.T) {
+	resolve := tinySyms("a", "b")
+	view := BuildStacks([]gmon.StackSample{{PCs: []int64{0x14, 0x08}, Count: 3}}, resolve, 0)
+	p := &Profile{
+		Schema: SchemaV2,
+		Hz:     60,
+		Routines: []Routine{
+			{Name: "a"},
+			{Name: "b"},
+		},
+		Stacks: view,
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), SchemaV2) {
+		t.Fatalf("encoding lacks the v2 schema tag:\n%s", buf.String())
+	}
+	q, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q.Stacks, view) {
+		t.Errorf("stacks view diverged:\n got %+v\nwant %+v", q.Stacks, view)
+	}
+	// Re-encode is byte-identical (deterministic encoding).
+	var again bytes.Buffer
+	if err := Encode(&again, q); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("v2 encoding is not deterministic across a round trip")
+	}
+
+	p.Schema = Schema
+	var v1 bytes.Buffer
+	if err := Encode(&v1, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(bytes.NewReader(v1.Bytes())); err == nil {
+		t.Error("v1 schema carrying a stacks view was accepted")
+	}
+}

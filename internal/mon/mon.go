@@ -69,6 +69,19 @@ func (s Strategy) String() string {
 	return fmt.Sprintf("strategy(%d)", int(s))
 }
 
+// DefaultStackDepth is the default per-sample frame-walk bound when
+// stack collection is enabled: the leaf PC plus up to this many return
+// addresses. It matches the bound the legacy stacksample walker used,
+// and stays under the gmon format's MaxStackDepth.
+const DefaultStackDepth = 256
+
+// FrameWalker is the view of the machine the stack collector needs: a
+// zero-allocation walk of the active frames' return addresses,
+// innermost first. vm.Machine implements it.
+type FrameWalker interface {
+	ReturnAddressesInto(dst []int64) int
+}
+
 // Config controls a Collector.
 type Config struct {
 	// Granularity is the number of text words per histogram bucket.
@@ -84,6 +97,15 @@ type Config struct {
 	// StartDisabled creates the collector with recording off; the
 	// program (or host) must call Enable / SysMonStart.
 	StartDisabled bool
+	// Stacks enables whole-call-stack collection at each clock tick —
+	// the retrospective's fix for §3.2's equal-cost-per-call
+	// assumption. A FrameWalker must also be attached (AttachWalker);
+	// snapshots then carry an interned stack table (gmon v3).
+	Stacks bool
+	// MaxStackDepth bounds the frames recorded per stack sample (leaf
+	// plus walked return addresses); 0 means DefaultStackDepth. Values
+	// are clamped so a sample always fits gmon.MaxStackDepth.
+	MaxStackDepth int
 }
 
 // Stats reports the collector's internal behaviour, for tests and the
@@ -96,6 +118,10 @@ type Stats struct {
 	Spontaneous int64 // arcs recorded with an unidentifiable caller
 	Ticks       int64 // histogram samples recorded
 	LostTicks   int64 // samples outside the text range (none expected)
+
+	StackSamples int64 // whole-stack samples recorded (stacks enabled)
+	StackInserts int64 // distinct PC sequences interned
+	StackProbes  int64 // intern-chain probes beyond the first cell
 }
 
 // arcCell is one arc-table entry. Cells live in a single arena slice and
@@ -138,6 +164,11 @@ type Collector struct {
 	lastSelf int64
 	lastFrom int64
 	lastIdx  int32 // arena index; -1 when invalid
+
+	// Stack interning (Config.Stacks): a StackCollector, nil when
+	// stacks are off. Factored out so internal/stacksample's veneer can
+	// drive one without an arc table or histogram.
+	stacks *StackCollector
 }
 
 // New creates a collector sized for the image's text segment.
@@ -150,7 +181,7 @@ func New(im *object.Image, cfg Config) *Collector {
 	}
 	textLen := int64(len(im.Text))
 	nbkt := (textLen + cfg.Granularity - 1) / cfg.Granularity
-	return &Collector{
+	c := &Collector{
 		cfg:      cfg,
 		textBase: im.TextBase,
 		textLen:  textLen,
@@ -162,6 +193,20 @@ func New(im *object.Image, cfg Config) *Collector {
 		hist:     make([]uint32, nbkt),
 		histGen:  make([]uint32, nbkt),
 		lastIdx:  -1,
+	}
+	if cfg.Stacks {
+		c.stacks = NewStackCollector(nil, cfg.MaxStackDepth)
+	}
+	return c
+}
+
+// AttachWalker gives the collector access to the machine whose frames
+// it walks at each tick. Stack collection happens only when both
+// Config.Stacks is set and a walker is attached, so an unattached
+// stacks-enabled collector degrades to plain PC sampling.
+func (c *Collector) AttachWalker(w FrameWalker) {
+	if c.stacks != nil {
+		c.stacks.Attach(w)
 	}
 }
 
@@ -187,6 +232,9 @@ func (c *Collector) Reset() {
 		c.gen = 1
 	}
 	c.arena = c.arena[:0]
+	if c.stacks != nil {
+		c.stacks.Reset()
+	}
 	clear(c.spont)
 	c.stats = Stats{}
 	c.lastIdx = -1
@@ -205,7 +253,15 @@ func (c *Collector) Control(op int) {
 }
 
 // Stats returns a copy of the collector's counters.
-func (c *Collector) Stats() Stats { return c.stats }
+func (c *Collector) Stats() Stats {
+	st := c.stats
+	if c.stacks != nil {
+		st.StackSamples = c.stacks.samples
+		st.StackInserts = c.stacks.inserts
+		st.StackProbes = c.stacks.probes
+	}
+	return st
+}
 
 // TableStats describes the arc table's current shape: the arena the
 // cells live in and the collision-chain profile of the primary hash.
@@ -315,10 +371,18 @@ func (c *Collector) Mcount(selfpc, frompc int64) int64 {
 	return extra + isa.McountInsertCost
 }
 
-// Tick records one program-counter sample.
+// Tick records one program-counter sample — and, when stack collection
+// is on, the complete call stack active at the tick.
 func (c *Collector) Tick(pc int64) {
 	if !c.enabled {
 		return
+	}
+	// Stacks record before the text-range check: a skid sample whose
+	// leaf lies outside text still carries usable caller frames, and
+	// the legacy sampler counted such ticks too. Raw PCs only — symbol
+	// resolution happens at model build, so stacks merge across runs.
+	if c.stacks != nil && c.stacks.walker != nil && pc >= 0 {
+		c.stacks.Record(pc)
 	}
 	idx := pc - c.textBase
 	if idx < 0 || idx >= c.textLen {
@@ -374,5 +438,8 @@ func (c *Collector) Snapshot() *gmon.Profile {
 		p.Arcs = append(p.Arcs, gmon.Arc{FromPC: gmon.SpontaneousPC, SelfPC: selfpc, Count: count})
 	}
 	p.SortArcs()
+	if c.stacks != nil {
+		p.Stacks = c.stacks.Snapshot()
+	}
 	return p
 }

@@ -1,0 +1,196 @@
+package mon
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gmon"
+)
+
+// fakeWalker replays a fixed return-address chain, innermost first.
+type fakeWalker struct {
+	ras []int64
+}
+
+func (w *fakeWalker) ReturnAddressesInto(dst []int64) int {
+	n := copy(dst, w.ras)
+	return n
+}
+
+func TestStackCollectorInterning(t *testing.T) {
+	w := &fakeWalker{}
+	s := NewStackCollector(w, 8)
+	w.ras = []int64{0x20, 0x30}
+	s.Record(0x10)
+	s.Record(0x10)
+	w.ras = []int64{0x30}
+	s.Record(0x10)
+	w.ras = nil
+	s.Record(0x44)
+
+	if got := s.Samples(); got != 4 {
+		t.Errorf("Samples = %d, want 4", got)
+	}
+	if got := s.Distinct(); got != 3 {
+		t.Errorf("Distinct = %d, want 3", got)
+	}
+	want := []gmon.StackSample{
+		{PCs: []int64{0x10, 0x20, 0x30}, Count: 2},
+		{PCs: []int64{0x10, 0x30}, Count: 1},
+		{PCs: []int64{0x44}, Count: 1},
+	}
+	got := s.Snapshot()
+	gmon.SortStacks(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Snapshot = %+v, want %+v", got, want)
+	}
+}
+
+func TestStackCollectorNilWalkerLeafOnly(t *testing.T) {
+	s := NewStackCollector(nil, 4)
+	s.Record(0x10)
+	s.Record(0x10)
+	s.Record(0x18)
+	want := []gmon.StackSample{
+		{PCs: []int64{0x10}, Count: 2},
+		{PCs: []int64{0x18}, Count: 1},
+	}
+	if got := s.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Snapshot = %+v, want %+v", got, want)
+	}
+}
+
+func TestStackCollectorDepthClamp(t *testing.T) {
+	deep := make([]int64, 100)
+	for i := range deep {
+		deep[i] = int64(0x100 + 8*i)
+	}
+	s := NewStackCollector(&fakeWalker{ras: deep}, 5)
+	if got := s.MaxDepth(); got != 5 {
+		t.Fatalf("MaxDepth = %d, want 5", got)
+	}
+	s.Record(0x10)
+	got := s.Snapshot()
+	if len(got) != 1 || len(got[0].PCs) != 6 {
+		t.Fatalf("Snapshot = %+v, want one 6-frame stack (leaf + 5)", got)
+	}
+	// Default and oversized bounds clamp inside the gmon format limit.
+	if d := NewStackCollector(nil, 0).MaxDepth(); d != DefaultStackDepth {
+		t.Errorf("default MaxDepth = %d, want %d", d, DefaultStackDepth)
+	}
+	if d := NewStackCollector(nil, 1<<20).MaxDepth(); d != gmon.MaxStackDepth-1 {
+		t.Errorf("oversized MaxDepth = %d, want %d", d, gmon.MaxStackDepth-1)
+	}
+}
+
+func TestStackCollectorReset(t *testing.T) {
+	s := NewStackCollector(&fakeWalker{ras: []int64{0x20}}, 4)
+	s.Record(0x10)
+	s.Reset()
+	if s.Samples() != 0 || s.Distinct() != 0 || s.Snapshot() != nil {
+		t.Fatalf("Reset left state: samples %d distinct %d snapshot %v",
+			s.Samples(), s.Distinct(), s.Snapshot())
+	}
+	s.Record(0x30)
+	want := []gmon.StackSample{{PCs: []int64{0x30, 0x20}, Count: 1}}
+	if got := s.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("post-Reset Snapshot = %+v, want %+v", got, want)
+	}
+}
+
+func TestStackCollectorSnapshotIsCopy(t *testing.T) {
+	s := NewStackCollector(&fakeWalker{ras: []int64{0x20}}, 4)
+	s.Record(0x10)
+	snap := s.Snapshot()
+	snap[0].PCs[0] = 0x9999
+	snap[0].Count = 42
+	want := []gmon.StackSample{{PCs: []int64{0x10, 0x20}, Count: 1}}
+	if got := s.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("mutating a snapshot leaked into the collector: %+v", got)
+	}
+}
+
+// TestStackCollectorGrowth pushes the table through several doublings
+// and checks nothing is lost or double-counted.
+func TestStackCollectorGrowth(t *testing.T) {
+	w := &fakeWalker{}
+	s := NewStackCollector(w, 4)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		w.ras = []int64{int64(8 * (i % 1000)), 0x7000}
+		s.Record(int64(8 * i))
+	}
+	if got := s.Distinct(); got != n {
+		t.Fatalf("Distinct = %d, want %d", got, n)
+	}
+	snap := s.Snapshot()
+	var total int64
+	for _, st := range snap {
+		total += st.Count
+	}
+	if total != n {
+		t.Fatalf("snapshot total %d, want %d", total, n)
+	}
+	// Re-recording an existing stack counts, not re-inserts.
+	w.ras = []int64{0, 0x7000}
+	s.Record(0)
+	if got := s.Distinct(); got != n {
+		t.Errorf("Distinct after repeat = %d, want %d", got, n)
+	}
+}
+
+// TestStackRecordSteadyStateAllocs: once every distinct stack has been
+// interned, recording allocates nothing — the tick path stays on the
+// arena.
+func TestStackRecordSteadyStateAllocs(t *testing.T) {
+	w := &fakeWalker{}
+	s := NewStackCollector(w, 16)
+	stacks := [][]int64{
+		{0x20, 0x30, 0x40},
+		{0x20, 0x38},
+		{0x28, 0x30, 0x40, 0x50},
+		{0x60},
+		nil,
+	}
+	warm := func() {
+		for i, ras := range stacks {
+			w.ras = ras
+			s.Record(int64(0x10 + 8*i))
+		}
+	}
+	warm()
+	if avg := testing.AllocsPerRun(100, warm); avg != 0 {
+		t.Errorf("steady-state Record allocates %.1f times per pass, want 0", avg)
+	}
+}
+
+// TestCollectorStackStats: the embedded collector surfaces the stack
+// counters through Stats and drops stack work entirely when disabled.
+func TestCollectorStackStats(t *testing.T) {
+	im := testImage(t, 16)
+	c := New(im, Config{Stacks: true, MaxStackDepth: 8})
+	c.AttachWalker(&fakeWalker{ras: []int64{im.TextBase + 8}})
+	c.Tick(im.TextBase)
+	c.Tick(im.TextBase)
+	st := c.Stats()
+	if st.StackSamples != 2 {
+		t.Errorf("StackSamples = %d, want 2", st.StackSamples)
+	}
+	if st.StackInserts != 1 {
+		t.Errorf("StackInserts = %d, want 1", st.StackInserts)
+	}
+	p := c.Snapshot()
+	if len(p.Stacks) != 1 || p.Stacks[0].Count != 2 {
+		t.Fatalf("Stacks = %+v, want one stack with count 2", p.Stacks)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("snapshot profile invalid: %v", err)
+	}
+
+	off := New(im, Config{})
+	off.AttachWalker(&fakeWalker{ras: []int64{im.TextBase + 8}})
+	off.Tick(im.TextBase)
+	if p := off.Snapshot(); p.Stacks != nil {
+		t.Errorf("stacks disabled but snapshot carries %+v", p.Stacks)
+	}
+}

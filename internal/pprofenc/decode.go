@@ -1,0 +1,403 @@
+package pprofenc
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Decoded is the subset of a pprof profile the minimal reader
+// recovers: enough to verify a round-trip against the model and to
+// print a -top style summary without go tool pprof.
+type Decoded struct {
+	// SampleType lists the (type, unit) name pairs.
+	SampleType [][2]string
+	// Samples hold resolved routine names, leaf first.
+	Samples []DecodedSample
+	// PeriodType and Period mirror the profile's period fields.
+	PeriodType [2]string
+	Period     int64
+}
+
+// DecodedSample is one sample: its resolved call stack (leaf first)
+// and its values, one per sample type.
+type DecodedSample struct {
+	Stack  []string
+	Values []int64
+}
+
+// rawParser walks protobuf wire data without a schema.
+type rawParser struct {
+	b   []byte
+	off int
+}
+
+func (p *rawParser) done() bool { return p.off >= len(p.b) }
+
+func (p *rawParser) uvarint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		if p.off >= len(p.b) {
+			return 0, io.ErrUnexpectedEOF
+		}
+		c := p.b[p.off]
+		p.off++
+		if shift == 63 && c > 1 {
+			return 0, fmt.Errorf("pprofenc: varint overflows uint64")
+		}
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+		shift += 7
+		if shift > 63 {
+			return 0, fmt.Errorf("pprofenc: varint overflows uint64")
+		}
+	}
+}
+
+// field reads one tag and its payload: wire type 0 returns the varint
+// in v; wire type 2 returns the bytes in msg; other wire types are
+// skipped with field 0 returned.
+func (p *rawParser) field() (field int, v uint64, msg []byte, err error) {
+	tag, err := p.uvarint()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	field, wire := int(tag>>3), int(tag&7)
+	switch wire {
+	case wireVarint:
+		v, err = p.uvarint()
+		return field, v, nil, err
+	case wireBytes:
+		n, err := p.uvarint()
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if uint64(len(p.b)-p.off) < n {
+			return 0, 0, nil, io.ErrUnexpectedEOF
+		}
+		msg = p.b[p.off : p.off+int(n)]
+		p.off += int(n)
+		return field, 0, msg, nil
+	case 1: // fixed64
+		if len(p.b)-p.off < 8 {
+			return 0, 0, nil, io.ErrUnexpectedEOF
+		}
+		p.off += 8
+		return 0, 0, nil, nil
+	case 5: // fixed32
+		if len(p.b)-p.off < 4 {
+			return 0, 0, nil, io.ErrUnexpectedEOF
+		}
+		p.off += 4
+		return 0, 0, nil, nil
+	default:
+		return 0, 0, nil, fmt.Errorf("pprofenc: unsupported wire type %d", wire)
+	}
+}
+
+// packedUvarints decodes a packed repeated varint payload.
+func packedUvarints(b []byte) ([]uint64, error) {
+	p := rawParser{b: b}
+	var out []uint64
+	for !p.done() {
+		v, err := p.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseValueType(b []byte) (typ, unit uint64, err error) {
+	p := rawParser{b: b}
+	for !p.done() {
+		f, v, _, err := p.field()
+		if err != nil {
+			return 0, 0, err
+		}
+		switch f {
+		case 1:
+			typ = v
+		case 2:
+			unit = v
+		}
+	}
+	return typ, unit, nil
+}
+
+// Decode reads a (possibly gzipped) profile.proto stream and resolves
+// sample stacks to routine names through the location, line, and
+// function tables. It understands exactly the shape Encode emits plus
+// enough generality (non-packed repeats, skipped unknown fields) to
+// stay honest as a verifier.
+func Decode(r io.Reader) (*Decoded, error) {
+	head := make([]byte, 2)
+	n, err := io.ReadFull(r, head)
+	if err != nil && err != io.ErrUnexpectedEOF {
+		return nil, fmt.Errorf("pprofenc: reading stream: %w", err)
+	}
+	full := io.MultiReader(newSliceReader(head[:n]), r)
+	if n == 2 && head[0] == 0x1f && head[1] == 0x8b {
+		zr, err := gzip.NewReader(full)
+		if err != nil {
+			return nil, fmt.Errorf("pprofenc: opening gzip stream: %w", err)
+		}
+		defer zr.Close()
+		full = zr
+	}
+	raw, err := io.ReadAll(full)
+	if err != nil {
+		return nil, fmt.Errorf("pprofenc: reading stream: %w", err)
+	}
+
+	var (
+		strs        []string
+		sampleTypes [][2]uint64
+		samples     []struct {
+			locs []uint64
+			vals []uint64
+		}
+		locFn      = map[uint64]uint64{} // location id -> function id
+		fnName     = map[uint64]uint64{} // function id -> string index
+		periodType [2]uint64
+		period     int64
+	)
+	p := rawParser{b: raw}
+	for !p.done() {
+		f, v, msg, err := p.field()
+		if err != nil {
+			return nil, err
+		}
+		switch f {
+		case 1: // sample_type
+			t, u, err := parseValueType(msg)
+			if err != nil {
+				return nil, err
+			}
+			sampleTypes = append(sampleTypes, [2]uint64{t, u})
+		case 2: // sample
+			sp := rawParser{b: msg}
+			var s struct {
+				locs []uint64
+				vals []uint64
+			}
+			for !sp.done() {
+				sf, sv, sm, err := sp.field()
+				if err != nil {
+					return nil, err
+				}
+				switch sf {
+				case 1:
+					if sm != nil {
+						ids, err := packedUvarints(sm)
+						if err != nil {
+							return nil, err
+						}
+						s.locs = append(s.locs, ids...)
+					} else {
+						s.locs = append(s.locs, sv)
+					}
+				case 2:
+					if sm != nil {
+						vs, err := packedUvarints(sm)
+						if err != nil {
+							return nil, err
+						}
+						s.vals = append(s.vals, vs...)
+					} else {
+						s.vals = append(s.vals, sv)
+					}
+				}
+			}
+			samples = append(samples, s)
+		case 4: // location
+			lp := rawParser{b: msg}
+			var id, fn uint64
+			for !lp.done() {
+				lf, lv, lm, err := lp.field()
+				if err != nil {
+					return nil, err
+				}
+				switch lf {
+				case 1:
+					id = lv
+				case 4: // line
+					ip := rawParser{b: lm}
+					for !ip.done() {
+						inf, inv, _, err := ip.field()
+						if err != nil {
+							return nil, err
+						}
+						if inf == 1 && fn == 0 {
+							fn = inv
+						}
+					}
+				}
+			}
+			locFn[id] = fn
+		case 5: // function
+			fp := rawParser{b: msg}
+			var id, name uint64
+			for !fp.done() {
+				ff, fv, _, err := fp.field()
+				if err != nil {
+					return nil, err
+				}
+				switch ff {
+				case 1:
+					id = fv
+				case 2:
+					name = fv
+				}
+			}
+			fnName[id] = name
+		case 6: // string_table
+			strs = append(strs, string(msg))
+		case 11: // period_type
+			t, u, err := parseValueType(msg)
+			if err != nil {
+				return nil, err
+			}
+			periodType = [2]uint64{t, u}
+		case 12: // period
+			period = int64(v)
+		}
+	}
+
+	str := func(i uint64) (string, error) {
+		if i >= uint64(len(strs)) {
+			return "", fmt.Errorf("pprofenc: string index %d out of range (%d strings)", i, len(strs))
+		}
+		return strs[i], nil
+	}
+	d := &Decoded{Period: period}
+	if t, err := str(periodType[0]); err == nil {
+		u, err2 := str(periodType[1])
+		if err2 != nil {
+			return nil, err2
+		}
+		d.PeriodType = [2]string{t, u}
+	} else {
+		return nil, err
+	}
+	for _, st := range sampleTypes {
+		t, err := str(st[0])
+		if err != nil {
+			return nil, err
+		}
+		u, err := str(st[1])
+		if err != nil {
+			return nil, err
+		}
+		d.SampleType = append(d.SampleType, [2]string{t, u})
+	}
+	for _, s := range samples {
+		ds := DecodedSample{Values: make([]int64, len(s.vals))}
+		for i, v := range s.vals {
+			ds.Values[i] = int64(v)
+		}
+		for _, loc := range s.locs {
+			fn, ok := locFn[loc]
+			if !ok {
+				return nil, fmt.Errorf("pprofenc: sample references unknown location %d", loc)
+			}
+			idx, ok := fnName[fn]
+			if !ok {
+				return nil, fmt.Errorf("pprofenc: location %d references unknown function %d", loc, fn)
+			}
+			name, err := str(idx)
+			if err != nil {
+				return nil, err
+			}
+			ds.Stack = append(ds.Stack, name)
+		}
+		d.Samples = append(d.Samples, ds)
+	}
+	return d, nil
+}
+
+// newSliceReader avoids importing bytes for one Reader.
+type sliceReader struct{ b []byte }
+
+func newSliceReader(b []byte) *sliceReader { return &sliceReader{b} }
+
+func (s *sliceReader) Read(p []byte) (int, error) {
+	if len(s.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, s.b)
+	s.b = s.b[n:]
+	return n, nil
+}
+
+// TopRow is one line of the Top summary.
+type TopRow struct {
+	Name string
+	Flat int64 // value of samples whose leaf is the function
+	Cum  int64 // value of samples with the function anywhere on the stack
+}
+
+// Top aggregates the decoded samples per function the way pprof -top
+// does: flat for leaf samples, cumulative counted once per sample.
+// Rows sort by decreasing flat, ties by decreasing cum, then name.
+func (d *Decoded) Top() []TopRow {
+	flat := map[string]int64{}
+	cum := map[string]int64{}
+	for _, s := range d.Samples {
+		if len(s.Stack) == 0 || len(s.Values) == 0 {
+			continue
+		}
+		v := s.Values[0]
+		flat[s.Stack[0]] += v
+		seen := map[string]bool{}
+		for _, name := range s.Stack {
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			cum[name] += v
+		}
+	}
+	rows := make([]TopRow, 0, len(cum))
+	for name, c := range cum {
+		rows = append(rows, TopRow{Name: name, Flat: flat[name], Cum: c})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Flat != rows[j].Flat {
+			return rows[i].Flat > rows[j].Flat
+		}
+		if rows[i].Cum != rows[j].Cum {
+			return rows[i].Cum > rows[j].Cum
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}
+
+// WriteTop prints the Top rows as a table with a total line, the
+// in-repo stand-in for go tool pprof -top.
+func (d *Decoded) WriteTop(w io.Writer) error {
+	var total int64
+	for _, s := range d.Samples {
+		if len(s.Values) > 0 {
+			total += s.Values[0]
+		}
+	}
+	if _, err := fmt.Fprintf(w, "pprof profile: %d samples, %d sample rows\n", total, len(d.Samples)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "      flat        cum  name\n"); err != nil {
+		return err
+	}
+	for _, r := range d.Top() {
+		if _, err := fmt.Fprintf(w, "%10d %10d  %s\n", r.Flat, r.Cum, r.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+// Package pprofenc encodes a profile's stacks view as a pprof
+// profile.proto stream (gzipped), the interchange format go tool
+// pprof and every modern profile viewer consume — and decodes its own
+// output with a minimal wire-format reader, so round-trips are
+// testable without external tooling or a protobuf dependency.
+//
+// The wire format is hand-rolled: profile.proto uses only two wire
+// types (varint and length-delimited), so the encoder is a pair of
+// append helpers over binio's LEB128 varints. Field numbers follow
+// github.com/google/pprof/proto/profile.proto:
+//
+//	Profile:  1 sample_type (ValueType)   repeated
+//	          2 sample      (Sample)      repeated
+//	          4 location    (Location)    repeated
+//	          5 function    (Function)    repeated
+//	          6 string_table (string)     repeated, [0] must be ""
+//	          11 period_type (ValueType)
+//	          12 period      (int64)
+//	ValueType: 1 type, 2 unit             (string-table indices)
+//	Sample:   1 location_id (uint64)      repeated, leaf first
+//	          2 value       (int64)       repeated
+//	Location: 1 id, 4 line (Line)
+//	Line:     1 function_id
+//	Function: 1 id, 2 name, 3 system_name (string-table indices)
+//
+// Every sample is one call-path node with self ticks: its location
+// chain runs leaf-first to the root, so viewers rebuild exactly the
+// node tree the model carries. Locations are synthetic (one per
+// routine name, no addresses or mappings): the simulated machine's
+// symbols are fully resolved by model build time.
+package pprofenc
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+
+	"repro/internal/binio"
+	"repro/internal/model"
+)
+
+// Proto field numbers, as message offsets (field<<3 | wiretype).
+const (
+	wireVarint = 0
+	wireBytes  = 2
+)
+
+func appendTag(b []byte, field, wire int) []byte {
+	return binio.AppendUvarint(b, uint64(field<<3|wire))
+}
+
+func appendVarintField(b []byte, field int, v uint64) []byte {
+	b = appendTag(b, field, wireVarint)
+	return binio.AppendUvarint(b, v)
+}
+
+func appendBytesField(b []byte, field int, payload []byte) []byte {
+	b = appendTag(b, field, wireBytes)
+	b = binio.AppendUvarint(b, uint64(len(payload)))
+	return append(b, payload...)
+}
+
+func appendStringField(b []byte, field int, s string) []byte {
+	b = appendTag(b, field, wireBytes)
+	b = binio.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// valueType encodes ValueType{type, unit} from string-table indices.
+func valueType(typ, unit uint64) []byte {
+	var m []byte
+	m = appendVarintField(m, 1, typ)
+	return appendVarintField(m, 2, unit)
+}
+
+// Encode writes p's stacks view to w as a gzipped profile.proto
+// stream. It fails when the profile has no stacks view.
+func Encode(w io.Writer, p *model.Profile) error {
+	if p.Stacks == nil {
+		return fmt.Errorf("pprofenc: %w", model.ErrNoStacks)
+	}
+	v := p.Stacks
+
+	// String table: index 0 is "", then fixed labels, then routine
+	// names in first-use (preorder) order — deterministic.
+	strs := []string{"", "samples", "count"}
+	strIdx := map[string]uint64{"": 0, "samples": 1, "count": 2}
+	intern := func(s string) uint64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := uint64(len(strs))
+		strs = append(strs, s)
+		strIdx[s] = i
+		return i
+	}
+
+	// One synthetic location (and function) per routine name; ids are
+	// 1-based as the format requires.
+	locIdx := map[string]uint64{}
+	locOrder := []string{}
+	locFor := func(name string) uint64 {
+		if id, ok := locIdx[name]; ok {
+			return id
+		}
+		id := uint64(len(locOrder) + 1)
+		locIdx[name] = id
+		locOrder = append(locOrder, name)
+		return id
+	}
+
+	var out []byte
+	out = appendBytesField(out, 1, valueType(intern("samples"), intern("count")))
+
+	// Samples: every node that was a sample's innermost resolved frame,
+	// location ids leaf-first up the parent chain.
+	var chain []uint64
+	var sm []byte
+	for i := range v.Nodes {
+		n := &v.Nodes[i]
+		if n.SelfTicks == 0 {
+			continue
+		}
+		chain = chain[:0]
+		for j := i; j >= 0; j = v.Nodes[j].Parent {
+			chain = append(chain, locFor(v.Nodes[j].Name))
+		}
+		sm = sm[:0]
+		var ids []byte
+		for _, id := range chain {
+			ids = binio.AppendUvarint(ids, id)
+		}
+		sm = appendBytesField(sm, 1, ids) // packed location_id
+		var vals []byte
+		vals = binio.AppendUvarint(vals, uint64(n.SelfTicks))
+		sm = appendBytesField(sm, 2, vals) // packed value
+		out = appendBytesField(out, 2, sm)
+	}
+
+	// Locations and functions, in first-use order.
+	for i, name := range locOrder {
+		id := uint64(i + 1)
+		var line []byte
+		line = appendVarintField(line, 1, id) // function_id == location id
+		var loc []byte
+		loc = appendVarintField(loc, 1, id)
+		loc = appendBytesField(loc, 4, line)
+		out = appendBytesField(out, 4, loc)
+		nameIdx := intern(name)
+		var fn []byte
+		fn = appendVarintField(fn, 1, id)
+		fn = appendVarintField(fn, 2, nameIdx)
+		fn = appendVarintField(fn, 3, nameIdx) // system_name
+		out = appendBytesField(out, 5, fn)
+	}
+	for _, s := range strs {
+		out = appendStringField(out, 6, s)
+	}
+	out = appendBytesField(out, 11, valueType(strIdx["samples"], strIdx["count"]))
+	out = appendVarintField(out, 12, 1) // period
+
+	zw := gzip.NewWriter(w)
+	if _, err := zw.Write(out); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
+}

@@ -1,0 +1,135 @@
+package pprofenc
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/gmon"
+	"repro/internal/model"
+)
+
+func stackedProfile(t *testing.T) *model.Profile {
+	t.Helper()
+	resolve := func(pc int64) (string, bool) {
+		switch pc / 0x10 {
+		case 0:
+			return "main", true
+		case 1:
+			return "work", true
+		case 2:
+			return "spin", true
+		}
+		return "", false
+	}
+	stacks := []gmon.StackSample{
+		{PCs: []int64{0x24, 0x18, 0x08}, Count: 5}, // main;work;spin
+		{PCs: []int64{0x14, 0x08}, Count: 3},       // main;work
+		{PCs: []int64{0x04}, Count: 9},             // main
+	}
+	return &model.Profile{
+		Schema: model.SchemaV2,
+		Hz:     60,
+		Stacks: model.BuildStacks(stacks, resolve, 0),
+	}
+}
+
+// TestEncodeDecodeRoundTrip: the gzipped profile.proto stream decodes
+// back to exactly the model's self-ticked call paths, leaf first.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := stackedProfile(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	// gzip magic: pprof consumers expect a compressed stream.
+	if b := buf.Bytes(); len(b) < 2 || b[0] != 0x1f || b[1] != 0x8b {
+		t.Fatalf("output not gzipped: % x", b[:2])
+	}
+	d, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := [][2]string{{"samples", "count"}}; !reflect.DeepEqual(d.SampleType, want) {
+		t.Errorf("sample types = %v, want %v", d.SampleType, want)
+	}
+	if d.PeriodType != [2]string{"samples", "count"} || d.Period != 1 {
+		t.Errorf("period = %v / %d", d.PeriodType, d.Period)
+	}
+	// Nodes are preorder with name-sorted children: main, then
+	// main>work, then main>work>spin — every row leaf-first.
+	want := []DecodedSample{
+		{Stack: []string{"main"}, Values: []int64{9}},
+		{Stack: []string{"work", "main"}, Values: []int64{3}},
+		{Stack: []string{"spin", "work", "main"}, Values: []int64{5}},
+	}
+	if !reflect.DeepEqual(d.Samples, want) {
+		t.Errorf("samples = %+v, want %+v", d.Samples, want)
+	}
+}
+
+// TestTopAggregation: flat/cum roll up the way pprof -top does.
+func TestTopAggregation(t *testing.T) {
+	p := stackedProfile(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TopRow{
+		{Name: "main", Flat: 9, Cum: 17},
+		{Name: "spin", Flat: 5, Cum: 5},
+		{Name: "work", Flat: 3, Cum: 8},
+	}
+	if got := d.Top(); !reflect.DeepEqual(got, want) {
+		t.Errorf("top = %+v, want %+v", got, want)
+	}
+	var top bytes.Buffer
+	if err := d.WriteTop(&top); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(top.Bytes(), []byte("pprof profile: 17 samples, 3 sample rows")) {
+		t.Errorf("WriteTop header missing:\n%s", top.String())
+	}
+}
+
+// TestEncodeDeterministic: two encodings of the same view are
+// byte-identical (interning orders are first-use, not map order).
+func TestEncodeDeterministic(t *testing.T) {
+	p := stackedProfile(t)
+	var a, b bytes.Buffer
+	if err := Encode(&a, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&b, p); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("encoding is not deterministic")
+	}
+}
+
+func TestEncodeNoStacks(t *testing.T) {
+	err := Encode(&bytes.Buffer{}, &model.Profile{Schema: model.Schema, Hz: 60})
+	if !errors.Is(err, model.ErrNoStacks) {
+		t.Errorf("err = %v, want ErrNoStacks", err)
+	}
+}
+
+func TestDecodeHostile(t *testing.T) {
+	cases := map[string][]byte{
+		"empty varint stream": {0x80, 0x80, 0x80},
+		"gzip, bad payload":   {0x1f, 0x8b, 0x00},
+		"truncated bytes field": append([]byte{0x32, 0x7f}, // field 6 wire 2 len 127
+			[]byte("short")...),
+	}
+	for name, data := range cases {
+		if _, err := Decode(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: decoded successfully", name)
+		}
+	}
+}

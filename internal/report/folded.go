@@ -1,0 +1,45 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Folded renders the profile's stacks view in collapsed-stack
+// ("folded") form: one line per distinct call path that was ever a
+// sample's innermost resolved frame — root;...;leaf count — the input
+// format of flame-graph renderers. Lines sort as strings for
+// determinism, the exact order the legacy stacksample renderer used,
+// so its output is reproduced byte for byte.
+func Folded(w io.Writer, p *model.Profile) error {
+	if p.Stacks == nil {
+		return fmt.Errorf("report: %w", model.ErrNoStacks)
+	}
+	v := p.Stacks
+	// Reconstruct each node's root-first path from the parent chain.
+	// Nodes are preorder, so a parent's path is complete before any
+	// child needs it.
+	paths := make([]string, len(v.Nodes))
+	lines := make([]string, 0, len(v.Nodes))
+	for i := range v.Nodes {
+		n := &v.Nodes[i]
+		if n.Parent < 0 {
+			paths[i] = n.Name
+		} else {
+			paths[i] = paths[n.Parent] + ";" + n.Name
+		}
+		if n.SelfTicks > 0 {
+			lines = append(lines, fmt.Sprintf("%s %d", paths[i], n.SelfTicks))
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -23,6 +23,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/flat", s.queryText("flat", (*core.Result).WriteFlat))
 	s.mux.HandleFunc("/v1/callgraph", s.queryText("callgraph", (*core.Result).WriteCallGraph))
 	s.mux.HandleFunc("/v1/profile", s.handleProfile)
+	s.mux.HandleFunc("/v1/folded", s.queryText("folded", (*core.Result).WriteFolded))
+	s.mux.HandleFunc("/v1/pprof", s.handlePprof)
 	s.mux.HandleFunc("/v1/diff", s.handleDiff)
 	s.mux.HandleFunc("/v1/gmon", s.handleGmon)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
@@ -310,10 +312,35 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handlePprof serves the merged windows' stacks view as a gzipped
+// pprof protobuf — what a flame-graph UI or go tool pprof would fetch.
+// 404 when the uploads carried no stack samples (pre-v3 collectors).
+func (s *Server) handlePprof(w http.ResponseWriter, r *http.Request) {
+	end := s.tr.Span("serve.query")
+	defer end()
+	sh, sel, ok := s.queryShard(w, r)
+	if !ok {
+		return
+	}
+	s.stats.queries.Add(1)
+	e, err := s.analyzed(r.Context(), sh, sel)
+	if err != nil {
+		s.queryFail(w, sh, err)
+		return
+	}
+	body, err := e.bytesFor("pprof", (*core.Result).WritePprof)
+	if err != nil {
+		s.queryFail(w, sh, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(body)
+}
+
 // handleGmon serves the merged windows as raw profile data (?v=2 for
-// the compressed format) — the bytes an offline gmon.MergeAll over the
-// same uploads would produce, which is what `make gprofd-smoke`
-// asserts.
+// the compressed format, ?v=3 to include the stack-sample section) —
+// the bytes an offline gmon.MergeAll over the same uploads would
+// produce, which is what `make gprofd-smoke` asserts.
 func (s *Server) handleGmon(w http.ResponseWriter, r *http.Request) {
 	end := s.tr.Span("serve.query")
 	defer end()
@@ -323,8 +350,11 @@ func (s *Server) handleGmon(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stats.queries.Add(1)
 	version := gmon.Version1
-	if r.URL.Query().Get("v") == "2" {
+	switch r.URL.Query().Get("v") {
+	case "2":
 		version = gmon.Version2
+	case "3":
+		version = gmon.Version3
 	}
 	body, err := s.gmonBytes(sh, sel, version)
 	if err != nil {
@@ -337,7 +367,7 @@ func (s *Server) handleGmon(w http.ResponseWriter, r *http.Request) {
 
 // queryFail maps analysis errors to status codes.
 func (s *Server) queryFail(w http.ResponseWriter, sh *shard, err error) {
-	if errors.Is(err, errNoData) {
+	if errors.Is(err, errNoData) || errors.Is(err, model.ErrNoStacks) {
 		s.fail(w, http.StatusNotFound, "%s: %v", sh.fp, err)
 		return
 	}

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/gmon"
+	"repro/internal/pprofenc"
+	"repro/internal/workloads"
+)
+
+func sortStackedProfile(t *testing.T, seed uint64) *gmon.Profile {
+	t.Helper()
+	im, _ := sortImage(t)
+	p, _, _, err := workloads.Run(im, workloads.RunConfig{Seed: seed, Stacks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Stacks) == 0 {
+		t.Fatal("workload produced no stack samples")
+	}
+	return p
+}
+
+// TestStackEndpoints ingests v3 uploads and queries every
+// stack-derived endpoint, checking the served gmon v3 bytes against an
+// offline merge.
+func TestStackEndpoints(t *testing.T) {
+	_, imageBytes := sortImage(t)
+	_, ts := newTestServer(t, Config{})
+	fp := registerExe(t, ts, imageBytes)
+
+	p1 := sortStackedProfile(t, 1)
+	p2 := sortStackedProfile(t, 2)
+	for _, up := range [][]byte{
+		encodeProfile(t, p1, gmon.Version3, false),
+		encodeProfile(t, p2, gmon.Version3, true),
+	} {
+		mustStatus(t, ingest(t, ts, fp, up), http.StatusAccepted)
+	}
+
+	// Served v3 bytes equal the offline merge's encoding.
+	want, err := gmon.MergeAll(context.Background(), []*gmon.Profile{p1, p2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantBuf bytes.Buffer
+	if err := gmon.WriteVersion(&wantBuf, want, gmon.Version3); err != nil {
+		t.Fatal(err)
+	}
+	got := mustStatus(t, get(t, ts, "/v1/gmon?sync=1&fp="+fp+"&v=3"), http.StatusOK)
+	if !bytes.Equal(got, wantBuf.Bytes()) {
+		t.Errorf("served v3 (%d bytes) differs from offline merge (%d bytes)", len(got), wantBuf.Len())
+	}
+
+	// The JSON profile moves to the v2 schema when stacks are present.
+	var prof struct {
+		Schema string `json:"schema"`
+		Stacks *struct {
+			Samples int64 `json:"samples"`
+		} `json:"stacks"`
+	}
+	if err := json.Unmarshal(mustStatus(t, get(t, ts, "/v1/profile?fp="+fp), http.StatusOK), &prof); err != nil {
+		t.Fatal(err)
+	}
+	if prof.Schema != "gprof.profile.v2" || prof.Stacks == nil || prof.Stacks.Samples == 0 {
+		t.Errorf("profile = %+v, want v2 schema with a populated stacks view", prof)
+	}
+
+	// Folded: every line is path space count, and the hot sort routines
+	// show up somewhere.
+	folded := string(mustStatus(t, get(t, ts, "/v1/folded?fp="+fp), http.StatusOK))
+	if !strings.Contains(folded, "main") || !strings.Contains(folded, ";") {
+		t.Errorf("folded output:\n%s", folded)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(folded), "\n") {
+		if i := strings.LastIndexByte(line, ' '); i < 0 {
+			t.Errorf("malformed folded line %q", line)
+		}
+	}
+
+	// pprof: decodes through the in-repo reader with samples present.
+	pb := mustStatus(t, get(t, ts, "/v1/pprof?fp="+fp), http.StatusOK)
+	d, err := pprofenc.Decode(bytes.NewReader(pb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Samples) == 0 {
+		t.Error("pprof stream has no samples")
+	}
+	var total int64
+	for _, s := range d.Samples {
+		total += s.Values[0]
+	}
+	if total != want.SumStacks() {
+		t.Errorf("pprof total %d, want %d", total, want.SumStacks())
+	}
+}
+
+// TestStackEndpointsWithoutStacks: v1 uploads carry no stack table, so
+// the stack-derived endpoints answer 404, not 500 — and the plain
+// endpoints still work.
+func TestStackEndpointsWithoutStacks(t *testing.T) {
+	_, imageBytes := sortImage(t)
+	_, ts := newTestServer(t, Config{})
+	fp := registerExe(t, ts, imageBytes)
+	mustStatus(t, ingest(t, ts, fp, encodeProfile(t, sortProfile(t, 1), gmon.Version1, false)), http.StatusAccepted)
+
+	mustStatus(t, get(t, ts, "/v1/folded?fp="+fp), http.StatusNotFound)
+	mustStatus(t, get(t, ts, "/v1/pprof?fp="+fp), http.StatusNotFound)
+	mustStatus(t, get(t, ts, "/v1/flat?fp="+fp), http.StatusOK)
+}
+
+// TestMixedVersionIngest: v1 and v3 uploads of the same fingerprint
+// merge; the stack table comes from the v3 uploads alone.
+func TestMixedVersionIngest(t *testing.T) {
+	_, imageBytes := sortImage(t)
+	_, ts := newTestServer(t, Config{})
+	fp := registerExe(t, ts, imageBytes)
+
+	p := sortStackedProfile(t, 1)
+	mustStatus(t, ingest(t, ts, fp, encodeProfile(t, p, gmon.Version3, false)), http.StatusAccepted)
+	mustStatus(t, ingest(t, ts, fp, encodeProfile(t, p, gmon.Version1, false)), http.StatusAccepted)
+
+	got := mustStatus(t, get(t, ts, "/v1/gmon?sync=1&fp="+fp+"&v=3"), http.StatusOK)
+	merged, err := gmon.Open(bytes.NewReader(got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arcs merged from both uploads; stacks only from the v3 one.
+	if merged.SumStacks() != p.SumStacks() {
+		t.Errorf("merged stack samples = %d, want %d (v3 upload only)", merged.SumStacks(), p.SumStacks())
+	}
+	if len(merged.Arcs) == 0 {
+		t.Error("merged profile lost its arcs")
+	}
+	mustStatus(t, get(t, ts, "/v1/folded?fp="+fp), http.StatusOK)
+}

@@ -17,14 +17,25 @@
 // that all calls to a specific routine require the same amount of time".
 // Experiment E8 uses this package as ground truth to quantify the error
 // of that assumption on workloads where call sites have unequal costs.
+//
+// The package is a veneer over the unified stack pipeline: collection is
+// internal/mon's interned StackCollector (raw PCs, zero steady-state
+// allocations) and analysis is the model's context-sensitive Stacks view
+// (model.BuildStacks), which reproduces this package's historical
+// resolution and truncation accounting exactly — the leaf resolves at
+// its own address, outer frames at return address minus one, and
+// unresolvable or depth-limited walks count as truncated. Only the
+// report shapes (Rows, the folded form, the table) live here.
 package stacksample
 
 import (
 	"fmt"
 	"io"
-	"sort"
 
+	"repro/internal/gmon"
 	"repro/internal/model"
+	"repro/internal/mon"
+	"repro/internal/report"
 	"repro/internal/symtab"
 	"repro/internal/vm"
 )
@@ -37,31 +48,21 @@ const MaxDepth = 256
 // are ignored (the technique needs no prologue instrumentation at all —
 // part of its appeal).
 type Sampler struct {
-	tab     *symtab.Table
-	machine *vm.Machine
+	tab *symtab.Table
+	col *mon.StackCollector
 
-	selfTicks      map[string]int64
-	inclusiveTicks map[string]int64
-	samples        int64
-	truncated      int64 // walks stopped early (prologue skid etc.)
-
-	// stacks counts each distinct stack (leaf-first names joined by
-	// ";"), the data a modern flame-graph view would consume.
-	stacks map[string]int64
+	// view is the memoized analysis of the collected stacks; Tick
+	// invalidates it, every reporting method rebuilds it on demand.
+	view *model.StackView
 }
 
 // New creates a sampler resolving addresses against tab.
 func New(tab *symtab.Table) *Sampler {
-	return &Sampler{
-		tab:            tab,
-		selfTicks:      make(map[string]int64),
-		inclusiveTicks: make(map[string]int64),
-		stacks:         make(map[string]int64),
-	}
+	return &Sampler{tab: tab, col: mon.NewStackCollector(nil, MaxDepth)}
 }
 
 // Attach gives the sampler access to the machine whose stack it walks.
-func (s *Sampler) Attach(m *vm.Machine) { s.machine = m }
+func (s *Sampler) Attach(m *vm.Machine) { s.col.Attach(m) }
 
 // Mcount ignores prologue events: stack sampling needs no instrumented
 // prologues. It returns zero extra cycles, which is exactly the point —
@@ -72,72 +73,75 @@ func (s *Sampler) Mcount(selfpc, frompc int64) int64 { return 0 }
 // Control is a no-op; the sampler has no kernel-style switch.
 func (s *Sampler) Control(op int) {}
 
-// Tick records one whole-stack sample.
+// Tick records one whole-stack sample: raw PCs into the interned
+// collector, resolution deferred to the first reporting call.
 func (s *Sampler) Tick(pc int64) {
-	s.samples++
-	names := make([]string, 0, 8)
-	seen := make(map[string]bool, 8)
-	add := func(pc int64) bool {
-		fn, ok := s.tab.Find(pc)
-		if !ok {
-			return false
-		}
-		names = append(names, fn.Name)
-		if !seen[fn.Name] {
-			seen[fn.Name] = true
-			s.inclusiveTicks[fn.Name]++
-		}
-		return true
-	}
-	if !add(pc) {
-		s.truncated++
-		return
-	}
-	s.selfTicks[names[0]]++
-	if s.machine != nil {
-		ras := s.machine.ReturnAddresses(MaxDepth)
-		for _, ra := range ras {
-			if !add(ra - 1) { // ra points after the CALL
-				s.truncated++
-				break
-			}
-		}
-		if len(ras) == MaxDepth {
-			s.truncated++
-		}
-	}
-	key := join(names)
-	s.stacks[key]++
+	s.col.Record(pc)
+	s.view = nil
 }
 
-func join(names []string) string {
-	out := ""
-	for i, n := range names {
-		if i > 0 {
-			out += ";"
-		}
-		out += n
+// RawStacks returns the interned raw-PC stack table in gmon's canonical
+// order — the data a v3 profile data file would carry.
+func (s *Sampler) RawStacks() []gmon.StackSample { return s.col.Snapshot() }
+
+// View returns the context-sensitive analysis of the samples so far:
+// the call-path node tree and per-routine rollup, resolved against the
+// sampler's symbol table with the historical truncation accounting.
+func (s *Sampler) View() *model.StackView {
+	if s.view == nil {
+		s.view = model.BuildStacks(s.col.Snapshot(), func(pc int64) (string, bool) {
+			fn, ok := s.tab.Find(pc)
+			if !ok {
+				return "", false
+			}
+			return fn.Name, true
+		}, MaxDepth)
 	}
-	return out
+	return s.view
 }
 
 // Samples returns the number of ticks observed.
-func (s *Sampler) Samples() int64 { return s.samples }
+func (s *Sampler) Samples() int64 { return s.col.Samples() }
 
 // Truncated returns how many walks ended early (unknown pc or depth
 // limit) — the prologue-skid artifacts.
-func (s *Sampler) Truncated() int64 { return s.truncated }
+func (s *Sampler) Truncated() int64 { return s.View().Truncated }
 
 // SelfTicks returns the routine's leaf-sample count.
-func (s *Sampler) SelfTicks(name string) int64 { return s.selfTicks[name] }
+func (s *Sampler) SelfTicks(name string) int64 {
+	r, _ := s.View().Routine(name)
+	return r.SelfTicks
+}
 
 // InclusiveTicks returns the routine's anywhere-on-stack sample count:
 // measured (not estimated) total time in sampling units.
-func (s *Sampler) InclusiveTicks(name string) int64 { return s.inclusiveTicks[name] }
+func (s *Sampler) InclusiveTicks(name string) int64 {
+	r, _ := s.View().Routine(name)
+	return r.InclusiveTicks
+}
 
-// Stacks returns the distinct sampled stacks (leaf-first, ";"-joined)
-// with their counts.
-func (s *Sampler) Stacks() map[string]int64 { return s.stacks }
+// Stacks returns the distinct sampled stacks (leaf-first, ";"-joined
+// resolved names) with their counts.
+func (s *Sampler) Stacks() map[string]int64 {
+	v := s.View()
+	// Each node with self ticks was some sample's full resolved path;
+	// its leaf-first name chain is the historical map key.
+	out := make(map[string]int64)
+	paths := make([]string, len(v.Nodes))
+	for i := range v.Nodes {
+		n := &v.Nodes[i]
+		// Leaf-first: this node's name, then its ancestors'.
+		if n.Parent < 0 {
+			paths[i] = n.Name
+		} else {
+			paths[i] = n.Name + ";" + paths[n.Parent]
+		}
+		if n.SelfTicks > 0 {
+			out[paths[i]] += n.SelfTicks
+		}
+	}
+	return out
+}
 
 // Row is one line of the report.
 type Row struct {
@@ -148,16 +152,11 @@ type Row struct {
 
 // Rows returns per-routine results sorted by decreasing inclusive ticks.
 func (s *Sampler) Rows() []Row {
-	var rows []Row
-	for name, inc := range s.inclusiveTicks {
-		rows = append(rows, Row{Name: name, Self: s.selfTicks[name], Inclusive: inc})
+	routines := s.View().Routines
+	rows := make([]Row, 0, len(routines))
+	for _, r := range routines {
+		rows = append(rows, Row{Name: r.Name, Self: r.SelfTicks, Inclusive: r.InclusiveTicks})
 	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].Inclusive != rows[j].Inclusive {
-			return rows[i].Inclusive > rows[j].Inclusive
-		}
-		return rows[i].Name < rows[j].Name
-	})
 	return rows
 }
 
@@ -165,34 +164,7 @@ func (s *Sampler) Rows() []Row {
 // line per distinct stack — root;...;leaf count — the input format of
 // modern flame-graph renderers. Lines are sorted for determinism.
 func (s *Sampler) WriteFolded(w io.Writer) error {
-	lines := make([]string, 0, len(s.stacks))
-	for key, count := range s.stacks {
-		frames := splitStack(key)
-		// stored leaf-first; folded format is root-first
-		for i, j := 0, len(frames)-1; i < j; i, j = i+1, j-1 {
-			frames[i], frames[j] = frames[j], frames[i]
-		}
-		lines = append(lines, fmt.Sprintf("%s %d", join(frames), count))
-	}
-	sort.Strings(lines)
-	for _, l := range lines {
-		if _, err := fmt.Fprintln(w, l); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func splitStack(key string) []string {
-	var frames []string
-	start := 0
-	for i := 0; i <= len(key); i++ {
-		if i == len(key) || key[i] == ';' {
-			frames = append(frames, key[start:i])
-			start = i + 1
-		}
-	}
-	return frames
+	return report.Folded(w, &model.Profile{Stacks: s.View()})
 }
 
 // Model condenses the sampler's results into the shared profile model
@@ -204,8 +176,8 @@ func (s *Sampler) Model() *model.Profile {
 	m := &model.Profile{
 		Schema:       model.Schema,
 		Hz:           1,
-		TotalTicks:   float64(s.samples),
-		TotalSeconds: float64(s.samples),
+		TotalTicks:   float64(s.Samples()),
+		TotalSeconds: float64(s.Samples()),
 	}
 	for _, r := range s.Rows() {
 		self := float64(r.Self)
@@ -225,7 +197,7 @@ func (s *Sampler) Model() *model.Profile {
 // Write renders the per-routine table with tick counts and percentages.
 func (s *Sampler) Write(w io.Writer) error {
 	m := s.Model()
-	fmt.Fprintf(w, "stack-sample profile: %d samples (%d truncated walks)\n", s.samples, s.truncated)
+	fmt.Fprintf(w, "stack-sample profile: %d samples (%d truncated walks)\n", s.Samples(), s.Truncated())
 	fmt.Fprintf(w, "  %%incl   %%self  inclusive    self  name\n")
 	for i := range m.Routines {
 		r := &m.Routines[i]

@@ -671,10 +671,27 @@ func (m *Machine) exec(i isa.Instr, curPC int64) (halt bool, err error) {
 // short, the classic prologue-skid artifact of real stack samplers; the
 // bounds checks below keep such walks safe.
 func (m *Machine) ReturnAddresses(max int) []int64 {
-	var out []int64
+	if max <= 0 {
+		return nil
+	}
+	dst := make([]int64, max)
+	n := m.ReturnAddressesInto(dst)
+	if n == 0 {
+		return nil
+	}
+	return dst[:n]
+}
+
+// ReturnAddressesInto is ReturnAddresses without the allocation: it
+// fills dst with the return addresses of the active call frames,
+// innermost first, and reports how many it wrote (at most len(dst)).
+// Tick-time stack collectors walk through a reused buffer, so the hot
+// sampling path allocates nothing.
+func (m *Machine) ReturnAddressesInto(dst []int64) int {
+	n := 0
 	fp := m.regs[isa.RegFP]
 	stackLow := m.im.DataBase + int64(len(m.im.Data))
-	for len(out) < max {
+	for n < len(dst) {
 		if fp < stackLow || fp+1 >= m.im.StackTop {
 			break
 		}
@@ -682,14 +699,15 @@ func (m *Machine) ReturnAddresses(max int) []int64 {
 		if ra <= m.im.TextBase || ra > m.im.TextEnd() {
 			break
 		}
-		out = append(out, ra)
+		dst[n] = ra
+		n++
 		next := m.mem[fp-m.im.DataBase]
 		if next <= fp { // frames must move toward higher addresses
 			break
 		}
 		fp = next
 	}
-	return out
+	return n
 }
 
 // callSite recovers the call-site address for the routine whose prologue

@@ -568,6 +568,9 @@ type RunConfig struct {
 	Seed        uint64
 	MaxCycles   int64
 	Strategy    mon.Strategy
+	// Stacks additionally records whole call stacks at each tick; the
+	// returned profile then carries a stack table (gmon v3 data).
+	Stacks bool
 }
 
 // Run executes an image with a monitoring collector attached and returns
@@ -578,13 +581,16 @@ func Run(im *object.Image, cfg RunConfig) (*gmon.Profile, vm.Result, *mon.Collec
 		Granularity: cfg.Granularity,
 		Hz:          cfg.Hz,
 		Strategy:    cfg.Strategy,
+		Stacks:      cfg.Stacks,
 	})
-	res, err := vm.New(im, vm.Config{
+	m := vm.New(im, vm.Config{
 		Monitor:    collector,
 		TickCycles: cfg.TickCycles,
 		RandSeed:   cfg.Seed,
 		MaxCycles:  cfg.MaxCycles,
-	}).Run()
+	})
+	collector.AttachWalker(m)
+	res, err := m.Run()
 	if err != nil {
 		return nil, res, nil, err
 	}
