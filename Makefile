@@ -28,23 +28,24 @@ bench-smoke:
 # the workload suite via the parallel driver, the scale and gprofd
 # query suites, plus the engine-facing go-bench micro-benchmarks
 # parsed into the same file. Schema in docs/FORMATS.md.
-LABEL ?= PR9
+LABEL ?= PR10
 .PHONY: bench-json
 bench-json:
-	go test -run xxx -bench 'Dispatch|McountFastPath|McountSteady|Snapshot|VMExecution|Overhead|GmonRead|GmonWrite|MergeAll|ImageIO|ModelBuild|ModelJSON|ObsSpan|ObsCounter|StackCollect|GmonV3ReadWrite|FoldedRender' \
+	go test -run xxx -bench 'Dispatch|McountFastPath|McountSteady|Snapshot|VMExecution|Overhead|GmonRead|GmonWrite|MergeAll|ImageIO|ModelBuild|ModelJSON|ObsSpan|ObsCounter|StackCollect|GmonV3ReadWrite|FoldedRender|HistogramObserve|HistogramMerge|Exposition|FlightSpan' \
 		-benchmem . ./internal/mon ./internal/obs > bench-raw.out && \
 	go run ./cmd/benchjson -label $(LABEL) -scale -query -parse bench-raw.out -o BENCH_$(LABEL).json && \
 	rm -f bench-raw.out
 
 # Compare two committed performance snapshots, worst regression first;
-# -threshold (percent) makes it a gate. The threshold is sized to the
-# microsecond-scale per-stage span metrics, which jitter by >2x across
-# runs on the same host; domain-level regressions (analysis_ns,
-# profiles_analyzed_per_sec, warm_flat_ns) sit far below it in
-# practice and are what the diff output surfaces first.
+# -threshold (percent) makes it a gate. The per-stage span
+# sub-measurements (analysis_stages) are single-digit microseconds and
+# jitter close to 10x across runs on a shared host, so they are
+# reported but ungated; the whole-run metrics they sum into
+# (analysis_ns, profiles_analyzed_per_sec, warm_flat_ns, go_bench
+# ns/op) stay under the gate and hold within tens of percent.
 .PHONY: bench-diff
 bench-diff:
-	go run ./cmd/benchdiff -threshold 200 BENCH_PR8.json BENCH_$(LABEL).json
+	go run ./cmd/benchdiff -threshold 200 -ungated analysis_stages BENCH_PR9.json BENCH_$(LABEL).json
 
 # Self-observability smoke: a profiled run and an analysis under
 # -stats/-tracefile/-runreport, with both artifacts validated by
@@ -133,6 +134,31 @@ pprof-smoke:
 	cd .pprof-smoke && ./pprofcheck stacks.pb.gz > top.txt
 	grep -q pricey .pprof-smoke/top.txt
 	rm -rf .pprof-smoke
+
+# Production-observability smoke: start gprofd with the self-profile
+# loop on, replay the corpus with the observability prober (-metrics:
+# concurrent /metrics scrapes must parse and validate, /healthz and
+# /readyz must hold 200), then take two /metrics dumps across a second
+# replay and metricscheck them — per-file structural validation plus
+# cross-dump counter/histogram monotonicity. Finally fetch /v1/self as
+# pprof and round-trip it through pprofcheck, and /debug/flightrec
+# through tracecheck.
+.PHONY: metrics-smoke
+metrics-smoke:
+	rm -rf .metrics-smoke && mkdir -p .metrics-smoke
+	go build -o .metrics-smoke/ ./cmd/gprofd ./cmd/gprofload ./cmd/metricscheck ./cmd/pprofcheck ./cmd/tracecheck
+	./.metrics-smoke/gprofd -addr 127.0.0.1:7427 -selfprofile 300ms & echo $$! > .metrics-smoke/pid
+	rc=0; \
+	./.metrics-smoke/gprofload -addr http://127.0.0.1:7427 -agents 8 -duration 3s -metrics -verify || rc=$$?; \
+	curl -sf http://127.0.0.1:7427/metrics > .metrics-smoke/m1.prom || rc=$$?; \
+	./.metrics-smoke/gprofload -addr http://127.0.0.1:7427 -agents 4 -uploads 25 -metrics || rc=$$?; \
+	curl -sf http://127.0.0.1:7427/metrics > .metrics-smoke/m2.prom || rc=$$?; \
+	./.metrics-smoke/metricscheck .metrics-smoke/m1.prom .metrics-smoke/m2.prom || rc=$$?; \
+	curl -sf 'http://127.0.0.1:7427/v1/self?view=pprof' > .metrics-smoke/self.pb.gz || rc=$$?; \
+	./.metrics-smoke/pprofcheck .metrics-smoke/self.pb.gz > /dev/null || rc=$$?; \
+	curl -sf http://127.0.0.1:7427/debug/flightrec > .metrics-smoke/flight.json || rc=$$?; \
+	./.metrics-smoke/tracecheck .metrics-smoke/flight.json || rc=$$?; \
+	kill `cat .metrics-smoke/pid` 2>/dev/null; rm -rf .metrics-smoke; exit $$rc
 
 .PHONY: figures
 figures:

@@ -43,7 +43,7 @@ import (
 
 // File is the BENCH_*.json document. Field order is the wire order.
 type File struct {
-	Schema    string                      `json:"schema"` // "bench.v6"
+	Schema    string                      `json:"schema"` // "bench.v7"
 	Label     string                      `json:"label"`  // e.g. "PR2"
 	Go        string                      `json:"go"`
 	GOOS      string                      `json:"goos"`
@@ -129,7 +129,7 @@ func main() {
 	defer prof.Stop()
 
 	f := File{
-		Schema:  "bench.v6",
+		Schema:  "bench.v7",
 		Label:   *label,
 		Go:      runtime.Version(),
 		GOOS:    runtime.GOOS,

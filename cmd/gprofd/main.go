@@ -29,6 +29,14 @@
 // -pprof <addr> serves Go's net/http/pprof on a separate listener (the
 // ingest surface never exposes it), for CPU/heap profiling of a live
 // deployment.
+//
+// Production observability rides the main listener: GET /metrics is the
+// Prometheus text exposition (gprofd.metrics.v1, validated by
+// cmd/metricscheck), /healthz and /readyz are the liveness and
+// readiness probes (readiness flips to 503 when SIGINT starts the
+// drain, ahead of the connection drain), /debug/flightrec dumps the
+// always-on span ring as Chrome trace JSON, and -selfprofile starts
+// the dogfood loop serving gprofd's own CPU profile at /v1/self.
 package main
 
 import (
@@ -57,6 +65,8 @@ func main() {
 		jobs    = flag.Int("jobs", 0, "analysis worker width for queries (0 = GOMAXPROCS)")
 		qcache  = flag.Int("querycache", serve.DefaultQueryCache, "memoized-analysis LRU entries (finished core.Run results and rendered bodies)")
 		pprofA  = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty = off)")
+		selfP   = flag.Duration("selfprofile", 0, "capture gprofd's own CPU profile this often and serve it at /v1/self (0 = on demand only)")
+		selfC   = flag.Duration("selfcapture", 0, "duration of each self-profile capture window (0 = 1s, clamped to half the interval)")
 	)
 	var o obs.CLI
 	o.Register(flag.CommandLine)
@@ -84,6 +94,8 @@ func main() {
 		Jobs:         *jobs,
 		QueryCache:   *qcache,
 		Trace:        o.Trace(),
+		SelfProfile:  *selfP,
+		SelfCapture:  *selfC,
 	})
 	if ferr := o.Finish(err); ferr != nil && err == nil {
 		err = ferr
@@ -120,6 +132,9 @@ func run(addr string, cfg serve.Config) error {
 	case <-ctx.Done():
 	}
 	stop() // restore default signal handling for a second interrupt
+	// Flip /readyz to 503 before draining connections, so balancers
+	// stop routing here while in-flight requests finish.
+	srv.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

@@ -18,6 +18,12 @@
 // schema-valid bodies — mixed read/write traffic against the server's
 // incremental query path. Any reader failure exits nonzero.
 //
+// With -metrics, an observability prober runs alongside the agents:
+// every ~100ms it scrapes /metrics (the body must parse and validate as
+// Prometheus text exposition) and requires 200 from /healthz and
+// /readyz — the monitoring stack a production gprofd lives under. Any
+// probe failure exits nonzero.
+//
 // With -verify it fetches each fingerprint's merged profile back
 // (quiesced with ?sync=1) and byte-compares it against an offline
 // gmon.MergeAll over the exact multiset of accepted uploads; any
@@ -50,15 +56,16 @@ func main() {
 		verify   = flag.Bool("verify", false, "byte-compare server merges against offline MergeAll")
 		wait     = flag.Duration("wait", 5*time.Second, "how long to wait for the server to come up")
 		jsonOut  = flag.Bool("json", false, "print the result as JSON instead of a summary line")
+		metrics  = flag.Bool("metrics", false, "scrape and validate /metrics, /healthz, /readyz every ~100ms during the replay")
 	)
 	flag.Parse()
-	if err := run(*addr, *agents, *uploads, *readers, *duration, *names, *verify, *wait, *jsonOut); err != nil {
+	if err := run(*addr, *agents, *uploads, *readers, *duration, *names, *verify, *wait, *jsonOut, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "gprofload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, agents, uploads, readers int, duration time.Duration, names string, verify bool, wait time.Duration, jsonOut bool) error {
+func run(addr string, agents, uploads, readers int, duration time.Duration, names string, verify bool, wait time.Duration, jsonOut, metrics bool) error {
 	var list []string
 	if names != "" {
 		for _, n := range strings.Split(names, ",") {
@@ -84,6 +91,7 @@ func run(addr string, agents, uploads, readers int, duration time.Duration, name
 		UploadsPerAgent: uploads,
 		Duration:        duration,
 		Readers:         readers,
+		Metrics:         metrics,
 	})
 	if err != nil {
 		return err
@@ -98,10 +106,13 @@ func run(addr string, agents, uploads, readers int, duration time.Duration, name
 			Reads        int64   `json:"reads,omitempty"`
 			ReadErrors   int64   `json:"read_errors,omitempty"`
 			ReadsPerSec  float64 `json:"reads_per_second,omitempty"`
+			Scrapes      int64   `json:"metrics_scrapes,omitempty"`
+			ScrapeErrors int64   `json:"metrics_errors,omitempty"`
 			ElapsedMs    int64   `json:"elapsed_ms"`
 			ServerHeapMB float64 `json:"server_heap_mb,omitempty"`
 		}{res.Uploads, res.PerSecond, res.Retries429, res.Errors,
-			res.Reads, res.ReadErrors, res.ReadsPerSecond, res.Elapsed.Milliseconds(), 0}
+			res.Reads, res.ReadErrors, res.ReadsPerSecond,
+			res.MetricsScrapes, res.MetricsErrors, res.Elapsed.Milliseconds(), 0}
 		if statsErr == nil {
 			out.ServerHeapMB = float64(stats.HeapAllocBytes) / (1 << 20)
 		}
@@ -116,6 +127,9 @@ func run(addr string, agents, uploads, readers int, duration time.Duration, name
 		if readers > 0 {
 			fmt.Printf("readers: %d queries from %d agents (%.0f queries/sec, %d errors)\n",
 				res.Reads, readers, res.ReadsPerSecond, res.ReadErrors)
+		}
+		if metrics {
+			fmt.Printf("metrics: %d valid scrapes, %d errors\n", res.MetricsScrapes, res.MetricsErrors)
 		}
 		if statsErr == nil {
 			fmt.Printf("server: %d accepted, %.1f MB heap, %d shards\n",
@@ -132,6 +146,14 @@ func run(addr string, agents, uploads, readers int, duration time.Duration, name
 	}
 	if res.ReadErrors > 0 {
 		return fmt.Errorf("%d reader queries failed", res.ReadErrors)
+	}
+	if metrics {
+		if res.MetricsErrors > 0 {
+			return fmt.Errorf("%d observability probes failed", res.MetricsErrors)
+		}
+		if res.MetricsScrapes == 0 {
+			return fmt.Errorf("no observability probes completed")
+		}
 	}
 	// Readers that completed queries must have left tracks in the
 	// server's incremental caches; a server serving every read from

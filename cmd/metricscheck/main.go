@@ -1,0 +1,160 @@
+// Command metricscheck validates Prometheus text-exposition dumps the
+// way tracecheck validates Chrome traces: the metrics-smoke make target
+// scrapes a running gprofd's /metrics and fails the build if the output
+// is malformed, so the exposition writer can never silently regress
+// into something real monitoring stacks cannot ingest.
+//
+// Usage:
+//
+//	metricscheck [-q] dump1.prom [dump2.prom ...]
+//
+// Each file must parse as the text format and pass structural
+// validation: every sample belongs to a declared TYPE family, counter
+// and histogram values are finite and non-negative, and histogram
+// series carry strictly increasing bucket bounds with non-decreasing
+// cumulative counts, a le="+Inf" bucket, and matching _count and _sum
+// samples.
+//
+// When more than one file is given they are treated as successive
+// scrapes of the same process, in argument order, and cross-dump rules
+// apply: counter samples and histogram bucket/count/sum samples must be
+// monotonically non-decreasing from one dump to the next. A counter
+// that goes backwards means broken aggregation (or a silent restart) —
+// exactly the class of bug a dashboard hides as a rate glitch.
+//
+// Exit status is non-zero if any file or any cross-dump check fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "suppress per-file ok lines")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: metricscheck [-q] dump1.prom [dump2.prom ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ok := true
+	var prev *obs.Exposition
+	var prevName string
+	for _, name := range flag.Args() {
+		exp, err := checkFile(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metricscheck: %s: %v\n", name, err)
+			ok = false
+			prev = nil
+			continue
+		}
+		families, samples := count(exp)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "metricscheck: %s: ok (%d families, %d samples)\n",
+				name, families, samples)
+		}
+		if prev != nil {
+			if errs := monotonic(prev, exp); len(errs) > 0 {
+				for _, e := range errs {
+					fmt.Fprintf(os.Stderr, "metricscheck: %s -> %s: %v\n", prevName, name, e)
+				}
+				ok = false
+			}
+		}
+		prev, prevName = exp, name
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func checkFile(name string) (*obs.Exposition, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	exp, err := obs.ParseExposition(f)
+	if err != nil {
+		return nil, err
+	}
+	if err := exp.Validate(); err != nil {
+		return nil, err
+	}
+	return exp, nil
+}
+
+func count(e *obs.Exposition) (families, samples int) {
+	for _, f := range e.Families {
+		families++
+		samples += len(f.Samples)
+	}
+	return
+}
+
+// monotonic checks that every counter sample — and every histogram
+// bucket, _count, and _sum sample — present in both dumps did not
+// decrease. Samples only in one dump are fine (new series appear as
+// traffic reaches new endpoints).
+func monotonic(old, cur *obs.Exposition) []error {
+	var errs []error
+	for _, f := range cur.Families {
+		if f.Kind != "counter" && f.Kind != "histogram" {
+			continue
+		}
+		for _, s := range f.Samples {
+			was, ok := oldValue(old, s)
+			if !ok {
+				continue
+			}
+			if s.Value < was {
+				errs = append(errs, fmt.Errorf("%s%s went backwards: %g -> %g",
+					s.Name, labelString(s.Labels), was, s.Value))
+			}
+		}
+	}
+	return errs
+}
+
+func oldValue(old *obs.Exposition, s obs.ExpoSample) (float64, bool) {
+	labels := make([]string, 0, 2*len(s.Labels))
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		labels = append(labels, k, s.Labels[k])
+	}
+	return old.Sample(s.Name, labels...)
+}
+
+func labelString(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

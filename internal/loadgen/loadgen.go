@@ -37,6 +37,7 @@ import (
 	"repro/internal/gmon"
 	"repro/internal/model"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/pprofenc"
 	"repro/internal/serve"
 	"repro/internal/workloads"
@@ -266,6 +267,13 @@ type Options struct {
 	// fingerprint has merged data — or merged stack data, for the stack
 	// endpoints). Readers run until the upload phase finishes.
 	Readers int
+	// Metrics, when set, adds an observability prober alongside the
+	// agents: every ~100ms it scrapes /metrics (the body must parse as
+	// the Prometheus text format and pass structural validation) and
+	// probes /healthz and /readyz (both must answer 200 while the replay
+	// runs). It models the monitoring stack that scrapes a production
+	// gprofd concurrently with ingest traffic.
+	Metrics bool
 }
 
 // Result is one replay's outcome.
@@ -284,6 +292,12 @@ type Result struct {
 	// ReadsPerSecond is Reads / Elapsed — the query rate sustained
 	// while ingest ran.
 	ReadsPerSecond float64
+	// MetricsScrapes counts the observability prober's fully valid
+	// passes (parsed + validated /metrics, 200 from both health
+	// endpoints); MetricsErrors counts failed ones. Zero errors on a
+	// healthy server.
+	MetricsScrapes int64
+	MetricsErrors  int64
 	// counts[fingerprint][variant*2+stackBit] = accepted uploads, for
 	// Verify; stackBit 1 counts the v3-encoded uploads whose bodies
 	// carried the stack table, 0 the v1/v2 ones that dropped it.
@@ -423,15 +437,50 @@ func (c *Client) Run(ctx context.Context, corpus *Corpus, opts Options) (*Result
 			}
 		}(r)
 	}
+	var scrapes, scrapeErrs atomic.Int64
+	stopScraper := make(chan struct{})
+	scraperDone := make(chan struct{})
+	if opts.Metrics {
+		go func() {
+			defer close(scraperDone)
+			t := time.NewTicker(100 * time.Millisecond)
+			defer t.Stop()
+			for first := true; ; first = false {
+				if !first {
+					select {
+					case <-stopScraper:
+						return
+					case <-ctx.Done():
+						return
+					case <-t.C:
+					}
+				}
+				if err := c.probeObservability(ctx); err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					scrapeErrs.Add(1)
+					continue
+				}
+				scrapes.Add(1)
+			}
+		}()
+	} else {
+		close(scraperDone)
+	}
 	wg.Wait()
 	close(stopReaders)
 	rg.Wait()
+	close(stopScraper)
+	<-scraperDone
 	res.Elapsed = time.Since(start)
 	res.Uploads = uploads.Load()
 	res.Retries429 = retries.Load()
 	res.Errors = errs.Load()
 	res.Reads = reads.Load()
 	res.ReadErrors = readErrs.Load()
+	res.MetricsScrapes = scrapes.Load()
+	res.MetricsErrors = scrapeErrs.Load()
 	if res.Elapsed > 0 {
 		res.PerSecond = float64(res.Uploads) / res.Elapsed.Seconds()
 		res.ReadsPerSecond = float64(res.Reads) / res.Elapsed.Seconds()
@@ -502,6 +551,56 @@ var readEndpoints = []struct {
 		}
 		return nil
 	}},
+}
+
+// probeObservability is one monitoring pass: scrape and validate
+// /metrics, then require 200 from /healthz and /readyz.
+func (c *Client) probeObservability(ctx context.Context) error {
+	status, body, err := c.get(ctx, "/metrics")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("loadgen: /metrics: status %d", status)
+	}
+	exp, err := obs.ParseExposition(bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("loadgen: /metrics body: %w", err)
+	}
+	if err := exp.Validate(); err != nil {
+		return fmt.Errorf("loadgen: /metrics structure: %w", err)
+	}
+	for _, path := range []string{"/healthz", "/readyz"} {
+		status, _, err := c.get(ctx, path)
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("loadgen: %s: status %d", path, status)
+		}
+	}
+	return nil
+}
+
+// Exposition fetches and validates one /metrics scrape — gprofload's
+// final-state dump and the soak test's populated-histogram assertions
+// read it.
+func (c *Client) Exposition(ctx context.Context) (*obs.Exposition, error) {
+	status, body, err := c.get(ctx, "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: /metrics: status %d", status)
+	}
+	exp, err := obs.ParseExposition(bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if err := exp.Validate(); err != nil {
+		return nil, err
+	}
+	return exp, nil
 }
 
 // get fetches one query endpoint, returning status and body.

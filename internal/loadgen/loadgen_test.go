@@ -25,7 +25,7 @@ func testCorpus(t *testing.T) *Corpus {
 	return c
 }
 
-func startServer(t *testing.T, cfg serve.Config) *Client {
+func startServer(t *testing.T, cfg serve.Config) (*serve.Server, *Client) {
 	t.Helper()
 	s := serve.New(cfg)
 	ts := httptest.NewServer(s.Handler())
@@ -33,14 +33,14 @@ func startServer(t *testing.T, cfg serve.Config) *Client {
 		ts.Close()
 		s.Close()
 	})
-	return &Client{Base: ts.URL}
+	return s, &Client{Base: ts.URL}
 }
 
 // TestReplayAndVerify runs a small fixed-count replay and checks the
 // accounting and the byte-identical server-vs-offline merge.
 func TestReplayAndVerify(t *testing.T) {
 	corpus := testCorpus(t)
-	client := startServer(t, serve.Config{})
+	_, client := startServer(t, serve.Config{})
 	ctx := context.Background()
 
 	if err := client.WaitReady(ctx, 2*time.Second); err != nil {
@@ -97,7 +97,7 @@ func TestReplayAndVerify(t *testing.T) {
 // reads must land in the server's analysis/snapshot cache accounting.
 func TestMixedReaders(t *testing.T) {
 	corpus := testCorpus(t)
-	client := startServer(t, serve.Config{})
+	_, client := startServer(t, serve.Config{})
 	ctx := context.Background()
 	if err := client.RegisterAll(ctx, corpus); err != nil {
 		t.Fatal(err)
@@ -138,7 +138,7 @@ func TestMixedReaders(t *testing.T) {
 // land every upload exactly once.
 func TestBackpressureRetry(t *testing.T) {
 	corpus := testCorpus(t)
-	client := startServer(t, serve.Config{QueueDepth: 1})
+	_, client := startServer(t, serve.Config{QueueDepth: 1})
 	ctx := context.Background()
 	if err := client.RegisterAll(ctx, corpus); err != nil {
 		t.Fatal(err)
@@ -162,13 +162,16 @@ func TestBackpressureRetry(t *testing.T) {
 // replay must hold at least soakMinRate profiles/sec, the server heap
 // must stay flat (windowed merge folds in place — memory tracks the
 // aggregate size, not the upload count), and the merged output must
-// stay byte-identical to an offline MergeAll over every upload.
+// stay byte-identical to an offline MergeAll over every upload. The
+// observability prober runs throughout — /metrics must parse and
+// validate under concurrent scrapes, and readiness must hold 200 for
+// the whole replay and flip to 503 the moment the drain begins.
 func TestSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test skipped in -short mode")
 	}
 	corpus := testCorpus(t)
-	client := startServer(t, serve.Config{})
+	srv, client := startServer(t, serve.Config{})
 	ctx := context.Background()
 	if err := client.RegisterAll(ctx, corpus); err != nil {
 		t.Fatal(err)
@@ -202,7 +205,7 @@ func TestSoak(t *testing.T) {
 		}
 	}()
 
-	res, err := client.Run(ctx, corpus, Options{Agents: 8, Duration: 2 * time.Second})
+	res, err := client.Run(ctx, corpus, Options{Agents: 8, Duration: 2 * time.Second, Metrics: true})
 	stopSampling()
 	sampler.Wait()
 	if err != nil {
@@ -211,9 +214,9 @@ func TestSoak(t *testing.T) {
 	if res.Errors != 0 {
 		t.Fatalf("soak errors: %d", res.Errors)
 	}
-	t.Logf("soak: %d uploads in %v (%.0f profiles/sec, %d retries), max heap %.1f MB",
+	t.Logf("soak: %d uploads in %v (%.0f profiles/sec, %d retries), max heap %.1f MB, %d metrics scrapes",
 		res.Uploads, res.Elapsed.Round(time.Millisecond), res.PerSecond, res.Retries429,
-		float64(maxHeap)/(1<<20))
+		float64(maxHeap)/(1<<20), res.MetricsScrapes)
 	if res.PerSecond < soakMinRate {
 		t.Errorf("sustained %.0f profiles/sec, want >= %.0f", res.PerSecond, soakMinRate)
 	}
@@ -222,7 +225,45 @@ func TestSoak(t *testing.T) {
 	if maxHeap > 256<<20 {
 		t.Errorf("server heap peaked at %d bytes during the soak", maxHeap)
 	}
+	// The observability prober scraped a valid exposition and saw 200
+	// readiness for the entire replay.
+	if res.MetricsScrapes == 0 {
+		t.Error("observability prober completed no scrapes during the soak")
+	}
+	if res.MetricsErrors != 0 {
+		t.Errorf("observability probes failed %d times during the soak", res.MetricsErrors)
+	}
+	// The endpoint latency histograms are populated under the soak
+	// floor: every accepted upload observed one /v1/ingest latency.
+	exp, err := client.Exposition(ctx)
+	if err != nil {
+		t.Fatalf("final scrape: %v", err)
+	}
+	if v, ok := exp.Sample("gprofd_http_request_duration_ns_count",
+		"endpoint", "/v1/ingest", "code", "202"); !ok || int64(v) != res.Uploads {
+		t.Errorf("ingest latency histogram count = %v (present %v), want %d", v, ok, res.Uploads)
+	}
+	if v, ok := exp.Sample("gprofd_profiles_ingested_total"); !ok || int64(v) != res.Uploads {
+		t.Errorf("profiles ingested counter = %v (present %v), want %d", v, ok, res.Uploads)
+	}
+	if v, ok := exp.Sample("gprofd_shard_fold_duration_ns_count"); !ok || v <= 0 {
+		t.Errorf("fold duration histogram count = %v (present %v), want > 0", v, ok)
+	}
 	if err := client.Verify(ctx, corpus, res); err != nil {
 		t.Errorf("verify after soak: %v", err)
+	}
+	// Graceful drain: readiness flips to 503 while queries still work.
+	srv.BeginDrain()
+	status, _, err := client.get(ctx, "/readyz")
+	if err != nil || status != 503 {
+		t.Errorf("/readyz after BeginDrain = %d (%v), want 503", status, err)
+	}
+	status, _, err = client.get(ctx, "/healthz")
+	if err != nil || status != 200 {
+		t.Errorf("/healthz after BeginDrain = %d (%v), want 200", status, err)
+	}
+	status, _, err = client.get(ctx, "/v1/flat?fp="+corpus.Items[0].Fingerprint)
+	if err != nil || status != 200 {
+		t.Errorf("query during drain = %d (%v), want 200", status, err)
 	}
 }

@@ -1,0 +1,78 @@
+package model
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStacksFromFrames pins the name-resolved builder against the same
+// invariants BuildStacks guarantees: deterministic preorder tree,
+// recursion counted once per sample, truncation accounting for empty
+// frames.
+func TestStacksFromFrames(t *testing.T) {
+	samples := []FrameSample{
+		{Frames: []string{"leafA", "mid", "main"}, Count: 3},
+		{Frames: []string{"leafB", "mid", "main"}, Count: 2},
+		{Frames: []string{"mid", "main"}, Count: 1},
+		{Frames: []string{"rec", "rec", "main"}, Count: 4}, // recursion
+		{Frames: []string{"", "main"}, Count: 5},           // empty leaf: dropped
+		{Frames: []string{"leafA", "", "main"}, Count: 1},  // truncated mid-frame
+		{Frames: nil, Count: 2},                            // no frames at all
+		{Frames: []string{"ignored"}, Count: 0},            // non-positive count
+	}
+	v := StacksFromFrames(samples)
+	if v.Samples != 18 {
+		t.Errorf("Samples = %d, want 18", v.Samples)
+	}
+	if v.Truncated != 8 {
+		t.Errorf("Truncated = %d, want 8 (5 empty leaf + 1 cut + 2 frameless)", v.Truncated)
+	}
+	if r, ok := v.Routine("rec"); !ok || r.InclusiveTicks != 4 || r.SelfTicks != 4 {
+		t.Errorf("rec rollup = %+v, want incl 4 self 4 (recursion counted once)", r)
+	}
+	if r, ok := v.Routine("main"); !ok || r.InclusiveTicks != 10 {
+		t.Errorf("main rollup = %+v, want incl 10", r)
+	}
+	if r, ok := v.Routine("mid"); !ok || r.InclusiveTicks != 6 || r.SelfTicks != 1 {
+		t.Errorf("mid rollup = %+v, want incl 6 self 1", r)
+	}
+	// The view must pass the same validation Profile.Validate applies.
+	if err := v.validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	// Determinism: same multiset in a different order builds the same view.
+	shuffled := []FrameSample{samples[3], samples[1], samples[0], samples[2],
+		samples[5], samples[4], samples[6]}
+	v2 := StacksFromFrames(shuffled)
+	if !reflect.DeepEqual(v, v2) {
+		t.Error("StacksFromFrames is order-sensitive")
+	}
+	// A truncated path still contributes its resolved prefix: the
+	// single-frame "leafA" root from the cut sample.
+	root := false
+	for _, n := range v.Nodes {
+		if n.Parent == -1 && n.Name == "leafA" && n.InclusiveTicks == 1 {
+			root = true
+		}
+	}
+	if !root {
+		t.Error("truncated sample's resolved prefix missing from tree")
+	}
+	// Parents precede children and inclusive >= children sums.
+	for i, n := range v.Nodes {
+		if n.Parent >= i {
+			t.Fatalf("node %d parent %d not preorder", i, n.Parent)
+		}
+	}
+}
+
+// TestStacksFromFramesEmpty covers the degenerate inputs.
+func TestStacksFromFramesEmpty(t *testing.T) {
+	v := StacksFromFrames(nil)
+	if v.Samples != 0 || len(v.Nodes) != 0 || len(v.Routines) != 0 {
+		t.Errorf("empty input built %+v", v)
+	}
+	if err := v.validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}

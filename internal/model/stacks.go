@@ -112,6 +112,159 @@ type stackTreeNode struct {
 	children map[string]int
 }
 
+// stackAccum condenses resolved, leaf-first name stacks into a
+// StackView — the tree-and-rollup core shared by BuildStacks (which
+// resolves raw PCs first) and StacksFromFrames (whose callers, like the
+// gprofd self-profiler, already have names).
+type stackAccum struct {
+	view     *StackView
+	routines map[string]*stackRollup
+	tree     []stackTreeNode
+	roots    map[string]int
+	seen     map[string]bool
+}
+
+type stackRollup struct{ self, incl int64 }
+
+func newStackAccum() *stackAccum {
+	return &stackAccum{
+		view:     &StackView{},
+		routines: make(map[string]*stackRollup),
+		roots:    map[string]int{},
+		seen:     make(map[string]bool, 16),
+	}
+}
+
+// add folds one resolved stack (leaf first, non-empty) observed count
+// times into the tree and the per-routine rollup. The caller accounts
+// Samples and Truncated itself.
+func (a *stackAccum) add(names []string, count int64) {
+	// Per-routine rollup: self for the leaf, inclusive once per
+	// distinct name on the stack.
+	clear(a.seen)
+	for _, n := range names {
+		if a.seen[n] {
+			continue
+		}
+		a.seen[n] = true
+		r := a.routines[n]
+		if r == nil {
+			r = &stackRollup{}
+			a.routines[n] = r
+		}
+		r.incl += count
+	}
+	a.routines[names[0]].self += count
+	// Path tree: walk root-first, creating nodes as needed.
+	parent := -1
+	node := -1
+	for i := len(names) - 1; i >= 0; i-- {
+		n := names[i]
+		var m map[string]int
+		if parent < 0 {
+			m = a.roots
+		} else {
+			if a.tree[parent].children == nil {
+				a.tree[parent].children = map[string]int{}
+			}
+			m = a.tree[parent].children
+		}
+		idx, ok := m[n]
+		if !ok {
+			idx = len(a.tree)
+			a.tree = append(a.tree, stackTreeNode{name: n, parent: parent})
+			m[n] = idx
+		}
+		a.tree[idx].incl += count
+		parent, node = idx, idx
+	}
+	a.tree[node].self += count
+}
+
+// finish flattens the tree in DFS preorder with name-sorted children
+// (remapping parent indices to the output order), sorts the routine
+// rollup, and returns the view.
+func (a *stackAccum) finish() *StackView {
+	v := a.view
+	v.Nodes = make([]StackNode, 0, len(a.tree))
+	remap := make([]int, len(a.tree))
+	var emit func(m map[string]int, parent int)
+	emit = func(m map[string]int, parent int) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			idx := m[k]
+			out := len(v.Nodes)
+			remap[idx] = out
+			t := &a.tree[idx]
+			v.Nodes = append(v.Nodes, StackNode{
+				Name: t.name, Parent: parent,
+				SelfTicks: t.self, InclusiveTicks: t.incl,
+			})
+			emit(t.children, out)
+		}
+	}
+	emit(a.roots, -1)
+	v.Routines = make([]StackRoutine, 0, len(a.routines))
+	for n, r := range a.routines {
+		v.Routines = append(v.Routines, StackRoutine{Name: n, SelfTicks: r.self, InclusiveTicks: r.incl})
+	}
+	sort.Slice(v.Routines, func(i, j int) bool {
+		if v.Routines[i].InclusiveTicks != v.Routines[j].InclusiveTicks {
+			return v.Routines[i].InclusiveTicks > v.Routines[j].InclusiveTicks
+		}
+		return v.Routines[i].Name < v.Routines[j].Name
+	})
+	return v
+}
+
+// FrameSample is one whole-stack sample whose frames are already
+// resolved to routine names, leaf first — the shape a decoded pprof
+// profile (internal/pprofenc) yields.
+type FrameSample struct {
+	Frames []string
+	Count  int64
+}
+
+// StacksFromFrames builds the context-sensitive view from name-resolved
+// samples, with the same determinism guarantees as BuildStacks. Samples
+// with a non-positive count are ignored. An empty frame name truncates
+// the path the way an unresolvable PC does in BuildStacks: an empty
+// leaf drops the sample into Samples+Truncated only, an empty outer
+// frame cuts the path there and counts the sample as truncated.
+func StacksFromFrames(samples []FrameSample) *StackView {
+	a := newStackAccum()
+	names := make([]string, 0, 16)
+	for i := range samples {
+		s := &samples[i]
+		if s.Count <= 0 {
+			continue
+		}
+		a.view.Samples += s.Count
+		if len(s.Frames) == 0 || s.Frames[0] == "" {
+			a.view.Truncated += s.Count
+			continue
+		}
+		names = names[:0]
+		truncated := false
+		for _, f := range s.Frames {
+			if f == "" {
+				truncated = true
+				break
+			}
+			names = append(names, f)
+		}
+		if truncated {
+			a.view.Truncated += s.Count
+		}
+		a.add(names, s.Count)
+	}
+	return a.finish()
+}
+
 // BuildStacks condenses raw interned stack samples into the
 // context-sensitive view. PCs resolve the way the legacy stacksample
 // walker resolved them: the leaf at its own address, every outer frame
@@ -126,26 +279,22 @@ type stackTreeNode struct {
 // tree orders children by name in depth-first preorder, and the
 // routine rollup sorts by decreasing inclusive ticks, ties by name.
 func BuildStacks(stacks []gmon.StackSample, resolve ResolveFunc, maxDepth int) *StackView {
-	v := &StackView{}
 	if resolve == nil || len(stacks) == 0 {
+		v := &StackView{}
 		for i := range stacks {
 			v.Samples += stacks[i].Count
 		}
 		return v
 	}
-	type rollup struct{ self, incl int64 }
-	routines := make(map[string]*rollup)
-	tree := []stackTreeNode{}
-	roots := map[string]int{}
+	a := newStackAccum()
+	v := a.view
 	names := make([]string, 0, 16)
-	seen := make(map[string]bool, 16)
 	for i := range stacks {
 		s := &stacks[i]
 		c := s.Count
 		v.Samples += c
 		// Resolve leaf-first, reproducing the legacy walk accounting.
 		names = names[:0]
-		clear(seen)
 		leaf, ok := resolve(s.PCs[0])
 		if !ok {
 			v.Truncated += c
@@ -167,82 +316,9 @@ func BuildStacks(stacks []gmon.StackSample, resolve ResolveFunc, maxDepth int) *
 		if maxDepth > 0 && len(s.PCs)-1 == maxDepth {
 			v.Truncated += c
 		}
-		// Per-routine rollup: self for the leaf, inclusive once per
-		// distinct name on the stack.
-		for _, n := range names {
-			if seen[n] {
-				continue
-			}
-			seen[n] = true
-			r := routines[n]
-			if r == nil {
-				r = &rollup{}
-				routines[n] = r
-			}
-			r.incl += c
-		}
-		rl := routines[names[0]]
-		rl.self += c
-		// Path tree: walk root-first, creating nodes as needed.
-		parent := -1
-		node := -1
-		for i := len(names) - 1; i >= 0; i-- {
-			n := names[i]
-			var m map[string]int
-			if parent < 0 {
-				m = roots
-			} else {
-				if tree[parent].children == nil {
-					tree[parent].children = map[string]int{}
-				}
-				m = tree[parent].children
-			}
-			idx, ok := m[n]
-			if !ok {
-				idx = len(tree)
-				tree = append(tree, stackTreeNode{name: n, parent: parent})
-				m[n] = idx
-			}
-			tree[idx].incl += c
-			parent, node = idx, idx
-		}
-		tree[node].self += c
+		a.add(names, c)
 	}
-	// Flatten in DFS preorder with name-sorted children, remapping
-	// parent indices to the output order.
-	v.Nodes = make([]StackNode, 0, len(tree))
-	remap := make([]int, len(tree))
-	var emit func(m map[string]int, parent int)
-	emit = func(m map[string]int, parent int) {
-		keys := make([]string, 0, len(m))
-		for k := range m {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			idx := m[k]
-			out := len(v.Nodes)
-			remap[idx] = out
-			t := &tree[idx]
-			v.Nodes = append(v.Nodes, StackNode{
-				Name: t.name, Parent: parent,
-				SelfTicks: t.self, InclusiveTicks: t.incl,
-			})
-			emit(t.children, out)
-		}
-	}
-	emit(roots, -1)
-	v.Routines = make([]StackRoutine, 0, len(routines))
-	for n, r := range routines {
-		v.Routines = append(v.Routines, StackRoutine{Name: n, SelfTicks: r.self, InclusiveTicks: r.incl})
-	}
-	sort.Slice(v.Routines, func(i, j int) bool {
-		if v.Routines[i].InclusiveTicks != v.Routines[j].InclusiveTicks {
-			return v.Routines[i].InclusiveTicks > v.Routines[j].InclusiveTicks
-		}
-		return v.Routines[i].Name < v.Routines[j].Name
-	})
-	return v
+	return a.finish()
 }
 
 // validateStacks checks the view's internal consistency as part of

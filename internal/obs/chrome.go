@@ -7,13 +7,14 @@ import (
 	"strconv"
 )
 
-// Chrome trace-event export: the -tracefile format. The output is the
-// JSON object form of the trace-event specification — a "traceEvents"
-// array of complete ("X") events, one track (tid) per goroutine that
-// recorded spans, preceded by "M" metadata events naming the process
-// and each track, and followed by one "C" counter event per registered
-// counter and gauge. Perfetto and chrome://tracing load it directly.
-// Timestamps are microseconds since trace start (the spec's unit).
+// Chrome trace-event export: the -tracefile format and the flight
+// recorder dump. The output is the JSON object form of the trace-event
+// specification — a "traceEvents" array of complete ("X") events, one
+// track (tid) per goroutine that recorded spans, preceded by "M"
+// metadata events naming the process and each track, and followed by
+// one "C" counter event per registered counter and gauge. Perfetto and
+// chrome://tracing load it directly. Timestamps are microseconds since
+// trace start (the spec's unit).
 
 // chromeEvent is one trace-event record. Field names are the spec's.
 type chromeEvent struct {
@@ -37,59 +38,71 @@ type chromeFile struct {
 // describes one process (this profiler run).
 const chromePid = 1
 
-// WriteChromeTrace exports every recorded span as Chrome trace-event
-// JSON. A nil Trace writes an empty but valid trace, so error handling
-// at call sites does not depend on the observability state.
-func (t *Trace) WriteChromeTrace(w io.Writer) error {
+// writeChromeEvents renders one process' spans plus final counter and
+// gauge samples as a trace-event file — shared by Trace (the batch
+// -tracefile export) and FlightRecorder (the /debug/flightrec dump).
+func writeChromeEvents(w io.Writer, processName string, events []Event,
+	counters, gauges map[string]int64, endTs float64) error {
 	f := chromeFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
-	if t != nil {
-		events := t.Events()
-		f.TraceEvents = make([]chromeEvent, 0, len(events)+8)
+	if processName == "" {
+		// Disabled source: an empty but valid trace.
+		return json.NewEncoder(w).Encode(&f)
+	}
+	f.TraceEvents = make([]chromeEvent, 0, len(events)+8)
+	f.TraceEvents = append(f.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePid, Tid: 0,
+		Args: map[string]any{"name": processName},
+	})
+	// One named track per goroutine that recorded spans, in id order.
+	tids := make(map[int64]bool)
+	for _, e := range events {
+		tids[e.Goid] = true
+	}
+	order := make([]int64, 0, len(tids))
+	for id := range tids {
+		order = append(order, id)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, id := range order {
 		f.TraceEvents = append(f.TraceEvents, chromeEvent{
-			Name: "process_name", Ph: "M", Pid: chromePid, Tid: 0,
-			Args: map[string]any{"name": "gprof self-profile"},
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: id,
+			Args: map[string]any{"name": "goroutine " + strconv.FormatInt(id, 10)},
 		})
-		// One named track per goroutine that recorded spans, in id order.
-		tids := make(map[int64]bool)
-		for _, e := range events {
-			tids[e.Goid] = true
+	}
+	for _, e := range events {
+		dur := float64(e.Dur) / 1e3
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: e.Name, Cat: "stage", Ph: "X",
+			Ts: float64(e.Start) / 1e3, Dur: &dur,
+			Pid: chromePid, Tid: e.Goid,
+		})
+	}
+	// Final counter samples so the counter tracks render.
+	for _, m := range []map[string]int64{counters, gauges} {
+		names := make([]string, 0, len(m))
+		for name := range m {
+			names = append(names, name)
 		}
-		order := make([]int64, 0, len(tids))
-		for id := range tids {
-			order = append(order, id)
-		}
-		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
-		for _, id := range order {
+		sort.Strings(names)
+		for _, name := range names {
 			f.TraceEvents = append(f.TraceEvents, chromeEvent{
-				Name: "thread_name", Ph: "M", Pid: chromePid, Tid: id,
-				Args: map[string]any{"name": "goroutine " + strconv.FormatInt(id, 10)},
+				Name: name, Ph: "C", Ts: endTs, Pid: chromePid, Tid: 0,
+				Args: map[string]any{"value": m[name]},
 			})
-		}
-		for _, e := range events {
-			dur := float64(e.Dur) / 1e3
-			f.TraceEvents = append(f.TraceEvents, chromeEvent{
-				Name: e.Name, Cat: "stage", Ph: "X",
-				Ts: float64(e.Start) / 1e3, Dur: &dur,
-				Pid: chromePid, Tid: e.Goid,
-			})
-		}
-		// Final counter samples so the counter tracks render.
-		end := float64(t.Wall().Nanoseconds()) / 1e3
-		counters, gauges := t.counterValues()
-		for _, m := range []map[string]int64{counters, gauges} {
-			names := make([]string, 0, len(m))
-			for name := range m {
-				names = append(names, name)
-			}
-			sort.Strings(names)
-			for _, name := range names {
-				f.TraceEvents = append(f.TraceEvents, chromeEvent{
-					Name: name, Ph: "C", Ts: end, Pid: chromePid, Tid: 0,
-					Args: map[string]any{"value": m[name]},
-				})
-			}
 		}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(&f)
+}
+
+// WriteChromeTrace exports every recorded span as Chrome trace-event
+// JSON. A nil Trace writes an empty but valid trace, so error handling
+// at call sites does not depend on the observability state.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return writeChromeEvents(w, "", nil, nil, nil, 0)
+	}
+	end := float64(t.Wall().Nanoseconds()) / 1e3
+	counters, gauges := t.counterValues()
+	return writeChromeEvents(w, "gprof self-profile", t.Events(), counters, gauges, end)
 }

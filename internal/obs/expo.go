@@ -1,0 +1,478 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition, hand-rolled (no client library): the
+// writer renders a Registry for GET /metrics, and the parser reads the
+// same format back for validation — cmd/metricscheck, the loadgen
+// scraper, and the round-trip tests all build on ParseExposition.
+// Schema documented in docs/FORMATS.md under gprofd.metrics.v1.
+
+// WriteExposition renders the registry in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, each with
+// `# HELP` / `# TYPE` header lines, series sorted by label string.
+// Histograms emit cumulative `_bucket` samples for their non-empty
+// buckets plus the mandatory `le="+Inf"` bound, `_sum`, and `_count`.
+// The `+Inf` bucket and `_count` both come from one bucket snapshot, so
+// they agree even while Observe calls race with the scrape. A nil
+// Registry writes nothing.
+func WriteExposition(w io.Writer, r *Registry) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		if len(f.series) == 0 {
+			continue
+		}
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			switch m := s.metric.(type) {
+			case *Counter:
+				writeSample(bw, f.name, s.labels, "", m.Value())
+			case *Gauge:
+				writeSample(bw, f.name, s.labels, "", m.Value())
+			case *Histogram:
+				buckets, total, sum := m.Snapshot()
+				var cum int64
+				for _, b := range buckets {
+					cum += b.Count
+					writeBucket(bw, f.name, s.labels, strconv.FormatInt(b.Upper, 10), cum)
+				}
+				writeBucket(bw, f.name, s.labels, "+Inf", total)
+				writeSample(bw, f.name+"_sum", s.labels, "", sum)
+				writeSample(bw, f.name+"_count", s.labels, "", total)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one `name{labels} value` line.
+func writeSample(w io.Writer, name, labels, _ string, v int64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %d\n", name, v)
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %d\n", name, labels, v)
+}
+
+// writeBucket emits one cumulative `name_bucket{...,le="bound"}` line.
+func writeBucket(w io.Writer, name, labels, le string, v int64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, v)
+		return
+	}
+	fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, labels, le, v)
+}
+
+// escapeHelp applies the HELP-line escapes (backslash and newline).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// ExpoSample is one parsed sample line.
+type ExpoSample struct {
+	Name   string            // full sample name, e.g. "x_bucket"
+	Labels map[string]string // nil when unlabeled
+	Value  float64
+}
+
+// ExpoFamily is one parsed metric family: the TYPE declaration plus
+// every sample that belongs to it, in file order.
+type ExpoFamily struct {
+	Name    string // family name from the TYPE line
+	Kind    string // "counter", "gauge", "histogram", "summary", "untyped"
+	Help    string
+	Samples []ExpoSample
+}
+
+// Exposition is one parsed scrape.
+type Exposition struct {
+	Families []*ExpoFamily
+	byName   map[string]*ExpoFamily
+}
+
+// Family returns the named family, or nil.
+func (e *Exposition) Family(name string) *ExpoFamily {
+	return e.byName[name]
+}
+
+// Sample returns the value of the sample with the given full name and
+// exact label set (as "k", "v" pairs), searching every family.
+func (e *Exposition) Sample(name string, labels ...string) (float64, bool) {
+	want := make(map[string]string, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		want[labels[i]] = labels[i+1]
+	}
+	for _, f := range e.Families {
+		for _, s := range f.Samples {
+			if s.Name == name && labelsEqual(s.Labels, want) {
+				return s.Value, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func labelsEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// familyOf maps a sample name to its family name given the declared
+// families: histogram samples carry _bucket/_sum/_count suffixes.
+func (e *Exposition) familyOf(sample string) *ExpoFamily {
+	if f, ok := e.byName[sample]; ok {
+		return f
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(sample, suf); ok {
+			if f, ok := e.byName[base]; ok {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// ParseExposition reads one text-format scrape. It enforces syntax only
+// (line shapes, label quoting, numeric values); structural rules —
+// types declared before samples, bucket monotonicity — are Validate's
+// job, so a caller can distinguish "not the format" from "the format,
+// malformed".
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	e := &Exposition{byName: make(map[string]*ExpoFamily)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	lineNo := 0
+	// orphans collects samples seen before (or without) a TYPE line;
+	// Validate rejects them, but the parse must not lose them.
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := e.parseComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		f := e.familyOf(s.Name)
+		if f == nil {
+			// Keep undeclared samples in a synthetic untyped family so
+			// Validate can report them.
+			f = &ExpoFamily{Name: s.Name, Kind: ""}
+			e.byName[s.Name] = f
+			e.Families = append(e.Families, f)
+		}
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// parseComment handles `# HELP name text` and `# TYPE name kind`; any
+// other comment is ignored.
+func (e *Exposition) parseComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 {
+		return nil // plain comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		name, kind := fields[2], ""
+		if len(fields) >= 4 {
+			kind = strings.TrimSpace(fields[3])
+		}
+		switch kind {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("TYPE %s: unknown kind %q", name, kind)
+		}
+		if f, ok := e.byName[name]; ok {
+			if f.Kind != "" {
+				return fmt.Errorf("TYPE %s declared twice", name)
+			}
+			f.Kind = kind
+			return nil
+		}
+		f := &ExpoFamily{Name: name, Kind: kind}
+		e.byName[name] = f
+		e.Families = append(e.Families, f)
+	case "HELP":
+		name, help := fields[2], ""
+		if len(fields) >= 4 {
+			help = fields[3]
+		}
+		if f, ok := e.byName[name]; ok {
+			f.Help = help
+			return nil
+		}
+		f := &ExpoFamily{Name: name, Help: help}
+		e.byName[name] = f
+		e.Families = append(e.Families, f)
+	}
+	return nil
+}
+
+// parseSampleLine parses `name{k="v",...} value [timestamp]`.
+func parseSampleLine(line string) (ExpoSample, error) {
+	var s ExpoSample
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		labels, tail, err := parseLabels(rest[1:])
+		if err != nil {
+			return s, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("%s: want `value [timestamp]`, got %q", s.Name, rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("%s: bad value %q", s.Name, fields[0])
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("%s: bad timestamp %q", s.Name, fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseLabels parses `k="v",...}` (the text after the opening brace)
+// and returns the remaining tail after the closing brace.
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '=' near %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !validMetricName(name) {
+			return nil, "", fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Errorf("label %s: value not quoted", name)
+		}
+		s = s[1:]
+		var b strings.Builder
+		for {
+			if s == "" {
+				return nil, "", fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := s[0]
+			s = s[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if s == "" {
+					return nil, "", fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch s[0] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("label %s: bad escape \\%c", name, s[0])
+				}
+				s = s[1:]
+				continue
+			}
+			b.WriteByte(c)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, "", fmt.Errorf("label %s repeated", name)
+		}
+		labels[name] = b.String()
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			continue
+		}
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		return nil, "", fmt.Errorf("expected ',' or '}' near %q", s)
+	}
+}
+
+// Validate applies the structural rules cmd/metricscheck enforces on a
+// single scrape: every sample under a declared TYPE, counter and
+// histogram values non-negative and finite, and per-series histogram
+// invariants (le bounds strictly increasing, cumulative bucket counts
+// non-decreasing, `+Inf` present and equal to `_count`, `_sum` and
+// `_count` present).
+func (e *Exposition) Validate() error {
+	for _, f := range e.Families {
+		if f.Kind == "" {
+			return fmt.Errorf("metric %s: sample without a # TYPE declaration", f.Name)
+		}
+		if len(f.Samples) == 0 {
+			continue
+		}
+		for _, s := range f.Samples {
+			if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+				return fmt.Errorf("metric %s: non-finite value %v", s.Name, s.Value)
+			}
+			if (f.Kind == "counter" || f.Kind == "histogram") && s.Value < 0 {
+				return fmt.Errorf("metric %s: negative %s value %v", s.Name, f.Kind, s.Value)
+			}
+		}
+		if f.Kind == "histogram" {
+			if err := validateHistogramFamily(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// histSeries is one histogram series' parsed samples, keyed by the
+// label set minus `le`.
+type histSeries struct {
+	bounds []float64 // le values in file order
+	counts []float64 // cumulative counts in file order
+	hasInf bool
+	inf    float64
+	sum    *float64
+	count  *float64
+}
+
+// validateHistogramFamily groups the family's samples by non-le label
+// set and checks each series' invariants.
+func validateHistogramFamily(f *ExpoFamily) error {
+	series := make(map[string]*histSeries)
+	order := []string{}
+	get := func(labels map[string]string) *histSeries {
+		pairs := make([]string, 0, len(labels))
+		for k, v := range labels {
+			if k == "le" {
+				continue
+			}
+			pairs = append(pairs, k+"="+v)
+		}
+		sort.Strings(pairs)
+		key := strings.Join(pairs, ",")
+		hs, ok := series[key]
+		if !ok {
+			hs = &histSeries{}
+			series[key] = hs
+			order = append(order, key)
+		}
+		return hs
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %s: bucket without le label", f.Name)
+			}
+			hs := get(s.Labels)
+			if le == "+Inf" {
+				hs.hasInf = true
+				hs.inf = s.Value
+				hs.bounds = append(hs.bounds, math.Inf(1))
+			} else {
+				b, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("histogram %s: bad le %q", f.Name, le)
+				}
+				hs.bounds = append(hs.bounds, b)
+			}
+			hs.counts = append(hs.counts, s.Value)
+		case f.Name + "_sum":
+			v := s.Value
+			get(s.Labels).sum = &v
+		case f.Name + "_count":
+			v := s.Value
+			get(s.Labels).count = &v
+		case f.Name:
+			return fmt.Errorf("histogram %s: bare sample without _bucket/_sum/_count suffix", f.Name)
+		}
+	}
+	for _, key := range order {
+		hs := series[key]
+		where := f.Name
+		if key != "" {
+			where += "{" + key + "}"
+		}
+		for i := 1; i < len(hs.bounds); i++ {
+			if hs.bounds[i] <= hs.bounds[i-1] {
+				return fmt.Errorf("histogram %s: le bounds not increasing (%v after %v)",
+					where, hs.bounds[i], hs.bounds[i-1])
+			}
+			if hs.counts[i] < hs.counts[i-1] {
+				return fmt.Errorf("histogram %s: cumulative bucket counts decrease (%v after %v at le=%v)",
+					where, hs.counts[i], hs.counts[i-1], hs.bounds[i])
+			}
+		}
+		if !hs.hasInf {
+			return fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", where)
+		}
+		if hs.count == nil {
+			return fmt.Errorf("histogram %s: missing _count", where)
+		}
+		if hs.sum == nil {
+			return fmt.Errorf("histogram %s: missing _sum", where)
+		}
+		if *hs.count != hs.inf {
+			return fmt.Errorf("histogram %s: _count %v != +Inf bucket %v", where, *hs.count, hs.inf)
+		}
+	}
+	return nil
+}

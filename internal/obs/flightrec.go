@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FlightRecorder keeps the last few thousand spans of a long-running
+// process in fixed memory — the black box you read after an incident,
+// not a trace you collect on purpose. Where a Trace grows for the life
+// of one run, the recorder overwrites: each track is a fixed ring, so
+// recording costs one mutex on a striped lock plus a slot write no
+// matter how long the process has been up, and memory is bounded by
+// tracks x capacity. It is meant to be always on; internal/serve dumps
+// it at /debug/flightrec as Chrome trace-event JSON for after-the-fact
+// forensics.
+//
+// Unlike a Trace, spans are not attributed to their goroutine —
+// finding a goroutine's id costs a microsecond (see goid), which is
+// too much for an instrument that sits on every HTTP request. Spans
+// instead stripe round-robin across the tracks, so a lane in the dump
+// is a capacity shard, not a goroutine. A span start+end pair costs
+// two clock reads, one atomic add, and one striped mutex — tens of
+// nanoseconds (BenchmarkFlightSpan).
+//
+// A nil *FlightRecorder no-ops everywhere, like the rest of the
+// package.
+type FlightRecorder struct {
+	start  time.Time
+	mask   uint64
+	next   atomic.Uint64
+	tracks []flightTrack
+}
+
+// flightTrack is one ring of recorded events. Spans stripe onto tracks
+// round-robin; next wraps when the ring fills and the oldest events
+// are overwritten.
+type flightTrack struct {
+	mu   sync.Mutex
+	next int
+	full bool
+	buf  []Event
+	_    [40]byte // keep neighboring tracks off one cache line
+}
+
+// NewFlightRecorder creates a recorder whose clock starts now, with one
+// ring per P (rounded up to a power of two) of perTrack events each.
+// perTrack values below 16 are raised to 16.
+func NewFlightRecorder(perTrack int) *FlightRecorder {
+	if perTrack < 16 {
+		perTrack = 16
+	}
+	n := 1
+	for n < runtime.GOMAXPROCS(0) {
+		n <<= 1
+	}
+	f := &FlightRecorder{
+		start:  time.Now(),
+		mask:   uint64(n - 1),
+		tracks: make([]flightTrack, n),
+	}
+	for i := range f.tracks {
+		f.tracks[i].buf = make([]Event, perTrack)
+	}
+	return f
+}
+
+// FlightSpan is an in-progress span. End records it; a zero FlightSpan
+// (from a nil recorder) is a no-op. FlightSpan is a value, not a
+// closure, so starting a span allocates nothing.
+type FlightSpan struct {
+	f     *FlightRecorder
+	name  string
+	start int64
+}
+
+// Start opens a span.
+func (f *FlightRecorder) Start(name string) FlightSpan {
+	if f == nil {
+		return FlightSpan{}
+	}
+	return FlightSpan{f: f, name: name, start: int64(time.Since(f.start))}
+}
+
+// End records the span into the next track's ring, overwriting the
+// oldest entry when full.
+func (s FlightSpan) End() {
+	if s.f == nil {
+		return
+	}
+	s.f.record(Event{
+		Name:  s.name,
+		Start: s.start,
+		Dur:   int64(time.Since(s.f.start)) - s.start,
+	})
+}
+
+// Event records an instantaneous marker (zero-duration span).
+func (f *FlightRecorder) Event(name string) {
+	if f == nil {
+		return
+	}
+	f.record(Event{Name: name, Start: int64(time.Since(f.start))})
+}
+
+func (f *FlightRecorder) record(e Event) {
+	lane := f.next.Add(1) & f.mask
+	e.Goid = int64(lane) + 1 // the dump's lane id, not a goroutine
+	t := &f.tracks[lane]
+	t.mu.Lock()
+	t.buf[t.next] = e
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Events returns a copy of everything currently in the rings, ordered
+// by start time. Recording continues.
+func (f *FlightRecorder) Events() []Event {
+	if f == nil {
+		return nil
+	}
+	var out []Event
+	for i := range f.tracks {
+		t := &f.tracks[i]
+		t.mu.Lock()
+		if t.full {
+			out = append(out, t.buf...)
+		} else {
+			out = append(out, t.buf[:t.next]...)
+		}
+		t.mu.Unlock()
+	}
+	sortEvents(out)
+	return out
+}
+
+// Wall returns the time elapsed since the recorder was created.
+func (f *FlightRecorder) Wall() time.Duration {
+	if f == nil {
+		return 0
+	}
+	return time.Since(f.start)
+}
+
+// WriteChromeTrace dumps the rings as Chrome trace-event JSON — the
+// same format as Trace.WriteChromeTrace, loadable in Perfetto and
+// checkable by cmd/tracecheck. A nil recorder writes an empty but valid
+// trace.
+func (f *FlightRecorder) WriteChromeTrace(w io.Writer) error {
+	if f == nil {
+		return writeChromeEvents(w, "", nil, nil, nil, 0)
+	}
+	end := float64(f.Wall().Nanoseconds()) / 1e3
+	return writeChromeEvents(w, "gprofd flight recorder", f.Events(), nil, nil, end)
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFlightRecorderRing pins the fixed-memory property: rings
+// overwrite, the snapshot is bounded and ordered, and recent events
+// survive while ancient ones are evicted.
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(16)
+	const total = 500
+	for i := 0; i < total; i++ {
+		name := "old"
+		if i >= total-8 {
+			name = "recent"
+		}
+		s := f.Start(name)
+		s.End()
+	}
+	ev := f.Events()
+	capacity := len(f.tracks) * 16
+	if len(ev) > capacity {
+		t.Fatalf("snapshot holds %d events, ring capacity is %d", len(ev), capacity)
+	}
+	recent := 0
+	for i, e := range ev {
+		if e.Name == "recent" {
+			recent++
+		}
+		if i > 0 && ev[i].Start < ev[i-1].Start {
+			t.Fatal("events not ordered by start")
+		}
+	}
+	if recent != 8 {
+		t.Errorf("found %d recent events, want all 8 retained", recent)
+	}
+}
+
+// TestFlightRecorderConcurrent hammers the recorder from many
+// goroutines (meaningful under -race) and checks the dump stays valid.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				s := f.Start("work")
+				if i%100 == 0 {
+					f.Event("marker")
+				}
+				s.End()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = f.Events()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	var buf bytes.Buffer
+	if err := f.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	spans := 0
+	for _, e := range file.TraceEvents {
+		if e.Ph == "X" && e.Name == "work" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Error("dump contains no work spans")
+	}
+}
+
+// TestFlightRecorderNil covers the disabled surface.
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	s := f.Start("x")
+	s.End()
+	f.Event("y")
+	if f.Events() != nil || f.Wall() != 0 {
+		t.Error("nil recorder not a no-op")
+	}
+	var buf bytes.Buffer
+	if err := f.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil WriteChromeTrace: %v", err)
+	}
+	var file struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil || len(file.TraceEvents) != 0 {
+		t.Errorf("nil dump invalid: %v, %d events", err, len(file.TraceEvents))
+	}
+}
+
+// TestFlightSpanDuration sanity-checks recorded durations.
+func TestFlightSpanDuration(t *testing.T) {
+	f := NewFlightRecorder(16)
+	s := f.Start("sleep")
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	ev := f.Events()
+	if len(ev) != 1 {
+		t.Fatalf("got %d events, want 1", len(ev))
+	}
+	if ev[0].Dur < int64(time.Millisecond) {
+		t.Errorf("span duration %dns, want >= 1ms", ev[0].Dur)
+	}
+}

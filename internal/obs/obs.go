@@ -58,9 +58,10 @@ type Trace struct {
 	mask   uint64
 	shards []shard
 
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
 
 	failed atomic.Pointer[error]
 }
@@ -72,11 +73,12 @@ func New() *Trace {
 		n <<= 1
 	}
 	return &Trace{
-		start:    time.Now(),
-		mask:     uint64(n - 1),
-		shards:   make([]shard, n),
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
+		start:      time.Now(),
+		mask:       uint64(n - 1),
+		shards:     make([]shard, n),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -234,6 +236,14 @@ func (g *Gauge) Set(v int64) {
 	}
 }
 
+// Add moves the gauge by a signed delta (for in-flight style gauges
+// that track a level rather than a last value).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
 // Max raises the gauge to v if v is larger (for high-water marks).
 func (g *Gauge) Max(v int64) {
 	if g == nil {
@@ -296,6 +306,26 @@ func (t *Trace) counterValues() (counters, gauges map[string]int64) {
 		}
 	}
 	return counters, gauges
+}
+
+// histogramSnapshots snapshots the histogram registry as summary rows.
+func (t *Trace) histogramSnapshots() map[string]HistogramStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.histograms) == 0 {
+		return nil
+	}
+	out := make(map[string]HistogramStats, len(t.histograms))
+	for name, h := range t.histograms {
+		out[name] = HistogramStats{
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+		}
+	}
+	return out
 }
 
 // goid parses the calling goroutine's id from the runtime's stack

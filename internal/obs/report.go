@@ -23,6 +23,16 @@ type StageTiming struct {
 	Workers int    `json:"workers"`  // distinct goroutines that recorded the name
 }
 
+// HistogramStats is the run-report summary of one registered histogram:
+// exact count and sum plus bucket-estimated quantiles.
+type HistogramStats struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	P50   int64 `json:"p50"`
+	P90   int64 `json:"p90"`
+	P99   int64 `json:"p99"`
+}
+
 // RunReport is the machine-readable summary of one traced run
 // (docs/FORMATS.md, schema gprof.runreport.v1). cmd/benchjson embeds it
 // per workload so BENCH_*.json rows carry stage timings; gprof
@@ -38,6 +48,9 @@ type RunReport struct {
 	Stages   []StageTiming    `json:"stages"`
 	Counters map[string]int64 `json:"counters,omitempty"`
 	Gauges   map[string]int64 `json:"gauges,omitempty"`
+	// Histograms is additive to the v1 schema: absent when no
+	// histograms were registered, so existing readers are unaffected.
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
 }
 
 // Report aggregates the trace into a RunReport. Stages are ordered by
@@ -83,6 +96,7 @@ func (t *Trace) Report() RunReport {
 		return r.Stages[i].Name < r.Stages[j].Name
 	})
 	r.Counters, r.Gauges = t.counterValues()
+	r.Histograms = t.histogramSnapshots()
 	return r
 }
 
@@ -135,5 +149,18 @@ func (t *Trace) WriteSummary(w io.Writer) error {
 	}
 	writeKV("counters", r.Counters)
 	writeKV("gauges", r.Gauges)
+	if len(r.Histograms) > 0 {
+		fmt.Fprintf(w, "  histograms:\n")
+		names := make([]string, 0, len(r.Histograms))
+		for name := range r.Histograms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h := r.Histograms[name]
+			fmt.Fprintf(w, "    %-28s n=%d sum=%d p50=%d p90=%d p99=%d\n",
+				name, h.Count, h.Sum, h.P50, h.P90, h.P99)
+		}
+	}
 	return nil
 }

@@ -163,6 +163,7 @@ func Decode(r io.Reader) (*Decoded, error) {
 			vals []uint64
 		}
 		locFn      = map[uint64]uint64{} // location id -> function id
+		locAddr    = map[uint64]uint64{} // location id -> address (line-less locations)
 		fnName     = map[uint64]uint64{} // function id -> string index
 		periodType [2]uint64
 		period     int64
@@ -217,7 +218,8 @@ func Decode(r io.Reader) (*Decoded, error) {
 			samples = append(samples, s)
 		case 4: // location
 			lp := rawParser{b: msg}
-			var id, fn uint64
+			var id, addr, fn uint64
+			hasLine := false
 			for !lp.done() {
 				lf, lv, lm, err := lp.field()
 				if err != nil {
@@ -226,7 +228,10 @@ func Decode(r io.Reader) (*Decoded, error) {
 				switch lf {
 				case 1:
 					id = lv
+				case 3:
+					addr = lv
 				case 4: // line
+					hasLine = true
 					ip := rawParser{b: lm}
 					for !ip.done() {
 						inf, inv, _, err := ip.field()
@@ -239,7 +244,15 @@ func Decode(r io.Reader) (*Decoded, error) {
 					}
 				}
 			}
-			locFn[id] = fn
+			// Real collectors (Go's runtime/pprof among them) may emit
+			// locations carrying only an address, symbolized later; keep
+			// the address so such frames resolve to a hex name instead
+			// of failing the whole decode.
+			if hasLine {
+				locFn[id] = fn
+			} else {
+				locAddr[id] = addr
+			}
 		case 5: // function
 			fp := rawParser{b: msg}
 			var id, name uint64
@@ -304,6 +317,10 @@ func Decode(r io.Reader) (*Decoded, error) {
 		for _, loc := range s.locs {
 			fn, ok := locFn[loc]
 			if !ok {
+				if addr, ok := locAddr[loc]; ok {
+					ds.Stack = append(ds.Stack, fmt.Sprintf("0x%x", addr))
+					continue
+				}
 				return nil, fmt.Errorf("pprofenc: sample references unknown location %d", loc)
 			}
 			idx, ok := fnName[fn]
@@ -313,6 +330,9 @@ func Decode(r io.Reader) (*Decoded, error) {
 			name, err := str(idx)
 			if err != nil {
 				return nil, err
+			}
+			if name == "" {
+				name = fmt.Sprintf("fn%d", fn)
 			}
 			ds.Stack = append(ds.Stack, name)
 		}

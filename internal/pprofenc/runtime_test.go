@@ -1,0 +1,107 @@
+package pprofenc
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+// TestDecodeGoRuntimeProfile feeds the decoder a real runtime/pprof CPU
+// capture — the input the gprofd self-profiling loop hands it. Unlike
+// our own Encode output, runtime profiles carry mappings, multi-line
+// locations, and (when symbolization is deferred) address-only
+// locations; the decode must survive all of it.
+func TestDecodeGoRuntimeProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Skipf("cannot start CPU profile (already active?): %v", err)
+	}
+	// Burn CPU so the capture likely holds samples; correctness below
+	// does not depend on it.
+	deadline := time.Now().Add(250 * time.Millisecond)
+	x := 1.0
+	for time.Now().Before(deadline) {
+		for i := 0; i < 10000; i++ {
+			x = x*1.000001 + 3
+		}
+	}
+	pprof.StopCPUProfile()
+	_ = x
+
+	d, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode(runtime profile): %v", err)
+	}
+	if len(d.SampleType) == 0 {
+		t.Fatal("runtime profile decoded with no sample types")
+	}
+	foundSamples := false
+	for _, st := range d.SampleType {
+		if st[0] == "samples" && st[1] == "count" {
+			foundSamples = true
+		}
+	}
+	if !foundSamples {
+		t.Errorf("sample types %v missing samples/count", d.SampleType)
+	}
+	if d.PeriodType[1] != "nanoseconds" || d.Period <= 0 {
+		t.Errorf("period = %v %d, want nanoseconds > 0", d.PeriodType, d.Period)
+	}
+	for _, s := range d.Samples {
+		if len(s.Stack) == 0 {
+			t.Fatal("decoded sample with empty stack")
+		}
+		for _, name := range s.Stack {
+			if name == "" {
+				t.Fatal("decoded sample with empty frame name")
+			}
+		}
+	}
+	t.Logf("decoded %d sample rows, period %dns", len(d.Samples), d.Period)
+}
+
+// TestDecodeAddressOnlyLocation pins the fallback for locations that
+// carry an address but no line table: the frame resolves to a hex name
+// instead of failing the decode.
+func TestDecodeAddressOnlyLocation(t *testing.T) {
+	var strTab []byte
+	strTab = appendStringField(nil, 6, "") // string 0 must be ""
+
+	// location{id:1, address:0xabcd} — no line message.
+	var loc []byte
+	loc = appendVarintField(loc, 1, 1)
+	loc = appendVarintField(loc, 3, 0xabcd)
+
+	// sample{location_id:[1], value:[7]}
+	var smp []byte
+	smp = appendVarintField(smp, 1, 1)
+	smp = appendVarintField(smp, 2, 7)
+
+	// sample_type{type:"samples"(1), unit:"count"(2)}
+	var st []byte
+	st = appendVarintField(st, 1, 1)
+	st = appendVarintField(st, 2, 2)
+
+	var prof []byte
+	prof = appendBytesField(prof, 1, st)
+	prof = appendBytesField(prof, 2, smp)
+	prof = appendBytesField(prof, 4, loc)
+	prof = append(prof, strTab...)
+	prof = appendStringField(prof, 6, "samples")
+	prof = appendStringField(prof, 6, "count")
+
+	d, err := Decode(bytes.NewReader(prof))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(d.Samples) != 1 || len(d.Samples[0].Stack) != 1 {
+		t.Fatalf("decoded %+v, want one sample with one frame", d.Samples)
+	}
+	if got := d.Samples[0].Stack[0]; got != "0xabcd" {
+		t.Errorf("address-only frame resolved to %q, want 0xabcd", got)
+	}
+	if d.Samples[0].Values[0] != 7 {
+		t.Errorf("value = %d, want 7", d.Samples[0].Values[0])
+	}
+}

@@ -18,17 +18,30 @@ import (
 const FingerprintHeader = "X-Gprof-Fingerprint"
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("/v1/exe", s.handleExe)
-	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
-	s.mux.HandleFunc("/v1/flat", s.queryText("flat", (*core.Result).WriteFlat))
-	s.mux.HandleFunc("/v1/callgraph", s.queryText("callgraph", (*core.Result).WriteCallGraph))
-	s.mux.HandleFunc("/v1/profile", s.handleProfile)
-	s.mux.HandleFunc("/v1/folded", s.queryText("folded", (*core.Result).WriteFolded))
-	s.mux.HandleFunc("/v1/pprof", s.handlePprof)
-	s.mux.HandleFunc("/v1/diff", s.handleDiff)
-	s.mux.HandleFunc("/v1/gmon", s.handleGmon)
-	s.mux.HandleFunc("/v1/stats", s.handleStats)
-	s.mux.HandleFunc("/v1/fingerprints", s.handleFingerprints)
+	s.handle("/v1/exe", s.handleExe)
+	s.handle("/v1/ingest", s.handleIngest)
+	s.handle("/v1/flat", s.queryText("flat", (*core.Result).WriteFlat))
+	s.handle("/v1/callgraph", s.queryText("callgraph", (*core.Result).WriteCallGraph))
+	s.handle("/v1/profile", s.handleProfile)
+	s.handle("/v1/folded", s.queryText("folded", (*core.Result).WriteFolded))
+	s.handle("/v1/pprof", s.handlePprof)
+	s.handle("/v1/diff", s.handleDiff)
+	s.handle("/v1/gmon", s.handleGmon)
+	s.handle("/v1/stats", s.handleStats)
+	s.handle("/v1/fingerprints", s.handleFingerprints)
+	s.handle("/v1/self", s.handleSelf)
+	s.handle("/metrics", s.handleMetrics)
+	s.handle("/healthz", s.handleHealthz)
+	s.handle("/readyz", s.handleReadyz)
+	s.handle("/debug/flightrec", s.handleFlightRec)
+}
+
+// handle registers a route and records its path so the metrics
+// middleware can label known endpoints exactly and collapse everything
+// else into "other".
+func (s *Server) handle(path string, fn http.HandlerFunc) {
+	s.endpoints[path] = struct{}{}
+	s.mux.HandleFunc(path, fn)
 }
 
 // apiError is the JSON error envelope every non-2xx response carries.
@@ -91,7 +104,7 @@ func (s *Server) handleExe(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, "fingerprinting image: %v", err)
 		return
 	}
-	sh, err := s.register(fp, newShard(fp, im, s.cfg, s.tr))
+	sh, err := s.register(fp, newShard(fp, im, s.cfg, s.tr, s.metrics, s.rec))
 	if err != nil {
 		s.fail(w, http.StatusInsufficientStorage, "registering %s: %v", fp, err)
 		return
@@ -158,6 +171,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.stats.accepted.Add(1)
 	s.stats.bytes.Add(body.n)
 	s.stats.rate.add(now.Unix())
+	s.metrics.profiles.Add(1)
+	s.metrics.profileBytes.Add(body.n)
 	s.tr.Counter("serve.profiles_ingested").Add(1)
 	s.tr.Counter("serve.bytes_ingested").Add(body.n)
 	writeJSON(w, http.StatusAccepted, struct {

@@ -1,0 +1,341 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Production metrics for gprofd (schema gprofd.metrics.v1, documented
+// in docs/FORMATS.md): an always-on obs.Registry the HTTP middleware,
+// shards, and self-profiler record into, exposed in Prometheus text
+// format at GET /metrics. Unlike the optional Config.Trace — which
+// accumulates per-event spans and is meant for one bounded run — the
+// registry holds a fixed set of counters, gauges, and mergeable
+// histograms, so a gprofd that runs for months pays a few atomic adds
+// per request and constant memory.
+
+// serverMetrics owns the registry plus the hot-path series resolved
+// once at startup; per-(endpoint, status) series are cached in a map so
+// the request path never rebuilds label strings.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	inFlight     *obs.Gauge
+	foldDur      *obs.Histogram
+	queueDepth   *obs.Histogram
+	profiles     *obs.Counter
+	profileBytes *obs.Counter
+	selfCaptures *obs.Counter
+	selfEmpty    *obs.Counter
+	selfErrors   *obs.Counter
+
+	// Scrape-time runtime gauges, refreshed by handleMetrics.
+	uptime     *obs.Gauge
+	heapAlloc  *obs.Gauge
+	goroutines *obs.Gauge
+	shards     *obs.Gauge
+	ready      *obs.Gauge
+
+	mu       bySeriesMu
+	series   map[seriesKey]*endpointSeries
+	byEp     map[string]*endpointBytes
+	flightNm map[string]string // endpoint -> precomputed flight-span name
+}
+
+type bySeriesMu = sync.Mutex
+
+// seriesKey keys the per-endpoint × per-status cache without
+// allocating a string per request.
+type seriesKey struct {
+	endpoint string
+	code     int
+}
+
+// endpointSeries is one (endpoint, status) pair's request counter and
+// latency histogram.
+type endpointSeries struct {
+	requests *obs.Counter
+	duration *obs.Histogram
+}
+
+// endpointBytes is one endpoint's request/response size histograms
+// (status-independent to bound cardinality).
+type endpointBytes struct {
+	reqBytes  *obs.Histogram
+	respBytes *obs.Histogram
+}
+
+func newServerMetrics() *serverMetrics {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{
+		reg: reg,
+		inFlight: reg.Gauge("gprofd_http_in_flight",
+			"HTTP requests currently being served"),
+		foldDur: reg.Histogram("gprofd_shard_fold_duration_ns",
+			"time to fold one accepted upload into its window aggregate"),
+		queueDepth: reg.Histogram("gprofd_shard_queue_depth",
+			"shard queue length observed at each enqueue"),
+		profiles: reg.Counter("gprofd_profiles_ingested_total",
+			"profile uploads accepted into a shard queue"),
+		profileBytes: reg.Counter("gprofd_profile_bytes_ingested_total",
+			"upload bytes consumed by the profile decoder"),
+		selfCaptures: reg.Counter("gprofd_selfprofile_captures_total",
+			"self-profile captures attempted"),
+		selfEmpty: reg.Counter("gprofd_selfprofile_empty_total",
+			"self-profile captures that held no samples (idle process)"),
+		selfErrors: reg.Counter("gprofd_selfprofile_errors_total",
+			"self-profile captures that failed (profiler busy or decode error)"),
+		uptime: reg.Gauge("gprofd_uptime_seconds",
+			"seconds since the server started"),
+		heapAlloc: reg.Gauge("gprofd_heap_alloc_bytes",
+			"Go heap bytes currently allocated"),
+		goroutines: reg.Gauge("gprofd_goroutines",
+			"goroutines currently live"),
+		shards: reg.Gauge("gprofd_shards",
+			"registered fingerprint shards"),
+		ready: reg.Gauge("gprofd_ready",
+			"1 while serving, 0 once draining has begun"),
+		series:   make(map[seriesKey]*endpointSeries),
+		byEp:     make(map[string]*endpointBytes),
+		flightNm: make(map[string]string),
+	}
+	m.ready.Set(1)
+	return m
+}
+
+// endpointSeries resolves (and caches) the counter/histogram pair for
+// one endpoint and status code.
+func (m *serverMetrics) endpointSeries(endpoint string, code int) *endpointSeries {
+	key := seriesKey{endpoint, code}
+	m.mu.Lock()
+	es, ok := m.series[key]
+	m.mu.Unlock()
+	if ok {
+		return es
+	}
+	es = &endpointSeries{
+		requests: m.reg.Counter("gprofd_http_requests_total",
+			"HTTP requests served, by endpoint and status code",
+			"endpoint", endpoint, "code", itoaCode(code)),
+		duration: m.reg.Histogram("gprofd_http_request_duration_ns",
+			"request latency in nanoseconds, by endpoint and status code",
+			"endpoint", endpoint, "code", itoaCode(code)),
+	}
+	m.mu.Lock()
+	if prev, ok := m.series[key]; ok {
+		es = prev
+	} else {
+		m.series[key] = es
+	}
+	m.mu.Unlock()
+	return es
+}
+
+// endpointBytes resolves (and caches) the size histograms for one
+// endpoint.
+func (m *serverMetrics) endpointBytes(endpoint string) *endpointBytes {
+	m.mu.Lock()
+	eb, ok := m.byEp[endpoint]
+	m.mu.Unlock()
+	if ok {
+		return eb
+	}
+	eb = &endpointBytes{
+		reqBytes: m.reg.Histogram("gprofd_http_request_bytes",
+			"request body bytes read, by endpoint", "endpoint", endpoint),
+		respBytes: m.reg.Histogram("gprofd_http_response_bytes",
+			"response body bytes written, by endpoint", "endpoint", endpoint),
+	}
+	m.mu.Lock()
+	if prev, ok := m.byEp[endpoint]; ok {
+		eb = prev
+	} else {
+		m.byEp[endpoint] = eb
+	}
+	m.mu.Unlock()
+	return eb
+}
+
+// itoaCode formats the handful of status codes gprofd emits without
+// pulling strconv into the hot path's inliner budget.
+func itoaCode(code int) string {
+	switch code {
+	case 200:
+		return "200"
+	case 202:
+		return "202"
+	case 400:
+		return "400"
+	case 404:
+		return "404"
+	case 405:
+		return "405"
+	case 409:
+		return "409"
+	case 413:
+		return "413"
+	case 429:
+		return "429"
+	case 500:
+		return "500"
+	case 503:
+		return "503"
+	case 507:
+		return "507"
+	}
+	// Rare codes take the slow path; the result is cached per series.
+	buf := [3]byte{byte('0' + code/100%10), byte('0' + code/10%10), byte('0' + code%10)}
+	return string(buf[:])
+}
+
+// endpointLabel maps a request path to its metric label. Unknown paths
+// collapse into "other" so a scanner probing random URLs cannot grow
+// the series set without bound.
+func (s *Server) endpointLabel(path string) string {
+	if _, ok := s.endpoints[path]; ok {
+		return path
+	}
+	return "other"
+}
+
+// statusWriter observes the status code and body size of a response.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// countingBody counts the request-body bytes handlers actually read.
+type countingBody struct {
+	rc io.ReadCloser
+	n  int64
+}
+
+func (b *countingBody) Read(p []byte) (int, error) {
+	n, err := b.rc.Read(p)
+	b.n += int64(n)
+	return n, err
+}
+
+func (b *countingBody) Close() error { return b.rc.Close() }
+
+// instrument is the HTTP middleware: per-endpoint × per-status request
+// counts and latency histograms, per-endpoint body-size histograms, the
+// in-flight gauge, and a flight-recorder span per request. It wraps the
+// whole mux, so every endpoint — including /metrics itself — is
+// measured.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	m := s.metrics
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ep := s.endpointLabel(r.URL.Path)
+		fs := s.rec.Start(s.flightName(ep))
+		m.inFlight.Add(1)
+		body := &countingBody{rc: r.Body}
+		r.Body = body
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		dur := time.Since(start).Nanoseconds()
+		m.inFlight.Add(-1)
+		fs.End()
+		code := sw.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		es := m.endpointSeries(ep, code)
+		es.requests.Add(1)
+		es.duration.Observe(dur)
+		eb := m.endpointBytes(ep)
+		eb.reqBytes.Observe(body.n)
+		eb.respBytes.Observe(sw.bytes)
+	})
+}
+
+// flightName returns the cached "http <endpoint>" flight-span label.
+func (s *Server) flightName(ep string) string {
+	m := s.metrics
+	m.mu.Lock()
+	name, ok := m.flightNm[ep]
+	if !ok {
+		name = "http " + ep
+		m.flightNm[ep] = name
+	}
+	m.mu.Unlock()
+	return name
+}
+
+// handleMetrics serves the registry in Prometheus text exposition
+// format, refreshing the scrape-time runtime gauges first.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET /metrics")
+		return
+	}
+	m := s.metrics
+	m.uptime.Set(int64(s.cfg.Now().Sub(s.start).Seconds()))
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	m.heapAlloc.Set(int64(mem.HeapAlloc))
+	m.goroutines.Set(int64(runtime.NumGoroutine()))
+	s.mu.Lock()
+	m.shards.Set(int64(len(s.shards)))
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WriteExposition(w, m.reg)
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP. Always
+// 200 — use /readyz for load-balancer rotation decisions.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+// handleReadyz is readiness: 200 while the server accepts work, 503
+// once draining has begun (BeginDrain or Close) so a balancer stops
+// routing new traffic while in-flight requests finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.Ready() {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ready\n"))
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	w.Write([]byte("draining\n"))
+}
+
+// handleFlightRec dumps the flight recorder as Chrome trace-event JSON
+// — the last few thousand request and fold spans, always available, for
+// after-the-fact incident forensics (load in Perfetto or validate with
+// cmd/tracecheck).
+func (s *Server) handleFlightRec(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET /debug/flightrec")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.rec.WriteChromeTrace(w)
+}

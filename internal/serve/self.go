@@ -1,0 +1,278 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/pprofenc"
+	"repro/internal/report"
+)
+
+// The dogfood loop: gprofd profiles itself with the same machinery it
+// serves to everyone else. A background goroutine periodically captures
+// the process's own Go runtime CPU profile, decodes it with the in-repo
+// pprof reader (internal/pprofenc — no go tool pprof), converts the
+// name-resolved stacks into the gprof.profile.v2 stacks model, and
+// serves the result at GET /v1/self as a flat table, folded stacks, a
+// re-encoded pprof protobuf, or the model JSON. The operator question
+// "where does gprofd itself spend its time?" is answered by gprofd.
+
+// selfViews is one capture rendered every way /v1/self serves it,
+// built once at capture time so the handler only writes bytes.
+type selfSnapshot struct {
+	capturedAt time.Time
+	window     time.Duration
+	samples    int64
+	profile    *model.Profile
+
+	flat   []byte
+	folded []byte
+	pprof  []byte
+}
+
+// selfProfiler owns the capture loop. Captures are serialized by mu —
+// the Go runtime allows one active CPU profile per process — and the
+// newest capture that actually held samples is kept in latest, so an
+// idle stretch does not blank out the endpoint.
+type selfProfiler struct {
+	srv      *Server
+	interval time.Duration // 0: no loop; /v1/self captures on demand
+	window   time.Duration
+
+	// captureFn runs one CPU capture of duration d and returns the raw
+	// pprof bytes. Injectable so tests feed deterministic profiles
+	// without racing the runtime profiler.
+	captureFn func(d time.Duration) ([]byte, error)
+
+	mu     sync.Mutex // serializes captures
+	latest atomic.Pointer[selfSnapshot]
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+func newSelfProfiler(srv *Server, interval, window time.Duration) *selfProfiler {
+	if window <= 0 {
+		window = time.Second
+	}
+	if interval > 0 && window > interval/2 {
+		window = interval / 2
+	}
+	return &selfProfiler{
+		srv:       srv,
+		interval:  interval,
+		window:    window,
+		captureFn: captureCPUProfile,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// captureCPUProfile is the production captureFn: one runtime/pprof CPU
+// capture of duration d.
+func captureCPUProfile(d time.Duration) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		// Another capture is active (the operator's -pprof listener,
+		// most likely). Report rather than fight over the profiler.
+		return nil, fmt.Errorf("starting CPU profile: %w", err)
+	}
+	time.Sleep(d)
+	pprof.StopCPUProfile()
+	return buf.Bytes(), nil
+}
+
+// startLoop begins periodic capture; no-op when interval is zero.
+func (sp *selfProfiler) startLoop() {
+	if sp.interval <= 0 {
+		close(sp.done)
+		return
+	}
+	go func() {
+		defer close(sp.done)
+		t := time.NewTicker(sp.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-sp.stop:
+				return
+			case <-t.C:
+				sp.captureOnce()
+			}
+		}
+	}()
+}
+
+// stopLoop halts the loop and waits for an in-flight capture to finish.
+func (sp *selfProfiler) stopLoop() {
+	select {
+	case <-sp.stop:
+	default:
+		close(sp.stop)
+	}
+	if sp.interval > 0 {
+		<-sp.done
+	}
+}
+
+// captureOnce runs one capture → decode → model → render cycle. A
+// capture with no samples (idle process) keeps the previous snapshot;
+// only captures carrying data replace it.
+func (sp *selfProfiler) captureOnce() {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	m := sp.srv.metrics
+	m.selfCaptures.Add(1)
+	fs := sp.srv.rec.Start("selfprofile capture")
+	raw, err := sp.captureFn(sp.window)
+	fs.End()
+	if err != nil {
+		m.selfErrors.Add(1)
+		return
+	}
+	snap, err := buildSelfSnapshot(raw, sp.srv.cfg.Now(), sp.window)
+	if err != nil {
+		m.selfErrors.Add(1)
+		return
+	}
+	if snap.samples == 0 {
+		m.selfEmpty.Add(1)
+		return
+	}
+	sp.latest.Store(snap)
+}
+
+// buildSelfSnapshot decodes one raw pprof capture and renders every
+// /v1/self view from it.
+func buildSelfSnapshot(raw []byte, now time.Time, window time.Duration) (*selfSnapshot, error) {
+	d, err := pprofenc.Decode(bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("decoding self profile: %w", err)
+	}
+	prof, samples := selfModel(d)
+	snap := &selfSnapshot{
+		capturedAt: now,
+		window:     window,
+		samples:    samples,
+		profile:    prof,
+	}
+	if samples == 0 {
+		return snap, nil
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, fmt.Errorf("self profile failed validation: %w", err)
+	}
+	var flat bytes.Buffer
+	writeSelfFlat(&flat, snap)
+	snap.flat = flat.Bytes()
+	var folded bytes.Buffer
+	if err := report.Folded(&folded, prof); err != nil {
+		return nil, fmt.Errorf("rendering folded self profile: %w", err)
+	}
+	snap.folded = folded.Bytes()
+	var pb bytes.Buffer
+	if err := pprofenc.Encode(&pb, prof); err != nil {
+		return nil, fmt.Errorf("re-encoding self profile: %w", err)
+	}
+	snap.pprof = pb.Bytes()
+	return snap, nil
+}
+
+// selfModel converts a decoded runtime CPU profile into the stacks-only
+// gprof.profile.v2 model: the samples/count value per stack feeds
+// StacksFromFrames, and the sampling rate comes from the period (the
+// runtime reports nanoseconds per sample).
+func selfModel(d *pprofenc.Decoded) (*model.Profile, int64) {
+	valIdx := 0
+	for i, st := range d.SampleType {
+		if st[0] == "samples" && st[1] == "count" {
+			valIdx = i
+			break
+		}
+	}
+	hz := int64(100)
+	if d.PeriodType[1] == "nanoseconds" && d.Period > 0 {
+		hz = int64(time.Second) / d.Period
+		if hz <= 0 {
+			hz = 1
+		}
+	}
+	frames := make([]model.FrameSample, 0, len(d.Samples))
+	var total int64
+	for _, s := range d.Samples {
+		if valIdx >= len(s.Values) {
+			continue
+		}
+		v := s.Values[valIdx]
+		if v <= 0 {
+			continue
+		}
+		total += v
+		frames = append(frames, model.FrameSample{Frames: s.Stack, Count: v})
+	}
+	view := model.StacksFromFrames(frames)
+	return &model.Profile{
+		Schema:       model.SchemaV2,
+		Hz:           hz,
+		TotalTicks:   float64(view.Samples),
+		TotalSeconds: float64(view.Samples) / float64(hz),
+		Stacks:       view,
+	}, total
+}
+
+// writeSelfFlat renders the per-routine rollup as a flat table: the
+// measured self/inclusive split BuildStacks guarantees, ordered by
+// decreasing inclusive time.
+func writeSelfFlat(w *bytes.Buffer, snap *selfSnapshot) {
+	v := snap.profile.Stacks
+	fmt.Fprintf(w, "gprofd self profile: %d samples over %s (captured %s)\n",
+		v.Samples, snap.window, snap.capturedAt.UTC().Format(time.RFC3339))
+	fmt.Fprintf(w, "%7s %7s %8s %8s  %s\n", "incl%", "self%", "incl", "self", "routine")
+	total := float64(v.Samples)
+	for _, r := range v.Routines {
+		fmt.Fprintf(w, "%6.1f%% %6.1f%% %8d %8d  %s\n",
+			100*float64(r.InclusiveTicks)/total, 100*float64(r.SelfTicks)/total,
+			r.InclusiveTicks, r.SelfTicks, r.Name)
+	}
+}
+
+// handleSelf serves the most recent self-profile capture. With no
+// background loop (or before its first productive capture) the handler
+// captures on demand, so `curl /v1/self` always works; 503 only when a
+// capture cannot produce samples.
+func (s *Server) handleSelf(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET /v1/self")
+		return
+	}
+	snap := s.self.latest.Load()
+	if snap == nil {
+		s.self.captureOnce()
+		snap = s.self.latest.Load()
+	}
+	if snap == nil {
+		s.fail(w, http.StatusServiceUnavailable,
+			"self profile has no samples yet (idle process or profiler busy); retry under load")
+		return
+	}
+	switch view := r.URL.Query().Get("view"); view {
+	case "", "flat":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(snap.flat)
+	case "folded":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(snap.folded)
+	case "pprof":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(snap.pprof)
+	case "json":
+		writeJSON(w, http.StatusOK, snap.profile)
+	default:
+		s.fail(w, http.StatusBadRequest, "unknown view %q (want flat, folded, pprof, or json)", view)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -88,6 +89,17 @@ type Config struct {
 	// queue-depth gauges; counters for /v1/stats are kept
 	// independently and are always on.
 	Trace *obs.Trace
+	// SelfProfile, when positive, starts the dogfood loop: the server
+	// captures its own Go runtime CPU profile this often and serves the
+	// latest capture at /v1/self. Zero leaves the loop off; /v1/self
+	// then captures on demand.
+	SelfProfile time.Duration
+	// SelfCapture is the duration of each self-profile capture window.
+	// Zero means one second, clamped to half the SelfProfile interval.
+	SelfCapture time.Duration
+	// FlightRecorder sizes the per-track span ring (spans kept per
+	// goroutine stripe for /debug/flightrec). Zero means 1024.
+	FlightRecorder int
 }
 
 func (c Config) withDefaults() Config {
@@ -118,6 +130,9 @@ func (c Config) withDefaults() Config {
 	if c.Now == nil {
 		c.Now = time.Now
 	}
+	if c.FlightRecorder <= 0 {
+		c.FlightRecorder = 1024
+	}
 	return c
 }
 
@@ -133,6 +148,13 @@ type Server struct {
 	flights flightGroup // single-flight coalescing of cold analyses
 	optKey  string      // CacheKey of the server's fixed core.Options
 	start   time.Time
+
+	metrics   *serverMetrics      // always-on /metrics registry
+	rec       *obs.FlightRecorder // always-on span ring for /debug/flightrec
+	self      *selfProfiler       // dogfood loop behind /v1/self
+	endpoints map[string]struct{} // registered paths, for bounded metric labels
+	handler   http.Handler        // mux wrapped in the metrics middleware
+	draining  atomic.Bool         // flips /readyz to 503
 
 	mu     sync.Mutex
 	shards map[string]*shard
@@ -153,19 +175,42 @@ func New(cfg Config) *Server {
 	}
 	s.queries = core.NewLRU(cfg.QueryCache)
 	s.optKey = s.runOptions().CacheKey()
+	s.metrics = newServerMetrics()
+	s.rec = obs.NewFlightRecorder(cfg.FlightRecorder)
+	s.self = newSelfProfiler(s, cfg.SelfProfile, cfg.SelfCapture)
 	s.mux = http.NewServeMux()
+	s.endpoints = make(map[string]struct{})
 	s.routes()
+	s.handler = s.instrument(s.mux)
+	s.self.startLoop()
 	return s
 }
 
 // Handler returns the HTTP API (the gprofd.api.v1 surface documented
-// in docs/FORMATS.md).
-func (s *Server) Handler() http.Handler { return s.mux }
+// in docs/FORMATS.md), wrapped in the metrics middleware so every
+// request lands in the /metrics histograms and the flight recorder.
+func (s *Server) Handler() http.Handler { return s.handler }
 
-// Close stops every shard worker after draining its queue. Uploads
+// BeginDrain flips /readyz to 503 so load balancers stop routing new
+// traffic here, without touching in-flight or subsequent requests —
+// every endpoint keeps answering until the process exits. Call it when
+// shutdown begins, ahead of http.Server.Shutdown's connection drain.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.metrics.ready.Set(0)
+	}
+}
+
+// Ready reports whether the server still advertises readiness.
+func (s *Server) Ready() bool { return !s.draining.Load() }
+
+// Close stops every shard worker after draining its queue, after
+// flipping readiness off and stopping the self-profile loop. Uploads
 // arriving during or after Close are rejected with 503; queries keep
 // working against the merged windows.
 func (s *Server) Close() {
+	s.BeginDrain()
+	s.self.stopLoop()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()

@@ -342,7 +342,7 @@ func TestBackpressure(t *testing.T) {
 	im, _ := sortImage(t)
 	s, ts := newTestServer(t, Config{QueueDepth: 1})
 	const fp = "test-backpressure-fp"
-	sh := newShard(fp, im, s.cfg, s.tr)
+	sh := newShard(fp, im, s.cfg, s.tr, s.metrics, s.rec)
 	s.mu.Lock()
 	s.shards[fp] = sh // worker deliberately not started: queue never drains
 	s.mu.Unlock()

@@ -61,8 +61,14 @@ type shard struct {
 	queue  chan ingestItem
 	done   chan struct{}
 	tr     *obs.Trace
-	depth  *obs.Gauge // high-water queue depth
-	snaps  *core.LRU  // resolved selection -> *gmon.Profile (read-only)
+	depth  *obs.Gauge          // high-water queue depth
+	snaps  *core.LRU           // resolved selection -> *gmon.Profile (read-only)
+	rec      *obs.FlightRecorder // fold spans for /debug/flightrec (nil-safe)
+	foldName string              // precomputed flight-span label
+	// /metrics histograms, shared across shards (nil when the shard is
+	// built outside a Server, e.g. directly in tests).
+	foldDur    *obs.Histogram
+	queueDepth *obs.Histogram
 
 	mu       sync.Mutex
 	closed   bool
@@ -77,8 +83,8 @@ type shard struct {
 	lastErr  string
 }
 
-func newShard(fp string, im *object.Image, cfg Config, tr *obs.Trace) *shard {
-	return &shard{
+func newShard(fp string, im *object.Image, cfg Config, tr *obs.Trace, m *serverMetrics, rec *obs.FlightRecorder) *shard {
+	s := &shard{
 		fp:      fp,
 		im:      im,
 		window:  int64(cfg.Window / time.Second),
@@ -88,8 +94,15 @@ func newShard(fp string, im *object.Image, cfg Config, tr *obs.Trace) *shard {
 		tr:      tr,
 		depth:   tr.Gauge("serve.queue_high_water"),
 		snaps:   core.NewLRU(snapCacheEntries),
-		windows: make(map[int64]*window),
+		rec:      rec,
+		foldName: "fold " + fp,
+		windows:  make(map[int64]*window),
 	}
+	if m != nil {
+		s.foldDur = m.foldDur
+		s.queueDepth = m.queueDepth
+	}
+	return s
 }
 
 func (s *shard) start() { go s.run() }
@@ -104,7 +117,11 @@ func (s *shard) run() {
 			continue
 		}
 		end := s.tr.Span("serve.merge")
+		fs := s.rec.Start(s.foldName)
+		foldStart := time.Now()
 		s.merge(it)
+		s.foldDur.Observe(time.Since(foldStart).Nanoseconds())
+		fs.End()
 		end()
 	}
 }
@@ -190,7 +207,9 @@ func (s *shard) enqueue(p *gmon.Profile, now time.Time) error {
 	select {
 	case s.queue <- it:
 		s.accepted++
-		s.depth.Max(int64(len(s.queue)))
+		depth := int64(len(s.queue))
+		s.depth.Max(depth)
+		s.queueDepth.Observe(depth)
 		return nil
 	default:
 		return errQueueFull

@@ -106,6 +106,12 @@ type Stats struct {
 	AnalysisCacheEvictions int64 `json:"analysis_cache_evictions"`
 	CoalescedQueries       int64 `json:"coalesced_queries"`
 
+	// The dogfood loop's accounting (additive in gprofd.stats.v1; see
+	// /v1/self and the gprofd.metrics.v1 selfprofile counters).
+	SelfProfileCaptures int64 `json:"selfprofile_captures,omitempty"`
+	SelfProfileEmpty    int64 `json:"selfprofile_empty,omitempty"`
+	SelfProfileErrors   int64 `json:"selfprofile_errors,omitempty"`
+
 	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
 	HeapSysBytes   uint64 `json:"heap_sys_bytes"`
 	NumGoroutine   int    `json:"num_goroutine"`
@@ -133,6 +139,9 @@ func (s *Server) Snapshot() Stats {
 		AnalysisCacheHits:       s.stats.analysisHits.Load(),
 		AnalysisCacheMisses:     s.stats.analysisMisses.Load(),
 		CoalescedQueries:        s.stats.coalesced.Load(),
+		SelfProfileCaptures:     s.metrics.selfCaptures.Value(),
+		SelfProfileEmpty:        s.metrics.selfEmpty.Value(),
+		SelfProfileErrors:       s.metrics.selfErrors.Value(),
 	}
 	_, _, qEvict := s.queries.Stats()
 	st.AnalysisCacheEvictions = int64(qEvict)
